@@ -1,0 +1,66 @@
+//===- bench/common/BenchCommon.h - Shared bench harness code --*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure/table reproduction binaries: uniform
+/// benchmark iteration, run wiring, and output conventions. Every bench
+/// prints the paper's rows/series plus a paper-vs-measured note; see
+/// EXPERIMENTS.md for the recorded results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_BENCH_COMMON_BENCHCOMMON_H
+#define ORP_BENCH_COMMON_BENCHCOMMON_H
+
+#include "core/ProfilingSession.h"
+#include "trace/Events.h"
+#include "workloads/Workload.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace bench {
+
+/// Names of the 7 SPEC2000 analogues in the paper's table order.
+const std::vector<std::string> &specNames();
+
+/// Parses the optional scale argument (argv[1]); defaults to 1. The
+/// scale multiplies workload sizes, mirroring the train/ref input-set
+/// distinction.
+uint64_t parseScale(int Argc, char **Argv);
+
+/// Per-run parameters.
+struct RunConfig {
+  uint64_t Scale = 1;
+  uint64_t InputSeed = 42;
+  uint64_t EnvSeed = 0; ///< Allocator/linker environment of this run.
+  memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
+};
+
+/// Runs workload \p Name inside the prepared \p Session (attach profilers
+/// and raw sinks before calling); finishes the session. Returns the
+/// wall-clock seconds of the workload body.
+double runInSession(core::ProfilingSession &Session,
+                    const std::string &Name, const RunConfig &Config);
+
+/// Runs \p Name with no sinks attached — the paper's "native" execution
+/// used as the dilation baseline. Returns wall-clock seconds.
+double runNative(const std::string &Name, const RunConfig &Config);
+
+/// Prints the standard bench header: experiment id and the paper claim
+/// the bench regenerates.
+void printHeader(const char *Experiment, const char *PaperClaim);
+
+/// Renders a proportional ASCII bar for |Value| out of 100.
+std::string bar(double Value, unsigned Width = 40);
+
+} // namespace bench
+} // namespace orp
+
+#endif // ORP_BENCH_COMMON_BENCHCOMMON_H

@@ -1,0 +1,33 @@
+//===- bench/common/MdfExperiment.cpp - Shared Fig.6-8 machinery ---------===//
+
+#include "common/MdfExperiment.h"
+
+#include "analysis/Dependence.h"
+#include "baseline/ExactDependence.h"
+#include "leap/Leap.h"
+
+using namespace orp;
+using namespace orp::bench;
+
+MdfResults orp::bench::runMdfExperiment(const std::string &Name,
+                                        uint64_t Scale,
+                                        size_t ConnorsWindow,
+                                        unsigned MaxLmads) {
+  RunConfig Config;
+  Config.Scale = Scale;
+  core::ProfilingSession Session(Config.Policy, Config.EnvSeed);
+
+  leap::LeapProfiler Leap(MaxLmads);
+  baseline::ExactDependenceProfiler Exact;
+  baseline::ConnorsProfiler Connors(ConnorsWindow);
+  Session.addConsumer(&Leap);
+  Session.addRawSink(&Exact);
+  Session.addRawSink(&Connors);
+  runInSession(Session, Name, Config);
+
+  MdfResults Results;
+  Results.Exact = Exact.mdf();
+  Results.Leap = analysis::LeapDependenceAnalyzer(Leap).computeMdf();
+  Results.Connors = Connors.mdf();
+  return Results;
+}

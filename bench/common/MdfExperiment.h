@@ -1,0 +1,47 @@
+//===- bench/common/MdfExperiment.h - Shared Fig.6-8 machinery -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-dependence-frequency experiment shared by Figures 6, 7
+/// and 8: run a benchmark once, collect (a) the exact lossless
+/// raw-address dependence profile, (b) the LEAP profile with its MDF
+/// post-processor and (c) the Connors window profile, and return all
+/// three MDF maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_BENCH_COMMON_MDFEXPERIMENT_H
+#define ORP_BENCH_COMMON_MDFEXPERIMENT_H
+
+#include "analysis/Mdf.h"
+#include "baseline/ConnorsProfiler.h"
+#include "common/BenchCommon.h"
+
+#include <string>
+
+namespace orp {
+namespace bench {
+
+/// The three MDF maps of one benchmark run.
+struct MdfResults {
+  analysis::MdfMap Exact;
+  analysis::MdfMap Leap;
+  analysis::MdfMap Connors;
+};
+
+/// Runs \p Name once and computes all three profiles on the same probe
+/// stream. \p ConnorsWindow sizes the window baseline (the paper picks a
+/// window giving LEAP-comparable running time).
+MdfResults runMdfExperiment(
+    const std::string &Name, uint64_t Scale,
+    size_t ConnorsWindow = baseline::ConnorsProfiler::DefaultWindowSize,
+    unsigned MaxLmads = 30);
+
+} // namespace bench
+} // namespace orp
+
+#endif // ORP_BENCH_COMMON_MDFEXPERIMENT_H

@@ -1,0 +1,152 @@
+//===- bench/perf_components.cpp - Component micro-benchmarks ------------===//
+//
+// google-benchmark throughput measurements for the building blocks:
+// Sequitur append rate on several stream shapes, OMC translation rate
+// vs. live-object count, LMAD compressor point rate, and the end-to-end
+// probe->CDC->profiler pipeline cost per access (the per-access cost
+// behind Table 1's dilation factor).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfilingSession.h"
+#include "leap/Leap.h"
+#include "lmad/LmadCompressor.h"
+#include "omc/ObjectManager.h"
+#include "sequitur/Sequitur.h"
+#include "support/Random.h"
+#include "whomp/Whomp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace orp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Sequitur
+//===----------------------------------------------------------------------===//
+
+void BM_SequiturPeriodic(benchmark::State &State) {
+  const int Period = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sequitur::SequiturGrammar G;
+    for (int I = 0; I != 20000; ++I)
+      G.append(static_cast<uint64_t>(I % Period));
+    benchmark::DoNotOptimize(G.numRules());
+  }
+  State.SetItemsProcessed(State.iterations() * 20000);
+}
+BENCHMARK(BM_SequiturPeriodic)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_SequiturRandom(benchmark::State &State) {
+  const uint64_t Alphabet = static_cast<uint64_t>(State.range(0));
+  Rng R(1);
+  std::vector<uint64_t> Input(20000);
+  for (uint64_t &V : Input)
+    V = R.nextBelow(Alphabet);
+  for (auto _ : State) {
+    sequitur::SequiturGrammar G;
+    G.appendAll(Input);
+    benchmark::DoNotOptimize(G.numRules());
+  }
+  State.SetItemsProcessed(State.iterations() * 20000);
+}
+BENCHMARK(BM_SequiturRandom)->Arg(2)->Arg(256)->Arg(1 << 20);
+
+//===----------------------------------------------------------------------===//
+// OMC translation
+//===----------------------------------------------------------------------===//
+
+void BM_OmcTranslate(benchmark::State &State) {
+  const uint64_t LiveObjects = static_cast<uint64_t>(State.range(0));
+  omc::ObjectManager Omc;
+  uint64_t Cursor = 0x10000;
+  std::vector<uint64_t> Bases;
+  for (uint64_t I = 0; I != LiveObjects; ++I) {
+    Omc.onAlloc(trace::AllocEvent{static_cast<trace::AllocSiteId>(I % 13),
+                                  Cursor, 64, I, false});
+    Bases.push_back(Cursor);
+    Cursor += 96;
+  }
+  Rng R(7);
+  std::vector<uint64_t> Queries(4096);
+  for (uint64_t &Q : Queries)
+    Q = Bases[R.nextBelow(Bases.size())] + R.nextBelow(64);
+  for (auto _ : State) {
+    for (uint64_t Q : Queries)
+      benchmark::DoNotOptimize(Omc.translate(Q));
+  }
+  State.SetItemsProcessed(State.iterations() * Queries.size());
+}
+BENCHMARK(BM_OmcTranslate)->Arg(100)->Arg(10000)->Arg(300000);
+
+//===----------------------------------------------------------------------===//
+// LMAD compression
+//===----------------------------------------------------------------------===//
+
+void BM_LmadLinearStream(benchmark::State &State) {
+  for (auto _ : State) {
+    lmad::LmadCompressor C(3);
+    for (int64_t I = 0; I != 20000; ++I)
+      C.addPoint(lmad::Point{I, I * 8, I * 2});
+    benchmark::DoNotOptimize(C.capturedPoints());
+  }
+  State.SetItemsProcessed(State.iterations() * 20000);
+}
+BENCHMARK(BM_LmadLinearStream);
+
+void BM_LmadIrregularStream(benchmark::State &State) {
+  Rng R(3);
+  std::vector<lmad::Point> Points(20000);
+  for (auto &P : Points)
+    P = lmad::Point{static_cast<int64_t>(R.nextBelow(100)),
+                    static_cast<int64_t>(R.nextBelow(4096)),
+                    static_cast<int64_t>(R.nextBelow(100000))};
+  for (auto _ : State) {
+    lmad::LmadCompressor C(3);
+    for (const auto &P : Points)
+      C.addPoint(P);
+    benchmark::DoNotOptimize(C.overflow().Dropped);
+  }
+  State.SetItemsProcessed(State.iterations() * 20000);
+}
+BENCHMARK(BM_LmadIrregularStream);
+
+//===----------------------------------------------------------------------===//
+// End-to-end pipeline cost per access
+//===----------------------------------------------------------------------===//
+
+void BM_PipelineNativeProbe(benchmark::State &State) {
+  trace::MemoryInterface M;
+  uint64_t Addr = M.heapAlloc(0, 4096);
+  for (auto _ : State)
+    M.load(0, Addr + (State.iterations() & 0xfff) / 8 * 8);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PipelineNativeProbe);
+
+void BM_PipelineLeapProbe(benchmark::State &State) {
+  core::ProfilingSession S;
+  leap::LeapProfiler Leap;
+  S.addConsumer(&Leap);
+  uint64_t Addr = S.memory().heapAlloc(0, 4096);
+  for (auto _ : State)
+    S.memory().load(0, Addr + (State.iterations() & 0xfff) / 8 * 8);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PipelineLeapProbe);
+
+void BM_PipelineWhompProbe(benchmark::State &State) {
+  core::ProfilingSession S;
+  whomp::WhompProfiler Whomp;
+  S.addConsumer(&Whomp);
+  uint64_t Addr = S.memory().heapAlloc(0, 4096);
+  for (auto _ : State)
+    S.memory().load(0, Addr + (State.iterations() & 0xfff) / 8 * 8);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PipelineWhompProbe);
+
+} // namespace
+
+BENCHMARK_MAIN();

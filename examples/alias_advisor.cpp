@@ -1,0 +1,71 @@
+//===- examples/alias_advisor.cpp - Application 1: load speculation ------===//
+//
+// The paper's first LEAP application (Section 4.2.1): memory dependence
+// frequencies feed speculative load reordering — "this reordering is
+// beneficial only if the load is independent of the store or is
+// dependent with a low frequency, because of the relatively high
+// recovery overhead".
+//
+// This example profiles the mcf analogue with LEAP, runs the
+// omega-test-style MDF post-processor, and emits the advice a scheduler
+// would consume: for every (store, load) pair, either SPECULATE (low
+// conflict frequency) or KEEP ORDER (frequent conflicts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "core/ProfilingSession.h"
+#include "leap/Leap.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace orp;
+
+int main(int Argc, char **Argv) {
+  const char *Name = Argc > 1 ? Argv[1] : "181.mcf-a";
+  // The speculation threshold: pairs below it are worth reordering.
+  // Chen et al. (the paper's [3]) use low single-digit percentages.
+  const double SpeculateBelow = 0.05;
+
+  core::ProfilingSession Session;
+  leap::LeapProfiler Leap;
+  Session.addConsumer(&Leap);
+
+  auto Workload = workloads::createWorkloadByName(Name);
+  if (!Workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", Name);
+    return 1;
+  }
+  workloads::WorkloadConfig Config;
+  Workload->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+
+  analysis::MdfMap Mdf =
+      analysis::LeapDependenceAnalyzer(Leap).computeMdf();
+
+  std::printf("LEAP alias advice for %s (profile: %zu bytes, %llu "
+              "accesses)\n\n",
+              Name, Leap.serializedSizeBytes(),
+              static_cast<unsigned long long>(Leap.tuplesSeen()));
+
+  TablePrinter Table({"store", "load", "MDF", "advice"});
+  unsigned Speculate = 0, Keep = 0;
+  for (const auto &[Pair, Freq] : Mdf) {
+    bool Spec = Freq < SpeculateBelow;
+    Spec ? ++Speculate : ++Keep;
+    Table.addRow({Session.registry().instruction(Pair.first).Name,
+                  Session.registry().instruction(Pair.second).Name,
+                  TablePrinter::fmtPercent(Freq * 100.0, 1),
+                  Spec ? "SPECULATE (reorder across store)"
+                       : "KEEP ORDER (frequent conflict)"});
+  }
+  Table.print();
+
+  std::printf("\n%u pairs safe to speculate, %u pairs to keep ordered.\n",
+              Speculate, Keep);
+  std::printf("Pairs never reported conflicting may be reordered freely "
+              "(subject to static analysis).\n");
+  return 0;
+}

@@ -1,0 +1,231 @@
+//===- examples/orp_profile.cpp - Command-line profiler driver -----------===//
+//
+// A small command-line front end over the whole library: run any bundled
+// workload under any allocator, with any combination of profilers, and
+// print their reports. Demonstrates the full public API including the
+// extensions (pool splitting, phase detection, hot data streams, profile
+// serialization).
+//
+//   orp_profile <workload> [options]
+//     --alloc=first-fit|best-fit|next-fit|segregated
+//     --seed=N           input seed          (default 42)
+//     --env=N            environment seed    (default 0)
+//     --scale=N          workload scale      (default 1)
+//     --whomp            collect the lossless OMSG
+//     --leap             collect the LEAP profile (default)
+//     --lmads=N          LEAP descriptor budget (default 30)
+//     --phases           phase-cognizant report
+//     --hot-streams      hot data streams of the OMSG object dimension
+//     --mdf              dependence-frequency report
+//     --strides          strongly-strided instruction report
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dependence.h"
+#include "analysis/HotStreams.h"
+#include "analysis/Phases.h"
+#include "analysis/Stride.h"
+#include "core/ProfilingSession.h"
+#include "leap/LeapProfileData.h"
+#include "support/TablePrinter.h"
+#include "whomp/Whomp.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace orp;
+
+namespace {
+
+struct Options {
+  std::string Workload = "list-traversal";
+  memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
+  uint64_t Seed = 42;
+  uint64_t EnvSeed = 0;
+  uint64_t Scale = 1;
+  unsigned MaxLmads = 30;
+  bool RunWhomp = false;
+  bool RunLeap = true;
+  bool Phases = false;
+  bool HotStreams = false;
+  bool Mdf = false;
+  bool Strides = false;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opt) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len
+                                              : nullptr;
+    };
+    if (Arg[0] != '-') {
+      Opt.Workload = Arg;
+    } else if (const char *V = Value("--alloc=")) {
+      if (!std::strcmp(V, "first-fit"))
+        Opt.Policy = memsim::AllocPolicy::FirstFit;
+      else if (!std::strcmp(V, "best-fit"))
+        Opt.Policy = memsim::AllocPolicy::BestFit;
+      else if (!std::strcmp(V, "next-fit"))
+        Opt.Policy = memsim::AllocPolicy::NextFit;
+      else if (!std::strcmp(V, "segregated"))
+        Opt.Policy = memsim::AllocPolicy::Segregated;
+      else
+        return false;
+    } else if (const char *V = Value("--seed=")) {
+      Opt.Seed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--env=")) {
+      Opt.EnvSeed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--scale=")) {
+      Opt.Scale = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--lmads=")) {
+      Opt.MaxLmads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--whomp") {
+      Opt.RunWhomp = true;
+    } else if (Arg == "--leap") {
+      Opt.RunLeap = true;
+    } else if (Arg == "--phases") {
+      Opt.Phases = true;
+    } else if (Arg == "--hot-streams") {
+      Opt.HotStreams = Opt.RunWhomp = true;
+    } else if (Arg == "--mdf") {
+      Opt.Mdf = Opt.RunLeap = true;
+    } else if (Arg == "--strides") {
+      Opt.Strides = Opt.RunLeap = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  if (!parseArgs(Argc, Argv, Opt)) {
+    std::fprintf(stderr, "usage: %s <workload> [--alloc=POLICY] "
+                         "[--seed=N] [--env=N] [--scale=N] [--whomp] "
+                         "[--leap] [--lmads=N] [--phases] [--hot-streams] "
+                         "[--mdf] [--strides]\n",
+                 Argv[0]);
+    return 1;
+  }
+
+  auto Workload = workloads::createWorkloadByName(Opt.Workload);
+  if (!Workload) {
+    std::fprintf(stderr,
+                 "unknown workload '%s'; available: 164.gzip-a 175.vpr-a "
+                 "181.mcf-a 186.crafty-a 197.parser-a 256.bzip2-a "
+                 "300.twolf-a list-traversal\n",
+                 Opt.Workload.c_str());
+    return 1;
+  }
+
+  core::ProfilingSession Session(Opt.Policy, Opt.EnvSeed);
+  whomp::WhompProfiler Whomp;
+  leap::LeapProfiler Leap(Opt.MaxLmads);
+  analysis::PhaseDetector Phases;
+  trace::CountingSink Counter;
+  Session.addRawSink(&Counter);
+  if (Opt.RunWhomp)
+    Session.addConsumer(&Whomp);
+  if (Opt.RunLeap)
+    Session.addConsumer(&Leap);
+  if (Opt.Phases)
+    Session.addConsumer(&Phases);
+
+  workloads::WorkloadConfig Config;
+  Config.Seed = Opt.Seed;
+  Config.Scale = Opt.Scale;
+  uint64_t Checksum =
+      Workload->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+
+  std::printf("%s: %llu accesses (%llu loads, %llu stores), "
+              "%llu allocs, checksum %llu, allocator %s\n\n",
+              Workload->name(),
+              static_cast<unsigned long long>(Counter.accesses()),
+              static_cast<unsigned long long>(Counter.loads()),
+              static_cast<unsigned long long>(Counter.stores()),
+              static_cast<unsigned long long>(Counter.allocs()),
+              static_cast<unsigned long long>(Checksum),
+              memsim::allocPolicyName(Opt.Policy));
+
+  if (Opt.RunLeap) {
+    auto Data = leap::LeapProfileData::fromProfiler(Leap);
+    std::printf("LEAP: %zu substreams, %zu profile bytes "
+                "(trace %llu bytes, %.0fx), %.1f%% accesses / %.1f%% "
+                "instructions captured\n",
+                Data.substreams().size(), Data.serialize().size(),
+                static_cast<unsigned long long>(Counter.rawTraceBytes()),
+                static_cast<double>(Counter.rawTraceBytes()) /
+                    static_cast<double>(Leap.serializedSizeBytes()),
+                Leap.accessesCapturedPercent(),
+                Leap.instructionsCapturedPercent());
+  }
+  if (Opt.RunWhomp) {
+    whomp::OmsgSizes S = Whomp.sizes();
+    std::printf("WHOMP OMSG: %zu bytes (instr %zu, group %zu, object "
+                "%zu, offset %zu)\n",
+                S.total(), S.Instr, S.Group, S.Object, S.Offset);
+  }
+
+  if (Opt.Mdf) {
+    std::printf("\ndependence frequencies (LEAP estimate):\n");
+    TablePrinter T({"store", "load", "MDF"});
+    for (const auto &[Pair, Freq] :
+         analysis::LeapDependenceAnalyzer(Leap).computeMdf())
+      T.addRow({Session.registry().instruction(Pair.first).Name,
+                Session.registry().instruction(Pair.second).Name,
+                TablePrinter::fmtPercent(Freq * 100.0, 1)});
+    T.print();
+  }
+
+  if (Opt.Strides) {
+    std::printf("\nstrongly-strided instructions (>= 70%% one stride):\n");
+    TablePrinter T({"instruction", "stride", "share"});
+    for (const auto &[Instr, Info] : analysis::findStronglyStrided(Leap))
+      T.addRow({Session.registry().instruction(Instr).Name,
+                std::to_string(Info.Stride),
+                TablePrinter::fmtPercent(Info.Share * 100.0, 1)});
+    T.print();
+  }
+
+  if (Opt.Phases) {
+    std::printf("\nphases (interval 10000 accesses):\n");
+    TablePrinter T({"phase", "class", "accesses", "dominant group"});
+    unsigned Index = 0;
+    for (const auto &P : Phases.phases()) {
+      std::string Dominant = "-";
+      if (!P.DominantGroups.empty()) {
+        auto Site = Session.omc().siteForGroup(P.DominantGroups[0].first);
+        Dominant = Session.registry().allocSite(Site).Name;
+      }
+      T.addRow({std::to_string(Index++), std::to_string(P.ClassId),
+                TablePrinter::fmt(P.Accesses), Dominant});
+    }
+    T.print();
+  }
+
+  if (Opt.HotStreams) {
+    std::printf("\nhot data streams (object dimension of the OMSG):\n");
+    auto Streams = analysis::extractHotStreams(
+        Whomp.grammarFor(core::Dimension::Object));
+    TablePrinter T({"rule", "length", "repeats", "heat"});
+    unsigned Shown = 0;
+    for (const auto &H : Streams) {
+      if (Shown++ == 10)
+        break;
+      T.addRow({std::to_string(H.RuleId), TablePrinter::fmt(H.Length),
+                TablePrinter::fmt(H.Occurrences),
+                TablePrinter::fmt(H.Heat)});
+    }
+    T.print();
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+//===- analysis/Dependence.h - LEAP MDF post-processor ---------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-dependence post-processor applied to collected LMADs
+/// (Section 4.2.1). For every (store, load) pair whose substreams share
+/// a group, conflicts are detected by solving
+///
+///     start1 + stride1*k1 = start2 + stride2*k2,
+///     k1 < count1, k2 < count2
+///
+/// in the object and offset dimensions simultaneously, with the
+/// read-after-write side condition time_store(k1) < time_load(k2);
+/// "because of the linear structure of LMADs, the above computation can
+/// be sped up using some omega-test-like linear programming algorithms".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ANALYSIS_DEPENDENCE_H
+#define ORP_ANALYSIS_DEPENDENCE_H
+
+#include "analysis/Mdf.h"
+#include "leap/Leap.h"
+#include "lmad/Lmad.h"
+
+#include <cstdint>
+
+namespace orp {
+namespace analysis {
+
+/// One arithmetic progression of conflicting load indices within a load
+/// descriptor's index space: Lo, Lo+Step, ..., Hi (Step >= 1, Lo <= Hi).
+struct ConflictRun {
+  int64_t Lo;
+  int64_t Hi;
+  int64_t Step;
+
+  /// Number of indices in the run.
+  uint64_t size() const {
+    return static_cast<uint64_t>((Hi - Lo) / Step) + 1;
+  }
+};
+
+/// Appends to \p Out the runs of load indices (k2 of \p Load) whose
+/// execution reads a location that some execution of \p Store wrote at
+/// an earlier time. Both descriptors must be 3-dimensional
+/// (object, offset, time) LMADs from the same group.
+void collectConflictRuns(const lmad::Lmad &Store, const lmad::Lmad &Load,
+                         std::vector<ConflictRun> &Out);
+
+/// Returns the number of distinct indices covered by \p Runs. Unit-step
+/// runs and single points are deduplicated exactly; overlap between two
+/// different coarser-step runs is not deduplicated (rare in practice;
+/// the result is then an upper bound).
+uint64_t countUnionConflicts(std::vector<ConflictRun> Runs);
+
+/// Returns how many of the load executions described by \p Load read a
+/// location that the store executions described by \p Store wrote at an
+/// earlier time.
+uint64_t countConflictingLoads(const lmad::Lmad &Store,
+                               const lmad::Lmad &Load);
+
+/// MDF estimator over a LEAP profile.
+class LeapDependenceAnalyzer {
+public:
+  explicit LeapDependenceAnalyzer(const leap::LeapProfiler &Profile)
+      : Profile(Profile) {}
+
+  /// Computes estimated MDF for every (store, load) instruction pair
+  /// with at least one detected conflict. Conflict counts are summed
+  /// over same-group LMAD-set pairs and capped at the load's execution
+  /// count.
+  MdfMap computeMdf() const;
+
+private:
+  const leap::LeapProfiler &Profile;
+};
+
+} // namespace analysis
+} // namespace orp
+
+#endif // ORP_ANALYSIS_DEPENDENCE_H

@@ -1,0 +1,154 @@
+//===- analysis/Diophantine.cpp - Integer linear equation solving --------===//
+
+#include "analysis/Diophantine.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::analysis;
+
+namespace {
+
+/// Sentinel magnitude for half-line parameter intervals; callers always
+/// intersect with a bounded box before counting.
+constexpr int64_t Huge = int64_t(1) << 62;
+
+int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+int64_t narrow(__int128 V) {
+  assert(V <= static_cast<__int128>(Huge) &&
+         V >= -static_cast<__int128>(Huge) && "solution out of range");
+  return static_cast<int64_t>(V);
+}
+
+} // namespace
+
+ExtGcd orp::analysis::extendedGcd(int64_t A, int64_t B) {
+  int64_t OldR = A, R = B;
+  int64_t OldS = 1, S = 0;
+  int64_t OldT = 0, T = 1;
+  while (R != 0) {
+    int64_t Q = OldR / R;
+    int64_t Tmp = OldR - Q * R;
+    OldR = R;
+    R = Tmp;
+    Tmp = OldS - Q * S;
+    OldS = S;
+    S = Tmp;
+    Tmp = OldT - Q * T;
+    OldT = T;
+    T = Tmp;
+  }
+  if (OldR < 0) {
+    OldR = -OldR;
+    OldS = -OldS;
+    OldT = -OldT;
+  }
+  return ExtGcd{OldR, OldS, OldT};
+}
+
+Solution2D orp::analysis::solveLinear2(int64_t A, int64_t B, int64_t C) {
+  if (A == 0 && B == 0)
+    return C == 0 ? Solution2D::plane() : Solution2D::empty();
+  if (A == 0) {
+    if (C % B != 0)
+      return Solution2D::empty();
+    return Solution2D::line(0, C / B, 1, 0);
+  }
+  if (B == 0) {
+    if (C % A != 0)
+      return Solution2D::empty();
+    return Solution2D::line(C / A, 0, 0, 1);
+  }
+
+  ExtGcd E = extendedGcd(A, B);
+  if (C % E.G != 0)
+    return Solution2D::empty();
+  int64_t U1 = B / E.G;
+  int64_t U2 = -(A / E.G);
+  // Particular solution, shifted along the direction so that P1 lands in
+  // [0, |U1|); this keeps all coordinates small.
+  __int128 M = static_cast<__int128>(C) / E.G;
+  __int128 P1Wide = static_cast<__int128>(E.X) * M;
+  int64_t AbsU1 = U1 < 0 ? -U1 : U1;
+  __int128 P1Norm = P1Wide % AbsU1;
+  if (P1Norm < 0)
+    P1Norm += AbsU1;
+  int64_t P1 = narrow(P1Norm);
+  // Recover P2 exactly from the equation: B*P2 = C - A*P1.
+  __int128 Rem = static_cast<__int128>(C) - static_cast<__int128>(A) * P1;
+  assert(Rem % B == 0 && "particular solution inconsistent");
+  int64_t P2 = narrow(Rem / B);
+  return Solution2D::line(P1, P2, U1, U2);
+}
+
+Solution2D orp::analysis::restrict2(const Solution2D &Current, int64_t A,
+                                    int64_t B, int64_t C) {
+  switch (Current.K) {
+  case Solution2D::Kind::Empty:
+    return Current;
+  case Solution2D::Kind::Plane:
+    return solveLinear2(A, B, C);
+  case Solution2D::Kind::Point: {
+    __int128 Lhs = static_cast<__int128>(A) * Current.P1 +
+                   static_cast<__int128>(B) * Current.P2;
+    return Lhs == C ? Current : Solution2D::empty();
+  }
+  case Solution2D::Kind::Line: {
+    __int128 Coeff = static_cast<__int128>(A) * Current.U1 +
+                     static_cast<__int128>(B) * Current.U2;
+    __int128 Rhs = static_cast<__int128>(C) -
+                   static_cast<__int128>(A) * Current.P1 -
+                   static_cast<__int128>(B) * Current.P2;
+    if (Coeff == 0)
+      return Rhs == 0 ? Current : Solution2D::empty();
+    if (Rhs % Coeff != 0)
+      return Solution2D::empty();
+    __int128 T = Rhs / Coeff;
+    return Solution2D::point(
+        narrow(Current.P1 + static_cast<__int128>(Current.U1) * T),
+        narrow(Current.P2 + static_cast<__int128>(Current.U2) * T));
+  }
+  }
+  ORP_UNREACHABLE("unknown solution kind");
+}
+
+std::optional<IntInterval>
+orp::analysis::boundParameter(int64_t P, int64_t U, int64_t Lo, int64_t Hi) {
+  if (U == 0) {
+    if (P >= Lo && P <= Hi)
+      return std::nullopt; // All of Z.
+    return IntInterval{1, 0};
+  }
+  if (U > 0)
+    return IntInterval{ceilDiv(Lo - P, U), floorDiv(Hi - P, U)};
+  return IntInterval{ceilDiv(Hi - P, U), floorDiv(Lo - P, U)};
+}
+
+std::optional<IntInterval>
+orp::analysis::upperBoundParameter(int64_t P, int64_t U, int64_t Bound) {
+  if (U == 0) {
+    if (P <= Bound)
+      return std::nullopt; // All of Z.
+    return IntInterval{1, 0};
+  }
+  if (U > 0)
+    return IntInterval{-Huge, floorDiv(Bound - P, U)};
+  return IntInterval{ceilDiv(Bound - P, U), Huge};
+}

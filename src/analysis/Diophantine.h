@@ -1,0 +1,106 @@
+//===- analysis/Diophantine.h - Integer linear equation solving -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "omega-test-like linear programming" machinery of the paper's
+/// Section 4.2.1: detecting location conflicts between two LMADs means
+/// solving, over the integers,
+///
+///     start1 + stride1 * k1 = start2 + stride2 * k2,
+///     0 <= k1 < count1,  0 <= k2 < count2
+///
+/// simultaneously in every tuple dimension, with a time-order side
+/// constraint. The solution set of each equation over (k1, k2) is empty,
+/// a lattice line, or the whole plane; systems are solved by successive
+/// restriction. (Hoeflinger & Paek, "A comparative analysis of
+/// dependence testing mechanisms", is the reference the paper cites.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ANALYSIS_DIOPHANTINE_H
+#define ORP_ANALYSIS_DIOPHANTINE_H
+
+#include <cstdint>
+#include <optional>
+
+namespace orp {
+namespace analysis {
+
+/// Result of extended Euclid: G = gcd(A, B) (G >= 0) with
+/// A * X + B * Y == G.
+struct ExtGcd {
+  int64_t G;
+  int64_t X;
+  int64_t Y;
+};
+
+/// Computes the extended gcd of \p A and \p B (either may be negative or
+/// zero; gcd(0, 0) == 0).
+ExtGcd extendedGcd(int64_t A, int64_t B);
+
+/// The solution set of a system of linear equations over (K1, K2) in Z^2.
+struct Solution2D {
+  enum class Kind {
+    Empty, ///< No integer solutions.
+    Point, ///< Exactly (P1, P2).
+    Line,  ///< (P1, P2) + T * (U1, U2) for all integer T.
+    Plane, ///< Every (K1, K2).
+  };
+
+  Kind K = Kind::Plane;
+  int64_t P1 = 0;
+  int64_t P2 = 0;
+  int64_t U1 = 0;
+  int64_t U2 = 0;
+
+  static Solution2D empty() { return {Kind::Empty, 0, 0, 0, 0}; }
+  static Solution2D plane() { return {Kind::Plane, 0, 0, 0, 0}; }
+  static Solution2D point(int64_t P1, int64_t P2) {
+    return {Kind::Point, P1, P2, 0, 0};
+  }
+  static Solution2D line(int64_t P1, int64_t P2, int64_t U1, int64_t U2) {
+    return {Kind::Line, P1, P2, U1, U2};
+  }
+};
+
+/// Returns the integer solutions of A*K1 + B*K2 == C.
+Solution2D solveLinear2(int64_t A, int64_t B, int64_t C);
+
+/// Restricts \p Current by the additional equation A*K1 + B*K2 == C.
+Solution2D restrict2(const Solution2D &Current, int64_t A, int64_t B,
+                     int64_t C);
+
+/// A closed integer interval; empty when Lo > Hi.
+struct IntInterval {
+  int64_t Lo;
+  int64_t Hi;
+
+  bool empty() const { return Lo > Hi; }
+  /// Number of integers in the interval (0 when empty).
+  uint64_t size() const {
+    return empty() ? 0 : static_cast<uint64_t>(Hi - Lo) + 1;
+  }
+  IntInterval intersect(const IntInterval &O) const {
+    return {Lo > O.Lo ? Lo : O.Lo, Hi < O.Hi ? Hi : O.Hi};
+  }
+};
+
+/// Returns the integers T with Lo <= P + U*T <= Hi, or std::nullopt when
+/// that set is all of Z (U == 0 and P in range). Returns an empty
+/// interval when no T qualifies.
+std::optional<IntInterval> boundParameter(int64_t P, int64_t U, int64_t Lo,
+                                          int64_t Hi);
+
+/// Returns the integers T with P + U*T <= Bound (strict form is obtained
+/// by passing Bound-1), or std::nullopt for all of Z.
+std::optional<IntInterval> upperBoundParameter(int64_t P, int64_t U,
+                                               int64_t Bound);
+
+} // namespace analysis
+} // namespace orp
+
+#endif // ORP_ANALYSIS_DIOPHANTINE_H

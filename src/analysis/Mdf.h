@@ -1,0 +1,40 @@
+//===- analysis/Mdf.h - Memory dependence frequency types ------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared types for the paper's Application 1 (Section 4.2.1). The
+/// memory dependence frequency of a (store, load) instruction pair is
+///
+///     MDF(st, ld) = #conflicts with st / total #executions of ld
+///
+/// where the pair conflicts on one load execution when the store wrote
+/// the load's location at any earlier time (read-after-write).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ANALYSIS_MDF_H
+#define ORP_ANALYSIS_MDF_H
+
+#include "trace/InstructionRegistry.h"
+
+#include <map>
+#include <utility>
+
+namespace orp {
+namespace analysis {
+
+/// A (store instruction, load instruction) pair.
+using InstrPair = std::pair<trace::InstrId, trace::InstrId>;
+
+/// MDF per pair, as a frequency in [0, 1]. Pairs with zero frequency are
+/// omitted.
+using MdfMap = std::map<InstrPair, double>;
+
+} // namespace analysis
+} // namespace orp
+
+#endif // ORP_ANALYSIS_MDF_H

@@ -1,0 +1,28 @@
+//===- analysis/MdfError.cpp - MDF error distributions -------------------===//
+
+#include "analysis/MdfError.h"
+
+#include <cmath>
+
+using namespace orp;
+using namespace orp::analysis;
+
+MdfComparison orp::analysis::compareMdf(const MdfMap &Exact,
+                                        const MdfMap &Estimated) {
+  MdfComparison Cmp;
+  for (const auto &[Pair, ExactFreq] : Exact) {
+    auto It = Estimated.find(Pair);
+    double EstFreq = It == Estimated.end() ? 0.0 : It->second;
+    double ErrorPct = (EstFreq - ExactFreq) * 100.0;
+    ++Cmp.DependentPairs;
+    if (std::fabs(ErrorPct) < 0.5)
+      ++Cmp.ExactlyCorrect;
+    Cmp.ErrorHist.add(ErrorPct);
+  }
+  for (const auto &[Pair, EstFreq] : Estimated) {
+    (void)EstFreq;
+    if (!Exact.count(Pair))
+      ++Cmp.FalsePositivePairs;
+  }
+  return Cmp;
+}

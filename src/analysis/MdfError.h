@@ -1,0 +1,50 @@
+//===- analysis/MdfError.h - MDF error distributions -----------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the error distributions of Figures 6-8: for every dependent
+/// (store, load) pair found by a lossless reference profiler, the error
+/// of a lossy profiler's estimate in percentage points, bucketed at 10%
+/// granularity around an exactly-correct center bucket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ANALYSIS_MDFERROR_H
+#define ORP_ANALYSIS_MDFERROR_H
+
+#include "analysis/Mdf.h"
+#include "support/Histogram.h"
+
+#include <cstdint>
+
+namespace orp {
+namespace analysis {
+
+/// Error distribution of an estimated MDF map against the exact one.
+struct MdfComparison {
+  /// 21 buckets of width 10 centered at -100, -90, ..., 0, ..., +100.
+  Histogram ErrorHist{-105.0, 105.0, 21};
+  uint64_t DependentPairs = 0;      ///< Pairs with exact MDF > 0.
+  uint64_t ExactlyCorrect = 0;      ///< |error| < 0.5 percentage points.
+  uint64_t FalsePositivePairs = 0;  ///< Estimated > 0 but exact == 0.
+
+  /// Fraction of dependent pairs whose frequency is completely correct
+  /// or off by no more than 10% (the paper's headline metric).
+  double fractionCorrectOrWithin10() const {
+    return ErrorHist.fractionIn(-10.0, 10.0);
+  }
+};
+
+/// Compares \p Estimated against \p Exact over all dependent pairs
+/// (error = estimated - exact, in percentage points; a missed pair
+/// counts as estimate 0, i.e. error -100 * exact frequency).
+MdfComparison compareMdf(const MdfMap &Exact, const MdfMap &Estimated);
+
+} // namespace analysis
+} // namespace orp
+
+#endif // ORP_ANALYSIS_MDFERROR_H

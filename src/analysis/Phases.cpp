@@ -1,0 +1,109 @@
+//===- analysis/Phases.cpp - Phase-cognizant profiling -------------------===//
+
+#include "analysis/Phases.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace orp;
+using namespace orp::analysis;
+
+PhaseDetector::PhaseDetector(uint64_t IntervalSize, double Threshold)
+    : IntervalSize(IntervalSize), Threshold(Threshold) {
+  assert(IntervalSize > 0 && "interval must be non-empty");
+}
+
+void PhaseDetector::consume(const core::OrTuple &Tuple) {
+  if (CurrentCount == 0 && !HaveOpenPhase)
+    CurrentStart = Tuple.Time;
+  ++Current[Tuple.Group];
+  ++CurrentCount;
+  if (CurrentCount == IntervalSize)
+    sealInterval();
+}
+
+void PhaseDetector::finish() {
+  if (CurrentCount > 0)
+    sealInterval();
+}
+
+double PhaseDetector::distance(const Signature &A, const Signature &B) {
+  uint64_t TotalA = 0, TotalB = 0;
+  for (const auto &[G, C] : A)
+    TotalA += C;
+  for (const auto &[G, C] : B)
+    TotalB += C;
+  if (TotalA == 0 || TotalB == 0)
+    return 2.0;
+  double D = 0.0;
+  auto IA = A.begin();
+  auto IB = B.begin();
+  while (IA != A.end() || IB != B.end()) {
+    if (IB == B.end() || (IA != A.end() && IA->first < IB->first)) {
+      D += static_cast<double>(IA->second) / TotalA;
+      ++IA;
+    } else if (IA == A.end() || IB->first < IA->first) {
+      D += static_cast<double>(IB->second) / TotalB;
+      ++IB;
+    } else {
+      D += std::fabs(static_cast<double>(IA->second) / TotalA -
+                     static_cast<double>(IB->second) / TotalB);
+      ++IA;
+      ++IB;
+    }
+  }
+  return D;
+}
+
+unsigned PhaseDetector::classify(const Signature &Sig) {
+  for (unsigned C = 0; C != ClassCentroids.size(); ++C)
+    if (distance(ClassCentroids[C], Sig) <= Threshold)
+      return C;
+  ClassCentroids.push_back(Sig);
+  return NextClass++;
+}
+
+void PhaseDetector::sealInterval() {
+  uint64_t IntervalEnd = CurrentStart; // Refined below from counts.
+  (void)IntervalEnd;
+  bool NewPhase =
+      !HaveOpenPhase || distance(LastSignature, Current) > Threshold;
+
+  if (NewPhase) {
+    Phase P;
+    P.StartTime = CurrentStart;
+    P.EndTime = CurrentStart;
+    P.Accesses = 0;
+    P.ClassId = classify(Current);
+    Phases.push_back(P);
+    HaveOpenPhase = true;
+  }
+
+  Phase &Open = Phases.back();
+  Open.Accesses += CurrentCount;
+  Open.EndTime = CurrentStart + Open.Accesses;
+
+  // Merge the interval's counts into the phase's dominant-group view.
+  std::map<omc::GroupId, uint64_t> Merged;
+  for (const auto &[G, Share] : Open.DominantGroups)
+    Merged[G] = static_cast<uint64_t>(
+        Share * static_cast<double>(Open.Accesses - CurrentCount));
+  for (const auto &[G, C] : Current)
+    Merged[G] += C;
+  Open.DominantGroups.clear();
+  for (const auto &[G, C] : Merged)
+    Open.DominantGroups.emplace_back(
+        G, static_cast<double>(C) / static_cast<double>(Open.Accesses));
+  std::sort(Open.DominantGroups.begin(), Open.DominantGroups.end(),
+            [](const auto &A, const auto &B) {
+              return A.second > B.second;
+            });
+  if (Open.DominantGroups.size() > 4)
+    Open.DominantGroups.resize(4);
+
+  LastSignature = std::move(Current);
+  Current.clear();
+  CurrentStart += CurrentCount;
+  CurrentCount = 0;
+}

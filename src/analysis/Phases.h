@@ -1,0 +1,90 @@
+//===- analysis/Phases.h - Phase-cognizant profiling -----------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future-work item: "Another avenue to explore is to make
+/// use of recent results on phase detection and prediction [Sherwood et
+/// al., ISCA 2003] to profile references in a phase cognizant manner."
+///
+/// This implements the basic-block-vector idea adapted to the
+/// object-relative stream: the run is cut into fixed-size intervals;
+/// each interval is summarized by the distribution of accesses over
+/// groups (its signature); a phase boundary is declared where
+/// consecutive signatures' Manhattan distance exceeds a threshold, and
+/// similar intervals are clustered into recurring phase classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ANALYSIS_PHASES_H
+#define ORP_ANALYSIS_PHASES_H
+
+#include "core/ObjectRelative.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace orp {
+namespace analysis {
+
+/// One detected phase: a maximal run of similar intervals.
+struct Phase {
+  uint64_t StartTime;  ///< Timestamp of the phase's first access.
+  uint64_t EndTime;    ///< Timestamp just past the phase's last access.
+  uint64_t Accesses;   ///< Accesses inside the phase.
+  unsigned ClassId;    ///< Recurring phase class (similar phases share it).
+  /// The phase's dominant groups with their access shares (descending).
+  std::vector<std::pair<omc::GroupId, double>> DominantGroups;
+};
+
+/// Streaming phase detector; attach as an OrTupleConsumer.
+class PhaseDetector : public core::OrTupleConsumer {
+public:
+  /// \p IntervalSize is the number of accesses per signature interval;
+  /// \p Threshold the normalized Manhattan distance (0..2) above which
+  /// consecutive intervals belong to different phases.
+  explicit PhaseDetector(uint64_t IntervalSize = 10000,
+                         double Threshold = 0.5);
+
+  void consume(const core::OrTuple &Tuple) override;
+  void finish() override;
+
+  /// Returns the detected phases; finish() must have been called.
+  const std::vector<Phase> &phases() const { return Phases; }
+
+  /// Returns the number of distinct recurring phase classes.
+  unsigned numClasses() const { return NextClass; }
+
+private:
+  using Signature = std::map<omc::GroupId, uint64_t>;
+
+  /// Normalized Manhattan distance between two signatures (0..2).
+  static double distance(const Signature &A, const Signature &B);
+
+  /// Closes the current interval; opens/extends phases as needed.
+  void sealInterval();
+
+  /// Assigns a recurring class to the signature (nearest stored
+  /// centroid within the threshold, else a fresh class).
+  unsigned classify(const Signature &Sig);
+
+  uint64_t IntervalSize;
+  double Threshold;
+  Signature Current;
+  uint64_t CurrentCount = 0;
+  uint64_t CurrentStart = 0;
+  bool HaveOpenPhase = false;
+  Signature LastSignature;
+  std::vector<Phase> Phases;
+  std::vector<Signature> ClassCentroids;
+  unsigned NextClass = 0;
+};
+
+} // namespace analysis
+} // namespace orp
+
+#endif // ORP_ANALYSIS_PHASES_H

@@ -1,0 +1,55 @@
+//===- analysis/Stride.h - Strongly-strided instruction finder -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Application 2 (Section 4.2.2): identify strongly-strided
+/// instructions — "an instruction for which one stride accounts for
+/// >= 70% of its total accesses" (the definition of Wu, PLDI 2002) —
+/// from a LEAP profile with "a trivial post-process which examines all
+/// offset strides captured for a given instruction", considering "only
+/// those strongly strided instructions within objects (i.e. with
+/// identical group and object IDs)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ANALYSIS_STRIDE_H
+#define ORP_ANALYSIS_STRIDE_H
+
+#include "leap/Leap.h"
+#include "trace/InstructionRegistry.h"
+
+#include <cstdint>
+#include <map>
+
+namespace orp {
+namespace analysis {
+
+/// The default strong-stride share threshold from the paper.
+constexpr double StrongStrideThreshold = 0.70;
+
+/// Verdict for one instruction.
+struct StrideInfo {
+  int64_t Stride = 0;  ///< The dominant stride.
+  double Share = 0.0;  ///< Fraction of strided steps it accounts for.
+};
+
+/// Map from instruction to its dominant-stride verdict; instructions not
+/// strongly strided are omitted.
+using StrideMap = std::map<trace::InstrId, StrideInfo>;
+
+/// Extracts strongly-strided instructions from a LEAP profile: for each
+/// instruction, LMADs that stay within one object (object stride 0)
+/// contribute Count-1 steps of their offset stride; an instruction is
+/// strongly strided when one stride's share of the captured steps
+/// reaches \p Threshold.
+StrideMap findStronglyStrided(const leap::LeapProfiler &Profile,
+                              double Threshold = StrongStrideThreshold);
+
+} // namespace analysis
+} // namespace orp
+
+#endif // ORP_ANALYSIS_STRIDE_H

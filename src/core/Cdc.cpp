@@ -1,0 +1,69 @@
+//===- core/Cdc.cpp - Control and decomposition component ----------------===//
+
+#include "core/Cdc.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::core;
+
+OrTupleConsumer::~OrTupleConsumer() = default;
+
+void OrTupleConsumer::finish() {}
+
+const char *orp::core::dimensionName(Dimension D) {
+  switch (D) {
+  case Dimension::Instruction:
+    return "instr";
+  case Dimension::Group:
+    return "group";
+  case Dimension::Object:
+    return "object";
+  case Dimension::Offset:
+    return "offset";
+  case Dimension::Time:
+    return "time";
+  }
+  return "?";
+}
+
+Cdc::Cdc(omc::ObjectManager &Omc, UnknownAddressPolicy Policy)
+    : Omc(Omc), Policy(Policy) {}
+
+void Cdc::addConsumer(OrTupleConsumer *Consumer) {
+  assert(Consumer && "null consumer");
+  Consumers.push_back(Consumer);
+}
+
+void Cdc::onAccess(const trace::AccessEvent &Event) {
+  OrTuple Tuple;
+  Tuple.Instr = Event.Instr;
+  Tuple.Time = Event.Time;
+  Tuple.IsStore = Event.IsStore;
+  Tuple.Size = Event.Size;
+
+  if (auto Tr = Omc.translate(Event.Addr)) {
+    Tuple.Group = Tr->Group;
+    Tuple.Object = Tr->Object;
+    Tuple.Offset = Tr->Offset;
+    ++Stats.Translated;
+  } else {
+    ++Stats.Unknown;
+    if (Policy == UnknownAddressPolicy::Drop)
+      return;
+    Tuple.Group = WildGroupId;
+    Tuple.Object = 0;
+    Tuple.Offset = Event.Addr;
+  }
+  for (OrTupleConsumer *Consumer : Consumers)
+    Consumer->consume(Tuple);
+}
+
+void Cdc::onAlloc(const trace::AllocEvent &Event) { Omc.onAlloc(Event); }
+
+void Cdc::onFree(const trace::FreeEvent &Event) { Omc.onFree(Event); }
+
+void Cdc::onFinish() {
+  for (OrTupleConsumer *Consumer : Consumers)
+    Consumer->finish();
+}

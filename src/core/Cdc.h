@@ -1,0 +1,76 @@
+//===- core/Cdc.h - Control and decomposition component --------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's CDC (Figure 4): "acts as a hub to the profiling process.
+/// It receives information from the instruction probes, and queries the
+/// OMC to make the information object-relative. It then passes on the
+/// object-relative stream to the separation and compression component."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_CORE_CDC_H
+#define ORP_CORE_CDC_H
+
+#include "core/ObjectRelative.h"
+#include "omc/ObjectManager.h"
+#include "trace/Events.h"
+
+#include <vector>
+
+namespace orp {
+namespace core {
+
+/// What the CDC does with accesses to addresses that no live object
+/// covers (stack and foreign addresses; the paper "chose not to profile"
+/// stack variables).
+enum class UnknownAddressPolicy {
+  Drop,      ///< Count and skip the access.
+  WildGroup, ///< Attribute it to a distinguished pseudo-group.
+};
+
+/// CDC counters.
+struct CdcStats {
+  uint64_t Translated = 0; ///< Accesses forwarded object-relatively.
+  uint64_t Unknown = 0;    ///< Accesses to unmapped addresses.
+};
+
+/// Control & decomposition component: a TraceSink that translates raw
+/// accesses through an ObjectManager and feeds OrTuple consumers.
+class Cdc : public trace::TraceSink {
+public:
+  /// Pseudo-group used by UnknownAddressPolicy::WildGroup.
+  static constexpr omc::GroupId WildGroupId = ~static_cast<omc::GroupId>(0);
+
+  explicit Cdc(omc::ObjectManager &Omc,
+               UnknownAddressPolicy Policy = UnknownAddressPolicy::Drop);
+
+  /// Adds \p Consumer (not owned) to the object-relative output.
+  void addConsumer(OrTupleConsumer *Consumer);
+
+  void onAccess(const trace::AccessEvent &Event) override;
+  void onAlloc(const trace::AllocEvent &Event) override;
+  void onFree(const trace::FreeEvent &Event) override;
+  void onFinish() override;
+
+  /// Returns translation counters.
+  const CdcStats &stats() const { return Stats; }
+
+  /// Returns the object manager this CDC translates through.
+  omc::ObjectManager &omc() { return Omc; }
+
+private:
+  omc::ObjectManager &Omc;
+  UnknownAddressPolicy Policy;
+  std::vector<OrTupleConsumer *> Consumers;
+  CdcStats Stats;
+};
+
+} // namespace core
+} // namespace orp
+
+#endif // ORP_CORE_CDC_H

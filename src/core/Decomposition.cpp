@@ -1,0 +1,74 @@
+//===- core/Decomposition.cpp - Horizontal/vertical decomposition --------===//
+
+#include "core/Decomposition.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::core;
+
+StreamCompressor::~StreamCompressor() = default;
+
+void StreamCompressor::finish() {}
+
+SubstreamConsumer::~SubstreamConsumer() = default;
+
+HorizontalDecomposer::HorizontalDecomposer(std::vector<Dimension> Dims,
+                                           const CompressorFactory &Factory)
+    : Dims(std::move(Dims)) {
+  assert(!this->Dims.empty() && "no dimensions selected");
+  Compressors.reserve(this->Dims.size());
+  for (size_t I = 0; I != this->Dims.size(); ++I)
+    Compressors.push_back(Factory());
+}
+
+void HorizontalDecomposer::consume(const OrTuple &Tuple) {
+  for (size_t I = 0; I != Dims.size(); ++I)
+    Compressors[I]->append(dimensionValue(Tuple, Dims[I]));
+}
+
+void HorizontalDecomposer::finish() {
+  for (auto &Compressor : Compressors)
+    Compressor->finish();
+}
+
+const StreamCompressor &
+HorizontalDecomposer::compressorFor(Dimension D) const {
+  for (size_t I = 0; I != Dims.size(); ++I)
+    if (Dims[I] == D)
+      return *Compressors[I];
+  ORP_FATAL_ERROR("dimension not decomposed by this SCC");
+}
+
+size_t HorizontalDecomposer::totalSerializedSizeBytes() const {
+  size_t Total = 0;
+  for (const auto &Compressor : Compressors)
+    Total += Compressor->serializedSizeBytes();
+  return Total;
+}
+
+VerticalDecomposer::VerticalDecomposer(Factory MakeSubstream)
+    : MakeSubstream(std::move(MakeSubstream)) {}
+
+void VerticalDecomposer::consume(const OrTuple &Tuple) {
+  VerticalKey Key{Tuple.Instr, Tuple.Group};
+  auto It = Substreams.find(Key);
+  if (It == Substreams.end())
+    It = Substreams.emplace(Key, MakeSubstream(Key)).first;
+  It->second->append(Tuple);
+}
+
+void VerticalDecomposer::forEach(
+    const std::function<void(const VerticalKey &, const SubstreamConsumer &)>
+        &Fn) const {
+  for (const auto &[Key, Sub] : Substreams)
+    Fn(Key, *Sub);
+}
+
+const SubstreamConsumer *
+VerticalDecomposer::lookup(const VerticalKey &Key) const {
+  auto It = Substreams.find(Key);
+  return It == Substreams.end() ? nullptr : It->second.get();
+}

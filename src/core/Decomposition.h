@@ -1,0 +1,112 @@
+//===- core/Decomposition.h - Horizontal/vertical decomposition -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's separation component (Section 2.2):
+///
+/// * Horizontal decomposition "separates the stream into its dimensions"
+///   — a single stream of tuples becomes one stream per tuple element;
+/// * Vertical decomposition "collects objects which share the same value
+///   in one dimension" — e.g. one substream per instruction-id, which can
+///   be decomposed further (by group) into simpler sub-substreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_CORE_DECOMPOSITION_H
+#define ORP_CORE_DECOMPOSITION_H
+
+#include "core/ObjectRelative.h"
+#include "core/StreamCompressor.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace orp {
+namespace core {
+
+/// SCC front half for horizontal decomposition: splits the incoming tuple
+/// stream into one symbol stream per selected dimension and feeds each
+/// into its own compressor.
+class HorizontalDecomposer : public OrTupleConsumer {
+public:
+  /// Creates one compressor (via \p Factory) per dimension in \p Dims.
+  HorizontalDecomposer(std::vector<Dimension> Dims,
+                       const CompressorFactory &Factory);
+
+  void consume(const OrTuple &Tuple) override;
+  void finish() override;
+
+  /// Returns the decomposed dimensions, in construction order.
+  const std::vector<Dimension> &dimensions() const { return Dims; }
+
+  /// Returns the compressor for \p D; must be one of dimensions().
+  const StreamCompressor &compressorFor(Dimension D) const;
+
+  /// Returns the summed serialized size of all dimension streams.
+  size_t totalSerializedSizeBytes() const;
+
+private:
+  std::vector<Dimension> Dims;
+  std::vector<std::unique_ptr<StreamCompressor>> Compressors;
+};
+
+/// Key of one vertical substream. The paper decomposes by instruction,
+/// then by group; substreams are keyed accordingly.
+struct VerticalKey {
+  trace::InstrId Instr;
+  omc::GroupId Group;
+  bool operator<(const VerticalKey &O) const {
+    return Instr != O.Instr ? Instr < O.Instr : Group < O.Group;
+  }
+  bool operator==(const VerticalKey &O) const {
+    return Instr == O.Instr && Group == O.Group;
+  }
+};
+
+/// Consumer of the tuples of one vertical substream.
+class SubstreamConsumer {
+public:
+  virtual ~SubstreamConsumer();
+
+  /// Receives the next tuple of this substream.
+  virtual void append(const OrTuple &Tuple) = 0;
+};
+
+/// SCC front half for vertical decomposition by (instruction, group),
+/// creating one SubstreamConsumer per key via a factory. LEAP attaches a
+/// bounded LMAD compressor per substream; tests attach buffers.
+class VerticalDecomposer : public OrTupleConsumer {
+public:
+  using Factory =
+      std::function<std::unique_ptr<SubstreamConsumer>(VerticalKey)>;
+
+  explicit VerticalDecomposer(Factory MakeSubstream);
+
+  void consume(const OrTuple &Tuple) override;
+
+  /// Returns the number of distinct substreams seen.
+  size_t numSubstreams() const { return Substreams.size(); }
+
+  /// Iterates all substreams in key order.
+  void forEach(const std::function<void(const VerticalKey &,
+                                        const SubstreamConsumer &)> &Fn)
+      const;
+
+  /// Returns the substream for \p Key, or nullptr.
+  const SubstreamConsumer *lookup(const VerticalKey &Key) const;
+
+private:
+  Factory MakeSubstream;
+  std::map<VerticalKey, std::unique_ptr<SubstreamConsumer>> Substreams;
+};
+
+} // namespace core
+} // namespace orp
+
+#endif // ORP_CORE_DECOMPOSITION_H

@@ -1,0 +1,12 @@
+//===- core/ProfilingSession.cpp - Framework wiring facade ---------------===//
+
+#include "core/ProfilingSession.h"
+
+using namespace orp;
+using namespace orp::core;
+
+ProfilingSession::ProfilingSession(memsim::AllocPolicy Policy, uint64_t Seed,
+                                   UnknownAddressPolicy Unknown)
+    : Translator(Omc, Unknown), Memory(Policy, Seed) {
+  Memory.attachSink(&Translator);
+}

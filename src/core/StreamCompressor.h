@@ -1,0 +1,49 @@
+//===- core/StreamCompressor.h - Pluggable stream compressors --*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SCC "sends the substreams into a stream compressor. Examples of
+/// such compression schemes include linear compression, Sequitur
+/// compression, and others" (Section 2.3). This is that pluggable
+/// interface; WHOMP plugs in Sequitur, LEAP plugs in the LMAD linear
+/// compressor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_CORE_STREAMCOMPRESSOR_H
+#define ORP_CORE_STREAMCOMPRESSOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace orp {
+namespace core {
+
+/// Compressor for one decomposed symbol stream.
+class StreamCompressor {
+public:
+  virtual ~StreamCompressor();
+
+  /// Appends the next symbol of the stream.
+  virtual void append(uint64_t Symbol) = 0;
+
+  /// Declares the stream complete. Default: no-op.
+  virtual void finish();
+
+  /// Returns the serialized byte size of the compressed stream so far.
+  virtual size_t serializedSizeBytes() const = 0;
+};
+
+/// Factory producing a fresh compressor per substream.
+using CompressorFactory = std::function<std::unique_ptr<StreamCompressor>()>;
+
+} // namespace core
+} // namespace orp
+
+#endif // ORP_CORE_STREAMCOMPRESSOR_H

@@ -1,0 +1,85 @@
+//===- leap/Leap.cpp - Loss-enhanced access profiler ---------------------===//
+
+#include "leap/Leap.h"
+
+#include "support/Statistics.h"
+#include "support/VarInt.h"
+
+#include <set>
+
+using namespace orp;
+using namespace orp::leap;
+
+LeapProfiler::LeapProfiler(unsigned MaxLmads)
+    : MaxLmads(MaxLmads), Decomposer([MaxLmads](core::VerticalKey) {
+        return std::make_unique<LeapSubstream>(MaxLmads);
+      }) {}
+
+void LeapProfiler::consume(const core::OrTuple &Tuple) {
+  ++Tuples;
+  InstrSummary &Summary = Instrs[Tuple.Instr];
+  ++Summary.ExecCount;
+  Summary.IsStore = Tuple.IsStore;
+  Decomposer.consume(Tuple);
+}
+
+void LeapProfiler::forEachSubstream(
+    const std::function<void(const core::VerticalKey &,
+                             const lmad::LmadCompressor &)> &Fn) const {
+  Decomposer.forEach([&](const core::VerticalKey &Key,
+                         const core::SubstreamConsumer &Sub) {
+    Fn(Key, static_cast<const LeapSubstream &>(Sub).compressor());
+  });
+}
+
+const lmad::LmadCompressor *
+LeapProfiler::lookup(const core::VerticalKey &Key) const {
+  const core::SubstreamConsumer *Sub = Decomposer.lookup(Key);
+  if (!Sub)
+    return nullptr;
+  return &static_cast<const LeapSubstream &>(*Sub).compressor();
+}
+
+size_t LeapProfiler::serializedSizeBytes() const {
+  size_t Size = sizeULEB128(Decomposer.numSubstreams());
+  forEachSubstream([&](const core::VerticalKey &Key,
+                       const lmad::LmadCompressor &Compressor) {
+    Size += sizeULEB128(Key.Instr);
+    Size += sizeULEB128(Key.Group);
+    Size += sizeULEB128(Compressor.totalPoints());
+    Size += Compressor.serializedSizeBytes();
+  });
+  Size += sizeULEB128(Instrs.size());
+  for (const auto &[Instr, Summary] : Instrs) {
+    Size += sizeULEB128(Instr);
+    Size += sizeULEB128(Summary.ExecCount);
+    Size += 1; // Load/store flag.
+  }
+  return Size;
+}
+
+double LeapProfiler::accessesCapturedPercent() const {
+  uint64_t Captured = 0;
+  uint64_t Total = 0;
+  forEachSubstream([&](const core::VerticalKey &,
+                       const lmad::LmadCompressor &Compressor) {
+    Captured += Compressor.capturedPoints();
+    Total += Compressor.totalPoints();
+  });
+  return percentOf(static_cast<double>(Captured),
+                   static_cast<double>(Total));
+}
+
+double LeapProfiler::instructionsCapturedPercent() const {
+  if (Instrs.empty())
+    return 0.0;
+  std::set<trace::InstrId> Overflowed;
+  forEachSubstream([&](const core::VerticalKey &Key,
+                       const lmad::LmadCompressor &Compressor) {
+    if (!Compressor.fullyCaptured())
+      Overflowed.insert(Key.Instr);
+  });
+  uint64_t Full = Instrs.size() - Overflowed.size();
+  return percentOf(static_cast<double>(Full),
+                   static_cast<double>(Instrs.size()));
+}

@@ -1,0 +1,143 @@
+//===- leap/LeapProfileData.cpp - Serializable LEAP profiles -------------===//
+
+#include "leap/LeapProfileData.h"
+
+#include "support/VarInt.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::leap;
+
+bool SubstreamData::operator==(const SubstreamData &O) const {
+  if (TotalPoints != O.TotalPoints || Lmads.size() != O.Lmads.size())
+    return false;
+  for (size_t I = 0; I != Lmads.size(); ++I) {
+    const lmad::Lmad &A = Lmads[I];
+    const lmad::Lmad &B = O.Lmads[I];
+    if (A.Dims != B.Dims || A.Count != B.Count || A.Start != B.Start ||
+        A.Stride != B.Stride)
+      return false;
+  }
+  return Overflow.Dropped == O.Overflow.Dropped &&
+         Overflow.Min == O.Overflow.Min && Overflow.Max == O.Overflow.Max &&
+         Overflow.Granularity == O.Overflow.Granularity;
+}
+
+bool LeapProfileData::operator==(const LeapProfileData &O) const {
+  if (Substreams.size() != O.Substreams.size() ||
+      Instrs.size() != O.Instrs.size())
+    return false;
+  auto IA = Instrs.begin();
+  auto IB = O.Instrs.begin();
+  for (; IA != Instrs.end(); ++IA, ++IB)
+    if (IA->first != IB->first ||
+        IA->second.ExecCount != IB->second.ExecCount ||
+        IA->second.IsStore != IB->second.IsStore)
+      return false;
+  auto SA = Substreams.begin();
+  auto SB = O.Substreams.begin();
+  for (; SA != Substreams.end(); ++SA, ++SB)
+    if (!(SA->first == SB->first) || !(SA->second == SB->second))
+      return false;
+  return true;
+}
+
+LeapProfileData
+LeapProfileData::fromProfiler(const LeapProfiler &Profiler) {
+  LeapProfileData Data;
+  Profiler.forEachSubstream([&](const core::VerticalKey &Key,
+                                const lmad::LmadCompressor &Compressor) {
+    SubstreamData Sub;
+    Sub.Lmads = Compressor.lmads();
+    Sub.Overflow = Compressor.overflow();
+    Sub.TotalPoints = Compressor.totalPoints();
+    Data.Substreams.emplace(Key, std::move(Sub));
+  });
+  for (const auto &[Instr, Summary] : Profiler.instructions())
+    Data.Instrs.emplace(Instr, Summary);
+  return Data;
+}
+
+std::vector<uint8_t> LeapProfileData::serialize() const {
+  std::vector<uint8_t> Out;
+  encodeULEB128(Substreams.size(), Out);
+  for (const auto &[Key, Sub] : Substreams) {
+    encodeULEB128(Key.Instr, Out);
+    encodeULEB128(Key.Group, Out);
+    encodeULEB128(Sub.TotalPoints, Out);
+    encodeULEB128(Sub.Lmads.size(), Out);
+    for (const lmad::Lmad &L : Sub.Lmads) {
+      for (unsigned D = 0; D != 3; ++D) {
+        encodeSLEB128(L.Start[D], Out);
+        encodeSLEB128(L.Stride[D], Out);
+      }
+      encodeULEB128(L.Count, Out);
+    }
+    Out.push_back(Sub.Overflow.Dropped != 0 ? 1 : 0);
+    if (Sub.Overflow.Dropped != 0) {
+      encodeULEB128(Sub.Overflow.Dropped, Out);
+      for (unsigned D = 0; D != 3; ++D) {
+        encodeSLEB128(Sub.Overflow.Min[D], Out);
+        encodeSLEB128(Sub.Overflow.Max[D], Out);
+        encodeSLEB128(Sub.Overflow.Granularity[D], Out);
+      }
+    }
+  }
+  encodeULEB128(Instrs.size(), Out);
+  for (const auto &[Instr, Summary] : Instrs) {
+    encodeULEB128(Instr, Out);
+    encodeULEB128(Summary.ExecCount, Out);
+    Out.push_back(Summary.IsStore ? 1 : 0);
+  }
+  return Out;
+}
+
+LeapProfileData
+LeapProfileData::deserialize(const std::vector<uint8_t> &Bytes) {
+  LeapProfileData Data;
+  size_t Pos = 0;
+  uint64_t NumSubs = decodeULEB128(Bytes, Pos);
+  for (uint64_t S = 0; S != NumSubs; ++S) {
+    core::VerticalKey Key;
+    Key.Instr = static_cast<trace::InstrId>(decodeULEB128(Bytes, Pos));
+    Key.Group = static_cast<omc::GroupId>(decodeULEB128(Bytes, Pos));
+    SubstreamData Sub;
+    Sub.TotalPoints = decodeULEB128(Bytes, Pos);
+    uint64_t NumLmads = decodeULEB128(Bytes, Pos);
+    Sub.Lmads.reserve(NumLmads);
+    for (uint64_t L = 0; L != NumLmads; ++L) {
+      lmad::Lmad M;
+      M.Dims = 3;
+      for (unsigned D = 0; D != 3; ++D) {
+        M.Start[D] = decodeSLEB128(Bytes, Pos);
+        M.Stride[D] = decodeSLEB128(Bytes, Pos);
+      }
+      M.Count = decodeULEB128(Bytes, Pos);
+      Sub.Lmads.push_back(M);
+    }
+    assert(Pos < Bytes.size() && "truncated profile");
+    bool HasOverflow = Bytes[Pos++] != 0;
+    if (HasOverflow) {
+      Sub.Overflow.Dropped = decodeULEB128(Bytes, Pos);
+      for (unsigned D = 0; D != 3; ++D) {
+        Sub.Overflow.Min[D] = decodeSLEB128(Bytes, Pos);
+        Sub.Overflow.Max[D] = decodeSLEB128(Bytes, Pos);
+        Sub.Overflow.Granularity[D] = decodeSLEB128(Bytes, Pos);
+      }
+    }
+    Data.Substreams.emplace(Key, std::move(Sub));
+  }
+  uint64_t NumInstrs = decodeULEB128(Bytes, Pos);
+  for (uint64_t I = 0; I != NumInstrs; ++I) {
+    trace::InstrId Instr =
+        static_cast<trace::InstrId>(decodeULEB128(Bytes, Pos));
+    InstrSummary Summary;
+    Summary.ExecCount = decodeULEB128(Bytes, Pos);
+    assert(Pos < Bytes.size() && "truncated profile");
+    Summary.IsStore = Bytes[Pos++] != 0;
+    Data.Instrs.emplace(Instr, Summary);
+  }
+  assert(Pos == Bytes.size() && "trailing bytes in profile");
+  return Data;
+}

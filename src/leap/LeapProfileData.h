@@ -1,0 +1,75 @@
+//===- leap/LeapProfileData.h - Serializable LEAP profiles -----*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A LEAP profile as a standalone artifact: the paper's workflow runs
+/// the profiler once and then applies post-processors offline ("two
+/// different post-processors use these LMADs..."). LeapProfileData is
+/// the detached representation — the (instruction, group)-indexed LMAD
+/// sets, overflow summaries and instruction counters — with a compact
+/// LEB128 byte serialization whose size is exactly what
+/// LeapProfiler::serializedSizeBytes() accounts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_LEAP_LEAPPROFILEDATA_H
+#define ORP_LEAP_LEAPPROFILEDATA_H
+
+#include "core/Decomposition.h"
+#include "leap/Leap.h"
+#include "lmad/LmadCompressor.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace orp {
+namespace leap {
+
+/// One detached (instruction, group) substream record.
+struct SubstreamData {
+  std::vector<lmad::Lmad> Lmads;
+  lmad::OverflowSummary Overflow;
+  uint64_t TotalPoints = 0;
+
+  bool operator==(const SubstreamData &O) const;
+};
+
+/// A LEAP profile detached from its profiler.
+class LeapProfileData {
+public:
+  /// Captures the state of \p Profiler.
+  static LeapProfileData fromProfiler(const LeapProfiler &Profiler);
+
+  /// Serializes to bytes (ULEB/SLEB128 based).
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses a serialize()d image. Asserts on malformed input in debug
+  /// builds (profiles are trusted, locally produced artifacts).
+  static LeapProfileData deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Substreams in key order.
+  const std::map<core::VerticalKey, SubstreamData> &substreams() const {
+    return Substreams;
+  }
+
+  /// Per-instruction execution summaries.
+  const std::map<trace::InstrId, InstrSummary> &instructions() const {
+    return Instrs;
+  }
+
+  bool operator==(const LeapProfileData &O) const;
+
+private:
+  std::map<core::VerticalKey, SubstreamData> Substreams;
+  std::map<trace::InstrId, InstrSummary> Instrs;
+};
+
+} // namespace leap
+} // namespace orp
+
+#endif // ORP_LEAP_LEAPPROFILEDATA_H

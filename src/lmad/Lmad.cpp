@@ -1,0 +1,31 @@
+//===- lmad/Lmad.cpp - Linear memory access descriptors ------------------===//
+
+#include "lmad/Lmad.h"
+
+using namespace orp;
+using namespace orp::lmad;
+
+bool Lmad::contains(const Point &P) const {
+  // Find a single index K consistent across all dimensions.
+  bool HaveK = false;
+  uint64_t K = 0;
+  for (unsigned D = 0; D != Dims; ++D) {
+    int64_t Delta = P[D] - Start[D];
+    if (Stride[D] == 0) {
+      if (Delta != 0)
+        return false;
+      continue;
+    }
+    if (Delta % Stride[D] != 0)
+      return false;
+    int64_t Idx = Delta / Stride[D];
+    if (Idx < 0 || static_cast<uint64_t>(Idx) >= Count)
+      return false;
+    if (HaveK && static_cast<uint64_t>(Idx) != K)
+      return false;
+    K = static_cast<uint64_t>(Idx);
+    HaveK = true;
+  }
+  // All-zero strides: P must equal Start (checked above) and any K works.
+  return true;
+}

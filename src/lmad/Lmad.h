@@ -1,0 +1,82 @@
+//===- lmad/Lmad.h - Linear memory access descriptors ----------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear memory access descriptor of the paper's Section 4.1,
+/// following the LMAD model of Paek & Hoeflinger. A descriptor is the
+/// triple [start, stride, count] where start and stride are n-by-1
+/// vectors over the dimensions of the compressed stream (n = 3 for the
+/// (object, offset, time) sub-streams LEAP produces, n = 1 for plain
+/// offset streams). The descriptor denotes the point sequence
+///
+///     P(k) = Start + k * Stride,   0 <= k < Count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_LMAD_LMAD_H
+#define ORP_LMAD_LMAD_H
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace orp {
+namespace lmad {
+
+/// Maximum tuple dimensionality supported by descriptors.
+constexpr unsigned MaxDims = 3;
+
+/// A point in the (up to) 3-dimensional stream space.
+using Point = std::array<int64_t, MaxDims>;
+
+/// One linear memory access descriptor.
+struct Lmad {
+  Point Start = {0, 0, 0};
+  Point Stride = {0, 0, 0};
+  uint64_t Count = 0;
+  unsigned Dims = 0;
+
+  /// Returns component \p Dim of the \p K-th point.
+  int64_t at(uint64_t K, unsigned Dim) const {
+    assert(Dim < Dims && "dimension out of range");
+    assert(K < Count && "index beyond descriptor count");
+    return Start[Dim] + static_cast<int64_t>(K) * Stride[Dim];
+  }
+
+  /// Returns the \p K-th point (unused dimensions are zero).
+  Point pointAt(uint64_t K) const {
+    Point P = {0, 0, 0};
+    for (unsigned D = 0; D != Dims; ++D)
+      P[D] = at(K, D);
+    return P;
+  }
+
+  /// Returns the point that would extend this descriptor (index Count).
+  Point nextExpected() const {
+    Point P = {0, 0, 0};
+    for (unsigned D = 0; D != Dims; ++D)
+      P[D] = Start[D] + static_cast<int64_t>(Count) * Stride[D];
+    return P;
+  }
+
+  /// Returns true if \p P equals the point at index Count.
+  bool extends(const Point &P) const {
+    for (unsigned D = 0; D != Dims; ++D)
+      if (P[D] != Start[D] + static_cast<int64_t>(Count) * Stride[D])
+        return false;
+    return true;
+  }
+
+  /// Returns true if \p P is one of the Count points (solves the
+  /// per-dimension index equations consistently).
+  bool contains(const Point &P) const;
+};
+
+} // namespace lmad
+} // namespace orp
+
+#endif // ORP_LMAD_LMAD_H

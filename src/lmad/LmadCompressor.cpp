@@ -1,0 +1,121 @@
+//===- lmad/LmadCompressor.cpp - Incremental linear compression ----------===//
+
+#include "lmad/LmadCompressor.h"
+
+#include "support/VarInt.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace orp;
+using namespace orp::lmad;
+
+LmadCompressor::LmadCompressor(unsigned Dims, unsigned MaxLmads)
+    : NumDims(Dims), MaxLmads(MaxLmads) {
+  assert(Dims >= 1 && Dims <= lmad::MaxDims && "unsupported dimensionality");
+  assert(MaxLmads >= 1 && "need at least one descriptor");
+}
+
+void LmadCompressor::addPoint(const Point &P) {
+  ++Total;
+
+  // Fast path: the point continues the current (last) descriptor.
+  if (!Descriptors.empty() && Overflow.Dropped == 0) {
+    Lmad &Active = Descriptors.back();
+    if (Active.Count == 1) {
+      // Second point of a fresh descriptor establishes the stride.
+      for (unsigned D = 0; D != NumDims; ++D)
+        Active.Stride[D] = P[D] - Active.Start[D];
+      Active.Count = 2;
+      return;
+    }
+    if (Active.extends(P)) {
+      ++Active.Count;
+      return;
+    }
+    // A two-point descriptor that fails to extend guessed its stride from
+    // an unrelated pair: shrink it back to one point and let its second
+    // point seed the next run, so runs broken by a stray access are still
+    // found. (Example: 0, 100, 104, 108 becomes [0] and [100,+4,3] rather
+    // than [0,+100,2] and [104,+4,2].)
+    if (Active.Count == 2 && Descriptors.size() < MaxLmads) {
+      Point Second = Active.pointAt(1);
+      Active.Count = 1;
+      Active.Stride = {0, 0, 0};
+      startNewLmad(Second);
+      Lmad &Fresh = Descriptors.back();
+      for (unsigned D = 0; D != NumDims; ++D)
+        Fresh.Stride[D] = P[D] - Fresh.Start[D];
+      Fresh.Count = 2;
+      return;
+    }
+  }
+
+  if (Overflow.Dropped == 0 && Descriptors.size() < MaxLmads) {
+    startNewLmad(P);
+    return;
+  }
+  discard(P);
+}
+
+void LmadCompressor::startNewLmad(const Point &P) {
+  Lmad L;
+  L.Dims = NumDims;
+  L.Start = P;
+  L.Stride = {0, 0, 0};
+  L.Count = 1;
+  Descriptors.push_back(L);
+}
+
+void LmadCompressor::discard(const Point &P) {
+  if (Overflow.Dropped == 0) {
+    Overflow.Min = P;
+    Overflow.Max = P;
+  } else {
+    for (unsigned D = 0; D != NumDims; ++D) {
+      Overflow.Min[D] = std::min(Overflow.Min[D], P[D]);
+      Overflow.Max[D] = std::max(Overflow.Max[D], P[D]);
+    }
+  }
+  if (HavePrevDiscard)
+    for (unsigned D = 0; D != NumDims; ++D) {
+      uint64_t Delta = static_cast<uint64_t>(
+          P[D] > PrevDiscard[D] ? P[D] - PrevDiscard[D]
+                                : PrevDiscard[D] - P[D]);
+      Overflow.Granularity[D] = static_cast<int64_t>(
+          std::gcd(static_cast<uint64_t>(Overflow.Granularity[D]), Delta));
+    }
+  PrevDiscard = P;
+  HavePrevDiscard = true;
+  ++Overflow.Dropped;
+}
+
+size_t LmadCompressor::serializedSizeBytes() const {
+  size_t Size = sizeULEB128(Descriptors.size());
+  for (const Lmad &L : Descriptors) {
+    for (unsigned D = 0; D != NumDims; ++D) {
+      Size += sizeSLEB128(L.Start[D]);
+      Size += sizeSLEB128(L.Stride[D]);
+    }
+    Size += sizeULEB128(L.Count);
+  }
+  Size += 1; // Overflow-present flag.
+  if (Overflow.Dropped != 0) {
+    Size += sizeULEB128(Overflow.Dropped);
+    for (unsigned D = 0; D != NumDims; ++D) {
+      Size += sizeSLEB128(Overflow.Min[D]);
+      Size += sizeSLEB128(Overflow.Max[D]);
+      Size += sizeSLEB128(Overflow.Granularity[D]);
+    }
+  }
+  return Size;
+}
+
+std::vector<Point> LmadCompressor::reconstruct() const {
+  std::vector<Point> Out;
+  Out.reserve(capturedPoints());
+  for (const Lmad &L : Descriptors)
+    for (uint64_t K = 0; K != L.Count; ++K)
+      Out.push_back(L.pointAt(K));
+  return Out;
+}

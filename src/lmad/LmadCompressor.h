@@ -1,0 +1,106 @@
+//===- lmad/LmadCompressor.h - Incremental linear compression --*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's linear compressor (Section 4.1): "reads each symbol in
+/// the data stream and attempts to describe the stream using its linear
+/// descriptors. If the new symbol does not fit into the current linear
+/// pattern, it will start a new LMAD for this symbol." A stream is
+/// allowed a bounded number of descriptors (the paper fixes 30 per
+/// (instruction, group) pair); once exhausted "the compressor will then
+/// discard the new symbols in the stream, and only record some overall
+/// information such as max, min, and granularity", making the retained
+/// descriptors a sample of the initial part of the stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_LMAD_LMADCOMPRESSOR_H
+#define ORP_LMAD_LMADCOMPRESSOR_H
+
+#include "lmad/Lmad.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace orp {
+namespace lmad {
+
+/// Summary retained for the discarded portion of an overflowing stream.
+struct OverflowSummary {
+  uint64_t Dropped = 0; ///< Points not represented by any descriptor.
+  Point Min = {0, 0, 0};
+  Point Max = {0, 0, 0};
+  /// Per-dimension gcd of deltas between consecutive discarded points
+  /// (0 until two points have been discarded).
+  Point Granularity = {0, 0, 0};
+};
+
+/// Incremental bounded-size LMAD compressor for one decomposed stream.
+class LmadCompressor {
+public:
+  /// Default descriptor cap, the paper's chosen value.
+  static constexpr unsigned DefaultMaxLmads = 30;
+
+  /// Creates a compressor for \p Dims-dimensional points with at most
+  /// \p MaxLmads descriptors.
+  explicit LmadCompressor(unsigned Dims,
+                          unsigned MaxLmads = DefaultMaxLmads);
+
+  /// Feeds the next point of the stream.
+  void addPoint(const Point &P);
+
+  /// Convenience for 1-dimensional streams.
+  void addValue(int64_t V) {
+    assert(NumDims == 1 && "addValue on a multi-dimensional stream");
+    addPoint(Point{V, 0, 0});
+  }
+
+  /// Returns the collected descriptors.
+  const std::vector<Lmad> &lmads() const { return Descriptors; }
+
+  /// Returns the number of points fed so far.
+  uint64_t totalPoints() const { return Total; }
+
+  /// Returns the number of points represented by descriptors.
+  uint64_t capturedPoints() const { return Total - Overflow.Dropped; }
+
+  /// Returns true when no point was discarded.
+  bool fullyCaptured() const { return Overflow.Dropped == 0; }
+
+  /// Returns the overflow summary (Dropped == 0 when none).
+  const OverflowSummary &overflow() const { return Overflow; }
+
+  /// Returns the stream dimensionality.
+  unsigned dims() const { return NumDims; }
+
+  /// Returns the serialized size of the profile entry for this stream:
+  /// descriptor list plus (if any) the overflow summary, ULEB/SLEB128-
+  /// encoded. These bytes are what Table 1's compression ratio counts.
+  size_t serializedSizeBytes() const;
+
+  /// Reconstructs the captured prefix of the stream by concatenating the
+  /// descriptors in creation order; for tests of losslessness on fully
+  /// captured streams.
+  std::vector<Point> reconstruct() const;
+
+private:
+  void startNewLmad(const Point &P);
+  void discard(const Point &P);
+
+  unsigned NumDims;
+  unsigned MaxLmads;
+  std::vector<Lmad> Descriptors;
+  uint64_t Total = 0;
+  OverflowSummary Overflow;
+  bool HavePrevDiscard = false;
+  Point PrevDiscard = {0, 0, 0};
+};
+
+} // namespace lmad
+} // namespace orp
+
+#endif // ORP_LMAD_LMADCOMPRESSOR_H

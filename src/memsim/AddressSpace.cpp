@@ -1,0 +1,19 @@
+//===- memsim/AddressSpace.cpp - Simulated process address space ---------===//
+
+#include "memsim/AddressSpace.h"
+
+using namespace orp;
+using namespace orp::memsim;
+
+SegmentKind orp::memsim::classifyAddress(uint64_t Addr) {
+  if (Addr >= AddressSpaceLayout::StaticBase &&
+      Addr < AddressSpaceLayout::StaticLimit)
+    return SegmentKind::Static;
+  if (Addr >= AddressSpaceLayout::HeapBase &&
+      Addr < AddressSpaceLayout::HeapLimit)
+    return SegmentKind::Heap;
+  if (Addr >= AddressSpaceLayout::StackBase &&
+      Addr < AddressSpaceLayout::StackLimit)
+    return SegmentKind::Stack;
+  return SegmentKind::Unmapped;
+}

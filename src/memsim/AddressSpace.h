@@ -1,0 +1,50 @@
+//===- memsim/AddressSpace.h - Simulated process address space -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layout constants and the segment model for the simulated 64-bit process
+/// address space inside which the workload analogues run. No real memory is
+/// backed; the profilers only ever see addresses. The segments mirror a
+/// conventional Linux layout: a static data segment placed by the "linker"
+/// (see StaticLayout.h) and a growable heap served by a SimAllocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_MEMSIM_ADDRESSSPACE_H
+#define ORP_MEMSIM_ADDRESSSPACE_H
+
+#include <cstdint>
+
+namespace orp {
+namespace memsim {
+
+/// The kind of segment an address belongs to.
+enum class SegmentKind { Static, Heap, Stack, Unmapped };
+
+/// Segment layout constants for the simulated process.
+struct AddressSpaceLayout {
+  /// Base of the static data segment (globals placed by the linker).
+  static constexpr uint64_t StaticBase = 0x0060'0000;
+  /// Exclusive upper bound of the static segment.
+  static constexpr uint64_t StaticLimit = 0x1000'0000;
+  /// Base of the heap segment.
+  static constexpr uint64_t HeapBase = 0x2000'0000;
+  /// Exclusive upper bound of the heap segment.
+  static constexpr uint64_t HeapLimit = 0x7000'0000'0000;
+  /// Base (lowest address) of the downward-growing stack region.
+  static constexpr uint64_t StackBase = 0x7fff'0000'0000;
+  /// Exclusive upper bound of the stack region.
+  static constexpr uint64_t StackLimit = 0x7fff'4000'0000;
+};
+
+/// Classifies \p Addr into the segment that contains it.
+SegmentKind classifyAddress(uint64_t Addr);
+
+} // namespace memsim
+} // namespace orp
+
+#endif // ORP_MEMSIM_ADDRESSSPACE_H

@@ -1,0 +1,33 @@
+//===- memsim/Allocator.cpp - Allocator interface and factory ------------===//
+
+#include "memsim/Allocator.h"
+
+#include "memsim/FreeListAllocator.h"
+#include "memsim/SegregatedAllocator.h"
+#include "support/Error.h"
+
+using namespace orp;
+using namespace orp::memsim;
+
+SimAllocator::~SimAllocator() = default;
+
+const char *orp::memsim::allocPolicyName(AllocPolicy Policy) {
+  switch (Policy) {
+  case AllocPolicy::FirstFit:
+    return "first-fit";
+  case AllocPolicy::BestFit:
+    return "best-fit";
+  case AllocPolicy::NextFit:
+    return "next-fit";
+  case AllocPolicy::Segregated:
+    return "segregated";
+  }
+  ORP_UNREACHABLE("unknown allocation policy");
+}
+
+std::unique_ptr<SimAllocator> orp::memsim::createAllocator(AllocPolicy Policy,
+                                                           uint64_t Seed) {
+  if (Policy == AllocPolicy::Segregated)
+    return std::make_unique<SegregatedAllocator>(Seed);
+  return std::make_unique<FreeListAllocator>(Policy, Seed);
+}

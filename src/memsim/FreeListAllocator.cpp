@@ -1,0 +1,208 @@
+//===- memsim/FreeListAllocator.cpp - Free-list heap policies ------------===//
+
+#include "memsim/FreeListAllocator.h"
+
+#include "memsim/AddressSpace.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::memsim;
+
+namespace {
+
+/// Per-block bookkeeping bytes, as a real malloc would burn on a header.
+constexpr uint64_t HeaderSize = 16;
+/// A split remainder smaller than this stays attached to the block.
+constexpr uint64_t MinBlockSize = 32;
+
+uint64_t alignUp(uint64_t Value, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non-power-of-two align");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+} // namespace
+
+FreeListAllocator::FreeListAllocator(AllocPolicy Policy, uint64_t Seed)
+    : Policy(Policy) {
+  assert((Policy == AllocPolicy::FirstFit || Policy == AllocPolicy::BestFit ||
+          Policy == AllocPolicy::NextFit) &&
+         "FreeListAllocator supports first/best/next fit only");
+  // Real processes start the heap at an environment-dependent offset (ASLR,
+  // environment block size, earlier runtime allocations). Model this with a
+  // seed-derived jitter so two "runs" differ exactly the way the paper's
+  // Section 1 describes.
+  uint64_t Jitter = (Seed * 0x9e3779b97f4a7c15ULL >> 40) & 0xfff0;
+  HeapStart = AddressSpaceLayout::HeapBase + Jitter;
+  Brk = HeapStart;
+  Roving = HeapStart;
+}
+
+uint64_t FreeListAllocator::allocate(uint64_t Size, uint64_t Align) {
+  if (Size == 0)
+    Size = 1;
+  if (Align == 0 || (Align & (Align - 1)) != 0) {
+    ++Stats.FailedAllocs;
+    return 0;
+  }
+
+  uint64_t Payload = 0;
+  switch (Policy) {
+  case AllocPolicy::FirstFit: {
+    for (auto It = FreeBlocks.begin(), E = FreeBlocks.end(); It != E; ++It) {
+      ++Stats.FreeListScans;
+      if ((Payload = carveFrom(It, Size, Align)) != 0)
+        break;
+    }
+    break;
+  }
+  case AllocPolicy::BestFit: {
+    auto Best = FreeBlocks.end();
+    uint64_t BestSize = ~0ULL;
+    for (auto It = FreeBlocks.begin(), E = FreeBlocks.end(); It != E; ++It) {
+      ++Stats.FreeListScans;
+      uint64_t NeedEnd = alignUp(It->first + HeaderSize, Align) + Size;
+      if (NeedEnd <= It->first + It->second && It->second < BestSize) {
+        Best = It;
+        BestSize = It->second;
+      }
+    }
+    if (Best != FreeBlocks.end())
+      Payload = carveFrom(Best, Size, Align);
+    break;
+  }
+  case AllocPolicy::NextFit: {
+    // Scan from the roving pointer to the end, then wrap to the start.
+    auto Start = FreeBlocks.lower_bound(Roving);
+    for (auto It = Start, E = FreeBlocks.end(); It != E; ++It) {
+      ++Stats.FreeListScans;
+      if ((Payload = carveFrom(It, Size, Align)) != 0)
+        break;
+    }
+    if (Payload == 0)
+      for (auto It = FreeBlocks.begin(); It != Start; ++It) {
+        ++Stats.FreeListScans;
+        if ((Payload = carveFrom(It, Size, Align)) != 0)
+          break;
+      }
+    break;
+  }
+  case AllocPolicy::Segregated:
+    ORP_UNREACHABLE("segregated policy handled by SegregatedAllocator");
+  }
+
+  if (Payload == 0)
+    Payload = carveFromBreak(Size, Align);
+  if (Payload == 0) {
+    ++Stats.FailedAllocs;
+    return 0;
+  }
+
+  ++Stats.AllocCalls;
+  Stats.BytesRequested += Size;
+  Stats.LiveBytes += Size;
+  if (Stats.LiveBytes > Stats.PeakLiveBytes)
+    Stats.PeakLiveBytes = Stats.LiveBytes;
+  Roving = Payload;
+  return Payload;
+}
+
+uint64_t
+FreeListAllocator::carveFrom(std::map<uint64_t, uint64_t>::iterator It,
+                             uint64_t Size, uint64_t Align) {
+  uint64_t BlockAddr = It->first;
+  uint64_t BlockSize = It->second;
+  uint64_t Payload = alignUp(BlockAddr + HeaderSize, Align);
+  uint64_t End = Payload + Size;
+  if (End > BlockAddr + BlockSize)
+    return 0;
+
+  uint64_t Tail = BlockAddr + BlockSize - End;
+  uint64_t Consumed = BlockSize;
+  FreeBlocks.erase(It);
+  if (Tail >= MinBlockSize) {
+    FreeBlocks.emplace(End, Tail);
+    Consumed = End - BlockAddr;
+  }
+  LiveBlocks.emplace(Payload, LiveBlock{BlockAddr, Consumed, Size});
+  return Payload;
+}
+
+uint64_t FreeListAllocator::carveFromBreak(uint64_t Size, uint64_t Align) {
+  uint64_t BlockAddr = Brk;
+  uint64_t Payload = alignUp(BlockAddr + HeaderSize, Align);
+  uint64_t End = alignUp(Payload + Size, 16);
+  if (End >= AddressSpaceLayout::HeapLimit)
+    return 0;
+  Brk = End;
+  Stats.HeapExtent = Brk - HeapStart;
+  LiveBlocks.emplace(Payload, LiveBlock{BlockAddr, End - BlockAddr, Size});
+  return Payload;
+}
+
+void FreeListAllocator::deallocate(uint64_t Addr) {
+  auto It = LiveBlocks.find(Addr);
+  if (It == LiveBlocks.end())
+    ORP_FATAL_ERROR("deallocate of an address that is not a live payload");
+  ++Stats.FreeCalls;
+  Stats.LiveBytes -= It->second.PayloadSize;
+  insertFree(It->second.BlockAddr, It->second.BlockSize);
+  LiveBlocks.erase(It);
+}
+
+void FreeListAllocator::insertFree(uint64_t Addr, uint64_t Size) {
+  // Coalesce with the following block.
+  auto Next = FreeBlocks.lower_bound(Addr);
+  if (Next != FreeBlocks.end() && Addr + Size == Next->first) {
+    Size += Next->second;
+    Next = FreeBlocks.erase(Next);
+  }
+  // Coalesce with the preceding block.
+  if (Next != FreeBlocks.begin()) {
+    auto Prev = std::prev(Next);
+    if (Prev->first + Prev->second == Addr) {
+      Prev->second += Size;
+      return;
+    }
+  }
+  FreeBlocks.emplace(Addr, Size);
+}
+
+uint64_t FreeListAllocator::liveBlockSize(uint64_t Addr) const {
+  auto It = LiveBlocks.find(Addr);
+  return It == LiveBlocks.end() ? 0 : It->second.PayloadSize;
+}
+
+bool FreeListAllocator::checkInvariants() const {
+  uint64_t PrevEnd = 0;
+  bool PrevWasFree = false;
+  for (const auto &[Addr, Size] : FreeBlocks) {
+    if (Size == 0)
+      return false;
+    if (Addr < PrevEnd)
+      return false; // Overlapping free blocks.
+    if (PrevWasFree && Addr == PrevEnd)
+      return false; // Adjacent free blocks must have been coalesced.
+    if (Addr + Size > Brk)
+      return false; // Free block beyond the break.
+    PrevEnd = Addr + Size;
+    PrevWasFree = true;
+  }
+  for (const auto &[Payload, Block] : LiveBlocks) {
+    if (Payload < Block.BlockAddr ||
+        Payload + Block.PayloadSize > Block.BlockAddr + Block.BlockSize)
+      return false;
+    // A live block must not intersect any free block.
+    auto It = FreeBlocks.upper_bound(Block.BlockAddr);
+    if (It != FreeBlocks.begin()) {
+      auto Prev = std::prev(It);
+      if (Prev->first + Prev->second > Block.BlockAddr)
+        return false;
+    }
+    if (It != FreeBlocks.end() &&
+        It->first < Block.BlockAddr + Block.BlockSize)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,135 @@
+//===- memsim/SegregatedAllocator.cpp - Size-class heap policy -----------===//
+
+#include "memsim/SegregatedAllocator.h"
+
+#include "memsim/AddressSpace.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::memsim;
+
+namespace {
+
+constexpr uint64_t HeaderSize = 16;
+
+uint64_t alignUp(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+} // namespace
+
+SegregatedAllocator::SegregatedAllocator(uint64_t Seed) {
+  uint64_t Jitter = (Seed * 0xbf58476d1ce4e5b9ULL >> 44) & 0xff0;
+  HeapStart = AddressSpaceLayout::HeapBase + Jitter;
+  Brk = HeapStart;
+}
+
+unsigned SegregatedAllocator::classIndex(uint64_t ClassSize) {
+  assert(ClassSize >= MinClass && ClassSize <= MaxClass &&
+         (ClassSize & (ClassSize - 1)) == 0 && "not a valid size class");
+  unsigned Index = 0;
+  for (uint64_t C = MinClass; C != ClassSize; C <<= 1)
+    ++Index;
+  assert(Index < NumClasses && "size class index out of range");
+  return Index;
+}
+
+uint64_t SegregatedAllocator::classFor(uint64_t Size) {
+  if (Size > MaxClass)
+    return 0;
+  uint64_t Class = MinClass;
+  while (Class < Size)
+    Class <<= 1;
+  return Class;
+}
+
+uint64_t SegregatedAllocator::allocate(uint64_t Size, uint64_t Align) {
+  if (Size == 0)
+    Size = 1;
+  if (Align == 0 || (Align & (Align - 1)) != 0 || Align > 4096) {
+    ++Stats.FailedAllocs;
+    return 0;
+  }
+
+  uint64_t Payload = 0;
+  uint64_t ClassSize = classFor(std::max(Size, Align));
+  if (ClassSize != 0) {
+    // Small path: size classes are at least MinClass-aligned, which also
+    // satisfies any Align <= ClassSize; larger Align was folded in above.
+    auto &Bin = Bins[classIndex(ClassSize)];
+    if (!Bin.empty()) {
+      ++Stats.FreeListScans;
+      Payload = Bin.back();
+      Bin.pop_back();
+    } else {
+      uint64_t BlockAddr = alignUp(Brk + HeaderSize, ClassSize);
+      uint64_t End = BlockAddr + ClassSize;
+      if (End >= AddressSpaceLayout::HeapLimit) {
+        ++Stats.FailedAllocs;
+        return 0;
+      }
+      Payload = BlockAddr;
+      Brk = End;
+      Stats.HeapExtent = Brk - HeapStart;
+    }
+    LiveBlocks.emplace(Payload, LiveBlock{Size, ClassSize});
+  } else {
+    // Large path: exact-size free list with bump fallback.
+    uint64_t Rounded = alignUp(Size, 4096);
+    auto It = LargeFree.find(Rounded);
+    if (It != LargeFree.end() && !It->second.empty()) {
+      ++Stats.FreeListScans;
+      Payload = It->second.back();
+      It->second.pop_back();
+    } else {
+      uint64_t BlockAddr = alignUp(Brk + HeaderSize, std::max<uint64_t>(
+                                                         Align, 4096));
+      uint64_t End = BlockAddr + Rounded;
+      if (End >= AddressSpaceLayout::HeapLimit) {
+        ++Stats.FailedAllocs;
+        return 0;
+      }
+      Payload = BlockAddr;
+      Brk = End;
+      Stats.HeapExtent = Brk - HeapStart;
+    }
+    LiveBlocks.emplace(Payload, LiveBlock{Size, 0});
+  }
+
+  ++Stats.AllocCalls;
+  Stats.BytesRequested += Size;
+  Stats.LiveBytes += Size;
+  if (Stats.LiveBytes > Stats.PeakLiveBytes)
+    Stats.PeakLiveBytes = Stats.LiveBytes;
+  return Payload;
+}
+
+void SegregatedAllocator::deallocate(uint64_t Addr) {
+  auto It = LiveBlocks.find(Addr);
+  if (It == LiveBlocks.end())
+    ORP_FATAL_ERROR("deallocate of an address that is not a live payload");
+  ++Stats.FreeCalls;
+  Stats.LiveBytes -= It->second.PayloadSize;
+  if (It->second.ClassSize != 0)
+    Bins[classIndex(It->second.ClassSize)].push_back(Addr);
+  else
+    LargeFree[alignUp(It->second.PayloadSize, 4096)].push_back(Addr);
+  LiveBlocks.erase(It);
+}
+
+uint64_t SegregatedAllocator::liveBlockSize(uint64_t Addr) const {
+  auto It = LiveBlocks.find(Addr);
+  return It == LiveBlocks.end() ? 0 : It->second.PayloadSize;
+}
+
+size_t SegregatedAllocator::freeBlockCount() const {
+  size_t Count = 0;
+  for (const auto &Bin : Bins)
+    Count += Bin.size();
+  for (const auto &[Size, Blocks] : LargeFree)
+    Count += Blocks.size();
+  return Count;
+}
+

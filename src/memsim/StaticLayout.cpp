@@ -1,0 +1,73 @@
+//===- memsim/StaticLayout.cpp - Simulated linker data layout ------------===//
+
+#include "memsim/StaticLayout.h"
+
+#include "memsim/AddressSpace.h"
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace orp;
+using namespace orp::memsim;
+
+StaticLayout::StaticLayout(LinkOrder Order, uint64_t BaseShift, uint64_t Seed)
+    : Order(Order), BaseShift(BaseShift & 0xfff8), Seed(Seed) {}
+
+size_t StaticLayout::addVariable(std::string Name, uint64_t Size,
+                                 uint64_t Align) {
+  if (Finalized)
+    ORP_FATAL_ERROR("addVariable after finalize");
+  assert(Size > 0 && "zero-sized global");
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non-power-of-two align");
+  Vars.push_back(StaticVar{std::move(Name), Size, Align});
+  return Vars.size() - 1;
+}
+
+void StaticLayout::finalize() {
+  if (Finalized)
+    return;
+  Finalized = true;
+
+  std::vector<size_t> PlaceOrder(Vars.size());
+  std::iota(PlaceOrder.begin(), PlaceOrder.end(), 0);
+  switch (Order) {
+  case LinkOrder::Declaration:
+    break;
+  case LinkOrder::BySize:
+    std::stable_sort(PlaceOrder.begin(), PlaceOrder.end(),
+                     [&](size_t A, size_t B) {
+                       return Vars[A].Size > Vars[B].Size;
+                     });
+    break;
+  case LinkOrder::Hashed: {
+    Rng R(Seed ^ 0x57a71cULL);
+    R.shuffle(PlaceOrder);
+    break;
+  }
+  }
+
+  uint64_t Cursor = AddressSpaceLayout::StaticBase + BaseShift;
+  for (size_t Index : PlaceOrder) {
+    StaticVar &V = Vars[Index];
+    Cursor = (Cursor + V.Align - 1) & ~(V.Align - 1);
+    V.Addr = Cursor;
+    Cursor += V.Size;
+    if (Cursor >= AddressSpaceLayout::StaticLimit)
+      ORP_FATAL_ERROR("static segment overflow");
+  }
+  End = Cursor;
+}
+
+const StaticVar &StaticLayout::variable(size_t Index) const {
+  assert(Finalized && "layout not finalized");
+  assert(Index < Vars.size() && "variable index out of range");
+  return Vars[Index];
+}
+
+uint64_t StaticLayout::segmentEnd() const {
+  assert(Finalized && "layout not finalized");
+  return End;
+}

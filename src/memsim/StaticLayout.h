@@ -1,0 +1,82 @@
+//===- memsim/StaticLayout.h - Simulated linker data layout ----*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Places statically-allocated objects (globals) in the static segment of
+/// the simulated address space, the way a linker would. The paper's third
+/// motivating artifact is that "the insertion of probes could change the
+/// code segment size and thus the linker data layout of static data" — so
+/// the layout here is parameterized by an ordering policy and a base shift
+/// to model exactly that run-to-run instability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_MEMSIM_STATICLAYOUT_H
+#define ORP_MEMSIM_STATICLAYOUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace memsim {
+
+/// How the simulated linker orders globals in the static segment.
+enum class LinkOrder {
+  Declaration, ///< In registration order (typical section order).
+  BySize,      ///< Largest first (some linkers' bss packing).
+  Hashed,      ///< Pseudo-random, seed-dependent (section GC / LTO noise).
+};
+
+/// One placed global.
+struct StaticVar {
+  std::string Name;
+  uint64_t Size;
+  uint64_t Align;
+  uint64_t Addr = 0; ///< Assigned by finalize().
+};
+
+/// Builder for the static data segment.
+class StaticLayout {
+public:
+  /// \p BaseShift moves the whole segment (probe-insertion artifact);
+  /// \p Seed drives the Hashed order.
+  explicit StaticLayout(LinkOrder Order = LinkOrder::Declaration,
+                        uint64_t BaseShift = 0, uint64_t Seed = 0);
+
+  /// Registers a global; returns its index. Must precede finalize().
+  size_t addVariable(std::string Name, uint64_t Size, uint64_t Align = 8);
+
+  /// Assigns addresses to all registered globals. Idempotent after the
+  /// first call; no variables may be added afterwards.
+  void finalize();
+
+  /// Returns the placed variable at \p Index; finalize() must have run.
+  const StaticVar &variable(size_t Index) const;
+
+  /// Returns the number of registered variables.
+  size_t size() const { return Vars.size(); }
+
+  /// Returns the address of the variable at \p Index.
+  uint64_t addressOf(size_t Index) const { return variable(Index).Addr; }
+
+  /// Returns one-past-the-last placed address.
+  uint64_t segmentEnd() const;
+
+private:
+  LinkOrder Order;
+  uint64_t BaseShift;
+  uint64_t Seed;
+  bool Finalized = false;
+  uint64_t End = 0;
+  std::vector<StaticVar> Vars;
+};
+
+} // namespace memsim
+} // namespace orp
+
+#endif // ORP_MEMSIM_STATICLAYOUT_H

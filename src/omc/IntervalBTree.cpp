@@ -1,0 +1,282 @@
+//===- omc/IntervalBTree.cpp - B+-tree over address ranges ---------------===//
+
+#include "omc/IntervalBTree.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace orp;
+using namespace orp::omc;
+
+namespace {
+
+/// Maximum entries per leaf / children per inner node before a split.
+constexpr size_t MaxFanout = 32;
+
+} // namespace
+
+/// B+-tree node. Leaves hold interval entries and chain links; inner
+/// nodes hold separator keys and child pointers (Children.size() ==
+/// Keys.size() + 1).
+struct IntervalBTree::Node {
+  bool IsLeaf;
+  std::vector<uint64_t> Keys;
+  std::vector<Node *> Children;
+  std::vector<Entry> Entries;
+  Node *Prev = nullptr;
+  Node *Next = nullptr;
+
+  explicit Node(bool IsLeaf) : IsLeaf(IsLeaf) {
+    if (IsLeaf)
+      Entries.reserve(MaxFanout + 1);
+    else {
+      Keys.reserve(MaxFanout);
+      Children.reserve(MaxFanout + 1);
+    }
+  }
+};
+
+IntervalBTree::IntervalBTree() : Root(new Node(/*IsLeaf=*/true)) {}
+
+IntervalBTree::~IntervalBTree() { destroy(Root); }
+
+void IntervalBTree::destroy(Node *N) {
+  if (!N->IsLeaf)
+    for (Node *Child : N->Children)
+      destroy(Child);
+  delete N;
+}
+
+void IntervalBTree::insert(uint64_t Start, uint64_t End, uint64_t Value) {
+  assert(Start < End && "empty interval");
+  assert(!overlapsRange(Start, End) && "overlapping interval inserted");
+  SplitResult Split = insertInto(Root, Entry{Start, End, Value});
+  ++Count;
+  if (!Split.NewRight)
+    return;
+  // The root split: grow the tree by one level.
+  Node *NewRoot = new Node(/*IsLeaf=*/false);
+  NewRoot->Keys.push_back(Split.SeparatorKey);
+  NewRoot->Children.push_back(Root);
+  NewRoot->Children.push_back(Split.NewRight);
+  Root = NewRoot;
+  ++Height;
+}
+
+IntervalBTree::SplitResult IntervalBTree::insertInto(Node *N,
+                                                     const Entry &E) {
+  if (N->IsLeaf) {
+    auto Pos = std::lower_bound(
+        N->Entries.begin(), N->Entries.end(), E.Start,
+        [](const Entry &Have, uint64_t Want) { return Have.Start < Want; });
+    assert((Pos == N->Entries.end() || Pos->Start != E.Start) &&
+           "duplicate interval start");
+    N->Entries.insert(Pos, E);
+    if (N->Entries.size() <= MaxFanout)
+      return {};
+    // Split the leaf in half; the right half's first start is promoted.
+    Node *Right = new Node(/*IsLeaf=*/true);
+    size_t Mid = N->Entries.size() / 2;
+    Right->Entries.assign(N->Entries.begin() + Mid, N->Entries.end());
+    N->Entries.resize(Mid);
+    Right->Next = N->Next;
+    Right->Prev = N;
+    if (N->Next)
+      N->Next->Prev = Right;
+    N->Next = Right;
+    return {Right->Entries.front().Start, Right};
+  }
+
+  // Inner node: route to the child whose key range covers E.Start.
+  size_t Slot = std::upper_bound(N->Keys.begin(), N->Keys.end(), E.Start) -
+                N->Keys.begin();
+  SplitResult ChildSplit = insertInto(N->Children[Slot], E);
+  if (!ChildSplit.NewRight)
+    return {};
+  N->Keys.insert(N->Keys.begin() + Slot, ChildSplit.SeparatorKey);
+  N->Children.insert(N->Children.begin() + Slot + 1, ChildSplit.NewRight);
+  if (N->Children.size() <= MaxFanout)
+    return {};
+  // Split the inner node; the middle key moves up.
+  Node *Right = new Node(/*IsLeaf=*/false);
+  size_t MidKey = N->Keys.size() / 2;
+  uint64_t Promoted = N->Keys[MidKey];
+  Right->Keys.assign(N->Keys.begin() + MidKey + 1, N->Keys.end());
+  Right->Children.assign(N->Children.begin() + MidKey + 1,
+                         N->Children.end());
+  N->Keys.resize(MidKey);
+  N->Children.resize(MidKey + 1);
+  return {Promoted, Right};
+}
+
+bool IntervalBTree::erase(uint64_t Start) {
+  if (!eraseFrom(Root, Start))
+    return false;
+  --Count;
+  // Collapse a single-child inner root to keep the height tight; if the
+  // last leaf vanished entirely, reset to an empty leaf root.
+  while (!Root->IsLeaf && Root->Children.size() == 1) {
+    Node *Child = Root->Children.front();
+    delete Root;
+    Root = Child;
+    --Height;
+  }
+  if (!Root->IsLeaf && Root->Children.empty()) {
+    delete Root;
+    Root = new Node(/*IsLeaf=*/true);
+    Height = 1;
+  }
+  return true;
+}
+
+bool IntervalBTree::eraseFrom(Node *N, uint64_t Start) {
+  if (N->IsLeaf) {
+    auto Pos = std::lower_bound(
+        N->Entries.begin(), N->Entries.end(), Start,
+        [](const Entry &Have, uint64_t Want) { return Have.Start < Want; });
+    if (Pos == N->Entries.end() || Pos->Start != Start)
+      return false;
+    N->Entries.erase(Pos);
+    return true;
+  }
+
+  size_t Slot = std::upper_bound(N->Keys.begin(), N->Keys.end(), Start) -
+                N->Keys.begin();
+  Node *Child = N->Children[Slot];
+  if (!eraseFrom(Child, Start))
+    return false;
+
+  // Drop children that became empty so every remaining leaf is non-empty
+  // (the lookup predecessor-probe depends on this invariant).
+  bool ChildEmpty = Child->IsLeaf ? Child->Entries.empty()
+                                  : Child->Children.empty();
+  if (ChildEmpty) {
+    if (Child->IsLeaf) {
+      if (Child->Prev)
+        Child->Prev->Next = Child->Next;
+      if (Child->Next)
+        Child->Next->Prev = Child->Prev;
+    }
+    delete Child;
+    N->Children.erase(N->Children.begin() + Slot);
+    if (!N->Keys.empty())
+      N->Keys.erase(N->Keys.begin() + (Slot == 0 ? 0 : Slot - 1));
+  }
+  return true;
+}
+
+const IntervalBTree::Entry *IntervalBTree::lookup(uint64_t Addr) const {
+  return lookupIn(Root, Addr);
+}
+
+const IntervalBTree::Entry *IntervalBTree::lookupIn(const Node *N,
+                                                    uint64_t Addr) const {
+  while (!N->IsLeaf) {
+    size_t Slot = std::upper_bound(N->Keys.begin(), N->Keys.end(), Addr) -
+                  N->Keys.begin();
+    N = N->Children[Slot];
+  }
+  // Greatest entry with Start <= Addr is here or at the tail of the
+  // predecessor leaf (which is non-empty by invariant).
+  auto Pos = std::upper_bound(
+      N->Entries.begin(), N->Entries.end(), Addr,
+      [](uint64_t Want, const Entry &Have) { return Want < Have.Start; });
+  const Entry *Candidate = nullptr;
+  if (Pos != N->Entries.begin())
+    Candidate = &*std::prev(Pos);
+  else if (N->Prev)
+    Candidate = &N->Prev->Entries.back();
+  if (Candidate && Addr >= Candidate->Start && Addr < Candidate->End)
+    return Candidate;
+  return nullptr;
+}
+
+bool IntervalBTree::overlapsRange(uint64_t Start, uint64_t End) const {
+  assert(Start < End && "empty query range");
+  // An overlap exists iff the predecessor-or-containing interval of
+  // (End - 1) ends after Start.
+  const Node *N = Root;
+  while (!N->IsLeaf) {
+    size_t Slot = std::upper_bound(N->Keys.begin(), N->Keys.end(), End - 1) -
+                  N->Keys.begin();
+    N = N->Children[Slot];
+  }
+  auto Pos = std::upper_bound(
+      N->Entries.begin(), N->Entries.end(), End - 1,
+      [](uint64_t Want, const Entry &Have) { return Want < Have.Start; });
+  const Entry *Candidate = nullptr;
+  if (Pos != N->Entries.begin())
+    Candidate = &*std::prev(Pos);
+  else if (N->Prev)
+    Candidate = &N->Prev->Entries.back();
+  return Candidate && Candidate->End > Start;
+}
+
+std::vector<IntervalBTree::Entry> IntervalBTree::toVector() const {
+  std::vector<Entry> Out;
+  Out.reserve(Count);
+  const Node *N = Root;
+  while (!N->IsLeaf)
+    N = N->Children.front();
+  for (; N; N = N->Next)
+    Out.insert(Out.end(), N->Entries.begin(), N->Entries.end());
+  return Out;
+}
+
+bool IntervalBTree::checkInvariants() const {
+  if (!checkNode(Root, 0, ~0ULL, 0))
+    return false;
+  // Leaf chain must enumerate exactly Count entries in ascending order.
+  const Node *N = Root;
+  while (!N->IsLeaf)
+    N = N->Children.front();
+  size_t Seen = 0;
+  uint64_t PrevEnd = 0;
+  const Node *PrevLeaf = nullptr;
+  for (; N; N = N->Next) {
+    if (N->Prev != PrevLeaf)
+      return false;
+    if (N != Root && N->Entries.empty())
+      return false;
+    for (const Entry &E : N->Entries) {
+      if (E.Start >= E.End)
+        return false;
+      if (Seen > 0 && E.Start < PrevEnd)
+        return false;
+      PrevEnd = E.End;
+      ++Seen;
+    }
+    PrevLeaf = N;
+  }
+  return Seen == Count;
+}
+
+bool IntervalBTree::checkNode(const Node *N, uint64_t LowerBound,
+                              uint64_t UpperBound, size_t Depth) const {
+  if (N->IsLeaf) {
+    if (Depth + 1 != Height)
+      return false;
+    for (const Entry &E : N->Entries)
+      if (E.Start < LowerBound || E.Start >= UpperBound)
+        return false;
+    return std::is_sorted(N->Entries.begin(), N->Entries.end(),
+                          [](const Entry &A, const Entry &B) {
+                            return A.Start < B.Start;
+                          });
+  }
+  if (N->Children.size() != N->Keys.size() + 1 || N->Children.empty())
+    return false;
+  if (!std::is_sorted(N->Keys.begin(), N->Keys.end()))
+    return false;
+  for (size_t I = 0; I != N->Children.size(); ++I) {
+    uint64_t Lo = I == 0 ? LowerBound : N->Keys[I - 1];
+    uint64_t Hi = I == N->Keys.size() ? UpperBound : N->Keys[I];
+    if (Lo < LowerBound || Hi > UpperBound)
+      return false;
+    if (!checkNode(N->Children[I], Lo, Hi, Depth + 1))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,105 @@
+//===- omc/IntervalBTree.h - B+-tree over address ranges -------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's OMC speeds up raw-address-to-object lookup with "an
+/// auxiliary B-tree-like data structure which stores the range of
+/// addresses that each object takes up", removing entries at
+/// de-allocation (Section 3.1). This is that structure: a B+-tree keyed
+/// by interval start over non-overlapping, half-open address ranges, with
+/// a doubly-linked leaf level for the predecessor probe.
+///
+/// Deletion removes entries in place and unlinks leaves that become
+/// empty; partially-filled leaves are not rebalanced (deletions never
+/// grow the tree, so the height bound from insertion splits still holds).
+/// All non-root leaves are therefore non-empty, which the containing-
+/// interval lookup relies on: the answer is in the located leaf or is the
+/// last entry of its predecessor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_OMC_INTERVALBTREE_H
+#define ORP_OMC_INTERVALBTREE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace orp {
+namespace omc {
+
+/// B+-tree mapping non-overlapping half-open intervals [Start, End) to a
+/// 64-bit value (the OMC stores object identifiers).
+class IntervalBTree {
+public:
+  /// One stored interval.
+  struct Entry {
+    uint64_t Start;
+    uint64_t End;
+    uint64_t Value;
+  };
+
+  IntervalBTree();
+  ~IntervalBTree();
+
+  IntervalBTree(const IntervalBTree &) = delete;
+  IntervalBTree &operator=(const IntervalBTree &) = delete;
+
+  /// Inserts [Start, End) -> Value. The interval must be non-empty and
+  /// must not overlap any stored interval (checked in debug builds).
+  void insert(uint64_t Start, uint64_t End, uint64_t Value);
+
+  /// Removes the interval whose start is exactly \p Start. Returns true
+  /// if an interval was removed.
+  bool erase(uint64_t Start);
+
+  /// Returns the entry whose interval contains \p Addr, or nullptr. The
+  /// pointer is invalidated by the next mutation.
+  const Entry *lookup(uint64_t Addr) const;
+
+  /// Returns true if some stored interval overlaps [Start, End).
+  bool overlapsRange(uint64_t Start, uint64_t End) const;
+
+  /// Returns the number of stored intervals.
+  size_t size() const { return Count; }
+
+  /// Returns the current tree height (1 for a lone leaf).
+  size_t height() const { return Height; }
+
+  /// Collects all entries in ascending Start order (leaf-chain walk).
+  std::vector<Entry> toVector() const;
+
+  /// Verifies structural invariants: sorted keys, consistent separators,
+  /// non-empty non-root leaves, intact leaf chain. For tests.
+  bool checkInvariants() const;
+
+private:
+  struct Node;
+
+  /// Result of an insertion that split a child.
+  struct SplitResult {
+    uint64_t SeparatorKey = 0;
+    Node *NewRight = nullptr;
+  };
+
+  SplitResult insertInto(Node *N, const Entry &E);
+  bool eraseFrom(Node *N, uint64_t Start);
+  const Entry *lookupIn(const Node *N, uint64_t Addr) const;
+  static void destroy(Node *N);
+  bool checkNode(const Node *N, uint64_t LowerBound, uint64_t UpperBound,
+                 size_t Depth) const;
+
+  Node *Root;
+  size_t Count = 0;
+  size_t Height = 1;
+};
+
+} // namespace omc
+} // namespace orp
+
+#endif // ORP_OMC_INTERVALBTREE_H

@@ -1,0 +1,107 @@
+//===- omc/ObjectManager.cpp - Object-management component ---------------===//
+
+#include "omc/ObjectManager.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::omc;
+
+GroupId ObjectManager::groupForSite(trace::AllocSiteId Site) {
+  auto [It, Inserted] =
+      SiteToGroup.try_emplace(Site, static_cast<GroupId>(GroupSites.size()));
+  if (Inserted) {
+    GroupSites.push_back(Site);
+    NextSerial.push_back(0);
+  }
+  return It->second;
+}
+
+std::optional<GroupId>
+ObjectManager::lookupGroupForSite(trace::AllocSiteId Site) const {
+  auto It = SiteToGroup.find(Site);
+  if (It == SiteToGroup.end())
+    return std::nullopt;
+  return It->second;
+}
+
+trace::AllocSiteId ObjectManager::siteForGroup(GroupId Group) const {
+  assert(Group < GroupSites.size() && "unknown group");
+  return GroupSites[Group];
+}
+
+void ObjectManager::splitPoolSite(trace::AllocSiteId Site,
+                                  uint64_t ElementSize) {
+  assert(ElementSize > 0 && "zero element size");
+  assert(!lookupGroupForSite(Site) &&
+         "pool policy must be set before the site's first allocation");
+  PoolElementSize[Site] = ElementSize;
+}
+
+void ObjectManager::onAlloc(const trace::AllocEvent &Event) {
+  assert(Event.Size > 0 && "zero-sized object");
+  GroupId Group = groupForSite(Event.Site);
+  uint64_t ObjectId = Records.size();
+
+  // For split pools the serial counter advances by the number of element
+  // slots so that every element has its own (run-invariant) serial.
+  auto PoolIt = PoolElementSize.find(Event.Site);
+  ObjectSerial Serial = NextSerial[Group];
+  if (PoolIt != PoolElementSize.end()) {
+    uint64_t Slots = (Event.Size + PoolIt->second - 1) / PoolIt->second;
+    PoolBaseSerial.push_back(Serial);
+    NextSerial[Group] += Slots;
+  } else {
+    PoolBaseSerial.push_back(~0ULL);
+    NextSerial[Group] += 1;
+  }
+
+  Records.push_back(ObjectRecord{Group, Serial, Event.Site, Event.Addr,
+                                 Event.Size, Event.Time, kLiveForever,
+                                 Event.IsStatic});
+  LiveIndex.insert(Event.Addr, Event.Addr + Event.Size, ObjectId);
+}
+
+void ObjectManager::onFree(const trace::FreeEvent &Event) {
+  const IntervalBTree::Entry *Entry = LiveIndex.lookup(Event.Addr);
+  if (!Entry || Entry->Start != Event.Addr) {
+    ++Stats.UnknownFrees;
+    return;
+  }
+  Records[Entry->Value].FreeTime = Event.Time;
+  LiveIndex.erase(Event.Addr);
+  // The freed range must not serve cached translations anymore.
+  if (Event.Addr == CachedBase)
+    CachedEnd = 0;
+}
+
+std::optional<Translation> ObjectManager::translate(uint64_t Addr) {
+  if (Addr >= CachedBase && Addr < CachedEnd) {
+    ++Stats.Translations;
+    return translateWithin(CachedObjectId, Addr);
+  }
+  const IntervalBTree::Entry *Entry = LiveIndex.lookup(Addr);
+  if (!Entry) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Translations;
+  CachedBase = Entry->Start;
+  CachedEnd = Entry->End;
+  CachedObjectId = Entry->Value;
+  return translateWithin(Entry->Value, Addr);
+}
+
+Translation ObjectManager::translateWithin(uint64_t ObjectId,
+                                           uint64_t Addr) {
+  const ObjectRecord &Record = Records[ObjectId];
+  uint64_t Offset = Addr - Record.Base;
+  if (PoolBaseSerial[ObjectId] != ~0ULL) {
+    uint64_t Elem = PoolElementSize.at(Record.Site);
+    return Translation{Record.Group, Record.Serial + Offset / Elem,
+                       Offset % Elem, ObjectId};
+  }
+  return Translation{Record.Group, Record.Serial, Offset, ObjectId};
+}

@@ -1,0 +1,595 @@
+//===- sequitur/Sequitur.cpp - Linear-time Sequitur compression ----------===//
+
+#include "sequitur/Sequitur.h"
+
+#include "support/Error.h"
+#include "support/VarInt.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+
+using namespace orp;
+using namespace orp::sequitur;
+
+//===----------------------------------------------------------------------===//
+// Internal node types
+//===----------------------------------------------------------------------===//
+
+/// One symbol node. A symbol is exactly one of: a terminal, a use of a
+/// rule (nonterminal), or the guard sentinel of a rule. Guards close each
+/// rule body into a ring: Guard->Next is the first body symbol and
+/// Guard->Prev the last.
+struct SequiturGrammar::Symbol {
+  Symbol *Next = nullptr;
+  Symbol *Prev = nullptr;
+  uint64_t Terminal = 0;
+  Rule *RuleRef = nullptr; ///< Non-null iff this is a nonterminal.
+  Rule *GuardOf = nullptr; ///< Non-null iff this is a guard.
+  Symbol *UseNext = nullptr; ///< Next use of RuleRef (intrusive list).
+  Symbol *UsePrev = nullptr;
+};
+
+/// One grammar rule.
+struct SequiturGrammar::Rule {
+  uint64_t Id = 0;
+  Symbol *Guard = nullptr;
+  Symbol *UseHead = nullptr; ///< Intrusive list of nonterminal uses.
+  size_t UseCount = 0;
+};
+
+size_t SequiturGrammar::DigramKeyHash::operator()(const DigramKey &K) const {
+  uint64_t H = K.V1 * 0x9e3779b97f4a7c15ULL;
+  H ^= (K.V2 + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2));
+  H ^= static_cast<uint64_t>(K.Tags) << 32;
+  return static_cast<size_t>(H * 0xbf58476d1ce4e5b9ULL >> 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Node lifecycle
+//===----------------------------------------------------------------------===//
+
+SequiturGrammar::SequiturGrammar() { Start = newRule(); }
+
+SequiturGrammar::~SequiturGrammar() {
+  for (const Rule *R : LiveRules) {
+    Symbol *S = R->Guard->Next;
+    while (S != R->Guard) {
+      Symbol *Next = S->Next;
+      delete S;
+      S = Next;
+    }
+    delete R->Guard;
+    delete R;
+  }
+}
+
+SequiturGrammar::Symbol *SequiturGrammar::newTerminal(uint64_t Value) {
+  Symbol *S = new Symbol();
+  S->Terminal = Value;
+  LiveSymbols.insert(S);
+  return S;
+}
+
+SequiturGrammar::Symbol *SequiturGrammar::newNonTerminal(Rule *R) {
+  Symbol *S = new Symbol();
+  S->RuleRef = R;
+  S->UseNext = R->UseHead;
+  if (R->UseHead)
+    R->UseHead->UsePrev = S;
+  R->UseHead = S;
+  ++R->UseCount;
+  LiveSymbols.insert(S);
+  return S;
+}
+
+void SequiturGrammar::destroySymbol(Symbol *S) {
+  assert(!S->GuardOf && "guards are destroyed with their rule");
+  if (Rule *R = S->RuleRef) {
+    if (S->UsePrev)
+      S->UsePrev->UseNext = S->UseNext;
+    else
+      R->UseHead = S->UseNext;
+    if (S->UseNext)
+      S->UseNext->UsePrev = S->UsePrev;
+    --R->UseCount;
+    if (R->UseCount <= 1 && R != Start)
+      MaybeUnderused.push_back(R);
+  }
+  LiveSymbols.erase(S);
+  delete S;
+}
+
+SequiturGrammar::Rule *SequiturGrammar::newRule() {
+  Rule *R = new Rule();
+  R->Id = NextRuleId++;
+  R->Guard = new Symbol();
+  R->Guard->GuardOf = R;
+  R->Guard->Next = R->Guard;
+  R->Guard->Prev = R->Guard;
+  LiveRules.insert(R);
+  return R;
+}
+
+void SequiturGrammar::destroyRule(Rule *R) {
+  assert(R != Start && "cannot destroy the start rule");
+  assert(R->UseCount == 0 && !R->UseHead && "destroying a rule in use");
+  LiveRules.erase(R);
+  delete R->Guard;
+  delete R;
+}
+
+//===----------------------------------------------------------------------===//
+// Digram index maintenance
+//===----------------------------------------------------------------------===//
+
+void SequiturGrammar::link(Symbol *A, Symbol *B) {
+  A->Next = B;
+  B->Prev = A;
+}
+
+SequiturGrammar::DigramKey SequiturGrammar::keyOf(const Symbol *A) const {
+  const Symbol *B = A->Next;
+  assert(!A->GuardOf && !B->GuardOf && "digram key of a guard");
+  DigramKey K;
+  K.V1 = A->RuleRef ? A->RuleRef->Id : A->Terminal;
+  K.V2 = B->RuleRef ? B->RuleRef->Id : B->Terminal;
+  K.Tags = static_cast<uint8_t>((A->RuleRef ? 1 : 0) | (B->RuleRef ? 2 : 0));
+  return K;
+}
+
+void SequiturGrammar::removeDigramAt(Symbol *A) {
+  if (!A || A->GuardOf || !A->Next || A->Next->GuardOf)
+    return;
+  auto It = Index.find(keyOf(A));
+  if (It != Index.end() && It->second == A)
+    Index.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// Core algorithm
+//===----------------------------------------------------------------------===//
+
+void SequiturGrammar::append(uint64_t Value) {
+  Symbol *S = newTerminal(Value);
+  Symbol *Tail = Start->Guard->Prev;
+  link(Tail, S);
+  link(S, Start->Guard);
+  if (!Tail->GuardOf)
+    checkDigram(Tail);
+  ++InputLen;
+  repairUtility();
+}
+
+void SequiturGrammar::appendAll(const std::vector<uint64_t> &Values) {
+  for (uint64_t V : Values)
+    append(V);
+}
+
+bool SequiturGrammar::checkDigram(Symbol *A) {
+  Symbol *B = A->Next;
+  if (A->GuardOf || B->GuardOf)
+    return false;
+  DigramKey K = keyOf(A);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    Index.emplace(K, A);
+    return false;
+  }
+  Symbol *M = It->second;
+  if (M == A)
+    return false;
+  // Overlapping occurrences (e.g. the middle of "aaa") never substitute.
+  if (M->Next == A || A->Next == M)
+    return false;
+  processMatch(A, M);
+  return true;
+}
+
+void SequiturGrammar::processMatch(Symbol *A, Symbol *M) {
+  Rule *R;
+  if (M->Prev->GuardOf && M->Next->Next->GuardOf) {
+    // The indexed occurrence is a complete rule body: reuse that rule.
+    R = M->Prev->GuardOf;
+    substituteDigram(A, R);
+    return;
+  }
+
+  // Otherwise create a new rule from copies of the digram. The copies
+  // are taken from A before any substitution can destroy it.
+  R = newRule();
+  Symbol *C1 = A->RuleRef ? newNonTerminal(A->RuleRef)
+                          : newTerminal(A->Terminal);
+  Symbol *C2 = A->Next->RuleRef ? newNonTerminal(A->Next->RuleRef)
+                                : newTerminal(A->Next->Terminal);
+  link(R->Guard, C1);
+  link(C1, C2);
+  link(C2, R->Guard);
+
+  substituteDigram(M, R);
+  // Substituting at M can cascade through the grammar; only substitute
+  // the second occurrence if it survived with its digram intact. (When it
+  // did not, R may be left under-used, which repairUtility() then fixes.)
+  if (isLive(A) && !A->Next->GuardOf &&
+      keyOf(A) == keyOf(R->Guard->Next))
+    substituteDigram(A, R);
+  // Index the rule body as the canonical occurrence of its digram. The
+  // substitution cascades above may have created (and indexed) fresh
+  // occurrences of the same digram elsewhere; fold every such occurrence
+  // into R first, or digram uniqueness would be silently violated.
+  while (isLiveRule(R) && !R->Guard->Next->GuardOf &&
+         !R->Guard->Next->Next->GuardOf) {
+    DigramKey BodyKey = keyOf(R->Guard->Next);
+    auto It = Index.find(BodyKey);
+    if (It == Index.end()) {
+      Index.emplace(BodyKey, R->Guard->Next);
+      break;
+    }
+    if (It->second == R->Guard->Next)
+      break;
+    Symbol *Other = It->second;
+    substituteDigram(Other, R);
+  }
+  // A freshly created rule that gained only one use (second substitution
+  // skipped) must be queued for utility repair: it was never decremented,
+  // so destroySymbol() has not queued it.
+  if (isLiveRule(R) && R->UseCount <= 1)
+    MaybeUnderused.push_back(R);
+}
+
+void SequiturGrammar::substituteDigram(Symbol *First, Rule *R) {
+  Symbol *Second = First->Next;
+  assert(!First->GuardOf && !Second->GuardOf && "substituting a guard");
+  Symbol *Prev = First->Prev;
+  Symbol *Next = Second->Next;
+  Symbol *PrevPrev = Prev->GuardOf ? nullptr : Prev->Prev;
+
+  if (!Prev->GuardOf)
+    removeDigramAt(Prev);
+  removeDigramAt(First);
+  if (!Second->GuardOf)
+    removeDigramAt(Second);
+
+  destroySymbol(First);
+  destroySymbol(Second);
+
+  Symbol *Use = newNonTerminal(R);
+  link(Prev, Use);
+  link(Use, Next);
+
+  // Re-establish digram uniqueness on both new junctions. If the left
+  // junction substituted, Use is gone and the cascade already covered
+  // the neighborhood.
+  if (!checkDigram(Prev) && isLive(Use))
+    checkDigram(Use);
+
+  // Twin repair. In a run of one repeated symbol ("aaa"-style) only one
+  // of the overlapping digram occurrences is indexed; the removals above
+  // may have dropped exactly that canonical occurrence while an
+  // overlapping twin just outside the replaced region survived. Re-check
+  // the surviving neighbors so the twin is re-indexed (or folded into an
+  // existing rule).
+  if (Next && isLive(Next))
+    checkDigram(Next);
+  if (PrevPrev && isLive(PrevPrev))
+    checkDigram(PrevPrev);
+}
+
+void SequiturGrammar::expandSingleUse(Rule *R) {
+  assert(R->UseCount == 1 && R->UseHead && "not a single-use rule");
+  Symbol *Use = R->UseHead;
+  Symbol *Prev = Use->Prev;
+  Symbol *Next = Use->Next;
+  Symbol *First = R->Guard->Next;
+  Symbol *Last = R->Guard->Prev;
+  assert(First != R->Guard && "expanding an empty rule");
+
+  removeDigramAt(Prev);
+  removeDigramAt(Use);
+
+  // Splice the body in place of the use.
+  link(Prev, First);
+  link(Last, Next);
+  destroySymbol(Use); // Drops UseCount to 0.
+  destroyRule(R);
+
+  // Check the two junction digrams; the body's interior digrams keep
+  // their existing index entries (the symbols were moved, not copied).
+  checkDigram(Prev);
+  if (isLive(Last))
+    checkDigram(Last);
+}
+
+void SequiturGrammar::repairUtility() {
+  while (!MaybeUnderused.empty()) {
+    Rule *R = MaybeUnderused.back();
+    MaybeUnderused.pop_back();
+    if (!isLiveRule(R))
+      continue;
+    if (R->UseCount == 1) {
+      expandSingleUse(R);
+    } else if (R->UseCount == 0) {
+      // Defensive: an unreferenced rule's body is garbage; drop it.
+      Symbol *S = R->Guard->Next;
+      while (S != R->Guard) {
+        Symbol *Next = S->Next;
+        removeDigramAt(S);
+        destroySymbol(S);
+        S = Next;
+      }
+      destroyRule(R);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection, expansion, serialization
+//===----------------------------------------------------------------------===//
+
+size_t SequiturGrammar::totalBodySymbols() const {
+  size_t Total = 0;
+  for (const Rule *R : LiveRules)
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+      ++Total;
+  return Total;
+}
+
+std::vector<const SequiturGrammar::Rule *>
+SequiturGrammar::reachableRules() const {
+  std::vector<const Rule *> Order;
+  std::unordered_map<const Rule *, size_t> Seen;
+  Order.push_back(Start);
+  Seen.emplace(Start, 0);
+  for (size_t I = 0; I != Order.size(); ++I) {
+    const Rule *R = Order[I];
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+      if (S->RuleRef && Seen.emplace(S->RuleRef, Order.size()).second)
+        Order.push_back(S->RuleRef);
+  }
+  return Order;
+}
+
+std::vector<uint64_t> SequiturGrammar::expandAll() const {
+  std::vector<uint64_t> Out;
+  Out.reserve(InputLen);
+  // Iterative expansion: the stack holds the next symbol to visit per
+  // nesting level.
+  std::vector<const Symbol *> Stack;
+  Stack.push_back(Start->Guard->Next);
+  while (!Stack.empty()) {
+    const Symbol *S = Stack.back();
+    if (S->GuardOf) {
+      Stack.pop_back();
+      continue;
+    }
+    Stack.back() = S->Next;
+    if (S->RuleRef)
+      Stack.push_back(S->RuleRef->Guard->Next);
+    else
+      Out.push_back(S->Terminal);
+  }
+  return Out;
+}
+
+std::vector<uint8_t> SequiturGrammar::serialize() const {
+  std::vector<const Rule *> Order = reachableRules();
+  std::unordered_map<const Rule *, uint64_t> Ids;
+  for (size_t I = 0; I != Order.size(); ++I)
+    Ids.emplace(Order[I], I);
+
+  std::vector<uint8_t> Out;
+  encodeULEB128(Order.size(), Out);
+  encodeULEB128(InputLen, Out);
+  for (const Rule *R : Order) {
+    size_t BodyLen = 0;
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+      ++BodyLen;
+    encodeULEB128(BodyLen, Out);
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next) {
+      if (S->RuleRef) {
+        encodeULEB128((Ids.at(S->RuleRef) << 1) | 1, Out);
+      } else {
+        assert(S->Terminal < (1ULL << 63) &&
+               "terminal too large for tagged encoding");
+        encodeULEB128(S->Terminal << 1, Out);
+      }
+    }
+  }
+  return Out;
+}
+
+size_t SequiturGrammar::serializedSizeBytes() const {
+  return serialize().size();
+}
+
+std::vector<uint64_t>
+SequiturGrammar::deserializeAndExpand(const std::vector<uint8_t> &Bytes) {
+  size_t Pos = 0;
+  uint64_t NumRules = decodeULEB128(Bytes, Pos);
+  uint64_t ExpectLen = decodeULEB128(Bytes, Pos);
+  // Symbol encoding per rule: (terminal << 1) or (ruleIndex << 1 | 1).
+  std::vector<std::vector<uint64_t>> Bodies(NumRules);
+  for (uint64_t R = 0; R != NumRules; ++R) {
+    uint64_t BodyLen = decodeULEB128(Bytes, Pos);
+    Bodies[R].reserve(BodyLen);
+    for (uint64_t I = 0; I != BodyLen; ++I)
+      Bodies[R].push_back(decodeULEB128(Bytes, Pos));
+  }
+  std::vector<uint64_t> Out;
+  Out.reserve(ExpectLen);
+  // Iterative expansion over (rule, position) frames.
+  std::vector<std::pair<uint64_t, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  while (!Stack.empty()) {
+    auto &[RuleIdx, At] = Stack.back();
+    if (At == Bodies[RuleIdx].size()) {
+      Stack.pop_back();
+      continue;
+    }
+    uint64_t Code = Bodies[RuleIdx][At++];
+    if (Code & 1)
+      Stack.emplace_back(Code >> 1, 0);
+    else
+      Out.push_back(Code >> 1);
+  }
+  assert(Out.size() == ExpectLen && "deserialized length mismatch");
+  return Out;
+}
+
+std::string SequiturGrammar::dump() const {
+  std::vector<const Rule *> Order = reachableRules();
+  std::unordered_map<const Rule *, uint64_t> Ids;
+  for (size_t I = 0; I != Order.size(); ++I)
+    Ids.emplace(Order[I], I);
+
+  std::string Out;
+  char Buf[64];
+  for (const Rule *R : Order) {
+    std::snprintf(Buf, sizeof(Buf), "R%llu ->",
+                  static_cast<unsigned long long>(Ids.at(R)));
+    Out += Buf;
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next) {
+      if (S->RuleRef)
+        std::snprintf(Buf, sizeof(Buf), " R%llu",
+                      static_cast<unsigned long long>(Ids.at(S->RuleRef)));
+      else
+        std::snprintf(Buf, sizeof(Buf), " %llu",
+                      static_cast<unsigned long long>(S->Terminal));
+      Out += Buf;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::vector<SequiturGrammar::RuleStats>
+SequiturGrammar::ruleStats(size_t PrefixCap) const {
+  std::vector<const Rule *> Order = reachableRules();
+  std::unordered_map<const Rule *, size_t> Ids;
+  for (size_t I = 0; I != Order.size(); ++I)
+    Ids.emplace(Order[I], I);
+
+  // Expanded lengths, memoized over the rule DAG (rules never reference
+  // themselves, directly or transitively).
+  std::vector<uint64_t> Expanded(Order.size(), 0);
+  std::function<uint64_t(size_t)> LengthOf = [&](size_t Idx) -> uint64_t {
+    if (Expanded[Idx] != 0)
+      return Expanded[Idx];
+    uint64_t Len = 0;
+    const Rule *R = Order[Idx];
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+      Len += S->RuleRef ? LengthOf(Ids.at(S->RuleRef)) : 1;
+    Expanded[Idx] = Len;
+    return Len;
+  };
+  for (size_t I = 0; I != Order.size(); ++I)
+    LengthOf(I);
+
+  // Occurrence counts: the start rule occurs once; every use inside a
+  // rule P contributes P's count. count = e0 + A^T * count is iterated
+  // to its fixed point; the reference matrix of a grammar is nilpotent
+  // (rules cannot contain themselves), so this terminates after at most
+  // grammar-depth iterations.
+  std::vector<uint64_t> Count(Order.size(), 0);
+  Count[0] = 1;
+  for (bool Changed = true; Changed;) {
+    std::vector<uint64_t> Next(Order.size(), 0);
+    Next[0] = 1;
+    for (size_t I = 0; I != Order.size(); ++I) {
+      const Rule *R = Order[I];
+      for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+        if (S->RuleRef)
+          Next[Ids.at(S->RuleRef)] += Count[I];
+    }
+    Changed = Next != Count;
+    Count = std::move(Next);
+  }
+
+  std::vector<RuleStats> Stats;
+  Stats.reserve(Order.size());
+  for (size_t I = 0; I != Order.size(); ++I) {
+    RuleStats RS;
+    RS.Id = I;
+    RS.ExpandedLength = Expanded[I];
+    RS.Occurrences = Count[I];
+    const Rule *R = Order[I];
+    RS.BodyLength = 0;
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+      ++RS.BodyLength;
+    // Expand the rule's terminal prefix iteratively, up to the cap.
+    std::vector<const Symbol *> Stack;
+    Stack.push_back(R->Guard->Next);
+    while (!Stack.empty() && RS.Prefix.size() < PrefixCap) {
+      const Symbol *S = Stack.back();
+      if (S->GuardOf) {
+        Stack.pop_back();
+        continue;
+      }
+      Stack.back() = S->Next;
+      if (S->RuleRef)
+        Stack.push_back(S->RuleRef->Guard->Next);
+      else
+        RS.Prefix.push_back(S->Terminal);
+    }
+    Stats.push_back(std::move(RS));
+  }
+  return Stats;
+}
+
+bool SequiturGrammar::checkInvariants() const {
+
+  // Utility: every non-start rule has at least two uses; use lists are
+  // consistent with the counts and point back at the rule.
+  for (const Rule *R : LiveRules) {
+    size_t Uses = 0;
+    for (const Symbol *U = R->UseHead; U; U = U->UseNext) {
+      if (U->RuleRef != R)
+        return false;
+      ++Uses;
+    }
+    if (Uses != R->UseCount)
+      return false;
+    if (R != Start && R->UseCount < 2)
+      return false;
+    size_t BodyLen = 0;
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next) {
+      if (S->GuardOf)
+        return false;
+      if (S->RuleRef && !LiveRules.count(S->RuleRef))
+        return false;
+      ++BodyLen;
+    }
+    if (R != Start && BodyLen < 2)
+      return false;
+  }
+
+  // Digram uniqueness: no digram occurs at two non-overlapping positions.
+  std::unordered_map<DigramKey, std::vector<const Symbol *>, DigramKeyHash>
+      Occurrences;
+  for (const Rule *R : LiveRules)
+    for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
+      if (!S->Next->GuardOf)
+        Occurrences[keyOf(S)].push_back(S);
+  for (const auto &[Key, Positions] : Occurrences) {
+    for (size_t I = 0; I != Positions.size(); ++I)
+      for (size_t J = I + 1; J != Positions.size(); ++J) {
+        const Symbol *A = Positions[I];
+        const Symbol *B = Positions[J];
+        if (A->Next != B && B->Next != A)
+          return false;
+      }
+  }
+
+  // Index soundness: every entry points at a live symbol whose current
+  // digram matches the key.
+  for (const auto &[Key, S] : Index) {
+    if (!LiveSymbols.count(S))
+      return false;
+    if (S->GuardOf || S->Next->GuardOf)
+      return false;
+    if (!(keyOf(S) == Key))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,174 @@
+//===- sequitur/Sequitur.h - Linear-time Sequitur compression --*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Sequitur hierarchical grammar compressor of Nevill-Manning &
+/// Witten ("Identifying hierarchical structure in sequences: a
+/// linear-time algorithm", JAIR 1997), which WHOMP uses to compress each
+/// decomposed dimension stream (the paper's Section 3). The algorithm
+/// maintains two invariants while consuming the input one symbol at a
+/// time:
+///
+///   * digram uniqueness — no pair of adjacent symbols occurs more than
+///     once in the grammar; a repeated digram becomes (or reuses) a rule;
+///   * rule utility — every rule is referenced more than once; a rule
+///     that drops to a single use is inlined and deleted.
+///
+/// Example from the paper: "abcbcabcbc" compresses to
+///   S -> A A ;  A -> a B B ;  B -> b c
+///
+/// This implementation differs from the reference code in one
+/// robustness-motivated way: each rule keeps an intrusive list of its
+/// uses, and utility repair is driven from a worklist drained after each
+/// append, instead of the reference implementation's single
+/// first-body-symbol check. The produced grammars satisfy both
+/// invariants (checkInvariants() verifies them directly).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SEQUITUR_SEQUITUR_H
+#define ORP_SEQUITUR_SEQUITUR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace orp {
+namespace sequitur {
+
+/// Incremental Sequitur grammar over uint64 terminal symbols.
+class SequiturGrammar {
+public:
+  SequiturGrammar();
+  ~SequiturGrammar();
+
+  SequiturGrammar(const SequiturGrammar &) = delete;
+  SequiturGrammar &operator=(const SequiturGrammar &) = delete;
+
+  /// Appends one terminal to the input sequence.
+  void append(uint64_t Value);
+
+  /// Appends every element of \p Values in order.
+  void appendAll(const std::vector<uint64_t> &Values);
+
+  /// Returns the number of terminals appended so far.
+  uint64_t inputLength() const { return InputLen; }
+
+  /// Returns the number of live rules, including the start rule.
+  size_t numRules() const { return LiveRules.size(); }
+
+  /// Returns the total number of symbols across all rule bodies — the
+  /// standard abstract "grammar size" measure.
+  size_t totalBodySymbols() const;
+
+  /// Reconstructs the original input by expanding the start rule; the
+  /// grammar is lossless, so this equals the appended sequence.
+  std::vector<uint64_t> expandAll() const;
+
+  /// Serializes the grammar (ULEB128-based); byte counts of this
+  /// serialization are the profile sizes compared in Figure 5.
+  std::vector<uint8_t> serialize() const;
+
+  /// Returns serialize().size() without retaining the buffer.
+  size_t serializedSizeBytes() const;
+
+  /// Parses a serialize()d image back into the terminal sequence.
+  /// (Round-trip check used by tests.)
+  static std::vector<uint64_t> deserializeAndExpand(
+      const std::vector<uint8_t> &Bytes);
+
+  /// Renders the grammar as text ("R0 -> R1 R1", "R1 -> a R2 R2", ...).
+  std::string dump() const;
+
+  /// Aggregate statistics of one grammar rule, for grammar-mining
+  /// consumers (e.g. hot-data-stream extraction a la Chilimbi &
+  /// Hirzel, which the paper cites as a use of whole-stream profiles).
+  struct RuleStats {
+    uint64_t Id;             ///< Dense id (0 = start rule).
+    size_t BodyLength;       ///< Symbols in the rule body.
+    uint64_t ExpandedLength; ///< Terminals the rule expands to.
+    uint64_t Occurrences;    ///< Expansions within the whole input.
+    /// The first terminals of the expansion (at most \p PrefixCap).
+    std::vector<uint64_t> Prefix;
+  };
+
+  /// Returns statistics for every reachable rule, start rule first.
+  /// Occurrences counts how many times the rule's expansion appears in
+  /// the input via the grammar structure (the start rule occurs once).
+  std::vector<RuleStats> ruleStats(size_t PrefixCap = 16) const;
+
+  /// Verifies digram uniqueness, rule utility, use-list consistency and
+  /// index consistency. For tests; returns true when healthy.
+  bool checkInvariants() const;
+
+private:
+  struct Rule;
+  struct Symbol;
+
+  /// Hashable identity of a digram (two adjacent symbols).
+  struct DigramKey {
+    uint64_t V1;
+    uint64_t V2;
+    uint8_t Tags; ///< Bit 0: V1 is a rule id; bit 1: V2 is a rule id.
+    bool operator==(const DigramKey &O) const {
+      return V1 == O.V1 && V2 == O.V2 && Tags == O.Tags;
+    }
+  };
+  struct DigramKeyHash {
+    size_t operator()(const DigramKey &K) const;
+  };
+
+  Symbol *newTerminal(uint64_t Value);
+  Symbol *newNonTerminal(Rule *R);
+  void destroySymbol(Symbol *S);
+  Rule *newRule();
+  void destroyRule(Rule *R);
+
+  static void link(Symbol *A, Symbol *B);
+  DigramKey keyOf(const Symbol *A) const;
+  void removeDigramAt(Symbol *A);
+
+  /// Enforces digram uniqueness for the digram starting at \p A.
+  /// Returns true if a substitution consumed the digram.
+  bool checkDigram(Symbol *A);
+
+  /// Handles a repeated digram: \p A is the new occurrence, \p M the
+  /// indexed one.
+  void processMatch(Symbol *A, Symbol *M);
+
+  /// Replaces the digram starting at \p First with a use of \p R.
+  void substituteDigram(Symbol *First, Rule *R);
+
+  /// Inlines the single remaining use of \p R and deletes the rule.
+  void expandSingleUse(Rule *R);
+
+  /// Drains MaybeUnderused until the utility invariant holds.
+  void repairUtility();
+
+  bool isLive(const Symbol *S) const { return LiveSymbols.count(S) != 0; }
+  bool isLiveRule(const Rule *R) const { return LiveRules.count(R) != 0; }
+
+  /// Collects live rules reachable from the start rule, start first, in
+  /// first-visit order; assigns dense ids for serialization/dump.
+  std::vector<const Rule *> reachableRules() const;
+
+  Rule *Start;
+  uint64_t InputLen = 0;
+  uint64_t NextRuleId = 0;
+  std::unordered_map<DigramKey, Symbol *, DigramKeyHash> Index;
+  std::unordered_set<const Symbol *> LiveSymbols;
+  std::unordered_set<const Rule *> LiveRules;
+  std::vector<Rule *> MaybeUnderused;
+};
+
+} // namespace sequitur
+} // namespace orp
+
+#endif // ORP_SEQUITUR_SEQUITUR_H

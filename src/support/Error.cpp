@@ -1,0 +1,17 @@
+//===- support/Error.cpp - Fatal error and unreachable helpers -----------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void orp::reportFatalError(const char *Msg, const char *File, unsigned Line) {
+  std::fprintf(stderr, "%s:%u: fatal error: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+void orp::unreachableInternal(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  std::abort();
+}

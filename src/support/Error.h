@@ -1,0 +1,36 @@
+//===- support/Error.h - Fatal error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error helpers. Library code never throws; invariant
+/// violations abort with a diagnostic, mirroring llvm_unreachable and
+/// report_fatal_error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_ERROR_H
+#define ORP_SUPPORT_ERROR_H
+
+namespace orp {
+
+/// Prints "fatal error: <Msg>" with location info to stderr and aborts.
+/// For conditions that indicate a bug in the profiler itself, not bad user
+/// input.
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   unsigned Line);
+
+/// Marks a point in control flow that must never be reached. Aborts with a
+/// diagnostic when it is.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace orp
+
+#define ORP_FATAL_ERROR(MSG) ::orp::reportFatalError(MSG, __FILE__, __LINE__)
+#define ORP_UNREACHABLE(MSG) ::orp::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // ORP_SUPPORT_ERROR_H

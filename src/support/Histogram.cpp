@@ -1,0 +1,87 @@
+//===- support/Histogram.cpp - Fixed-width bucket histogram --------------===//
+
+#include "support/Histogram.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace orp;
+
+Histogram::Histogram(double Lo, double Hi, unsigned NumBuckets)
+    : Lo(Lo), Hi(Hi), Width((Hi - Lo) / NumBuckets), Counts(NumBuckets, 0) {
+  assert(Hi > Lo && "histogram range must be non-empty");
+  assert(NumBuckets > 0 && "histogram needs at least one bucket");
+}
+
+void Histogram::add(double Value, uint64_t Weight) {
+  Total += Weight;
+  if (Value < Lo) {
+    Under += Weight;
+    return;
+  }
+  if (Value >= Hi) {
+    Over += Weight;
+    return;
+  }
+  auto Index = static_cast<size_t>((Value - Lo) / Width);
+  // Guard against rounding at the top edge.
+  Index = std::min(Index, Counts.size() - 1);
+  Counts[Index] += Weight;
+}
+
+uint64_t Histogram::bucketCount(unsigned Index) const {
+  assert(Index < Counts.size() && "bucket index out of range");
+  return Counts[Index];
+}
+
+double Histogram::bucketLo(unsigned Index) const {
+  assert(Index < Counts.size() && "bucket index out of range");
+  return Lo + Width * Index;
+}
+
+double Histogram::bucketHi(unsigned Index) const {
+  assert(Index < Counts.size() && "bucket index out of range");
+  return Lo + Width * (Index + 1);
+}
+
+double Histogram::fractionIn(double RangeLo, double RangeHi) const {
+  if (Total == 0)
+    return 0.0;
+  uint64_t In = 0;
+  for (unsigned I = 0, E = numBuckets(); I != E; ++I) {
+    double Mid = (bucketLo(I) + bucketHi(I)) / 2.0;
+    if (Mid >= RangeLo && Mid <= RangeHi)
+      In += Counts[I];
+  }
+  return static_cast<double>(In) / static_cast<double>(Total);
+}
+
+std::string Histogram::renderAscii(unsigned BarWidth) const {
+  uint64_t Peak = std::max<uint64_t>(1, *std::max_element(Counts.begin(),
+                                                          Counts.end()));
+  std::string Out;
+  char Line[160];
+  for (unsigned I = 0, E = numBuckets(); I != E; ++I) {
+    auto Bar = static_cast<unsigned>(Counts[I] * BarWidth / Peak);
+    std::snprintf(Line, sizeof(Line), "[%8.1f, %8.1f) %10llu |", bucketLo(I),
+                  bucketHi(I),
+                  static_cast<unsigned long long>(Counts[I]));
+    Out += Line;
+    Out.append(Bar, '#');
+    Out += '\n';
+  }
+  if (Under) {
+    std::snprintf(Line, sizeof(Line), "underflow %llu\n",
+                  static_cast<unsigned long long>(Under));
+    Out += Line;
+  }
+  if (Over) {
+    std::snprintf(Line, sizeof(Line), "overflow %llu\n",
+                  static_cast<unsigned long long>(Over));
+    Out += Line;
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- support/Histogram.h - Fixed-width bucket histogram ------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width bucket histogram over a closed interval, with underflow
+/// and overflow buckets. Used by the error-distribution figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_HISTOGRAM_H
+#define ORP_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orp {
+
+/// Histogram with \p NumBuckets equal-width buckets covering [Lo, Hi), plus
+/// dedicated underflow (< Lo) and overflow (>= Hi) buckets.
+class Histogram {
+public:
+  /// Creates a histogram over [Lo, Hi) with \p NumBuckets buckets.
+  Histogram(double Lo, double Hi, unsigned NumBuckets);
+
+  /// Adds one observation of \p Value with optional integer \p Weight.
+  void add(double Value, uint64_t Weight = 1);
+
+  /// Returns the number of interior buckets.
+  unsigned numBuckets() const { return static_cast<unsigned>(Counts.size()); }
+
+  /// Returns the count in interior bucket \p Index.
+  uint64_t bucketCount(unsigned Index) const;
+
+  /// Returns the inclusive lower bound of interior bucket \p Index.
+  double bucketLo(unsigned Index) const;
+
+  /// Returns the exclusive upper bound of interior bucket \p Index.
+  double bucketHi(unsigned Index) const;
+
+  /// Returns the count of observations below the histogram range.
+  uint64_t underflow() const { return Under; }
+
+  /// Returns the count of observations at or above the histogram range.
+  uint64_t overflow() const { return Over; }
+
+  /// Returns the total number of observations, including out-of-range ones.
+  uint64_t total() const { return Total; }
+
+  /// Returns the fraction (0..1) of observations whose value lies in
+  /// [RangeLo, RangeHi]; bucket membership is judged by bucket midpoint.
+  double fractionIn(double RangeLo, double RangeHi) const;
+
+  /// Renders a fixed-width ASCII bar chart, one bucket per line.
+  std::string renderAscii(unsigned BarWidth = 50) const;
+
+private:
+  double Lo;
+  double Hi;
+  double Width;
+  std::vector<uint64_t> Counts;
+  uint64_t Under = 0;
+  uint64_t Over = 0;
+  uint64_t Total = 0;
+};
+
+} // namespace orp
+
+#endif // ORP_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,26 @@
+//===- support/Random.cpp - Deterministic pseudo-random sources ----------===//
+
+#include "support/Random.h"
+
+#include "support/Error.h"
+
+#include <cstddef>
+
+size_t orp::sampleWeighted(Rng &R, const std::vector<double> &Weights) {
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "negative weight");
+    Total += W;
+  }
+  if (Total <= 0.0)
+    ORP_FATAL_ERROR("sampleWeighted requires a positive total weight");
+  double Point = R.nextDouble() * Total;
+  double Acc = 0.0;
+  for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+    Acc += Weights[I];
+    if (Point < Acc)
+      return I;
+  }
+  // Floating-point rounding can step past the last bucket; clamp to it.
+  return Weights.size() - 1;
+}

@@ -1,0 +1,120 @@
+//===- support/Random.h - Deterministic pseudo-random sources --*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation used by the workload
+/// analogues and the property tests. std::mt19937 is avoided so that the
+/// generated traces are identical across standard-library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_RANDOM_H
+#define ORP_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace orp {
+
+/// SplitMix64 generator; used both directly and to seed Xoshiro256.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna; fast, high-quality, deterministic.
+class Rng {
+public:
+  /// Seeds the full state from \p Seed via SplitMix64.
+  explicit Rng(uint64_t Seed = 0x5eed0fc62004ULL) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Debiased multiply-shift (Lemire); the retry loop terminates quickly.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      __uint128_t M = static_cast<__uint128_t>(R) * Bound;
+      if (static_cast<uint64_t>(M) >= Threshold)
+        return static_cast<uint64_t>(M >> 64);
+    }
+  }
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    // Span == 0 means the full 64-bit range.
+    if (Span == 0)
+      return static_cast<int64_t>(next());
+    return Lo + static_cast<int64_t>(nextBelow(Span));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+  /// Returns a reference to a uniformly chosen element of \p Values.
+  template <typename T> const T &pick(const std::vector<T> &Values) {
+    assert(!Values.empty() && "cannot pick from an empty vector");
+    return Values[nextBelow(Values.size())];
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+/// Samples an index from the discrete distribution given by \p Weights.
+/// Weights need not be normalized; at least one must be positive.
+size_t sampleWeighted(Rng &R, const std::vector<double> &Weights);
+
+} // namespace orp
+
+#endif // ORP_SUPPORT_RANDOM_H

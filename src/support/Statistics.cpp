@@ -1,0 +1,72 @@
+//===- support/Statistics.cpp - Running statistics -----------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace orp;
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Lo = Hi = X;
+  } else {
+    Lo = std::min(Lo, X);
+    Hi = std::max(Hi, X);
+  }
+  ++N;
+  Total += X;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N);
+}
+
+double RunningStat::min() const {
+  assert(N > 0 && "min() of empty accumulator");
+  return Lo;
+}
+
+double RunningStat::max() const {
+  assert(N > 0 && "max() of empty accumulator");
+  return Hi;
+}
+
+double orp::quantile(std::vector<double> Values, double Q) {
+  if (Values.empty())
+    ORP_FATAL_ERROR("quantile of an empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile outside [0, 1]");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double orp::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    ORP_FATAL_ERROR("geometricMean of an empty sample");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometricMean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double orp::percentOf(double Part, double Whole) {
+  if (Whole == 0.0)
+    return 0.0;
+  return 100.0 * Part / Whole;
+}

@@ -1,0 +1,68 @@
+//===- support/Statistics.h - Running statistics ---------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small numeric helpers shared by the evaluation harnesses: running
+/// mean/min/max accumulators, percentiles, and geometric means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_STATISTICS_H
+#define ORP_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace orp {
+
+/// Single-pass accumulator for count/mean/variance/min/max (Welford).
+class RunningStat {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  /// Returns the number of observations.
+  uint64_t count() const { return N; }
+
+  /// Returns the arithmetic mean, or 0 when empty.
+  double mean() const { return N ? Mean : 0.0; }
+
+  /// Returns the population variance, or 0 for fewer than two samples.
+  double variance() const;
+
+  /// Returns the smallest observation; requires at least one sample.
+  double min() const;
+
+  /// Returns the largest observation; requires at least one sample.
+  double max() const;
+
+  /// Returns the sum of all observations.
+  double sum() const { return Total; }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Lo = 0.0;
+  double Hi = 0.0;
+  double Total = 0.0;
+};
+
+/// Returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
+/// interpolation; \p Values is copied and sorted. Requires a non-empty input.
+double quantile(std::vector<double> Values, double Q);
+
+/// Returns the geometric mean of \p Values; every element must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Returns 100.0 * Part / Whole, or 0 when Whole is zero.
+double percentOf(double Part, double Whole);
+
+} // namespace orp
+
+#endif // ORP_SUPPORT_STATISTICS_H

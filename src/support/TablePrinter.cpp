@@ -1,0 +1,67 @@
+//===- support/TablePrinter.cpp - Aligned text tables ---------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace orp;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row/header arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::FILE *Stream) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C != Cells.size(); ++C)
+      std::fprintf(Stream, "%-*s%s", static_cast<int>(Widths[C]),
+                   Cells[C].c_str(), C + 1 == Cells.size() ? "\n" : "  ");
+  };
+
+  PrintRow(Headers);
+  size_t RuleWidth = 0;
+  for (size_t W : Widths)
+    RuleWidth += W + 2;
+  std::string Rule(RuleWidth > 2 ? RuleWidth - 2 : RuleWidth, '-');
+  std::fprintf(Stream, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TablePrinter::fmt(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmt(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+std::string TablePrinter::fmtPercent(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmtRatio(double Value, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*fx", Decimals, Value);
+  return Buf;
+}

@@ -1,0 +1,56 @@
+//===- support/TablePrinter.h - Aligned text tables ------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned table output for the benchmark harnesses, so every bench
+/// prints the paper's tables/figure series in a uniform, parseable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_TABLEPRINTER_H
+#define ORP_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace orp {
+
+/// Accumulates rows of string cells and prints them right-padded under a
+/// header row, separated from it by a dashed rule.
+class TablePrinter {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats and prints the whole table to \p Stream (default stdout).
+  void print(std::FILE *Stream = stdout) const;
+
+  /// Helper: formats a double with \p Decimals fraction digits.
+  static std::string fmt(double Value, unsigned Decimals = 2);
+
+  /// Helper: formats an unsigned integer.
+  static std::string fmt(uint64_t Value);
+
+  /// Helper: formats a percentage ("12.3%").
+  static std::string fmtPercent(double Value, unsigned Decimals = 1);
+
+  /// Helper: formats a ratio with an 'x' suffix ("3539x").
+  static std::string fmtRatio(double Value, unsigned Decimals = 0);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace orp
+
+#endif // ORP_SUPPORT_TABLEPRINTER_H

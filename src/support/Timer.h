@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A steady-clock stopwatch; used to measure native vs. instrumented run
+/// time for the paper's dilation-factor column (Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_TIMER_H
+#define ORP_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace orp {
+
+/// Stopwatch that starts running at construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns the elapsed time in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns the elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace orp
+
+#endif // ORP_SUPPORT_TIMER_H

@@ -1,0 +1,81 @@
+//===- support/VarInt.cpp - LEB128-style variable-width integers ---------===//
+
+#include "support/VarInt.h"
+
+#include <cassert>
+
+using namespace orp;
+
+void orp::encodeULEB128(uint64_t Value, std::vector<uint8_t> &Out) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value != 0)
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  } while (Value != 0);
+}
+
+void orp::encodeSLEB128(int64_t Value, std::vector<uint8_t> &Out) {
+  bool More = true;
+  while (More) {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    bool SignBit = (Byte & 0x40) != 0;
+    if ((Value == 0 && !SignBit) || (Value == -1 && SignBit))
+      More = false;
+    else
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  }
+}
+
+uint64_t orp::decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos) {
+  uint64_t Result = 0;
+  unsigned Shift = 0;
+  for (;;) {
+    assert(Pos < Data.size() && "truncated ULEB128");
+    uint8_t Byte = Data[Pos++];
+    Result |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if ((Byte & 0x80) == 0)
+      return Result;
+    Shift += 7;
+    assert(Shift < 64 && "ULEB128 value too wide");
+  }
+}
+
+int64_t orp::decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos) {
+  int64_t Result = 0;
+  unsigned Shift = 0;
+  uint8_t Byte;
+  do {
+    assert(Pos < Data.size() && "truncated SLEB128");
+    Byte = Data[Pos++];
+    Result |= static_cast<int64_t>(static_cast<uint64_t>(Byte & 0x7f) << Shift);
+    Shift += 7;
+  } while (Byte & 0x80);
+  if (Shift < 64 && (Byte & 0x40))
+    Result |= -(static_cast<int64_t>(1) << Shift);
+  return Result;
+}
+
+size_t orp::sizeULEB128(uint64_t Value) {
+  size_t Size = 1;
+  while (Value >>= 7)
+    ++Size;
+  return Size;
+}
+
+size_t orp::sizeSLEB128(int64_t Value) {
+  size_t Size = 0;
+  bool More = true;
+  while (More) {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    bool SignBit = (Byte & 0x40) != 0;
+    if ((Value == 0 && !SignBit) || (Value == -1 && SignBit))
+      More = false;
+    ++Size;
+  }
+  return Size;
+}

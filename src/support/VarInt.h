@@ -1,0 +1,48 @@
+//===- support/VarInt.h - LEB128-style variable-width integers -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unsigned/signed LEB128 encoding. Profile sizes in the paper's
+/// evaluation are byte counts of serialized grammars and LMAD sets; all
+/// serialization in this repository uses this one encoding so that size
+/// comparisons between profilers are apples-to-apples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_VARINT_H
+#define ORP_SUPPORT_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace orp {
+
+/// Appends the ULEB128 encoding of \p Value to \p Out.
+void encodeULEB128(uint64_t Value, std::vector<uint8_t> &Out);
+
+/// Appends the SLEB128 encoding of \p Value to \p Out.
+void encodeSLEB128(int64_t Value, std::vector<uint8_t> &Out);
+
+/// Decodes a ULEB128 value from \p Data starting at \p Pos, advancing \p Pos.
+/// Returns 0 and leaves \p Pos unchanged on malformed input shorter than a
+/// terminator; asserts on truncated input in debug builds.
+uint64_t decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos);
+
+/// Decodes an SLEB128 value from \p Data starting at \p Pos, advancing
+/// \p Pos.
+int64_t decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos);
+
+/// Returns the number of bytes encodeULEB128(\p Value) would emit.
+size_t sizeULEB128(uint64_t Value);
+
+/// Returns the number of bytes encodeSLEB128(\p Value) would emit.
+size_t sizeSLEB128(int64_t Value);
+
+} // namespace orp
+
+#endif // ORP_SUPPORT_VARINT_H

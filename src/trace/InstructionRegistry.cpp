@@ -1,0 +1,30 @@
+//===- trace/InstructionRegistry.cpp - Static probe site tables ----------===//
+
+#include "trace/InstructionRegistry.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::trace;
+
+InstrId InstructionRegistry::addInstruction(std::string Name,
+                                            AccessKind Kind) {
+  Instrs.push_back(InstrInfo{std::move(Name), Kind});
+  return static_cast<InstrId>(Instrs.size() - 1);
+}
+
+AllocSiteId InstructionRegistry::addAllocSite(std::string Name,
+                                              std::string TypeName) {
+  Sites.push_back(AllocSiteInfo{std::move(Name), std::move(TypeName)});
+  return static_cast<AllocSiteId>(Sites.size() - 1);
+}
+
+const InstrInfo &InstructionRegistry::instruction(InstrId Id) const {
+  assert(Id < Instrs.size() && "unknown instruction id");
+  return Instrs[Id];
+}
+
+const AllocSiteInfo &InstructionRegistry::allocSite(AllocSiteId Id) const {
+  assert(Id < Sites.size() && "unknown allocation site id");
+  return Sites[Id];
+}

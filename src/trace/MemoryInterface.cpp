@@ -1,0 +1,95 @@
+//===- trace/MemoryInterface.cpp - Instrumented program runtime ----------===//
+
+#include "trace/MemoryInterface.h"
+
+#include "memsim/AddressSpace.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::trace;
+
+MemoryInterface::MemoryInterface(memsim::AllocPolicy Policy, uint64_t Seed)
+    : Heap(memsim::createAllocator(Policy, Seed)) {
+  // Probe insertion grows the text segment and shifts static data; model
+  // the shift with a seed-derived offset (paper, Section 1, artifact #3).
+  uint64_t Shift = (Seed * 0x94d049bb133111ebULL >> 48) & 0x7f8;
+  StaticCursor = memsim::AddressSpaceLayout::StaticBase + Shift;
+}
+
+MemoryInterface::~MemoryInterface() = default;
+
+void MemoryInterface::attachSink(TraceSink *Sink) {
+  assert(Sink && "null sink");
+  Sinks.push_back(Sink);
+}
+
+void MemoryInterface::record(InstrId Instr, uint64_t Addr, uint32_t Size,
+                             bool IsStore) {
+  assert(!Finished && "access after finish()");
+  if (!Sinks.empty()) {
+    AccessEvent Event{Instr, Addr, Size, IsStore, Clock};
+    for (TraceSink *Sink : Sinks)
+      Sink->onAccess(Event);
+  }
+  ++Clock;
+}
+
+uint64_t MemoryInterface::heapAlloc(AllocSiteId Site, uint64_t Size,
+                                    uint64_t Align) {
+  assert(!Finished && "allocation after finish()");
+  uint64_t Addr = Heap->allocate(Size, Align);
+  if (Addr == 0)
+    return 0;
+  if (!Sinks.empty()) {
+    AllocEvent Event{Site, Addr, Size, Clock, /*IsStatic=*/false};
+    for (TraceSink *Sink : Sinks)
+      Sink->onAlloc(Event);
+  }
+  return Addr;
+}
+
+void MemoryInterface::heapFree(uint64_t Addr) {
+  assert(!Finished && "free after finish()");
+  Heap->deallocate(Addr);
+  if (!Sinks.empty()) {
+    FreeEvent Event{Addr, Clock};
+    for (TraceSink *Sink : Sinks)
+      Sink->onFree(Event);
+  }
+}
+
+uint64_t MemoryInterface::staticAlloc(AllocSiteId Site, uint64_t Size,
+                                      uint64_t Align) {
+  assert(!Finished && "static allocation after finish()");
+  assert(Size > 0 && "zero-sized static object");
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+  StaticCursor = (StaticCursor + Align - 1) & ~(Align - 1);
+  uint64_t Addr = StaticCursor;
+  StaticCursor += Size;
+  if (StaticCursor >= memsim::AddressSpaceLayout::StaticLimit)
+    ORP_FATAL_ERROR("static segment overflow");
+  StaticObjects.push_back(Addr);
+  if (!Sinks.empty()) {
+    AllocEvent Event{Site, Addr, Size, Clock, /*IsStatic=*/true};
+    for (TraceSink *Sink : Sinks)
+      Sink->onAlloc(Event);
+  }
+  return Addr;
+}
+
+void MemoryInterface::finish() {
+  if (Finished)
+    return;
+  Finished = true;
+  if (!Sinks.empty()) {
+    for (uint64_t Addr : StaticObjects) {
+      FreeEvent Event{Addr, Clock};
+      for (TraceSink *Sink : Sinks)
+        Sink->onFree(Event);
+    }
+    for (TraceSink *Sink : Sinks)
+      Sink->onFinish();
+  }
+}

@@ -1,0 +1,100 @@
+//===- trace/MemoryInterface.h - Instrumented program runtime --*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime surface that the workload analogues are "compiled" against.
+/// Every load/store a workload performs on its simulated data goes through
+/// load()/store(), which is exactly the paper's inserted instruction probe;
+/// heapAlloc()/heapFree()/staticAlloc() are the object probes. Attached
+/// TraceSinks receive the event stream; with no sinks attached the run is
+/// the "native" run used as the dilation baseline (Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TRACE_MEMORYINTERFACE_H
+#define ORP_TRACE_MEMORYINTERFACE_H
+
+#include "memsim/Allocator.h"
+#include "trace/Events.h"
+#include "trace/InstructionRegistry.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace trace {
+
+/// Runtime for one instrumented (simulated) program execution.
+class MemoryInterface {
+public:
+  /// Creates a runtime with a heap served by \p Policy. \p Seed models the
+  /// environment-dependent layout noise of one particular run.
+  explicit MemoryInterface(
+      memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit,
+      uint64_t Seed = 0);
+
+  ~MemoryInterface();
+
+  /// Attaches \p Sink (not owned) to the probe event stream.
+  void attachSink(TraceSink *Sink);
+
+  /// Instruction probe: records a load by instruction \p Instr.
+  void load(InstrId Instr, uint64_t Addr, uint32_t Size = 8) {
+    record(Instr, Addr, Size, /*IsStore=*/false);
+  }
+
+  /// Instruction probe: records a store by instruction \p Instr.
+  void store(InstrId Instr, uint64_t Addr, uint32_t Size = 8) {
+    record(Instr, Addr, Size, /*IsStore=*/true);
+  }
+
+  /// Object probe: allocates \p Size heap bytes at allocation site
+  /// \p Site. Returns the object's address (0 on simulated OOM).
+  uint64_t heapAlloc(AllocSiteId Site, uint64_t Size, uint64_t Align = 16);
+
+  /// Object probe: frees the heap object at \p Addr.
+  void heapFree(uint64_t Addr);
+
+  /// Object probe for statics: places a global of \p Size bytes in the
+  /// static segment and reports it allocated at program start. The paper
+  /// inserts these probes "at the beginning ... of the program for all
+  /// statically allocated objects".
+  uint64_t staticAlloc(AllocSiteId Site, uint64_t Size, uint64_t Align = 8);
+
+  /// Declares the run finished: emits frees for statics (the paper's
+  /// program-end object probes) and forwards onFinish() to the sinks.
+  void finish();
+
+  /// Returns the current value of the global access counter.
+  uint64_t now() const { return Clock; }
+
+  /// Returns the number of accesses recorded so far.
+  uint64_t accessCount() const { return Clock; }
+
+  /// Returns the heap allocator (e.g. for statistics).
+  const memsim::SimAllocator &allocator() const { return *Heap; }
+
+private:
+  void record(InstrId Instr, uint64_t Addr, uint32_t Size, bool IsStore);
+
+  std::unique_ptr<memsim::SimAllocator> Heap;
+  std::vector<TraceSink *> Sinks;
+  /// Global access counter; "a counter starting from 0 at the beginning of
+  /// the program and incremented after every collected access" (Sec. 2.2).
+  uint64_t Clock = 0;
+  /// Bump cursor for the static segment.
+  uint64_t StaticCursor;
+  /// Live static objects, freed at finish().
+  std::vector<uint64_t> StaticObjects;
+  bool Finished = false;
+};
+
+} // namespace trace
+} // namespace orp
+
+#endif // ORP_TRACE_MEMORYINTERFACE_H

@@ -1,0 +1,87 @@
+//===- whomp/OmsgArchive.cpp - Detached OMSG profiles --------------------===//
+
+#include "whomp/OmsgArchive.h"
+
+#include "support/VarInt.h"
+
+#include <cassert>
+
+using namespace orp;
+using namespace orp::whomp;
+
+namespace {
+
+const core::Dimension Dims[] = {
+    core::Dimension::Instruction, core::Dimension::Group,
+    core::Dimension::Object, core::Dimension::Offset};
+
+} // namespace
+
+OmsgArchive OmsgArchive::build(const WhompProfiler &Profiler,
+                               const omc::ObjectManager *Omc) {
+  OmsgArchive Archive;
+  for (core::Dimension D : Dims) {
+    const auto &Grammar = Profiler.grammarFor(D);
+    Archive.GrammarImages.push_back(Grammar.serialize());
+    Archive.Streams.push_back(Grammar.expandAll());
+  }
+  if (Omc) {
+    for (const auto &Rec : Omc->records())
+      Archive.Aux.push_back(ObjectAux{Rec.Group, Rec.Serial, Rec.Size,
+                                      Rec.AllocTime, Rec.FreeTime});
+  }
+  return Archive;
+}
+
+std::vector<uint8_t> OmsgArchive::serialize() const {
+  std::vector<uint8_t> Out;
+  encodeULEB128(GrammarImages.size(), Out);
+  for (const auto &Image : GrammarImages) {
+    encodeULEB128(Image.size(), Out);
+    Out.insert(Out.end(), Image.begin(), Image.end());
+  }
+  encodeULEB128(Aux.size(), Out);
+  for (const ObjectAux &Row : Aux) {
+    encodeULEB128(Row.Group, Out);
+    encodeULEB128(Row.Serial, Out);
+    encodeULEB128(Row.Size, Out);
+    encodeULEB128(Row.AllocTime, Out);
+    // Live-forever is common and huge; store a presence flag instead.
+    bool Freed = Row.FreeTime != omc::ObjectManager::kLiveForever;
+    Out.push_back(Freed ? 1 : 0);
+    if (Freed)
+      encodeULEB128(Row.FreeTime, Out);
+  }
+  return Out;
+}
+
+OmsgArchive OmsgArchive::deserialize(const std::vector<uint8_t> &Bytes) {
+  OmsgArchive Archive;
+  size_t Pos = 0;
+  uint64_t NumGrammars = decodeULEB128(Bytes, Pos);
+  for (uint64_t G = 0; G != NumGrammars; ++G) {
+    uint64_t Len = decodeULEB128(Bytes, Pos);
+    assert(Pos + Len <= Bytes.size() && "truncated archive");
+    std::vector<uint8_t> Image(Bytes.begin() + Pos,
+                               Bytes.begin() + Pos + Len);
+    Pos += Len;
+    Archive.Streams.push_back(
+        sequitur::SequiturGrammar::deserializeAndExpand(Image));
+    Archive.GrammarImages.push_back(std::move(Image));
+  }
+  uint64_t NumAux = decodeULEB128(Bytes, Pos);
+  for (uint64_t I = 0; I != NumAux; ++I) {
+    ObjectAux Row;
+    Row.Group = static_cast<omc::GroupId>(decodeULEB128(Bytes, Pos));
+    Row.Serial = decodeULEB128(Bytes, Pos);
+    Row.Size = decodeULEB128(Bytes, Pos);
+    Row.AllocTime = decodeULEB128(Bytes, Pos);
+    assert(Pos < Bytes.size() && "truncated archive");
+    bool Freed = Bytes[Pos++] != 0;
+    Row.FreeTime = Freed ? decodeULEB128(Bytes, Pos)
+                         : omc::ObjectManager::kLiveForever;
+    Archive.Aux.push_back(Row);
+  }
+  assert(Pos == Bytes.size() && "trailing bytes in archive");
+  return Archive;
+}

@@ -1,0 +1,88 @@
+//===- whomp/OmsgArchive.h - Detached OMSG profiles ------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A WHOMP profile as a standalone artifact. Per Section 2.3, "the
+/// profiler can also output the object lifetime and other auxiliary
+/// information from the OMC unit. This run- and alloc-dependent
+/// information is separated from the invariant object-relative tuples"
+/// — so the archive has two parts: the invariant OMSG (four dimension
+/// grammars) and an optional auxiliary table of object lifetimes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_WHOMP_OMSGARCHIVE_H
+#define ORP_WHOMP_OMSGARCHIVE_H
+
+#include "omc/ObjectManager.h"
+#include "whomp/Whomp.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace orp {
+namespace whomp {
+
+/// One auxiliary object-lifetime row.
+struct ObjectAux {
+  omc::GroupId Group;
+  omc::ObjectSerial Serial;
+  uint64_t Size;
+  uint64_t AllocTime;
+  uint64_t FreeTime; ///< ObjectManager::kLiveForever when never freed.
+
+  bool operator==(const ObjectAux &O) const {
+    return Group == O.Group && Serial == O.Serial && Size == O.Size &&
+           AllocTime == O.AllocTime && FreeTime == O.FreeTime;
+  }
+};
+
+/// A parsed (or freshly built) OMSG archive.
+class OmsgArchive {
+public:
+  /// Builds the invariant part from \p Profiler; when \p Omc is given,
+  /// the auxiliary lifetime table is included (base addresses — the
+  /// run-dependent raw data — are deliberately NOT stored).
+  static OmsgArchive build(const WhompProfiler &Profiler,
+                           const omc::ObjectManager *Omc = nullptr);
+
+  /// Serializes the archive (ULEB128-framed grammar images + aux rows).
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses a serialize()d image.
+  static OmsgArchive deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Expanded dimension streams, in (instr, group, object, offset)
+  /// order — the lossless reconstruction of the tuple stream.
+  const std::vector<std::vector<uint64_t>> &dimensionStreams() const {
+    return Streams;
+  }
+
+  /// Auxiliary object rows (empty when built without an OMC).
+  const std::vector<ObjectAux> &objects() const { return Aux; }
+
+  /// Number of recorded accesses (length of every dimension stream).
+  uint64_t accessCount() const {
+    return Streams.empty() ? 0 : Streams.front().size();
+  }
+
+  bool operator==(const OmsgArchive &O) const {
+    return Streams == O.Streams && Aux == O.Aux;
+  }
+
+private:
+  /// Serialized grammar images, one per dimension; kept so that
+  /// serialize() is cheap and deterministic.
+  std::vector<std::vector<uint8_t>> GrammarImages;
+  std::vector<std::vector<uint64_t>> Streams;
+  std::vector<ObjectAux> Aux;
+};
+
+} // namespace whomp
+} // namespace orp
+
+#endif // ORP_WHOMP_OMSGARCHIVE_H

@@ -1,0 +1,35 @@
+//===- whomp/Whomp.cpp - Whole-stream memory profiler --------------------===//
+
+#include "whomp/Whomp.h"
+
+using namespace orp;
+using namespace orp::whomp;
+
+WhompProfiler::WhompProfiler()
+    : Decomposer(
+          {core::Dimension::Instruction, core::Dimension::Group,
+           core::Dimension::Object, core::Dimension::Offset},
+          [] { return std::make_unique<SequiturStreamCompressor>(); }) {}
+
+void WhompProfiler::consume(const core::OrTuple &Tuple) {
+  Decomposer.consume(Tuple);
+  ++Tuples;
+}
+
+void WhompProfiler::finish() { Decomposer.finish(); }
+
+const sequitur::SequiturGrammar &
+WhompProfiler::grammarFor(core::Dimension D) const {
+  return static_cast<const SequiturStreamCompressor &>(
+             Decomposer.compressorFor(D))
+      .grammar();
+}
+
+OmsgSizes WhompProfiler::sizes() const {
+  OmsgSizes S;
+  S.Instr = grammarFor(core::Dimension::Instruction).serializedSizeBytes();
+  S.Group = grammarFor(core::Dimension::Group).serializedSizeBytes();
+  S.Object = grammarFor(core::Dimension::Object).serializedSizeBytes();
+  S.Offset = grammarFor(core::Dimension::Offset).serializedSizeBytes();
+  return S;
+}

@@ -1,0 +1,86 @@
+//===- whomp/Whomp.h - Whole-stream memory profiler ------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// WHOMP, the paper's lossless whole-stream memory profiler (Section 3):
+/// the translated object-relative stream is decomposed horizontally
+/// "along all four dimensions (instruction ID, group, object and offset)"
+/// and "each of these streams is then fed into a separate Sequitur
+/// compressor". The result is the object-relative multi-dimensional
+/// Sequitur grammar (OMSG), compared against the conventional raw-address
+/// Sequitur grammar (RASG, in src/baseline) in Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_WHOMP_WHOMP_H
+#define ORP_WHOMP_WHOMP_H
+
+#include "core/Decomposition.h"
+#include "core/ObjectRelative.h"
+#include "sequitur/Sequitur.h"
+
+#include <array>
+#include <cstddef>
+#include <memory>
+
+namespace orp {
+namespace whomp {
+
+/// StreamCompressor adapter over a Sequitur grammar.
+class SequiturStreamCompressor : public core::StreamCompressor {
+public:
+  void append(uint64_t Symbol) override { Grammar.append(Symbol); }
+  size_t serializedSizeBytes() const override {
+    return Grammar.serializedSizeBytes();
+  }
+
+  /// Returns the underlying grammar.
+  const sequitur::SequiturGrammar &grammar() const { return Grammar; }
+
+private:
+  sequitur::SequiturGrammar Grammar;
+};
+
+/// Serialized per-dimension sizes of an OMSG.
+struct OmsgSizes {
+  size_t Instr = 0;
+  size_t Group = 0;
+  size_t Object = 0;
+  size_t Offset = 0;
+
+  /// Total OMSG size.
+  size_t total() const { return Instr + Group + Object + Offset; }
+};
+
+/// The WHOMP profiler: an object-relative tuple consumer producing an
+/// OMSG. Attach to a Cdc (see core::ProfilingSession).
+class WhompProfiler : public core::OrTupleConsumer {
+public:
+  WhompProfiler();
+
+  void consume(const core::OrTuple &Tuple) override;
+  void finish() override;
+
+  /// Returns the number of tuples compressed.
+  uint64_t tuplesSeen() const { return Tuples; }
+
+  /// Returns the grammar of one OMSG dimension. \p D must be one of
+  /// Instruction, Group, Object, Offset.
+  const sequitur::SequiturGrammar &grammarFor(core::Dimension D) const;
+
+  /// Returns the serialized per-dimension and total sizes.
+  OmsgSizes sizes() const;
+
+private:
+  core::HorizontalDecomposer Decomposer;
+  uint64_t Tuples = 0;
+};
+
+} // namespace whomp
+} // namespace orp
+
+#endif // ORP_WHOMP_WHOMP_H

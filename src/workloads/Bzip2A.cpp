@@ -1,0 +1,164 @@
+//===- workloads/Bzip2A.cpp - 256.bzip2 analogue -------------------------===//
+//
+// Block-sorting compressor analogue. Memory behavior class: large heap
+// block buffers written and re-read with unit stride, a tiny hot
+// counting array with intense load-modify-store traffic, a rank/pointer
+// array with scattered permutation stores, and a permuted gather pass
+// (load block[ptr[i]]), the BWT access that defeats linear prediction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+class Bzip2A final : public Workload {
+public:
+  const char *name() const override { return "256.bzip2-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    trace::InstrId StBlockFill = R.addInstruction("bzip2:fill block[i]",
+                                                  AccessKind::Store);
+    trace::InstrId LdBlockCount = R.addInstruction(
+        "bzip2:count load block[i]", AccessKind::Load);
+    trace::InstrId LdCounts = R.addInstruction("bzip2:load counts[c]",
+                                               AccessKind::Load);
+    trace::InstrId StCounts = R.addInstruction("bzip2:store counts[c]",
+                                               AccessKind::Store);
+    trace::InstrId LdPrefix = R.addInstruction("bzip2:prefix load counts[c]",
+                                               AccessKind::Load);
+    trace::InstrId StPrefix = R.addInstruction(
+        "bzip2:prefix store counts[c]", AccessKind::Store);
+    trace::InstrId LdBlockScatter = R.addInstruction(
+        "bzip2:scatter load block[i]", AccessKind::Load);
+    trace::InstrId StPtr = R.addInstruction("bzip2:store ptr[rank]",
+                                            AccessKind::Store);
+    trace::InstrId LdPtr = R.addInstruction("bzip2:load ptr[i]",
+                                            AccessKind::Load);
+    trace::InstrId LdBlockGather = R.addInstruction(
+        "bzip2:gather load block[ptr[i]]", AccessKind::Load);
+    trace::InstrId StOut = R.addInstruction("bzip2:store out[i]",
+                                            AccessKind::Store);
+    trace::InstrId LdOutCrc = R.addInstruction("bzip2:crc load out[i]",
+                                               AccessKind::Load);
+    trace::InstrId StCodeInit = R.addInstruction("bzip2:init codetab[c]",
+                                                 AccessKind::Store);
+    trace::InstrId LdCodeTab = R.addInstruction("bzip2:load codetab[c]",
+                                                AccessKind::Load);
+
+    trace::AllocSiteId BlockSite = R.addAllocSite("bzip2:block",
+                                                  "uint8_t[]");
+    trace::AllocSiteId PtrSite = R.addAllocSite("bzip2:ptr", "uint32_t[]");
+    trace::AllocSiteId OutSite = R.addAllocSite("bzip2:out", "uint8_t[]");
+    trace::AllocSiteId CountsSite = R.addAllocSite("bzip2:counts",
+                                                   "uint32_t[256]");
+    trace::AllocSiteId CodeSite = R.addAllocSite("bzip2:codetab",
+                                                 "uint16_t[256]");
+
+    const uint64_t BlockSize = 24 * 1024;
+    const unsigned Blocks = static_cast<unsigned>(3 * C.Scale);
+
+    Rng Gen(C.Seed * 0xb21b + 13);
+
+    std::vector<uint8_t> Block(BlockSize);
+    std::vector<uint32_t> Ptr(BlockSize);
+    std::vector<uint8_t> Out(BlockSize);
+    std::vector<uint32_t> Counts(256);
+
+    uint64_t CountsAddr = M.staticAlloc(CountsSite, 256 * 4, 16);
+    uint64_t CodeAddr = M.staticAlloc(CodeSite, 256 * 2, 16);
+    std::vector<uint16_t> CodeTab(256);
+    for (unsigned I = 0; I != 256; ++I) {
+      CodeTab[I] = static_cast<uint16_t>(I * 7 + 1);
+      M.store(StCodeInit, CodeAddr + I * 2, 2);
+    }
+    uint64_t Checksum = 0;
+
+    for (unsigned B = 0; B != Blocks; ++B) {
+      // Fresh buffers per block, as bzip2 allocates per work unit.
+      uint64_t BlockAddr = M.heapAlloc(BlockSite, BlockSize, 16);
+      uint64_t PtrAddr = M.heapAlloc(PtrSite, BlockSize * 4, 16);
+      uint64_t OutAddr = M.heapAlloc(OutSite, BlockSize, 16);
+
+      // Fill the block with skewed text-like bytes.
+      for (uint64_t I = 0; I != BlockSize; ++I) {
+        uint64_t Raw = Gen.nextBelow(96);
+        Block[I] = static_cast<uint8_t>(Raw < 64 ? 'a' + (Raw & 15)
+                                                 : ' ' + (Raw & 31));
+        M.store(StBlockFill, BlockAddr + I, 1);
+      }
+
+      // Counting pass over the hot 256-entry array.
+      for (auto &Cnt : Counts)
+        Cnt = 0;
+      for (uint64_t I = 0; I != BlockSize; ++I) {
+        uint8_t Ch = Block[I];
+        M.load(LdBlockCount, BlockAddr + I, 1);
+        uint32_t Old = Counts[Ch];
+        M.load(LdCounts, CountsAddr + Ch * 4, 4);
+        Counts[Ch] = Old + 1;
+        M.store(StCounts, CountsAddr + Ch * 4, 4);
+      }
+
+      // Exclusive prefix sum (strided load-modify-store over counts).
+      uint32_t Running = 0;
+      for (unsigned Ch = 0; Ch != 256; ++Ch) {
+        uint32_t Cnt = Counts[Ch];
+        M.load(LdPrefix, CountsAddr + Ch * 4, 4);
+        Counts[Ch] = Running;
+        M.store(StPrefix, CountsAddr + Ch * 4, 4);
+        Running += Cnt;
+      }
+
+      // Rank scatter: ptr[rank(ch)] = i.
+      for (uint64_t I = 0; I != BlockSize; ++I) {
+        uint8_t Ch = Block[I];
+        M.load(LdBlockScatter, BlockAddr + I, 1);
+        uint32_t Rank = Counts[Ch]++;
+        M.store(StPtr, PtrAddr + static_cast<uint64_t>(Rank) * 4, 4);
+        Ptr[Rank] = static_cast<uint32_t>(I);
+      }
+
+      // Permuted gather (the cache-hostile BWT reconstruction read).
+      for (uint64_t I = 0; I != BlockSize; ++I) {
+        uint32_t Src = Ptr[I];
+        M.load(LdPtr, PtrAddr + I * 4, 4);
+        uint8_t Ch = Block[Src];
+        M.load(LdBlockGather, BlockAddr + Src, 1);
+        Out[I] = Ch;
+        M.store(StOut, OutAddr + I, 1);
+        Checksum = Checksum * 31 + Ch;
+      }
+
+      // CRC pass over the produced block (bzip2 checksums each block),
+      // folding in the symbol's code-table entry.
+      for (uint64_t I = 0; I != BlockSize; ++I) {
+        uint8_t Ch = Out[I];
+        M.load(LdOutCrc, OutAddr + I, 1);
+        Checksum = Checksum * 131 + Ch + CodeTab[Ch];
+        M.load(LdCodeTab, CodeAddr + Ch * 2, 2);
+      }
+
+      M.heapFree(OutAddr);
+      M.heapFree(PtrAddr);
+      M.heapFree(BlockAddr);
+    }
+
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createBzip2A() {
+  return std::make_unique<Bzip2A>();
+}

@@ -1,0 +1,188 @@
+//===- workloads/CraftyA.cpp - 186.crafty analogue -----------------------===//
+//
+// Chess-engine analogue. Memory behavior class: a small, hot static
+// board array hammered by make/unmake stores and evaluation loads
+// (high-frequency read-after-write within a tiny footprint), a large
+// transposition table probed at hash-random indices with occasional
+// replacement stores, and a mid-size history table with load-modify-
+// store updates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+class CraftyA final : public Workload {
+public:
+  const char *name() const override { return "186.crafty-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    trace::InstrId StBoardInit = R.addInstruction("crafty:init board[sq]",
+                                                  AccessKind::Store);
+    trace::InstrId LdBoardFrom = R.addInstruction("crafty:load board[from]",
+                                                  AccessKind::Load);
+    trace::InstrId LdBoardTo = R.addInstruction("crafty:load board[to]",
+                                                AccessKind::Load);
+    trace::InstrId StBoardMakeTo = R.addInstruction(
+        "crafty:make board[to]", AccessKind::Store);
+    trace::InstrId StBoardMakeFrom = R.addInstruction(
+        "crafty:make board[from]", AccessKind::Store);
+    trace::InstrId StBoardUnmakeFrom = R.addInstruction(
+        "crafty:unmake board[from]", AccessKind::Store);
+    trace::InstrId StBoardUnmakeTo = R.addInstruction(
+        "crafty:unmake board[to]", AccessKind::Store);
+    trace::InstrId LdEval = R.addInstruction("crafty:eval load board[sq]",
+                                             AccessKind::Load);
+    trace::InstrId LdTt = R.addInstruction("crafty:probe tt[h]",
+                                           AccessKind::Load);
+    trace::InstrId StTt = R.addInstruction("crafty:store tt[h]",
+                                           AccessKind::Store);
+    trace::InstrId LdHist = R.addInstruction("crafty:load history[m]",
+                                             AccessKind::Load);
+    trace::InstrId StHist = R.addInstruction("crafty:store history[m]",
+                                             AccessKind::Store);
+    trace::InstrId LdHistDecay = R.addInstruction(
+        "crafty:decay load history[m]", AccessKind::Load);
+    trace::InstrId StHistDecay = R.addInstruction(
+        "crafty:decay store history[m]", AccessKind::Store);
+    trace::InstrId StZobInit = R.addInstruction("crafty:init zobrist[i]",
+                                                AccessKind::Store);
+    trace::InstrId LdZob = R.addInstruction("crafty:load zobrist[p][sq]",
+                                            AccessKind::Load);
+    trace::InstrId StPsqInit = R.addInstruction("crafty:init psq[i]",
+                                                AccessKind::Store);
+    trace::InstrId LdPsq = R.addInstruction("crafty:load psq[p][sq]",
+                                            AccessKind::Load);
+
+    trace::AllocSiteId BoardSite = R.addAllocSite("crafty:board",
+                                                  "int64_t[64]");
+    trace::AllocSiteId TtSite = R.addAllocSite("crafty:transposition",
+                                               "tt_entry[]");
+    trace::AllocSiteId HistSite = R.addAllocSite("crafty:history",
+                                                 "int32_t[]");
+    trace::AllocSiteId ZobSite = R.addAllocSite("crafty:zobrist",
+                                                "uint64_t[13*64]");
+    trace::AllocSiteId PsqSite = R.addAllocSite("crafty:piece-square",
+                                                "int32_t[13*64]");
+
+    const uint64_t TtEntries = 32768;
+    const uint64_t HistEntries = 4096;
+    const uint64_t Searches = 6000 * C.Scale;
+
+    Rng Gen(C.Seed * 0xc4af + 11);
+
+    std::vector<int64_t> Board(64);
+    std::vector<uint64_t> Tt(TtEntries, 0);
+    std::vector<int32_t> Hist(HistEntries, 0);
+
+    uint64_t BoardAddr = M.staticAlloc(BoardSite, 64 * 8, 16);
+    uint64_t TtAddr = M.staticAlloc(TtSite, TtEntries * 16, 16);
+    uint64_t HistAddr = M.staticAlloc(HistSite, HistEntries * 4, 16);
+    uint64_t ZobAddr = M.staticAlloc(ZobSite, 13 * 64 * 8, 16);
+    std::vector<uint64_t> Zob(13 * 64);
+    for (uint64_t I = 0; I != Zob.size(); ++I) {
+      Zob[I] = Gen.next();
+      M.store(StZobInit, ZobAddr + I * 8, 8);
+    }
+    uint64_t PsqAddr = M.staticAlloc(PsqSite, 13 * 64 * 4, 16);
+    std::vector<int32_t> Psq(13 * 64);
+    for (uint64_t I = 0; I != Psq.size(); ++I) {
+      Psq[I] = static_cast<int32_t>((I % 64) & 7) - 3;
+      M.store(StPsqInit, PsqAddr + I * 4, 4);
+    }
+
+    for (unsigned Sq = 0; Sq != 64; ++Sq) {
+      Board[Sq] = static_cast<int64_t>(Gen.nextBelow(13));
+      M.store(StBoardInit, BoardAddr + Sq * 8, 8);
+    }
+
+    uint64_t Checksum = 0;
+    uint64_t PosHash = C.Seed * 0x2545f4914f6cdd1dULL;
+    for (uint64_t Search = 0; Search != Searches; ++Search) {
+      // Periodic history decay (crafty halves its history counters at
+      // regular intervals): a regular load-modify-store sweep.
+      if (Search % 1024 == 0) {
+        for (uint64_t I = 0; I != HistEntries; ++I) {
+          int32_t H = Hist[I];
+          M.load(LdHistDecay, HistAddr + I * 4, 4);
+          Hist[I] = H / 2;
+          M.store(StHistDecay, HistAddr + I * 4, 4);
+        }
+      }
+      unsigned From = static_cast<unsigned>(Gen.nextBelow(64));
+      unsigned To = static_cast<unsigned>(Gen.nextBelow(64));
+      int64_t Piece = Board[From];
+      M.load(LdBoardFrom, BoardAddr + From * 8, 8);
+      int64_t Captured = Board[To];
+      M.load(LdBoardTo, BoardAddr + To * 8, 8);
+
+      // Make the move.
+      Board[To] = Piece;
+      M.store(StBoardMakeTo, BoardAddr + To * 8, 8);
+      Board[From] = 0;
+      M.store(StBoardMakeFrom, BoardAddr + From * 8, 8);
+      uint64_t ZobSlot = static_cast<uint64_t>(Piece) * 64 + To;
+      PosHash ^= Zob[ZobSlot];
+      M.load(LdZob, ZobAddr + ZobSlot * 8, 8);
+      Checksum += static_cast<uint64_t>(
+          static_cast<int64_t>(Psq[ZobSlot]) & 0xf);
+      M.load(LdPsq, PsqAddr + ZobSlot * 4, 4);
+
+      // Transposition probe.
+      uint64_t Slot = PosHash % TtEntries;
+      uint64_t Entry = Tt[Slot];
+      M.load(LdTt, TtAddr + Slot * 16, 8);
+      int64_t Score;
+      if (Entry >> 16 == PosHash >> 16) {
+        Score = static_cast<int64_t>(Entry & 0xffff) - 32768;
+        Checksum += 1; // TT hit.
+      } else {
+        // Evaluate: strided sweep of the whole board.
+        Score = 0;
+        for (unsigned Sq = 0; Sq != 64; ++Sq) {
+          Score += Board[Sq] * ((Sq & 7) - 3);
+          M.load(LdEval, BoardAddr + Sq * 8, 8);
+        }
+        Tt[Slot] = (PosHash & ~0xffffULL) |
+                   static_cast<uint64_t>((Score + 32768) & 0xffff);
+        M.store(StTt, TtAddr + Slot * 16, 8);
+      }
+
+      // History heuristic update (load-modify-store).
+      uint64_t HistIdx = (static_cast<uint64_t>(From) * 64 + To) %
+                         HistEntries;
+      int32_t H = Hist[HistIdx];
+      M.load(LdHist, HistAddr + HistIdx * 4, 4);
+      Hist[HistIdx] = H + static_cast<int32_t>(Score & 7) - 3;
+      M.store(StHist, HistAddr + HistIdx * 4, 4);
+
+      // Unmake the move (restores the position most of the time).
+      if (Score < 0 || (Search & 3) != 0) {
+        Board[From] = Piece;
+        M.store(StBoardUnmakeFrom, BoardAddr + From * 8, 8);
+        Board[To] = Captured;
+        M.store(StBoardUnmakeTo, BoardAddr + To * 8, 8);
+        PosHash = PosHash * 0x9e3779b97f4a7c15ULL + 1;
+      }
+      Checksum += static_cast<uint64_t>(Score & 0xff);
+    }
+
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createCraftyA() {
+  return std::make_unique<CraftyA>();
+}

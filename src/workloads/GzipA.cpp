@@ -1,0 +1,185 @@
+//===- workloads/GzipA.cpp - 164.gzip analogue ---------------------------===//
+//
+// LZ77-style compressor analogue. Memory behavior class: large static
+// buffers swept with unit stride (input window, output buffer), a hash
+// head table probed and updated at data-dependent indices (the classic
+// gzip chain-head structure), and short backward match scans. Dominant
+// dependences: head-table store -> head-table load, window fill ->
+// window scan, output store -> output flush load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+class GzipA final : public Workload {
+public:
+  const char *name() const override { return "164.gzip-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    // Probe sites (static loads/stores of the "compiled" program).
+    trace::InstrId StWinFill = R.addInstruction("gzip:fill window[i]",
+                                                AccessKind::Store);
+    trace::InstrId LdWinCur = R.addInstruction("gzip:load window[pos]",
+                                               AccessKind::Load);
+    trace::InstrId LdWinLook = R.addInstruction("gzip:load window[pos+k]",
+                                                AccessKind::Load);
+    trace::InstrId LdWinMatch = R.addInstruction("gzip:load window[cand+k]",
+                                                 AccessKind::Load);
+    trace::InstrId LdHead = R.addInstruction("gzip:load head[h]",
+                                             AccessKind::Load);
+    trace::InstrId StHead = R.addInstruction("gzip:store head[h]",
+                                             AccessKind::Store);
+    trace::InstrId StOut = R.addInstruction("gzip:store out[opos]",
+                                            AccessKind::Store);
+    trace::InstrId LdOut = R.addInstruction("gzip:flush load out[k]",
+                                            AccessKind::Load);
+    trace::InstrId StCrcInit = R.addInstruction("gzip:init crctab[i]",
+                                                AccessKind::Store);
+    trace::InstrId LdCrcTab = R.addInstruction("gzip:load crctab[c]",
+                                               AccessKind::Load);
+    trace::InstrId StLitInit = R.addInstruction("gzip:init litcode[c]",
+                                                AccessKind::Store);
+    trace::InstrId LdLitCode = R.addInstruction("gzip:load litcode[c]",
+                                                AccessKind::Load);
+
+    trace::AllocSiteId WindowSite = R.addAllocSite("gzip:window",
+                                                   "uint8_t[]");
+    trace::AllocSiteId HeadSite = R.addAllocSite("gzip:head", "int32_t[]");
+    trace::AllocSiteId OutSite = R.addAllocSite("gzip:out", "uint8_t[]");
+    trace::AllocSiteId CrcSite = R.addAllocSite("gzip:crctab",
+                                                "uint32_t[256]");
+    trace::AllocSiteId LitSite = R.addAllocSite("gzip:litcode",
+                                                "uint16_t[286]");
+
+    const uint64_t WindowSize = 48 * 1024 * C.Scale;
+    const uint64_t HeadEntries = 4096;
+
+    // Real data (the computation) and parallel simulated addresses (the
+    // profiled address space).
+    std::vector<uint8_t> Window(WindowSize);
+    std::vector<int32_t> Head(HeadEntries, -1);
+    std::vector<uint8_t> Out;
+    Out.reserve(WindowSize);
+
+    uint64_t WindowAddr = M.staticAlloc(WindowSite, WindowSize, 16);
+    uint64_t CrcAddr = M.staticAlloc(CrcSite, 256 * 4, 16);
+    std::vector<uint32_t> CrcTab(256);
+    for (unsigned I = 0; I != 256; ++I) {
+      uint32_t Crc = I;
+      for (int B = 0; B != 8; ++B)
+        Crc = (Crc >> 1) ^ ((Crc & 1) ? 0xedb88320u : 0);
+      CrcTab[I] = Crc;
+      M.store(StCrcInit, CrcAddr + I * 4, 4);
+    }
+    uint64_t LitAddr = M.staticAlloc(LitSite, 286 * 2, 16);
+    std::vector<uint16_t> LitCode(286);
+    for (unsigned I = 0; I != 286; ++I) {
+      LitCode[I] = static_cast<uint16_t>(I * 5 + 2);
+      M.store(StLitInit, LitAddr + I * 2, 2);
+    }
+    uint64_t HeadAddr = M.staticAlloc(HeadSite, HeadEntries * 4, 16);
+    uint64_t OutAddr = M.heapAlloc(OutSite, WindowSize + 1024, 16);
+
+    // Generate compressible pseudo-text: random phrases over a small
+    // alphabet, re-emitted with repetition.
+    Rng Gen(C.Seed * 0x9e37 + 1);
+    {
+      std::vector<std::vector<uint8_t>> Phrases;
+      for (int P = 0; P != 24; ++P) {
+        std::vector<uint8_t> Phrase(4 + Gen.nextBelow(12));
+        for (uint8_t &B : Phrase)
+          B = static_cast<uint8_t>('a' + Gen.nextBelow(16));
+        Phrases.push_back(std::move(Phrase));
+      }
+      uint64_t I = 0;
+      while (I < WindowSize) {
+        const std::vector<uint8_t> &Phrase = Gen.pick(Phrases);
+        for (uint8_t B : Phrase) {
+          if (I >= WindowSize)
+            break;
+          Window[I] = B;
+          M.store(StWinFill, WindowAddr + I, 1);
+          ++I;
+        }
+      }
+    }
+
+    // Deflate-style scan: hash the current byte context, probe and
+    // update the chain head, attempt a short match, emit output.
+    uint64_t Checksum = 0;
+    uint64_t OutPos = 0;
+    uint32_t Hash = 0;
+    for (uint64_t Pos = 0; Pos + 4 < WindowSize; ++Pos) {
+      uint8_t Cur = Window[Pos];
+      M.load(LdWinCur, WindowAddr + Pos, 1);
+      Hash = ((Hash << 5) ^ Cur) & (HeadEntries - 1);
+
+      int32_t Cand = Head[Hash];
+      M.load(LdHead, HeadAddr + Hash * 4, 4);
+      Head[Hash] = static_cast<int32_t>(Pos);
+      M.store(StHead, HeadAddr + Hash * 4, 4);
+
+      unsigned MatchLen = 0;
+      if (Cand >= 0 && static_cast<uint64_t>(Cand) < Pos) {
+        while (MatchLen < 8 && Pos + MatchLen + 4 < WindowSize) {
+          uint8_t A = Window[Cand + MatchLen];
+          M.load(LdWinMatch, WindowAddr + Cand + MatchLen, 1);
+          uint8_t B = Window[Pos + MatchLen];
+          M.load(LdWinLook, WindowAddr + Pos + MatchLen, 1);
+          if (A != B)
+            break;
+          ++MatchLen;
+        }
+      }
+
+      if (MatchLen >= 3) {
+        // Emit a (length, distance) token.
+        Out.push_back(static_cast<uint8_t>(0x80 | MatchLen));
+        M.store(StOut, OutAddr + OutPos, 1);
+        ++OutPos;
+        Out.push_back(static_cast<uint8_t>(Pos - Cand));
+        M.store(StOut, OutAddr + OutPos, 1);
+        ++OutPos;
+        Pos += MatchLen - 1; // The scan loop adds the final +1.
+        Checksum += MatchLen * 131 + static_cast<uint8_t>(Pos - Cand);
+      } else {
+        Out.push_back(Cur);
+        M.store(StOut, OutAddr + OutPos, 1);
+        ++OutPos;
+        Checksum += Cur + LitCode[Cur];
+        M.load(LdLitCode, LitAddr + static_cast<uint64_t>(Cur) * 2, 2);
+      }
+    }
+
+    // Flush: CRC the produced output (table-driven, as gzip does).
+    uint32_t Crc = ~0u;
+    for (uint64_t K = 0; K != OutPos; ++K) {
+      uint8_t Byte = Out[K];
+      M.load(LdOut, OutAddr + K, 1);
+      unsigned Slot = (Crc ^ Byte) & 0xff;
+      Crc = (Crc >> 8) ^ CrcTab[Slot];
+      M.load(LdCrcTab, CrcAddr + Slot * 4, 4);
+    }
+    Checksum += Crc;
+
+    M.heapFree(OutAddr);
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createGzipA() {
+  return std::make_unique<GzipA>();
+}

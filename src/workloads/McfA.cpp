@@ -1,0 +1,200 @@
+//===- workloads/McfA.cpp - 181.mcf analogue -----------------------------===//
+//
+// Network-simplex analogue. Memory behavior class: bulk-allocated node
+// and arc objects; sequential sweeps over the arc set (regular in both
+// raw and object-relative space) dereferencing tail/head node pointers
+// (data-dependent, the pointer-chasing that makes mcf notoriously
+// cache-hostile). Dominant dependences: node-potential stores -> node-
+// potential loads, arc-flow stores -> arc-flow loads across passes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+/// Field offsets within the simulated node and arc records.
+constexpr uint64_t NodeSize = 64;
+constexpr uint64_t NodePotentialOff = 0;
+constexpr uint64_t NodeDepthOff = 8;
+constexpr uint64_t ArcSize = 48;
+constexpr uint64_t ArcCostOff = 0;
+constexpr uint64_t ArcTailOff = 8;
+constexpr uint64_t ArcHeadOff = 16;
+constexpr uint64_t ArcFlowOff = 24;
+constexpr uint64_t ArcKeyOff = 32;
+
+class McfA final : public Workload {
+public:
+  const char *name() const override { return "181.mcf-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    trace::InstrId StNodeInitPot = R.addInstruction(
+        "mcf:init node->potential", AccessKind::Store);
+    trace::InstrId StNodeInitDepth = R.addInstruction(
+        "mcf:init node->depth", AccessKind::Store);
+    trace::InstrId StArcInitCost = R.addInstruction(
+        "mcf:init arc->cost", AccessKind::Store);
+    trace::InstrId StArcInitTail = R.addInstruction(
+        "mcf:init arc->tail", AccessKind::Store);
+    trace::InstrId StArcInitHead = R.addInstruction(
+        "mcf:init arc->head", AccessKind::Store);
+    trace::InstrId LdArcCost = R.addInstruction("mcf:load arc->cost",
+                                                AccessKind::Load);
+    trace::InstrId LdArcTail = R.addInstruction("mcf:load arc->tail",
+                                                AccessKind::Load);
+    trace::InstrId LdArcHead = R.addInstruction("mcf:load arc->head",
+                                                AccessKind::Load);
+    trace::InstrId LdTailPot = R.addInstruction(
+        "mcf:load tail->potential", AccessKind::Load);
+    trace::InstrId LdHeadPot = R.addInstruction(
+        "mcf:load head->potential", AccessKind::Load);
+    trace::InstrId StArcFlow = R.addInstruction("mcf:store arc->flow",
+                                                AccessKind::Store);
+    trace::InstrId LdArcFlow = R.addInstruction("mcf:load arc->flow",
+                                                AccessKind::Load);
+    trace::InstrId StNodePot = R.addInstruction(
+        "mcf:store head->potential", AccessKind::Store);
+    trace::InstrId LdNodeDepth = R.addInstruction("mcf:load node->depth",
+                                                  AccessKind::Load);
+    trace::InstrId StNodePot2 = R.addInstruction(
+        "mcf:refresh node->potential", AccessKind::Store);
+    trace::InstrId StNetIn = R.addInstruction("mcf:store netbuf[i]",
+                                              AccessKind::Store);
+    trace::InstrId LdNetIn = R.addInstruction("mcf:parse load netbuf[i]",
+                                              AccessKind::Load);
+    trace::InstrId LdSortCost = R.addInstruction(
+        "mcf:sort load arc->cost", AccessKind::Load);
+    trace::InstrId StArcKey = R.addInstruction("mcf:store arc->key",
+                                               AccessKind::Store);
+    trace::InstrId LdArcKey = R.addInstruction("mcf:load arc->key",
+                                               AccessKind::Load);
+
+    trace::AllocSiteId NodeSite = R.addAllocSite("mcf:new node",
+                                                 "struct node");
+    trace::AllocSiteId ArcSite = R.addAllocSite("mcf:new arc", "struct arc");
+    trace::AllocSiteId NetBufSite = R.addAllocSite("mcf:netbuf",
+                                                   "int32_t[]");
+
+    const uint64_t NumNodes = 2000 * C.Scale;
+    const uint64_t NumArcs = 4 * NumNodes;
+    const unsigned Passes = 6;
+
+    Rng Gen(C.Seed * 0x7177 + 3);
+
+    // Real program state.
+    std::vector<int64_t> Potential(NumNodes);
+    std::vector<int64_t> Depth(NumNodes);
+    std::vector<uint32_t> Tail(NumArcs), Head(NumArcs);
+    std::vector<int64_t> Cost(NumArcs), Flow(NumArcs, 0);
+
+    // "Read the network file": fill a parse buffer sequentially, then
+    // re-read it while building the graph (mcf's read_min does this).
+    uint64_t NetBufAddr = M.heapAlloc(NetBufSite, NumArcs * 4, 16);
+    std::vector<int32_t> NetBuf(NumArcs);
+    for (uint64_t I = 0; I != NumArcs; ++I) {
+      NetBuf[I] = static_cast<int32_t>(Gen.nextBelow(1 << 20));
+      M.store(StNetIn, NetBufAddr + I * 4, 4);
+    }
+
+    // Simulated objects: like the real mcf, the node and arc sets are
+    // each one big calloc block; individual records are offsets within
+    // those two objects (cf. the paper's footnote on treating allocation
+    // pools as single objects).
+    uint64_t NodeBase = M.heapAlloc(NodeSite, NumNodes * NodeSize, 16);
+    uint64_t ArcBase = M.heapAlloc(ArcSite, NumArcs * ArcSize, 16);
+    std::vector<uint64_t> NodeAddr(NumNodes), ArcAddr(NumArcs);
+    for (uint64_t N = 0; N != NumNodes; ++N) {
+      NodeAddr[N] = NodeBase + N * NodeSize;
+      Potential[N] = static_cast<int64_t>(Gen.nextBelow(1000));
+      Depth[N] = 0;
+      M.store(StNodeInitPot, NodeAddr[N] + NodePotentialOff, 8);
+      M.store(StNodeInitDepth, NodeAddr[N] + NodeDepthOff, 8);
+    }
+    for (uint64_t A = 0; A != NumArcs; ++A) {
+      ArcAddr[A] = ArcBase + A * ArcSize;
+      int32_t Parsed = NetBuf[A];
+      M.load(LdNetIn, NetBufAddr + A * 4, 4);
+      Tail[A] = static_cast<uint32_t>(
+          static_cast<uint64_t>(Parsed) % NumNodes);
+      Head[A] = static_cast<uint32_t>(Gen.nextBelow(NumNodes));
+      Cost[A] = static_cast<int64_t>(Gen.nextBelow(200)) - 100;
+      M.store(StArcInitCost, ArcAddr[A] + ArcCostOff, 8);
+      M.store(StArcInitTail, ArcAddr[A] + ArcTailOff, 8);
+      M.store(StArcInitHead, ArcAddr[A] + ArcHeadOff, 8);
+    }
+
+    // Basis-ordering pass (mcf's price-out builds sort keys the same
+    // way): straight-line sweep reading each arc's cost, writing its key.
+    std::vector<int64_t> ArcKey(NumArcs);
+    uint64_t Checksum = 0;
+    for (uint64_t A = 0; A != NumArcs; ++A) {
+      int64_t K = Cost[A];
+      M.load(LdSortCost, ArcAddr[A] + ArcCostOff, 8);
+      ArcKey[A] = K * 4 + static_cast<int64_t>(A & 3);
+      M.store(StArcKey, ArcAddr[A] + ArcKeyOff, 8);
+    }
+
+    // Simplex-flavored passes: sweep the arc set, price with the node
+    // potentials, push flow on negative reduced cost, update potentials.
+    for (unsigned Pass = 0; Pass != Passes; ++Pass) {
+      for (uint64_t A = 0; A != NumArcs; ++A) {
+        M.load(LdArcCost, ArcAddr[A] + ArcCostOff, 8);
+        uint32_t T = Tail[A];
+        M.load(LdArcTail, ArcAddr[A] + ArcTailOff, 8);
+        uint32_t H = Head[A];
+        M.load(LdArcHead, ArcAddr[A] + ArcHeadOff, 8);
+        int64_t TP = Potential[T];
+        M.load(LdTailPot, NodeAddr[T] + NodePotentialOff, 8);
+        int64_t HP = Potential[H];
+        M.load(LdHeadPot, NodeAddr[H] + NodePotentialOff, 8);
+        int64_t Reduced = Cost[A] + TP - HP;
+        if (Reduced < 0) {
+          int64_t Old = Flow[A];
+          M.load(LdArcFlow, ArcAddr[A] + ArcFlowOff, 8);
+          Flow[A] = Old + 1;
+          M.store(StArcFlow, ArcAddr[A] + ArcFlowOff, 8);
+          Potential[H] += (-Reduced) >> 3;
+          M.store(StNodePot, NodeAddr[H] + NodePotentialOff, 8);
+          Checksum += static_cast<uint64_t>(-Reduced);
+        }
+      }
+      // Potential refresh sweep over the node set.
+      for (uint64_t N = 0; N != NumNodes; ++N) {
+        int64_t D = Depth[N];
+        M.load(LdNodeDepth, NodeAddr[N] + NodeDepthOff, 8);
+        Potential[N] -= D + static_cast<int64_t>(Pass);
+        M.store(StNodePot2, NodeAddr[N] + NodePotentialOff, 8);
+      }
+    }
+
+    for (uint64_t N = 0; N != NumNodes; ++N)
+      Checksum += static_cast<uint64_t>(Potential[N]) * 7;
+
+    // Final report: consume the sort keys (straight-line sweep).
+    for (uint64_t A = 0; A != NumArcs; ++A) {
+      Checksum += static_cast<uint64_t>(ArcKey[A]) & 0xff;
+      M.load(LdArcKey, ArcAddr[A] + ArcKeyOff, 8);
+    }
+
+    M.heapFree(NetBufAddr);
+    M.heapFree(ArcBase);
+    M.heapFree(NodeBase);
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createMcfA() {
+  return std::make_unique<McfA>();
+}

@@ -1,0 +1,220 @@
+//===- workloads/ParserA.cpp - 197.parser analogue -----------------------===//
+//
+// Link-grammar parser analogue. Memory behavior class: a persistent
+// dictionary binary tree descended per word (pointer chasing with
+// read-after-write counter updates), plus heavy per-sentence allocation
+// and freeing of small parse nodes — the alloc/free churn that makes
+// raw heap addresses of parser famously unstable (freed addresses are
+// immediately reused for unrelated nodes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+constexpr uint64_t DictNodeSize = 40;
+constexpr uint64_t DictKeyOff = 0;
+constexpr uint64_t DictLeftOff = 8;
+constexpr uint64_t DictRightOff = 16;
+constexpr uint64_t DictCountOff = 24;
+
+constexpr uint64_t ParseNodeSize = 32;
+constexpr uint64_t ParseWordOff = 0;
+constexpr uint64_t ParseNextOff = 8;
+constexpr uint64_t ParseLinkOff = 16;
+
+class ParserA final : public Workload {
+public:
+  const char *name() const override { return "197.parser-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    trace::InstrId StDictInit = R.addInstruction("parser:init dict node",
+                                                 AccessKind::Store);
+    trace::InstrId LdDictKey = R.addInstruction("parser:load dict->key",
+                                                AccessKind::Load);
+    trace::InstrId LdDictLeft = R.addInstruction("parser:load dict->left",
+                                                 AccessKind::Load);
+    trace::InstrId LdDictRight = R.addInstruction("parser:load dict->right",
+                                                  AccessKind::Load);
+    trace::InstrId LdDictCount = R.addInstruction("parser:load dict->count",
+                                                  AccessKind::Load);
+    trace::InstrId StDictCount = R.addInstruction("parser:store dict->count",
+                                                  AccessKind::Store);
+    trace::InstrId StParseWord = R.addInstruction("parser:store pn->word",
+                                                  AccessKind::Store);
+    trace::InstrId StParseNext = R.addInstruction("parser:store pn->next",
+                                                  AccessKind::Store);
+    trace::InstrId LdParseNext = R.addInstruction("parser:load pn->next",
+                                                  AccessKind::Load);
+    trace::InstrId LdParseWord = R.addInstruction("parser:load pn->word",
+                                                  AccessKind::Load);
+    trace::InstrId StParseLink = R.addInstruction("parser:store pn->link",
+                                                  AccessKind::Store);
+    trace::InstrId LdParseLink = R.addInstruction("parser:load pn->link",
+                                                  AccessKind::Load);
+    trace::InstrId StMorphInit = R.addInstruction("parser:init morph[i]",
+                                                  AccessKind::Store);
+    trace::InstrId LdMorph = R.addInstruction("parser:load morph[w]",
+                                              AccessKind::Load);
+
+    trace::AllocSiteId DictSite = R.addAllocSite("parser:new dict node",
+                                                 "struct dict_node");
+    // The real 197.parser allocates parse nodes from its own xalloc
+    // arena, released wholesale after each sentence. Per the paper's
+    // Section 3.1 footnote ("we choose to treat custom alloc pools as
+    // single objects"), the pool is one object and parse nodes are
+    // offsets within it.
+    trace::AllocSiteId PoolSite = R.addAllocSite("parser:xalloc pool",
+                                                 "char[]");
+    trace::AllocSiteId MorphSite = R.addAllocSite("parser:morph table",
+                                                  "uint8_t[]");
+
+    const uint64_t DictWords = 400;
+    const uint64_t Sentences = 320 * C.Scale;
+    const uint64_t PoolBytes = 64 * ParseNodeSize;
+
+    Rng Gen(C.Seed * 0xbadd + 7);
+
+    // Dictionary: unbalanced BST over hashed word ids (index-based real
+    // data, one simulated heap object per tree node).
+    std::vector<uint64_t> Key;
+    std::vector<int32_t> Left, Right;
+    std::vector<uint64_t> Count;
+    std::vector<uint64_t> DictAddr;
+    // Phase 1: allocate and initialize one node per distinct word
+    // (straight-line body). Phase 2: link the BST (index updates only;
+    // the link fields are not touched again until lookups).
+    {
+      std::vector<uint64_t> Raw;
+      for (uint64_t I = 0; I != DictWords; ++I)
+        Raw.push_back(Gen.nextBelow(1 << 20));
+      std::sort(Raw.begin(), Raw.end());
+      Raw.erase(std::unique(Raw.begin(), Raw.end()), Raw.end());
+      Rng Shuffler(C.Seed * 0x5eed + 31);
+      Shuffler.shuffle(Raw);
+      for (uint64_t W : Raw) {
+        uint64_t Addr = M.heapAlloc(DictSite, DictNodeSize, 16);
+        M.store(StDictInit, Addr + DictKeyOff, 8);
+        Key.push_back(W);
+        Left.push_back(-1);
+        Right.push_back(-1);
+        Count.push_back(0);
+        DictAddr.push_back(Addr);
+      }
+      for (size_t N = 1; N != Key.size(); ++N) {
+        int32_t At = 0;
+        for (;;) {
+          int32_t &Next = Key[N] < Key[At] ? Left[At] : Right[At];
+          if (Next < 0) {
+            Next = static_cast<int32_t>(N);
+            break;
+          }
+          At = Next;
+        }
+      }
+    }
+
+    // Word lookup: BST descent with probes, bumping the usage counter.
+    uint64_t Checksum = 0;
+    auto Lookup = [&](uint64_t W) {
+      int32_t At = 0;
+      while (At >= 0) {
+        uint64_t K = Key[At];
+        M.load(LdDictKey, DictAddr[At] + DictKeyOff, 8);
+        if (W == K) {
+          Checksum += Count[At];
+          M.load(LdDictCount, DictAddr[At] + DictCountOff, 8);
+          ++Count[At];
+          M.store(StDictCount, DictAddr[At] + DictCountOff, 8);
+          return At;
+        }
+        if (W < K) {
+          M.load(LdDictLeft, DictAddr[At] + DictLeftOff, 8);
+          At = Left[At];
+        } else {
+          M.load(LdDictRight, DictAddr[At] + DictRightOff, 8);
+          At = Right[At];
+        }
+      }
+      return int32_t(-1);
+    };
+
+    // Sentences: carve a chain of parse nodes from the arena, run a
+    // linking pass (store link fields), a verification pass (reload
+    // them), then reset the arena — the next sentence reuses the same
+    // pool bytes, the classic churn that scrambles raw addresses.
+    uint64_t PoolAddr = M.heapAlloc(PoolSite, PoolBytes, 16);
+    // Morphology/suffix classification table, consulted once per word.
+    const uint64_t MorphEntries = 512;
+    uint64_t MorphAddr = M.staticAlloc(MorphSite, MorphEntries, 16);
+    std::vector<uint8_t> Morph(MorphEntries);
+    for (uint64_t I = 0; I != MorphEntries; ++I) {
+      Morph[I] = static_cast<uint8_t>(I * 11);
+      M.store(StMorphInit, MorphAddr + I, 1);
+    }
+    // Natural text is Zipf-distributed: a handful of words dominate, so
+    // the same dictionary descents repeat over and over.
+    auto ZipfWord = [&]() {
+      double U = Gen.nextDouble();
+      double Skew = U * U * U * U;
+      auto Rank = static_cast<size_t>(Skew * static_cast<double>(Key.size()));
+      return Key[Rank >= Key.size() ? Key.size() - 1 : Rank];
+    };
+    for (uint64_t S = 0; S != Sentences; ++S) {
+      uint64_t Len = 8 + Gen.nextBelow(24);
+      std::vector<uint64_t> Nodes(Len);
+      std::vector<uint64_t> Words(Len);
+      for (uint64_t I = 0; I != Len; ++I) {
+        Nodes[I] = PoolAddr + I * ParseNodeSize; // Arena bump pointer.
+        Words[I] = ZipfWord();
+        M.store(StParseWord, Nodes[I] + ParseWordOff, 8);
+        Checksum += Morph[Words[I] % MorphEntries];
+        M.load(LdMorph, MorphAddr + Words[I] % MorphEntries, 1);
+        if (I > 0)
+          M.store(StParseNext, Nodes[I - 1] + ParseNextOff, 8);
+        Lookup(Words[I]);
+      }
+      // Linking pass: walk the chain, check word-pair compatibility in
+      // the dictionary (link grammars consult the dictionary per bigram,
+      // which keeps parsing dictionary-dominated), link matching nodes.
+      for (uint64_t I = 0; I + 1 < Len; ++I) {
+        M.load(LdParseNext, Nodes[I] + ParseNextOff, 8);
+        M.load(LdParseWord, Nodes[I + 1] + ParseWordOff, 8);
+        uint64_t Bigram = (Words[I] * 31 + Words[I + 1]) % 64;
+        Lookup(Key[Bigram]);
+        Lookup(Key[(Bigram * 17 + Words[I]) % 64]);
+        if ((Words[I] ^ Words[I + 1]) & 1) {
+          M.store(StParseLink, Nodes[I] + ParseLinkOff, 8);
+          Checksum += Words[I] & 0xff;
+        }
+      }
+      // Verification pass: reload links in order.
+      for (uint64_t I = 0; I != Len; ++I)
+        M.load(LdParseLink, Nodes[I] + ParseLinkOff, 8);
+      // Sentence done: the arena is reset (no per-node frees; the next
+      // sentence overwrites the same bytes).
+    }
+
+    M.heapFree(PoolAddr);
+    for (uint64_t Addr : DictAddr)
+      M.heapFree(Addr);
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createParserA() {
+  return std::make_unique<ParserA>();
+}

@@ -1,0 +1,236 @@
+//===- workloads/TwolfA.cpp - 300.twolf analogue -------------------------===//
+//
+// Standard-cell place/route analogue. Memory behavior class: cells kept
+// in doubly-linked per-row lists; annealing moves unlink a cell,
+// pointer-walk the destination row to an ordered insertion point, and
+// relink — producing the dense pointer-field read-after-write traffic
+// and heap-order-dependent traversals twolf is known for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+constexpr uint64_t CellSize = 64;
+constexpr uint64_t CellXOff = 0;
+constexpr uint64_t CellWidthOff = 8;
+constexpr uint64_t CellPrevOff = 16;
+constexpr uint64_t CellNextOff = 24;
+constexpr uint64_t CellRowOff = 32;
+
+class TwolfA final : public Workload {
+public:
+  const char *name() const override { return "300.twolf-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    trace::InstrId StCellInitX = R.addInstruction("twolf:init cell->x",
+                                                  AccessKind::Store);
+    trace::InstrId StCellInitW = R.addInstruction(
+        "twolf:init cell->width", AccessKind::Store);
+    trace::InstrId LdPrev = R.addInstruction("twolf:load cell->prev",
+                                             AccessKind::Load);
+    trace::InstrId LdNext = R.addInstruction("twolf:load cell->next",
+                                             AccessKind::Load);
+    trace::InstrId StPrev = R.addInstruction("twolf:store cell->prev",
+                                             AccessKind::Store);
+    trace::InstrId StNext = R.addInstruction("twolf:store cell->next",
+                                             AccessKind::Store);
+    trace::InstrId LdRowHead = R.addInstruction("twolf:load rowhead[r]",
+                                                AccessKind::Load);
+    trace::InstrId StRowHead = R.addInstruction("twolf:store rowhead[r]",
+                                                AccessKind::Store);
+    trace::InstrId LdWalkNext = R.addInstruction("twolf:walk cell->next",
+                                                 AccessKind::Load);
+    trace::InstrId LdWalkX = R.addInstruction("twolf:walk cell->x",
+                                              AccessKind::Load);
+    trace::InstrId StCellX = R.addInstruction("twolf:store cell->x",
+                                              AccessKind::Store);
+    trace::InstrId StCellRow = R.addInstruction("twolf:store cell->row",
+                                                AccessKind::Store);
+    trace::InstrId LdCostX = R.addInstruction("twolf:cost load cell->x",
+                                              AccessKind::Load);
+    trace::InstrId LdCostW = R.addInstruction(
+        "twolf:cost load cell->width", AccessKind::Load);
+    trace::InstrId LdSnapX = R.addInstruction("twolf:snapshot load x",
+                                              AccessKind::Load);
+    trace::InstrId StSnap = R.addInstruction("twolf:store snapshot[i]",
+                                             AccessKind::Store);
+    trace::InstrId LdSnap = R.addInstruction("twolf:load snapshot[i]",
+                                             AccessKind::Load);
+    trace::InstrId StWlInit = R.addInstruction("twolf:init wltab[i]",
+                                               AccessKind::Store);
+    trace::InstrId LdWl = R.addInstruction("twolf:load wltab[x]",
+                                           AccessKind::Load);
+
+    trace::AllocSiteId CellSite = R.addAllocSite("twolf:new cell",
+                                                 "struct cell");
+    trace::AllocSiteId RowSite = R.addAllocSite("twolf:rowhead",
+                                                "int32_t[]");
+    trace::AllocSiteId SnapSite = R.addAllocSite("twolf:best placement",
+                                                 "int64_t[]");
+    trace::AllocSiteId WlSite = R.addAllocSite("twolf:wirelength table",
+                                               "int32_t[]");
+
+    const uint64_t NumRows = 16;
+    const uint64_t NumCells = 512;
+    const uint64_t Moves = 4200 * C.Scale;
+
+    Rng Gen(C.Seed * 0x2f01 + 23);
+
+    // Index-based real state; -1 is the null link.
+    std::vector<int32_t> Prev(NumCells, -1), Next(NumCells, -1);
+    std::vector<int32_t> Row(NumCells, -1);
+    std::vector<int64_t> X(NumCells), Width(NumCells);
+    std::vector<int32_t> RowHead(NumRows, -1);
+
+    uint64_t RowHeadAddr = M.staticAlloc(RowSite, NumRows * 8, 16);
+    uint64_t SnapAddr = M.staticAlloc(SnapSite, NumCells * 8, 16);
+    std::vector<int64_t> Snapshot(NumCells, 0);
+    // Wirelength penalty table (twolf precomputes such tables).
+    const uint64_t WlEntries = 1024;
+    uint64_t WlAddr = M.staticAlloc(WlSite, WlEntries * 4, 16);
+    std::vector<int32_t> Wl(WlEntries);
+    for (uint64_t I = 0; I != WlEntries; ++I) {
+      Wl[I] = static_cast<int32_t>(I * 3 + (I >> 4));
+      M.store(StWlInit, WlAddr + I * 4, 4);
+    }
+    std::vector<uint64_t> CellAddr(NumCells);
+
+    // Build rows: cells inserted in random order, kept x-sorted.
+    auto InsertSorted = [&](uint32_t Cell, uint32_t R2) {
+      int32_t Cur = RowHead[R2];
+      M.load(LdRowHead, RowHeadAddr + R2 * 8, 8);
+      int32_t Last = -1;
+      unsigned WalkCap = 64;
+      while (Cur >= 0 && WalkCap-- != 0) {
+        int64_t CurX = X[Cur];
+        M.load(LdWalkX, CellAddr[Cur] + CellXOff, 8);
+        if (CurX >= X[Cell])
+          break;
+        Last = Cur;
+        Cur = Next[Cur];
+        M.load(LdWalkNext, CellAddr[Last] + CellNextOff, 8);
+      }
+      // Link between Last and Cur.
+      Prev[Cell] = Last;
+      M.store(StPrev, CellAddr[Cell] + CellPrevOff, 8);
+      Next[Cell] = Cur;
+      M.store(StNext, CellAddr[Cell] + CellNextOff, 8);
+      if (Last >= 0) {
+        Next[Last] = static_cast<int32_t>(Cell);
+        M.store(StNext, CellAddr[Last] + CellNextOff, 8);
+      } else {
+        RowHead[R2] = static_cast<int32_t>(Cell);
+        M.store(StRowHead, RowHeadAddr + R2 * 8, 8);
+      }
+      if (Cur >= 0) {
+        Prev[Cur] = static_cast<int32_t>(Cell);
+        M.store(StPrev, CellAddr[Cur] + CellPrevOff, 8);
+      }
+      Row[Cell] = static_cast<int32_t>(R2);
+      M.store(StCellRow, CellAddr[Cell] + CellRowOff, 8);
+    };
+
+    // Phase 1: allocate and initialize every cell (straight-line body,
+    // as twolf's readcells does).
+    for (uint64_t Cell = 0; Cell != NumCells; ++Cell) {
+      CellAddr[Cell] = M.heapAlloc(CellSite, CellSize, 16);
+      X[Cell] = static_cast<int64_t>(Gen.nextBelow(4096));
+      Width[Cell] = 8 + static_cast<int64_t>(Gen.nextBelow(48));
+      M.store(StCellInitX, CellAddr[Cell] + CellXOff, 8);
+      M.store(StCellInitW, CellAddr[Cell] + CellWidthOff, 8);
+    }
+    // Phase 2: build the row lists.
+    for (uint64_t Cell = 0; Cell != NumCells; ++Cell)
+      InsertSorted(static_cast<uint32_t>(Cell),
+                   static_cast<uint32_t>(Gen.nextBelow(NumRows)));
+
+    auto Unlink = [&](uint32_t Cell) {
+      int32_t P = Prev[Cell];
+      M.load(LdPrev, CellAddr[Cell] + CellPrevOff, 8);
+      int32_t N = Next[Cell];
+      M.load(LdNext, CellAddr[Cell] + CellNextOff, 8);
+      if (P >= 0) {
+        Next[P] = N;
+        M.store(StNext, CellAddr[P] + CellNextOff, 8);
+      } else {
+        RowHead[Row[Cell]] = N;
+        M.store(StRowHead,
+                RowHeadAddr + static_cast<uint64_t>(Row[Cell]) * 8, 8);
+      }
+      if (N >= 0) {
+        Prev[N] = P;
+        M.store(StPrev, CellAddr[N] + CellPrevOff, 8);
+      }
+    };
+
+    // Annealing: move a random cell to a random row at a random x.
+    uint64_t Checksum = 0;
+    for (uint64_t Move = 0; Move != Moves; ++Move) {
+      uint32_t Cell = static_cast<uint32_t>(Gen.nextBelow(NumCells));
+      Unlink(Cell);
+      X[Cell] = static_cast<int64_t>(Gen.nextBelow(4096));
+      M.store(StCellX, CellAddr[Cell] + CellXOff, 8);
+      uint64_t WlSlot = static_cast<uint64_t>(X[Cell]) % WlEntries;
+      Checksum += static_cast<uint64_t>(Wl[WlSlot]);
+      M.load(LdWl, WlAddr + WlSlot * 4, 4);
+      InsertSorted(Cell, static_cast<uint32_t>(Gen.nextBelow(NumRows)));
+
+      // Periodic best-placement snapshot: save every cell position into
+      // the checkpoint array and re-read it as the new best cost
+      // baseline (twolf checkpoints its best placement the same way).
+      if (Move % 1024 == 0) {
+        for (uint64_t Cl = 0; Cl != NumCells; ++Cl) {
+          int64_t Px = X[Cl];
+          M.load(LdSnapX, CellAddr[Cl] + CellXOff, 8);
+          Snapshot[Cl] = Px;
+          M.store(StSnap, SnapAddr + Cl * 8, 8);
+        }
+        int64_t Best = 0;
+        for (uint64_t Cl = 0; Cl != NumCells; ++Cl) {
+          Best += Snapshot[Cl];
+          M.load(LdSnap, SnapAddr + Cl * 8, 8);
+        }
+        Checksum += static_cast<uint64_t>(Best);
+      }
+      // Periodic row-cost evaluation: walk one row summing extents.
+      if ((Move & 7) == 0) {
+        uint32_t R2 = static_cast<uint32_t>(Gen.nextBelow(NumRows));
+        int32_t Cur = RowHead[R2];
+        M.load(LdRowHead, RowHeadAddr + R2 * 8, 8);
+        unsigned WalkCap = 48;
+        int64_t Cost = 0;
+        while (Cur >= 0 && WalkCap-- != 0) {
+          Cost += X[Cur];
+          M.load(LdCostX, CellAddr[Cur] + CellXOff, 8);
+          Cost += Width[Cur];
+          M.load(LdCostW, CellAddr[Cur] + CellWidthOff, 8);
+          int32_t Following = Next[Cur];
+          M.load(LdWalkNext, CellAddr[Cur] + CellNextOff, 8);
+          Cur = Following;
+        }
+        Checksum += static_cast<uint64_t>(Cost);
+      }
+    }
+
+    for (uint64_t Cell = 0; Cell != NumCells; ++Cell)
+      M.heapFree(CellAddr[Cell]);
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createTwolfA() {
+  return std::make_unique<TwolfA>();
+}

@@ -1,0 +1,246 @@
+//===- workloads/VprA.cpp - 175.vpr analogue -----------------------------===//
+//
+// FPGA place-and-route analogue (placement phase). Memory behavior
+// class: cell objects moved by simulated annealing, a static occupancy
+// grid with scattered update stores, and net objects whose inline pin
+// arrays are walked to evaluate bounding-box cost — a mix of short
+// strided runs (pin arrays) and data-dependent cell dereferences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "support/Random.h"
+
+#include <vector>
+
+using namespace orp;
+using namespace orp::workloads;
+using trace::AccessKind;
+
+namespace {
+
+constexpr uint64_t CellSize = 48;
+constexpr uint64_t CellXOff = 0;
+constexpr uint64_t CellYOff = 8;
+constexpr uint64_t CellNetAOff = 16;
+constexpr uint64_t CellNetBOff = 24;
+constexpr uint64_t CellCostOff = 32;
+constexpr uint64_t NetHeader = 16; ///< Pin count + bbox cache.
+constexpr uint64_t PinSize = 8;
+
+class VprA final : public Workload {
+public:
+  const char *name() const override { return "175.vpr-a"; }
+
+  uint64_t run(trace::MemoryInterface &M, trace::InstructionRegistry &R,
+               const WorkloadConfig &C) override {
+    trace::InstrId StCellInitX = R.addInstruction("vpr:init cell->x",
+                                                  AccessKind::Store);
+    trace::InstrId StCellInitY = R.addInstruction("vpr:init cell->y",
+                                                  AccessKind::Store);
+    trace::InstrId StNetInit = R.addInstruction("vpr:init net pin",
+                                                AccessKind::Store);
+    trace::InstrId LdCellX = R.addInstruction("vpr:load cell->x",
+                                              AccessKind::Load);
+    trace::InstrId LdCellY = R.addInstruction("vpr:load cell->y",
+                                              AccessKind::Load);
+    trace::InstrId LdCellNet = R.addInstruction("vpr:load cell->net",
+                                                AccessKind::Load);
+    trace::InstrId LdNetPins = R.addInstruction("vpr:load net->npins",
+                                                AccessKind::Load);
+    trace::InstrId LdPin = R.addInstruction("vpr:load net->pin[k]",
+                                            AccessKind::Load);
+    trace::InstrId LdPinX = R.addInstruction("vpr:load pincell->x",
+                                             AccessKind::Load);
+    trace::InstrId LdPinY = R.addInstruction("vpr:load pincell->y",
+                                             AccessKind::Load);
+    trace::InstrId LdGrid = R.addInstruction("vpr:load grid[x][y]",
+                                             AccessKind::Load);
+    trace::InstrId StGridClear = R.addInstruction("vpr:clear grid[x][y]",
+                                                  AccessKind::Store);
+    trace::InstrId StGridSet = R.addInstruction("vpr:set grid[x][y]",
+                                                AccessKind::Store);
+    trace::InstrId StCellX = R.addInstruction("vpr:store cell->x",
+                                              AccessKind::Store);
+    trace::InstrId StCellY = R.addInstruction("vpr:store cell->y",
+                                              AccessKind::Store);
+    trace::InstrId LdSweepX = R.addInstruction("vpr:cache load cell->x",
+                                               AccessKind::Load);
+    trace::InstrId LdSweepY = R.addInstruction("vpr:cache load cell->y",
+                                               AccessKind::Load);
+    trace::InstrId StCellCost = R.addInstruction("vpr:store cell->cost",
+                                                 AccessKind::Store);
+    trace::InstrId LdCellCost = R.addInstruction("vpr:load cell->cost",
+                                                 AccessKind::Load);
+    trace::InstrId StNetBbox = R.addInstruction("vpr:store net->bbox",
+                                                AccessKind::Store);
+    trace::InstrId LdNetBbox = R.addInstruction("vpr:load net->bbox",
+                                                AccessKind::Load);
+
+    trace::AllocSiteId CellSite = R.addAllocSite("vpr:new cell",
+                                                 "struct cell");
+    trace::AllocSiteId NetSite = R.addAllocSite("vpr:new net",
+                                                "struct net");
+    trace::AllocSiteId GridSite = R.addAllocSite("vpr:grid",
+                                                 "int32_t[32][32]");
+
+    const uint64_t GridDim = 32;
+    const uint64_t NumCells = 600;
+    const uint64_t NumNets = 400;
+    const uint64_t Moves = 11000 * C.Scale;
+
+    Rng Gen(C.Seed * 0x1bd7 + 17);
+
+    // Real placement state.
+    std::vector<int64_t> X(NumCells), Y(NumCells);
+    std::vector<uint32_t> NetA(NumCells), NetB(NumCells);
+    std::vector<std::vector<uint32_t>> NetPins(NumNets);
+    std::vector<int32_t> Grid(GridDim * GridDim, -1);
+
+    uint64_t GridAddr = M.staticAlloc(GridSite, GridDim * GridDim * 8, 16);
+
+    std::vector<uint64_t> CellAddr(NumCells), NetAddr(NumNets);
+    for (uint64_t N = 0; N != NumNets; ++N) {
+      uint64_t Pins = 3 + Gen.nextBelow(6);
+      NetAddr[N] = M.heapAlloc(NetSite, NetHeader + Pins * PinSize, 16);
+      NetPins[N].resize(Pins);
+    }
+    // Initial placement: a shuffled slot list gives each cell a free
+    // slot without a rejection loop (straight-line init body).
+    std::vector<uint64_t> Slots(GridDim * GridDim);
+    for (uint64_t I = 0; I != Slots.size(); ++I)
+      Slots[I] = I;
+    Gen.shuffle(Slots);
+    // Like the real vpr, the block (cell) array is one malloc'd block.
+    uint64_t CellBase = M.heapAlloc(CellSite, NumCells * CellSize, 16);
+    for (uint64_t Cell = 0; Cell != NumCells; ++Cell) {
+      CellAddr[Cell] = CellBase + Cell * CellSize;
+      uint64_t Slot = Slots[Cell];
+      Grid[Slot] = static_cast<int32_t>(Cell);
+      X[Cell] = static_cast<int64_t>(Slot % GridDim);
+      Y[Cell] = static_cast<int64_t>(Slot / GridDim);
+      NetA[Cell] = static_cast<uint32_t>(Gen.nextBelow(NumNets));
+      NetB[Cell] = static_cast<uint32_t>(Gen.nextBelow(NumNets));
+      M.store(StCellInitX, CellAddr[Cell] + CellXOff, 8);
+      M.store(StCellInitY, CellAddr[Cell] + CellYOff, 8);
+      NetPins[NetA[Cell]][Gen.nextBelow(NetPins[NetA[Cell]].size())] =
+          static_cast<uint32_t>(Cell);
+      NetPins[NetB[Cell]][Gen.nextBelow(NetPins[NetB[Cell]].size())] =
+          static_cast<uint32_t>(Cell);
+    }
+    for (uint64_t N = 0; N != NumNets; ++N)
+      for (uint64_t K = 0; K != NetPins[N].size(); ++K)
+        M.store(StNetInit, NetAddr[N] + NetHeader + K * PinSize, 8);
+
+    // Bounding-box cost of one net, probing every pin's cell.
+    auto NetCost = [&](uint32_t Net) {
+      int64_t MinX = GridDim, MaxX = 0, MinY = GridDim, MaxY = 0;
+      M.load(LdNetPins, NetAddr[Net], 8);
+      for (uint64_t K = 0; K != NetPins[Net].size(); ++K) {
+        uint32_t Pin = NetPins[Net][K];
+        M.load(LdPin, NetAddr[Net] + NetHeader + K * PinSize, 8);
+        int64_t Px = X[Pin];
+        M.load(LdPinX, CellAddr[Pin] + CellXOff, 8);
+        int64_t Py = Y[Pin];
+        M.load(LdPinY, CellAddr[Pin] + CellYOff, 8);
+        MinX = Px < MinX ? Px : MinX;
+        MaxX = Px > MaxX ? Px : MaxX;
+        MinY = Py < MinY ? Py : MinY;
+        MaxY = Py > MaxY ? Py : MaxY;
+      }
+      return (MaxX - MinX) + (MaxY - MinY);
+    };
+
+    // Annealing moves.
+    uint64_t Checksum = 0;
+    std::vector<int64_t> Cost(NumCells, 0);
+    for (uint64_t Move = 0; Move != Moves; ++Move) {
+      // Periodic cost-cache refresh: recompute each cell's cached cost
+      // from its position (regular producer sweep), then accumulate the
+      // total placement cost (regular consumer sweep) — the cadence a
+      // real annealer uses to re-normalize its temperature schedule.
+      if (Move % 2048 == 0) {
+        // Refresh the per-net bounding-box cache: compute (variable
+        // work), then write and re-read the caches in straight-line
+        // sweeps, as vpr's recompute_bb_cost does.
+        std::vector<int64_t> Bbox(NumNets);
+        for (uint64_t N = 0; N != NumNets; ++N)
+          Bbox[N] = NetCost(static_cast<uint32_t>(N));
+        for (uint64_t N = 0; N != NumNets; ++N)
+          M.store(StNetBbox, NetAddr[N] + 8, 8);
+        int64_t BboxTotal = 0;
+        for (uint64_t N = 0; N != NumNets; ++N) {
+          BboxTotal += Bbox[N];
+          M.load(LdNetBbox, NetAddr[N] + 8, 8);
+        }
+        Checksum += static_cast<uint64_t>(BboxTotal);
+        for (uint64_t Cl = 0; Cl != NumCells; ++Cl) {
+          int64_t Px = X[Cl];
+          M.load(LdSweepX, CellAddr[Cl] + CellXOff, 8);
+          int64_t Py = Y[Cl];
+          M.load(LdSweepY, CellAddr[Cl] + CellYOff, 8);
+          Cost[Cl] = Px + Py * 2;
+          M.store(StCellCost, CellAddr[Cl] + CellCostOff, 8);
+        }
+        int64_t Total = 0;
+        for (uint64_t Cl = 0; Cl != NumCells; ++Cl) {
+          Total += Cost[Cl];
+          M.load(LdCellCost, CellAddr[Cl] + CellCostOff, 8);
+        }
+        Checksum += static_cast<uint64_t>(Total);
+      }
+      uint32_t Cell = static_cast<uint32_t>(Gen.nextBelow(NumCells));
+      int64_t OldX = X[Cell];
+      M.load(LdCellX, CellAddr[Cell] + CellXOff, 8);
+      int64_t OldY = Y[Cell];
+      M.load(LdCellY, CellAddr[Cell] + CellYOff, 8);
+      uint64_t NewSlot = Gen.nextBelow(GridDim * GridDim);
+      int32_t Occupant = Grid[NewSlot];
+      M.load(LdGrid, GridAddr + NewSlot * 8, 8);
+      if (Occupant >= 0)
+        continue; // Occupied; reject cheaply.
+
+      uint32_t NA = NetA[Cell];
+      M.load(LdCellNet, CellAddr[Cell] + CellNetAOff, 8);
+      uint32_t NB = NetB[Cell];
+      M.load(LdCellNet, CellAddr[Cell] + CellNetBOff, 8);
+      int64_t Before = NetCost(NA) + NetCost(NB);
+
+      // Tentatively move.
+      int64_t NewX = static_cast<int64_t>(NewSlot % GridDim);
+      int64_t NewY = static_cast<int64_t>(NewSlot / GridDim);
+      X[Cell] = NewX;
+      Y[Cell] = NewY;
+      int64_t After = NetCost(NA) + NetCost(NB);
+
+      bool Accept = After <= Before || Gen.nextBool(0.15);
+      if (Accept) {
+        Grid[static_cast<uint64_t>(OldY) * GridDim + OldX] = -1;
+        M.store(StGridClear,
+                GridAddr + (static_cast<uint64_t>(OldY) * GridDim + OldX) *
+                               8,
+                8);
+        Grid[NewSlot] = static_cast<int32_t>(Cell);
+        M.store(StGridSet, GridAddr + NewSlot * 8, 8);
+        M.store(StCellX, CellAddr[Cell] + CellXOff, 8);
+        M.store(StCellY, CellAddr[Cell] + CellYOff, 8);
+        Checksum += static_cast<uint64_t>(After);
+      } else {
+        X[Cell] = OldX;
+        Y[Cell] = OldY;
+      }
+    }
+
+    M.heapFree(CellBase);
+    for (uint64_t N = 0; N != NumNets; ++N)
+      M.heapFree(NetAddr[N]);
+    return Checksum;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> orp::workloads::createVprA() {
+  return std::make_unique<VprA>();
+}

@@ -1,0 +1,42 @@
+//===- workloads/Workload.cpp - Workload registry ------------------------===//
+
+#include "workloads/Workload.h"
+
+using namespace orp;
+using namespace orp::workloads;
+
+Workload::~Workload() = default;
+
+std::vector<std::unique_ptr<Workload>>
+orp::workloads::createSpecAnalogues() {
+  std::vector<std::unique_ptr<Workload>> All;
+  All.push_back(createGzipA());
+  All.push_back(createVprA());
+  All.push_back(createMcfA());
+  All.push_back(createCraftyA());
+  All.push_back(createParserA());
+  All.push_back(createBzip2A());
+  All.push_back(createTwolfA());
+  return All;
+}
+
+std::unique_ptr<Workload>
+orp::workloads::createWorkloadByName(const std::string &Name) {
+  if (Name == "164.gzip-a")
+    return createGzipA();
+  if (Name == "175.vpr-a")
+    return createVprA();
+  if (Name == "181.mcf-a")
+    return createMcfA();
+  if (Name == "186.crafty-a")
+    return createCraftyA();
+  if (Name == "197.parser-a")
+    return createParserA();
+  if (Name == "256.bzip2-a")
+    return createBzip2A();
+  if (Name == "300.twolf-a")
+    return createTwolfA();
+  if (Name == "list-traversal")
+    return createListTraversal();
+  return nullptr;
+}

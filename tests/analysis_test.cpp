@@ -1,0 +1,401 @@
+//===- tests/analysis_test.cpp - Dependence/stride analysis tests --------===//
+
+#include "analysis/Dependence.h"
+#include "analysis/Diophantine.h"
+#include "analysis/MdfError.h"
+#include "analysis/Stride.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+using namespace orp;
+using namespace orp::analysis;
+
+//===----------------------------------------------------------------------===//
+// extendedGcd
+//===----------------------------------------------------------------------===//
+
+TEST(ExtGcdTest, KnownValues) {
+  ExtGcd E = extendedGcd(12, 18);
+  EXPECT_EQ(E.G, 6);
+  EXPECT_EQ(12 * E.X + 18 * E.Y, 6);
+  E = extendedGcd(0, 0);
+  EXPECT_EQ(E.G, 0);
+  E = extendedGcd(0, 5);
+  EXPECT_EQ(E.G, 5);
+  EXPECT_EQ(0 * E.X + 5 * E.Y, 5);
+  E = extendedGcd(-4, 6);
+  EXPECT_EQ(E.G, 2);
+  EXPECT_EQ(-4 * E.X + 6 * E.Y, 2);
+}
+
+TEST(ExtGcdTest, BezoutIdentityProperty) {
+  Rng R(1);
+  for (int I = 0; I != 2000; ++I) {
+    int64_t A = R.nextInRange(-100000, 100000);
+    int64_t B = R.nextInRange(-100000, 100000);
+    ExtGcd E = extendedGcd(A, B);
+    EXPECT_EQ(A * E.X + B * E.Y, E.G);
+    EXPECT_GE(E.G, 0);
+    EXPECT_EQ(E.G, std::gcd(A < 0 ? -A : A, B < 0 ? -B : B));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// solveLinear2 / restrict2 vs brute force
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Does (K1, K2) belong to the solution set?
+bool inSolution(const Solution2D &S, int64_t K1, int64_t K2) {
+  switch (S.K) {
+  case Solution2D::Kind::Empty:
+    return false;
+  case Solution2D::Kind::Plane:
+    return true;
+  case Solution2D::Kind::Point:
+    return K1 == S.P1 && K2 == S.P2;
+  case Solution2D::Kind::Line: {
+    // Is there T with P + T*U == (K1, K2)?
+    if (S.U1 == 0 && S.U2 == 0)
+      return K1 == S.P1 && K2 == S.P2;
+    int64_t T;
+    if (S.U1 != 0) {
+      if ((K1 - S.P1) % S.U1 != 0)
+        return false;
+      T = (K1 - S.P1) / S.U1;
+    } else {
+      if ((K2 - S.P2) % S.U2 != 0)
+        return false;
+      T = (K2 - S.P2) / S.U2;
+    }
+    return S.P1 + T * S.U1 == K1 && S.P2 + T * S.U2 == K2;
+  }
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(SolveLinear2Test, MatchesBruteForceOverSmallBox) {
+  Rng R(2);
+  for (int Trial = 0; Trial != 3000; ++Trial) {
+    int64_t A = R.nextInRange(-6, 6);
+    int64_t B = R.nextInRange(-6, 6);
+    int64_t C = R.nextInRange(-30, 30);
+    Solution2D S = solveLinear2(A, B, C);
+    for (int64_t K1 = -12; K1 <= 12; ++K1)
+      for (int64_t K2 = -12; K2 <= 12; ++K2) {
+        bool Want = A * K1 + B * K2 == C;
+        bool Got = inSolution(S, K1, K2);
+        ASSERT_EQ(Got, Want)
+            << A << "*k1 + " << B << "*k2 = " << C << " at (" << K1 << ","
+            << K2 << ")";
+      }
+  }
+}
+
+TEST(Restrict2Test, SystemsMatchBruteForce) {
+  Rng R(3);
+  for (int Trial = 0; Trial != 3000; ++Trial) {
+    int64_t A1 = R.nextInRange(-5, 5), B1 = R.nextInRange(-5, 5),
+            C1 = R.nextInRange(-20, 20);
+    int64_t A2 = R.nextInRange(-5, 5), B2 = R.nextInRange(-5, 5),
+            C2 = R.nextInRange(-20, 20);
+    Solution2D S = restrict2(solveLinear2(A1, B1, C1), A2, B2, C2);
+    for (int64_t K1 = -10; K1 <= 10; ++K1)
+      for (int64_t K2 = -10; K2 <= 10; ++K2) {
+        bool Want = (A1 * K1 + B1 * K2 == C1) && (A2 * K1 + B2 * K2 == C2);
+        bool Got = inSolution(S, K1, K2);
+        ASSERT_EQ(Got, Want)
+            << "system (" << A1 << "," << B1 << "," << C1 << ")&(" << A2
+            << "," << B2 << "," << C2 << ") at (" << K1 << "," << K2
+            << ")";
+      }
+  }
+}
+
+TEST(BoundParameterTest, MatchesDirectScan) {
+  Rng R(4);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    int64_t P = R.nextInRange(-50, 50);
+    int64_t U = R.nextInRange(-6, 6);
+    int64_t Lo = R.nextInRange(-40, 10);
+    int64_t Hi = Lo + static_cast<int64_t>(R.nextBelow(60));
+    auto I = boundParameter(P, U, Lo, Hi);
+    for (int64_t T = -100; T <= 100; ++T) {
+      bool Want = P + U * T >= Lo && P + U * T <= Hi;
+      bool Got = !I ? true : (T >= I->Lo && T <= I->Hi);
+      ASSERT_EQ(Got, Want) << "P=" << P << " U=" << U << " [" << Lo << ","
+                           << Hi << "] T=" << T;
+    }
+  }
+}
+
+TEST(IntIntervalTest, SizeAndIntersect) {
+  IntInterval A{2, 5};
+  EXPECT_EQ(A.size(), 4u);
+  EXPECT_FALSE(A.empty());
+  IntInterval B{4, 9};
+  IntInterval C = A.intersect(B);
+  EXPECT_EQ(C.Lo, 4);
+  EXPECT_EQ(C.Hi, 5);
+  IntInterval E{7, 3};
+  EXPECT_TRUE(E.empty());
+  EXPECT_EQ(E.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// countConflictingLoads vs brute-force enumeration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t bruteConflicts(const lmad::Lmad &St, const lmad::Lmad &Ld) {
+  uint64_t Loads = 0;
+  for (uint64_t K2 = 0; K2 != Ld.Count; ++K2) {
+    bool Conflict = false;
+    for (uint64_t K1 = 0; K1 != St.Count && !Conflict; ++K1)
+      Conflict = St.at(K1, 0) == Ld.at(K2, 0) &&
+                 St.at(K1, 1) == Ld.at(K2, 1) &&
+                 St.at(K1, 2) < Ld.at(K2, 2);
+    Loads += Conflict;
+  }
+  return Loads;
+}
+
+lmad::Lmad makeLmad(int64_t Obj, int64_t ObjStride, int64_t Off,
+                    int64_t OffStride, int64_t Time, int64_t TimeStride,
+                    uint64_t Count) {
+  lmad::Lmad L;
+  L.Dims = 3;
+  L.Start = {Obj, Off, Time};
+  L.Stride = {ObjStride, OffStride, TimeStride};
+  L.Count = Count;
+  return L;
+}
+
+} // namespace
+
+TEST(CountConflictsTest, SameLocationStoreThenLoad) {
+  // Store writes offset 8 of object 0 at t=0; load reads it at t=10.
+  auto St = makeLmad(0, 0, 8, 0, 0, 0, 1);
+  auto Ld = makeLmad(0, 0, 8, 0, 10, 0, 1);
+  EXPECT_EQ(countConflictingLoads(St, Ld), 1u);
+  // Reversed time: no RAW.
+  EXPECT_EQ(countConflictingLoads(Ld, St), 0u);
+}
+
+TEST(CountConflictsTest, StridedProducerConsumer) {
+  // Store sweeps offsets 0,8,...,792 at t=0..99; load re-reads the same
+  // sweep later: every load conflicts.
+  auto St = makeLmad(0, 0, 0, 8, 0, 1, 100);
+  auto Ld = makeLmad(0, 0, 0, 8, 1000, 1, 100);
+  EXPECT_EQ(countConflictingLoads(St, Ld), 100u);
+}
+
+TEST(CountConflictsTest, InterleavedSameIteration) {
+  // Load at time 2k reads offset 8k; store at 2k+1 writes offset 8k:
+  // load k reads what store k-?? wrote... here store happens after the
+  // load of the same offset, so only later re-reads would conflict; with
+  // a single sweep each, no load sees an earlier store.
+  auto St = makeLmad(0, 0, 0, 8, 1, 2, 50);
+  auto Ld = makeLmad(0, 0, 0, 8, 0, 2, 50);
+  EXPECT_EQ(countConflictingLoads(St, Ld), bruteConflicts(St, Ld));
+  EXPECT_EQ(countConflictingLoads(St, Ld), 0u);
+}
+
+TEST(CountConflictsTest, DisjointObjectsNeverConflict) {
+  auto St = makeLmad(5, 0, 0, 8, 0, 1, 10);
+  auto Ld = makeLmad(6, 0, 0, 8, 100, 1, 10);
+  EXPECT_EQ(countConflictingLoads(St, Ld), 0u);
+}
+
+TEST(CountConflictsTest, ObjectStridedSweeps) {
+  // Store writes field 16 of objects 0..19; load reads field 16 of
+  // objects 10..29 afterwards: overlap is objects 10..19.
+  auto St = makeLmad(0, 1, 16, 0, 0, 1, 20);
+  auto Ld = makeLmad(10, 1, 16, 0, 100, 1, 20);
+  EXPECT_EQ(countConflictingLoads(St, Ld), 10u);
+}
+
+TEST(CountConflictsTest, MatchesBruteForceOnRandomDescriptors) {
+  Rng R(5);
+  for (int Trial = 0; Trial != 4000; ++Trial) {
+    auto Rand = [&](int64_t Lo, int64_t Hi) { return R.nextInRange(Lo, Hi); };
+    auto St = makeLmad(Rand(0, 6), Rand(-2, 2), Rand(0, 48) * 4,
+                       Rand(-3, 3) * 4, Rand(0, 60), Rand(0, 4),
+                       1 + R.nextBelow(12));
+    auto Ld = makeLmad(Rand(0, 6), Rand(-2, 2), Rand(0, 48) * 4,
+                       Rand(-3, 3) * 4, Rand(0, 60), Rand(0, 4),
+                       1 + R.nextBelow(12));
+    ASSERT_EQ(countConflictingLoads(St, Ld), bruteConflicts(St, Ld))
+        << "trial " << Trial;
+  }
+}
+
+TEST(CountConflictsTest, LongDescriptorsStayExact) {
+  // Large counts exercise the interval math (no enumeration possible).
+  auto St = makeLmad(0, 0, 0, 8, 0, 1, 1000000);
+  auto Ld = makeLmad(0, 0, 0, 8, 2000000, 1, 1000000);
+  EXPECT_EQ(countConflictingLoads(St, Ld), 1000000u);
+  // Loads interleaved halfway: the first half conflicts only partially.
+  auto Ld2 = makeLmad(0, 0, 0, 8, 500000, 1, 1000000);
+  uint64_t Got = countConflictingLoads(St, Ld2);
+  // Load k2 reads offset 8*k2 at time 500000+k2; store wrote it at time
+  // k2. Always earlier. So all conflict.
+  EXPECT_EQ(Got, 1000000u);
+}
+
+//===----------------------------------------------------------------------===//
+// compareMdf
+//===----------------------------------------------------------------------===//
+
+TEST(CompareMdfTest, BucketsErrors) {
+  MdfMap Exact, Est;
+  Exact[{0, 1}] = 0.50; // Estimated exactly.
+  Est[{0, 1}] = 0.50;
+  Exact[{0, 2}] = 0.80; // Underestimated by 30 points.
+  Est[{0, 2}] = 0.50;
+  Exact[{0, 3}] = 0.40; // Missed entirely: -40.
+  Est[{9, 9}] = 0.10;   // False positive.
+
+  MdfComparison Cmp = compareMdf(Exact, Est);
+  EXPECT_EQ(Cmp.DependentPairs, 3u);
+  EXPECT_EQ(Cmp.ExactlyCorrect, 1u);
+  EXPECT_EQ(Cmp.FalsePositivePairs, 1u);
+  EXPECT_NEAR(Cmp.fractionCorrectOrWithin10(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(CompareMdfTest, PerfectEstimatorScoresOne) {
+  MdfMap Exact;
+  Exact[{1, 2}] = 0.25;
+  Exact[{3, 4}] = 1.0;
+  MdfComparison Cmp = compareMdf(Exact, Exact);
+  EXPECT_DOUBLE_EQ(Cmp.fractionCorrectOrWithin10(), 1.0);
+  EXPECT_EQ(Cmp.ExactlyCorrect, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stride analysis on synthetic LEAP profiles
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+core::OrTuple tuple(trace::InstrId Instr, omc::GroupId Group, uint64_t Obj,
+                    uint64_t Off, uint64_t Time, bool Store = false) {
+  return core::OrTuple{Instr, Group, Obj, Off, Time, Store, 8};
+}
+
+} // namespace
+
+TEST(StrideAnalysisTest, DetectsDominantStride) {
+  leap::LeapProfiler P;
+  // Instruction 1: 97 accesses with stride 8 within object 0, then a few
+  // stray offsets.
+  uint64_t T = 0;
+  for (int I = 0; I != 97; ++I)
+    P.consume(tuple(1, 0, 0, I * 8, T++));
+  P.consume(tuple(1, 0, 0, 4096, T++));
+  P.consume(tuple(1, 0, 0, 9000, T++));
+  auto Strided = findStronglyStrided(P);
+  ASSERT_TRUE(Strided.count(1));
+  EXPECT_EQ(Strided[1].Stride, 8);
+  EXPECT_GE(Strided[1].Share, 0.70);
+}
+
+TEST(StrideAnalysisTest, IgnoresCrossObjectRuns) {
+  leap::LeapProfiler P;
+  // Instruction 2 walks across objects (object stride 1): per the paper
+  // only within-object strides count, so it must not qualify.
+  uint64_t T = 0;
+  for (int I = 0; I != 100; ++I)
+    P.consume(tuple(2, 0, I, 16, T++));
+  auto Strided = findStronglyStrided(P);
+  EXPECT_FALSE(Strided.count(2));
+}
+
+TEST(StrideAnalysisTest, MixedStridesBelowThresholdRejected) {
+  leap::LeapProfiler P;
+  uint64_t T = 0;
+  // Alternate runs of stride 8 and stride 24, roughly half and half.
+  for (int Run = 0; Run != 10; ++Run) {
+    int64_t Stride = (Run & 1) ? 8 : 24;
+    for (int I = 0; I != 10; ++I)
+      P.consume(tuple(3, 0, 0, Run * 4096 + I * Stride, T++));
+  }
+  auto Strided = findStronglyStrided(P);
+  EXPECT_FALSE(Strided.count(3));
+}
+
+TEST(StrideAnalysisTest, ThresholdParameterRespected) {
+  leap::LeapProfiler P;
+  uint64_t T = 0;
+  // 60% stride 8, 40% stride 16.
+  for (int Run = 0; Run != 10; ++Run) {
+    int64_t Stride = Run < 6 ? 8 : 16;
+    for (int I = 0; I != 11; ++I)
+      P.consume(tuple(4, 0, 0, Run * 8192 + I * Stride, T++));
+  }
+  EXPECT_FALSE(findStronglyStrided(P, 0.70).count(4));
+  EXPECT_TRUE(findStronglyStrided(P, 0.50).count(4));
+}
+
+//===----------------------------------------------------------------------===//
+// LeapDependenceAnalyzer end-to-end on synthetic tuples
+//===----------------------------------------------------------------------===//
+
+TEST(LeapDependenceTest, ProducerConsumerFullFrequency) {
+  leap::LeapProfiler P;
+  uint64_t T = 0;
+  // Store instr 1 writes offsets 0..792 of object 5; load instr 2 then
+  // reads them all back.
+  for (int I = 0; I != 100; ++I)
+    P.consume(tuple(1, 0, 5, I * 8, T++, /*Store=*/true));
+  for (int I = 0; I != 100; ++I)
+    P.consume(tuple(2, 0, 5, I * 8, T++, /*Store=*/false));
+  auto Mdf = LeapDependenceAnalyzer(P).computeMdf();
+  ASSERT_TRUE(Mdf.count({1, 2}));
+  EXPECT_DOUBLE_EQ((Mdf[{1, 2}]), 1.0);
+}
+
+TEST(LeapDependenceTest, PartialOverlapPartialFrequency) {
+  leap::LeapProfiler P;
+  uint64_t T = 0;
+  for (int I = 0; I != 50; ++I)
+    P.consume(tuple(1, 0, 0, I * 8, T++, true)); // Offsets 0..392.
+  for (int I = 0; I != 100; ++I)
+    P.consume(tuple(2, 0, 0, I * 8, T++, false)); // Offsets 0..792.
+  auto Mdf = LeapDependenceAnalyzer(P).computeMdf();
+  ASSERT_TRUE(Mdf.count({1, 2}));
+  EXPECT_NEAR((Mdf[{1, 2}]), 0.5, 1e-9);
+}
+
+TEST(LeapDependenceTest, DifferentGroupsNeverPair) {
+  leap::LeapProfiler P;
+  uint64_t T = 0;
+  for (int I = 0; I != 20; ++I)
+    P.consume(tuple(1, 0, 0, I * 8, T++, true));
+  for (int I = 0; I != 20; ++I)
+    P.consume(tuple(2, 1, 0, I * 8, T++, false));
+  EXPECT_TRUE(LeapDependenceAnalyzer(P).computeMdf().empty());
+}
+
+TEST(LeapDependenceTest, FrequencyCappedAtOne) {
+  leap::LeapProfiler P;
+  uint64_t T = 0;
+  // Two store sweeps hit the same offsets; a single load sweep follows.
+  for (int Rep = 0; Rep != 2; ++Rep)
+    for (int I = 0; I != 30; ++I)
+      P.consume(tuple(1, 0, 0, I * 8, T++, true));
+  for (int I = 0; I != 30; ++I)
+    P.consume(tuple(2, 0, 0, I * 8, T++, false));
+  auto Mdf = LeapDependenceAnalyzer(P).computeMdf();
+  ASSERT_TRUE(Mdf.count({1, 2}));
+  EXPECT_LE((Mdf[{1, 2}]), 1.0);
+  EXPECT_DOUBLE_EQ((Mdf[{1, 2}]), 1.0);
+}

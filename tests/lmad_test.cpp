@@ -1,0 +1,254 @@
+//===- tests/lmad_test.cpp - LMAD compressor unit tests ------------------===//
+
+#include "lmad/Lmad.h"
+#include "lmad/LmadCompressor.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace orp;
+using namespace orp::lmad;
+
+namespace {
+
+Point p1(int64_t V) { return Point{V, 0, 0}; }
+Point p3(int64_t A, int64_t B, int64_t C) { return Point{A, B, C}; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lmad
+//===----------------------------------------------------------------------===//
+
+TEST(LmadTest, PointGeneration) {
+  Lmad L;
+  L.Dims = 2;
+  L.Start = {10, 100, 0};
+  L.Stride = {2, -5, 0};
+  L.Count = 4;
+  EXPECT_EQ(L.at(0, 0), 10);
+  EXPECT_EQ(L.at(3, 0), 16);
+  EXPECT_EQ(L.at(3, 1), 85);
+  EXPECT_EQ(L.pointAt(2)[0], 14);
+  EXPECT_TRUE(L.extends(p3(18, 80, 0)));
+  EXPECT_FALSE(L.extends(p3(18, 81, 0)));
+}
+
+TEST(LmadTest, ContainsSolvesConsistentIndex) {
+  Lmad L;
+  L.Dims = 3;
+  L.Start = {0, 100, 7};
+  L.Stride = {1, 4, 2};
+  L.Count = 10;
+  EXPECT_TRUE(L.contains(p3(0, 100, 7)));
+  EXPECT_TRUE(L.contains(p3(9, 136, 25)));
+  EXPECT_FALSE(L.contains(p3(10, 140, 27))); // Index out of count.
+  EXPECT_FALSE(L.contains(p3(1, 100, 9)));   // Inconsistent index.
+  EXPECT_FALSE(L.contains(p3(1, 106, 9)));   // Not on stride.
+}
+
+TEST(LmadTest, ContainsWithZeroStrideDims) {
+  Lmad L;
+  L.Dims = 3;
+  L.Start = {5, 0, 0};
+  L.Stride = {0, 8, 1};
+  L.Count = 4;
+  EXPECT_TRUE(L.contains(p3(5, 16, 2)));
+  EXPECT_FALSE(L.contains(p3(6, 16, 2))); // Wrong fixed dimension.
+}
+
+//===----------------------------------------------------------------------===//
+// LmadCompressor: basic shapes
+//===----------------------------------------------------------------------===//
+
+TEST(LmadCompressorTest, PureLinearStreamIsOneDescriptor) {
+  LmadCompressor C(1);
+  for (int64_t V = 0; V < 400; V += 4)
+    C.addValue(V);
+  ASSERT_EQ(C.lmads().size(), 1u);
+  EXPECT_EQ(C.lmads()[0].Start[0], 0);
+  EXPECT_EQ(C.lmads()[0].Stride[0], 4);
+  EXPECT_EQ(C.lmads()[0].Count, 100u);
+  EXPECT_TRUE(C.fullyCaptured());
+}
+
+TEST(LmadCompressorTest, PaperExampleTwoRuns) {
+  // Section 4.1: (0, 4, 8, 12, 36, 40, 44, 48) -> [0,4,4], [36,4,4].
+  LmadCompressor C(1);
+  for (int64_t V : {0, 4, 8, 12, 36, 40, 44, 48})
+    C.addValue(V);
+  ASSERT_EQ(C.lmads().size(), 2u);
+  EXPECT_EQ(C.lmads()[0].Start[0], 0);
+  EXPECT_EQ(C.lmads()[0].Stride[0], 4);
+  EXPECT_EQ(C.lmads()[0].Count, 4u);
+  EXPECT_EQ(C.lmads()[1].Start[0], 36);
+  EXPECT_EQ(C.lmads()[1].Stride[0], 4);
+  EXPECT_EQ(C.lmads()[1].Count, 4u);
+}
+
+TEST(LmadCompressorTest, ResplitRecoversRunAfterStray) {
+  // 0, 100, 104, 108: the greedy two-point descriptor [0,+100] must be
+  // split back so the +4 run is found.
+  LmadCompressor C(1);
+  for (int64_t V : {0, 100, 104, 108})
+    C.addValue(V);
+  ASSERT_EQ(C.lmads().size(), 2u);
+  EXPECT_EQ(C.lmads()[0].Count, 1u);
+  EXPECT_EQ(C.lmads()[1].Start[0], 100);
+  EXPECT_EQ(C.lmads()[1].Stride[0], 4);
+  EXPECT_EQ(C.lmads()[1].Count, 3u);
+}
+
+TEST(LmadCompressorTest, ConstantStreamHasZeroStride) {
+  LmadCompressor C(1);
+  for (int I = 0; I != 50; ++I)
+    C.addValue(7);
+  ASSERT_EQ(C.lmads().size(), 1u);
+  EXPECT_EQ(C.lmads()[0].Stride[0], 0);
+  EXPECT_EQ(C.lmads()[0].Count, 50u);
+}
+
+TEST(LmadCompressorTest, MultiDimExtension) {
+  // (object, offset, time) advancing jointly: one descriptor.
+  LmadCompressor C(3);
+  for (int64_t K = 0; K != 20; ++K)
+    C.addPoint(p3(K, 8, 100 + 3 * K));
+  ASSERT_EQ(C.lmads().size(), 1u);
+  EXPECT_EQ(C.lmads()[0].Stride[0], 1);
+  EXPECT_EQ(C.lmads()[0].Stride[1], 0);
+  EXPECT_EQ(C.lmads()[0].Stride[2], 3);
+}
+
+TEST(LmadCompressorTest, DimensionMismatchBreaksRun) {
+  LmadCompressor C(3);
+  for (int64_t K = 0; K != 10; ++K)
+    C.addPoint(p3(K, 8, K));
+  C.addPoint(p3(10, 12, 10)); // Offset deviates.
+  EXPECT_EQ(C.lmads().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Overflow behavior
+//===----------------------------------------------------------------------===//
+
+TEST(LmadCompressorTest, CapExhaustionDropsAndSummarizes) {
+  LmadCompressor C(1, /*MaxLmads=*/4);
+  // 8 disjoint runs of 5; only the first few descriptors fit.
+  for (int Run = 0; Run != 8; ++Run)
+    for (int I = 0; I != 5; ++I)
+      C.addValue(Run * 1000 + I * 3);
+  EXPECT_EQ(C.lmads().size(), 4u);
+  EXPECT_FALSE(C.fullyCaptured());
+  EXPECT_EQ(C.totalPoints(), 40u);
+  EXPECT_GT(C.overflow().Dropped, 0u);
+  EXPECT_EQ(C.capturedPoints() + C.overflow().Dropped, 40u);
+  // Summary covers the discarded range.
+  EXPECT_GE(C.overflow().Max[0], C.overflow().Min[0]);
+}
+
+TEST(LmadCompressorTest, OverflowGranularityIsGcdOfDeltas) {
+  LmadCompressor C(1, 1);
+  C.addValue(0);
+  C.addValue(1); // Descriptor [0, +1, 2]; everything after overflows.
+  C.addValue(100);
+  C.addValue(112);
+  C.addValue(148);
+  // Discards: 100, 112, 148 -> deltas 12, 36 -> gcd 12.
+  EXPECT_EQ(C.overflow().Dropped, 3u);
+  EXPECT_EQ(C.overflow().Granularity[0], 12);
+  EXPECT_EQ(C.overflow().Min[0], 100);
+  EXPECT_EQ(C.overflow().Max[0], 148);
+}
+
+TEST(LmadCompressorTest, SampleIsInitialPrefix) {
+  // Once lossy, the captured points must be the stream's initial part,
+  // matching the paper's "sample of the initial part" semantics.
+  LmadCompressor C(1, 2);
+  std::vector<Point> Fed;
+  Rng R(9);
+  int64_t V = 0;
+  for (int I = 0; I != 200; ++I) {
+    V += 1 + static_cast<int64_t>(R.nextBelow(3)) * 7;
+    Fed.push_back(p1(V));
+    C.addPoint(p1(V));
+  }
+  auto Got = C.reconstruct();
+  ASSERT_LE(Got.size(), Fed.size());
+  for (size_t I = 0; I != Got.size(); ++I)
+    EXPECT_EQ(Got[I][0], Fed[I][0]) << "not a prefix at " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Reconstruction property
+//===----------------------------------------------------------------------===//
+
+struct PiecewiseSpec {
+  const char *Name;
+  unsigned Runs;
+  unsigned RunLen;
+  unsigned Dims;
+};
+
+class LmadReconstructTest : public ::testing::TestWithParam<PiecewiseSpec> {
+};
+
+TEST_P(LmadReconstructTest, FullyCapturedStreamsReconstructExactly) {
+  const PiecewiseSpec &Spec = GetParam();
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Rng R(Seed * 31 + Spec.Runs);
+    LmadCompressor C(Spec.Dims, /*MaxLmads=*/Spec.Runs * 2 + 4);
+    std::vector<Point> Fed;
+    for (unsigned Run = 0; Run != Spec.Runs; ++Run) {
+      Point Start = {static_cast<int64_t>(R.nextBelow(10000)),
+                     static_cast<int64_t>(R.nextBelow(10000)),
+                     static_cast<int64_t>(R.nextBelow(10000))};
+      Point Stride = {static_cast<int64_t>(R.nextBelow(17)) - 8,
+                      static_cast<int64_t>(R.nextBelow(17)) - 8,
+                      static_cast<int64_t>(R.nextBelow(9))};
+      for (unsigned I = 0; I != Spec.RunLen; ++I) {
+        Point P = {0, 0, 0};
+        for (unsigned D = 0; D != Spec.Dims; ++D)
+          P[D] = Start[D] + static_cast<int64_t>(I) * Stride[D];
+        Fed.push_back(P);
+        C.addPoint(P);
+      }
+    }
+    ASSERT_TRUE(C.fullyCaptured()) << Spec.Name << " seed " << Seed;
+    auto Got = C.reconstruct();
+    ASSERT_EQ(Got.size(), Fed.size()) << Spec.Name << " seed " << Seed;
+    for (size_t I = 0; I != Fed.size(); ++I)
+      for (unsigned D = 0; D != Spec.Dims; ++D)
+        ASSERT_EQ(Got[I][D], Fed[I][D])
+            << Spec.Name << " seed " << Seed << " at " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LmadReconstructTest,
+    ::testing::Values(PiecewiseSpec{"one_run_1d", 1, 64, 1},
+                      PiecewiseSpec{"few_runs_1d", 5, 20, 1},
+                      PiecewiseSpec{"many_runs_1d", 12, 6, 1},
+                      PiecewiseSpec{"few_runs_3d", 5, 20, 3},
+                      PiecewiseSpec{"many_runs_3d", 10, 4, 3}),
+    [](const auto &Info) { return Info.param.Name; });
+
+TEST(LmadCompressorTest, SerializedSizeGrowsWithDescriptors) {
+  LmadCompressor Small(1), Large(1);
+  for (int64_t V = 0; V != 50; ++V)
+    Small.addValue(V);
+  for (int Run = 0; Run != 10; ++Run)
+    for (int64_t V = 0; V != 5; ++V)
+      Large.addValue(Run * 7919 + V * 3);
+  EXPECT_LT(Small.serializedSizeBytes(), Large.serializedSizeBytes());
+  EXPECT_GT(Small.serializedSizeBytes(), 0u);
+}
+
+TEST(LmadCompressorTest, CompressionRatioOnLinearStream) {
+  // 100k linear points in ~ tens of bytes: 3+ orders of magnitude, the
+  // regime Table 1 reports.
+  LmadCompressor C(1);
+  for (int64_t V = 0; V != 100000; ++V)
+    C.addValue(V * 8);
+  double Ratio = (100000.0 * 12) / C.serializedSizeBytes();
+  EXPECT_GT(Ratio, 1000.0);
+}

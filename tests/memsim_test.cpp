@@ -1,0 +1,322 @@
+//===- tests/memsim_test.cpp - Memory simulator unit tests ---------------===//
+
+#include "memsim/AddressSpace.h"
+#include "memsim/Allocator.h"
+#include "memsim/FreeListAllocator.h"
+#include "memsim/SegregatedAllocator.h"
+#include "memsim/StaticLayout.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace orp;
+using namespace orp::memsim;
+
+TEST(AddressSpaceTest, Classification) {
+  EXPECT_EQ(classifyAddress(AddressSpaceLayout::StaticBase),
+            SegmentKind::Static);
+  EXPECT_EQ(classifyAddress(AddressSpaceLayout::HeapBase),
+            SegmentKind::Heap);
+  EXPECT_EQ(classifyAddress(AddressSpaceLayout::StackBase),
+            SegmentKind::Stack);
+  EXPECT_EQ(classifyAddress(0), SegmentKind::Unmapped);
+  EXPECT_EQ(classifyAddress(AddressSpaceLayout::HeapLimit),
+            SegmentKind::Unmapped);
+}
+
+TEST(AllocPolicyTest, Names) {
+  EXPECT_STREQ(allocPolicyName(AllocPolicy::FirstFit), "first-fit");
+  EXPECT_STREQ(allocPolicyName(AllocPolicy::BestFit), "best-fit");
+  EXPECT_STREQ(allocPolicyName(AllocPolicy::NextFit), "next-fit");
+  EXPECT_STREQ(allocPolicyName(AllocPolicy::Segregated), "segregated");
+}
+
+//===----------------------------------------------------------------------===//
+// Per-policy allocator behavior (parameterized)
+//===----------------------------------------------------------------------===//
+
+class AllocatorPolicyTest : public ::testing::TestWithParam<AllocPolicy> {};
+
+TEST_P(AllocatorPolicyTest, AllocationsAreInHeapAndAligned) {
+  auto A = createAllocator(GetParam(), 1);
+  for (uint64_t Align : {1ULL, 8ULL, 16ULL, 64ULL, 256ULL}) {
+    uint64_t Addr = A->allocate(40, Align);
+    ASSERT_NE(Addr, 0u);
+    EXPECT_EQ(Addr % Align, 0u);
+    EXPECT_EQ(classifyAddress(Addr), SegmentKind::Heap);
+  }
+}
+
+TEST_P(AllocatorPolicyTest, ZeroSizeBehavesAsOne) {
+  auto A = createAllocator(GetParam(), 1);
+  uint64_t Addr = A->allocate(0, 16);
+  ASSERT_NE(Addr, 0u);
+  EXPECT_EQ(A->liveBlockSize(Addr), 1u);
+}
+
+TEST_P(AllocatorPolicyTest, BadAlignmentFails) {
+  auto A = createAllocator(GetParam(), 1);
+  EXPECT_EQ(A->allocate(8, 3), 0u);
+  EXPECT_EQ(A->allocate(8, 0), 0u);
+  EXPECT_EQ(A->stats().FailedAllocs, 2u);
+}
+
+TEST_P(AllocatorPolicyTest, LiveBlockSizeTracksPayload) {
+  auto A = createAllocator(GetParam(), 1);
+  uint64_t Addr = A->allocate(123, 16);
+  EXPECT_EQ(A->liveBlockSize(Addr), 123u);
+  A->deallocate(Addr);
+  EXPECT_EQ(A->liveBlockSize(Addr), 0u);
+}
+
+TEST_P(AllocatorPolicyTest, NoOverlapAmongLiveBlocks) {
+  auto A = createAllocator(GetParam(), 7);
+  Rng R(99);
+  std::map<uint64_t, uint64_t> Live; // addr -> size
+  for (int I = 0; I != 3000; ++I) {
+    if (!Live.empty() && R.nextBool(0.45)) {
+      auto It = Live.begin();
+      std::advance(It, R.nextBelow(Live.size()));
+      A->deallocate(It->first);
+      Live.erase(It);
+      continue;
+    }
+    uint64_t Size = 1 + R.nextBelow(300);
+    uint64_t Addr = A->allocate(Size, 16);
+    ASSERT_NE(Addr, 0u);
+    // Check against neighbors in address order.
+    auto Next = Live.lower_bound(Addr);
+    if (Next != Live.end())
+      ASSERT_LE(Addr + Size, Next->first) << "overlap with next block";
+    if (Next != Live.begin()) {
+      auto Prev = std::prev(Next);
+      ASSERT_LE(Prev->first + Prev->second, Addr)
+          << "overlap with previous block";
+    }
+    Live.emplace(Addr, Size);
+  }
+  EXPECT_EQ(A->stats().LiveBytes,
+            [&] {
+              uint64_t Sum = 0;
+              for (auto &[Addr, Size] : Live)
+                Sum += Size;
+              return Sum;
+            }());
+}
+
+TEST_P(AllocatorPolicyTest, StatsAccumulate) {
+  auto A = createAllocator(GetParam(), 1);
+  uint64_t X = A->allocate(100, 16);
+  uint64_t Y = A->allocate(200, 16);
+  EXPECT_EQ(A->stats().AllocCalls, 2u);
+  EXPECT_EQ(A->stats().BytesRequested, 300u);
+  EXPECT_EQ(A->stats().LiveBytes, 300u);
+  EXPECT_EQ(A->stats().PeakLiveBytes, 300u);
+  A->deallocate(X);
+  A->deallocate(Y);
+  EXPECT_EQ(A->stats().FreeCalls, 2u);
+  EXPECT_EQ(A->stats().LiveBytes, 0u);
+  EXPECT_EQ(A->stats().PeakLiveBytes, 300u);
+}
+
+TEST_P(AllocatorPolicyTest, SeedChangesLayout) {
+  auto A = createAllocator(GetParam(), 1);
+  auto B = createAllocator(GetParam(), 999);
+  EXPECT_NE(A->allocate(64, 16), B->allocate(64, 16));
+}
+
+TEST_P(AllocatorPolicyTest, AddressReuseAfterFree) {
+  // The paper's central artifact: freed memory is reused for unrelated
+  // later allocations.
+  auto A = createAllocator(GetParam(), 3);
+  std::vector<uint64_t> First;
+  for (int I = 0; I != 50; ++I)
+    First.push_back(A->allocate(48, 16));
+  for (uint64_t Addr : First)
+    A->deallocate(Addr);
+  int Reused = 0;
+  for (int I = 0; I != 50; ++I) {
+    uint64_t Addr = A->allocate(48, 16);
+    for (uint64_t Old : First)
+      if (Addr == Old) {
+        ++Reused;
+        break;
+      }
+  }
+  EXPECT_GT(Reused, 25) << "allocator should reuse freed addresses";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AllocatorPolicyTest,
+                         ::testing::Values(AllocPolicy::FirstFit,
+                                           AllocPolicy::BestFit,
+                                           AllocPolicy::NextFit,
+                                           AllocPolicy::Segregated),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case AllocPolicy::FirstFit:
+                             return "FirstFit";
+                           case AllocPolicy::BestFit:
+                             return "BestFit";
+                           case AllocPolicy::NextFit:
+                             return "NextFit";
+                           case AllocPolicy::Segregated:
+                             return "Segregated";
+                           }
+                           return "Unknown";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Free-list specifics
+//===----------------------------------------------------------------------===//
+
+TEST(FreeListAllocatorTest, InvariantsHoldUnderChurn) {
+  for (AllocPolicy P : {AllocPolicy::FirstFit, AllocPolicy::BestFit,
+                        AllocPolicy::NextFit}) {
+    FreeListAllocator A(P, 5);
+    Rng R(123);
+    std::vector<uint64_t> Live;
+    for (int I = 0; I != 2000; ++I) {
+      if (!Live.empty() && R.nextBool(0.5)) {
+        size_t Victim = R.nextBelow(Live.size());
+        A.deallocate(Live[Victim]);
+        Live[Victim] = Live.back();
+        Live.pop_back();
+      } else {
+        Live.push_back(A.allocate(1 + R.nextBelow(500), 16));
+      }
+      if (I % 100 == 0)
+        ASSERT_TRUE(A.checkInvariants()) << "policy " << int(P)
+                                         << " iter " << I;
+    }
+    EXPECT_TRUE(A.checkInvariants());
+    EXPECT_EQ(A.liveBlockCount(), Live.size());
+  }
+}
+
+TEST(FreeListAllocatorTest, CoalescingBoundsFreeListGrowth) {
+  FreeListAllocator A(AllocPolicy::FirstFit, 1);
+  std::vector<uint64_t> Addrs;
+  for (int I = 0; I != 100; ++I)
+    Addrs.push_back(A.allocate(64, 16));
+  // Free everything; neighbors must coalesce into approximately one run.
+  for (uint64_t Addr : Addrs)
+    A.deallocate(Addr);
+  EXPECT_LE(A.freeBlockCount(), 2u);
+}
+
+TEST(FreeListAllocatorTest, FirstFitPrefersLowestAddress) {
+  FreeListAllocator A(AllocPolicy::FirstFit, 1);
+  uint64_t X = A.allocate(64, 16);
+  uint64_t Y = A.allocate(64, 16);
+  uint64_t Z = A.allocate(64, 16);
+  (void)Y;
+  A.deallocate(X);
+  A.deallocate(Z);
+  uint64_t W = A.allocate(32, 16);
+  EXPECT_EQ(W, X) << "first fit must reuse the lowest freed block";
+}
+
+TEST(FreeListAllocatorTest, BestFitPrefersTightestBlock) {
+  FreeListAllocator A(AllocPolicy::BestFit, 1);
+  uint64_t Big = A.allocate(512, 16);
+  uint64_t Sep1 = A.allocate(64, 16);
+  uint64_t Small = A.allocate(96, 16);
+  uint64_t Sep2 = A.allocate(64, 16);
+  (void)Sep1;
+  (void)Sep2;
+  A.deallocate(Big);
+  A.deallocate(Small);
+  // A 80-byte request fits both; best-fit must take the 96-byte hole.
+  uint64_t W = A.allocate(80, 16);
+  EXPECT_EQ(W, Small);
+}
+
+TEST(SegregatedAllocatorTest, LifoReuseWithinSizeClass) {
+  SegregatedAllocator A(1);
+  uint64_t X = A.allocate(40, 16); // 64-byte class.
+  uint64_t Y = A.allocate(50, 16); // Same class.
+  (void)X;
+  A.deallocate(Y);
+  EXPECT_EQ(A.allocate(33, 16), Y) << "LIFO reuse within the class";
+}
+
+TEST(SegregatedAllocatorTest, LargeBlocksRoundTrip) {
+  SegregatedAllocator A(1);
+  uint64_t Big = A.allocate(1 << 20, 16);
+  ASSERT_NE(Big, 0u);
+  EXPECT_EQ(A.liveBlockSize(Big), uint64_t(1) << 20);
+  A.deallocate(Big);
+  EXPECT_EQ(A.allocate(1 << 20, 16), Big) << "exact-size large reuse";
+}
+
+//===----------------------------------------------------------------------===//
+// Static layout
+//===----------------------------------------------------------------------===//
+
+TEST(StaticLayoutTest, DeclarationOrderIsMonotonic) {
+  StaticLayout L(LinkOrder::Declaration);
+  L.addVariable("a", 100, 8);
+  L.addVariable("b", 17, 8);
+  L.addVariable("c", 4000, 32);
+  L.finalize();
+  EXPECT_LT(L.addressOf(0), L.addressOf(1));
+  EXPECT_LT(L.addressOf(1), L.addressOf(2));
+  EXPECT_EQ(L.addressOf(2) % 32, 0u);
+}
+
+TEST(StaticLayoutTest, BySizePlacesLargestFirst) {
+  StaticLayout L(LinkOrder::BySize);
+  L.addVariable("small", 8, 8);
+  L.addVariable("large", 4096, 8);
+  L.finalize();
+  EXPECT_GT(L.addressOf(0), L.addressOf(1));
+}
+
+TEST(StaticLayoutTest, HashedOrderDependsOnSeed) {
+  auto Layout = [](uint64_t Seed) {
+    StaticLayout L(LinkOrder::Hashed, 0, Seed);
+    for (int I = 0; I != 32; ++I)
+      L.addVariable("v", 64, 8);
+    L.finalize();
+    std::vector<uint64_t> Addrs;
+    for (int I = 0; I != 32; ++I)
+      Addrs.push_back(L.addressOf(I));
+    return Addrs;
+  };
+  EXPECT_EQ(Layout(1), Layout(1));
+  EXPECT_NE(Layout(1), Layout(2));
+}
+
+TEST(StaticLayoutTest, BaseShiftMovesEverything) {
+  StaticLayout A(LinkOrder::Declaration, 0);
+  StaticLayout B(LinkOrder::Declaration, 0x100);
+  A.addVariable("x", 64, 8);
+  B.addVariable("x", 64, 8);
+  A.finalize();
+  B.finalize();
+  EXPECT_EQ(B.addressOf(0), A.addressOf(0) + 0x100);
+}
+
+TEST(StaticLayoutTest, VariablesDoNotOverlap) {
+  for (LinkOrder O : {LinkOrder::Declaration, LinkOrder::BySize,
+                      LinkOrder::Hashed}) {
+    StaticLayout L(O, 0, 7);
+    Rng R(1);
+    for (int I = 0; I != 100; ++I)
+      L.addVariable("v", 1 + R.nextBelow(256),
+                    uint64_t(1) << R.nextBelow(6));
+    L.finalize();
+    std::map<uint64_t, uint64_t> Placed;
+    for (size_t I = 0; I != L.size(); ++I)
+      Placed.emplace(L.variable(I).Addr, L.variable(I).Size);
+    uint64_t PrevEnd = 0;
+    for (auto &[Addr, Size] : Placed) {
+      EXPECT_GE(Addr, PrevEnd);
+      PrevEnd = Addr + Size;
+    }
+    EXPECT_EQ(L.segmentEnd() >= PrevEnd, true);
+  }
+}

@@ -1,0 +1,291 @@
+//===- tests/omc_test.cpp - OMC and interval B+-tree unit tests ----------===//
+
+#include "omc/IntervalBTree.h"
+#include "omc/ObjectManager.h"
+#include "support/Random.h"
+#include "trace/Events.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace orp;
+using namespace orp::omc;
+
+//===----------------------------------------------------------------------===//
+// IntervalBTree
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalBTreeTest, EmptyTree) {
+  IntervalBTree T;
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_EQ(T.height(), 1u);
+  EXPECT_EQ(T.lookup(42), nullptr);
+  EXPECT_FALSE(T.erase(42));
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+TEST(IntervalBTreeTest, SingleInterval) {
+  IntervalBTree T;
+  T.insert(100, 200, 7);
+  EXPECT_EQ(T.size(), 1u);
+  ASSERT_NE(T.lookup(100), nullptr);
+  EXPECT_EQ(T.lookup(100)->Value, 7u);
+  ASSERT_NE(T.lookup(199), nullptr);
+  EXPECT_EQ(T.lookup(200), nullptr);
+  EXPECT_EQ(T.lookup(99), nullptr);
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+TEST(IntervalBTreeTest, EraseByStart) {
+  IntervalBTree T;
+  T.insert(100, 200, 1);
+  T.insert(300, 400, 2);
+  EXPECT_TRUE(T.erase(100));
+  EXPECT_EQ(T.lookup(150), nullptr);
+  ASSERT_NE(T.lookup(350), nullptr);
+  EXPECT_FALSE(T.erase(100));
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(IntervalBTreeTest, SplitsGrowHeight) {
+  IntervalBTree T;
+  for (uint64_t I = 0; I != 2000; ++I)
+    T.insert(I * 10, I * 10 + 8, I);
+  EXPECT_EQ(T.size(), 2000u);
+  EXPECT_GT(T.height(), 1u);
+  EXPECT_TRUE(T.checkInvariants());
+  for (uint64_t I = 0; I != 2000; ++I) {
+    const auto *E = T.lookup(I * 10 + 5);
+    ASSERT_NE(E, nullptr);
+    EXPECT_EQ(E->Value, I);
+    EXPECT_EQ(T.lookup(I * 10 + 9), nullptr); // Gap between intervals.
+  }
+}
+
+TEST(IntervalBTreeTest, DrainToEmptyAndReuse) {
+  IntervalBTree T;
+  for (uint64_t I = 0; I != 500; ++I)
+    T.insert(I * 10, I * 10 + 8, I);
+  for (uint64_t I = 0; I != 500; ++I)
+    EXPECT_TRUE(T.erase(I * 10));
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_TRUE(T.checkInvariants());
+  EXPECT_EQ(T.lookup(55), nullptr);
+  // The tree must be fully usable again.
+  T.insert(5, 10, 99);
+  ASSERT_NE(T.lookup(7), nullptr);
+  EXPECT_EQ(T.lookup(7)->Value, 99u);
+}
+
+TEST(IntervalBTreeTest, OverlapsRange) {
+  IntervalBTree T;
+  T.insert(100, 200, 1);
+  EXPECT_TRUE(T.overlapsRange(150, 160));
+  EXPECT_TRUE(T.overlapsRange(199, 300));
+  EXPECT_TRUE(T.overlapsRange(50, 101));
+  EXPECT_FALSE(T.overlapsRange(200, 300));
+  EXPECT_FALSE(T.overlapsRange(50, 100));
+}
+
+TEST(IntervalBTreeTest, ToVectorIsSorted) {
+  IntervalBTree T;
+  Rng R(5);
+  std::vector<uint64_t> Starts;
+  for (int I = 0; I != 300; ++I)
+    Starts.push_back(R.nextBelow(1 << 20) * 100);
+  for (uint64_t S : Starts)
+    if (!T.overlapsRange(S, S + 50))
+      T.insert(S, S + 50, S);
+  auto V = T.toVector();
+  EXPECT_EQ(V.size(), T.size());
+  for (size_t I = 1; I < V.size(); ++I)
+    EXPECT_LT(V[I - 1].Start, V[I].Start);
+}
+
+/// Randomized differential test against std::map over varying scales.
+class IntervalBTreeFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalBTreeFuzzTest, MatchesReferenceModel) {
+  const int Ops = GetParam();
+  IntervalBTree T;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> Ref; // start->(end,val)
+  Rng R(GetParam() * 7 + 1);
+
+  auto RefLookup = [&](uint64_t Addr)
+      -> std::optional<std::pair<uint64_t, uint64_t>> {
+    auto It = Ref.upper_bound(Addr);
+    if (It == Ref.begin())
+      return std::nullopt;
+    --It;
+    if (Addr < It->second.first)
+      return std::make_pair(It->first, It->second.second);
+    return std::nullopt;
+  };
+
+  for (int I = 0; I != Ops; ++I) {
+    double Dice = R.nextDouble();
+    if (Dice < 0.45) {
+      uint64_t Start = R.nextBelow(Ops * 4) * 16;
+      uint64_t Len = 8 + R.nextBelow(64);
+      // Skip if it would overlap (the tree requires disjoint ranges).
+      bool Overlaps = T.overlapsRange(Start, Start + Len);
+      bool RefOverlaps = false;
+      {
+        auto It = Ref.upper_bound(Start + Len - 1);
+        if (It != Ref.begin()) {
+          --It;
+          RefOverlaps = It->second.first > Start;
+        }
+      }
+      ASSERT_EQ(Overlaps, RefOverlaps) << "overlapsRange diverged";
+      if (!Overlaps) {
+        T.insert(Start, Start + Len, Start ^ 0xabc);
+        Ref.emplace(Start, std::make_pair(Start + Len, Start ^ 0xabc));
+      }
+    } else if (Dice < 0.75 && !Ref.empty()) {
+      auto It = Ref.begin();
+      std::advance(It, R.nextBelow(Ref.size()));
+      uint64_t Start = It->first;
+      Ref.erase(It);
+      ASSERT_TRUE(T.erase(Start));
+    } else {
+      uint64_t Addr = R.nextBelow(Ops * 4) * 16 + R.nextBelow(80);
+      const auto *Got = T.lookup(Addr);
+      auto Want = RefLookup(Addr);
+      if (Want) {
+        ASSERT_NE(Got, nullptr) << "missing interval at " << Addr;
+        EXPECT_EQ(Got->Start, Want->first);
+        EXPECT_EQ(Got->Value, Want->second);
+      } else {
+        EXPECT_EQ(Got, nullptr) << "phantom interval at " << Addr;
+      }
+    }
+    ASSERT_EQ(T.size(), Ref.size());
+  }
+  EXPECT_TRUE(T.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, IntervalBTreeFuzzTest,
+                         ::testing::Values(50, 200, 1000, 5000));
+
+//===----------------------------------------------------------------------===//
+// ObjectManager
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+trace::AllocEvent makeAlloc(trace::AllocSiteId Site, uint64_t Addr,
+                            uint64_t Size, uint64_t Time) {
+  return trace::AllocEvent{Site, Addr, Size, Time, false};
+}
+
+} // namespace
+
+TEST(ObjectManagerTest, GroupsFollowAllocationSites) {
+  ObjectManager O;
+  O.onAlloc(makeAlloc(10, 0x1000, 64, 0));
+  O.onAlloc(makeAlloc(20, 0x2000, 64, 1));
+  O.onAlloc(makeAlloc(10, 0x3000, 64, 2));
+  EXPECT_EQ(O.numGroups(), 2u);
+  auto T1 = O.translate(0x1000);
+  auto T3 = O.translate(0x3000);
+  ASSERT_TRUE(T1 && T3);
+  EXPECT_EQ(T1->Group, T3->Group);
+  EXPECT_EQ(T1->Object, 0u);
+  EXPECT_EQ(T3->Object, 1u) << "serials count within the group";
+  auto T2 = O.translate(0x2000);
+  ASSERT_TRUE(T2);
+  EXPECT_NE(T2->Group, T1->Group);
+  EXPECT_EQ(T2->Object, 0u);
+}
+
+TEST(ObjectManagerTest, OffsetsAreObjectRelative) {
+  ObjectManager O;
+  O.onAlloc(makeAlloc(0, 0x1000, 100, 0));
+  auto T = O.translate(0x1063);
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->Offset, 0x63u);
+  EXPECT_FALSE(O.translate(0x1064)) << "one past the end misses";
+  EXPECT_FALSE(O.translate(0xFFF));
+}
+
+TEST(ObjectManagerTest, FreeRetiresObject) {
+  ObjectManager O;
+  O.onAlloc(makeAlloc(0, 0x1000, 64, 5));
+  O.onFree(trace::FreeEvent{0x1000, 9});
+  EXPECT_FALSE(O.translate(0x1000));
+  ASSERT_EQ(O.records().size(), 1u);
+  EXPECT_EQ(O.records()[0].AllocTime, 5u);
+  EXPECT_EQ(O.records()[0].FreeTime, 9u);
+  EXPECT_EQ(O.numLiveObjects(), 0u);
+}
+
+TEST(ObjectManagerTest, AddressReuseCreatesDistinctObjects) {
+  // The key property object-relativity provides: a reused raw address
+  // maps to a new (group, object) identity.
+  ObjectManager O;
+  O.onAlloc(makeAlloc(0, 0x1000, 64, 0));
+  O.onFree(trace::FreeEvent{0x1000, 1});
+  O.onAlloc(makeAlloc(1, 0x1000, 32, 2));
+  auto T = O.translate(0x1010);
+  ASSERT_TRUE(T);
+  EXPECT_EQ(T->Group, O.groupForSite(1));
+  EXPECT_EQ(O.records().size(), 2u);
+  EXPECT_NE(O.records()[0].Group, O.records()[1].Group);
+}
+
+TEST(ObjectManagerTest, UnknownFreeIsCountedNotFatal) {
+  ObjectManager O;
+  O.onFree(trace::FreeEvent{0xDEAD, 0});
+  EXPECT_EQ(O.stats().UnknownFrees, 1u);
+  // Free of an interior address is also unknown (frees must hit the
+  // object start).
+  O.onAlloc(makeAlloc(0, 0x1000, 64, 0));
+  O.onFree(trace::FreeEvent{0x1008, 1});
+  EXPECT_EQ(O.stats().UnknownFrees, 2u);
+  EXPECT_TRUE(O.translate(0x1008));
+}
+
+TEST(ObjectManagerTest, StatsCountTranslationsAndMisses) {
+  ObjectManager O;
+  O.onAlloc(makeAlloc(0, 0x1000, 64, 0));
+  O.translate(0x1000);
+  O.translate(0x1001);
+  O.translate(0x9999);
+  EXPECT_EQ(O.stats().Translations, 2u);
+  EXPECT_EQ(O.stats().Misses, 1u);
+}
+
+TEST(ObjectManagerTest, SiteGroupRoundTrip) {
+  ObjectManager O;
+  GroupId G = O.groupForSite(42);
+  EXPECT_EQ(O.siteForGroup(G), 42u);
+  EXPECT_EQ(O.groupForSite(42), G) << "idempotent";
+  EXPECT_FALSE(O.lookupGroupForSite(77).has_value());
+  EXPECT_EQ(*O.lookupGroupForSite(42), G);
+}
+
+TEST(ObjectManagerTest, ManyLiveObjectsTranslateCorrectly) {
+  ObjectManager O;
+  Rng R(3);
+  std::vector<std::pair<uint64_t, uint64_t>> Objects; // (addr, size)
+  uint64_t Cursor = 0x10000;
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t Size = 8 + R.nextBelow(120);
+    O.onAlloc(makeAlloc(static_cast<trace::AllocSiteId>(I % 7), Cursor,
+                        Size, static_cast<uint64_t>(I)));
+    Objects.emplace_back(Cursor, Size);
+    Cursor += Size + R.nextBelow(64);
+  }
+  for (auto &[Addr, Size] : Objects) {
+    auto T = O.translate(Addr + Size - 1);
+    ASSERT_TRUE(T);
+    EXPECT_EQ(T->Offset, Size - 1);
+  }
+  EXPECT_EQ(O.numGroups(), 7u);
+  EXPECT_EQ(O.numLiveObjects(), 5000u);
+  EXPECT_TRUE(O.liveIndex().checkInvariants());
+}

@@ -1,0 +1,203 @@
+//===- tests/sequitur_test.cpp - Sequitur compression unit tests ---------===//
+
+#include "sequitur/Sequitur.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace orp;
+using namespace orp::sequitur;
+
+namespace {
+
+std::vector<uint64_t> fromString(const std::string &S) {
+  std::vector<uint64_t> V;
+  for (char C : S)
+    V.push_back(static_cast<uint64_t>(C));
+  return V;
+}
+
+/// Builds a grammar over \p Input and checks losslessness + invariants.
+void roundTrip(const std::vector<uint64_t> &Input, const char *Label) {
+  SequiturGrammar G;
+  G.appendAll(Input);
+  EXPECT_EQ(G.inputLength(), Input.size()) << Label;
+  ASSERT_TRUE(G.checkInvariants()) << Label;
+  EXPECT_EQ(G.expandAll(), Input) << Label;
+  EXPECT_EQ(SequiturGrammar::deserializeAndExpand(G.serialize()), Input)
+      << Label;
+}
+
+} // namespace
+
+TEST(SequiturTest, EmptyGrammar) {
+  SequiturGrammar G;
+  EXPECT_EQ(G.inputLength(), 0u);
+  EXPECT_EQ(G.numRules(), 1u); // The start rule.
+  EXPECT_TRUE(G.expandAll().empty());
+  EXPECT_TRUE(G.checkInvariants());
+}
+
+TEST(SequiturTest, SingleSymbol) { roundTrip({42}, "single"); }
+
+TEST(SequiturTest, PaperExampleAbcbcabcbc) {
+  // Section 3.1: "abcbcabcbc" compresses to S->AA; A->aBB; B->bc.
+  SequiturGrammar G;
+  G.appendAll(fromString("abcbcabcbc"));
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_EQ(G.expandAll(), fromString("abcbcabcbc"));
+  // 3 rules: start, A, B.
+  EXPECT_EQ(G.numRules(), 3u);
+  // Body symbols: S=AA (2) + A=aBB (3) + B=bc (2) = 7.
+  EXPECT_EQ(G.totalBodySymbols(), 7u);
+}
+
+TEST(SequiturTest, RepeatedPairFormsRule) {
+  SequiturGrammar G;
+  G.appendAll(fromString("ababab"));
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_EQ(G.expandAll(), fromString("ababab"));
+  EXPECT_GE(G.numRules(), 2u);
+}
+
+TEST(SequiturTest, OverlappingDigramsDoNotSubstitute) {
+  // "aaa" contains digram "aa" twice, but overlapping; no rule may form
+  // and expansion must still be exact.
+  roundTrip(fromString("aaa"), "aaa");
+  roundTrip(fromString("aaaa"), "aaaa");
+  roundTrip(fromString("aaaaaaaaaaaaaaaa"), "a^16");
+}
+
+TEST(SequiturTest, AllDistinctSymbols) {
+  std::vector<uint64_t> V;
+  for (uint64_t I = 0; I != 500; ++I)
+    V.push_back(I * 977 + 13);
+  roundTrip(V, "distinct");
+  SequiturGrammar G;
+  G.appendAll(V);
+  EXPECT_EQ(G.numRules(), 1u) << "no repetition, no rules";
+}
+
+TEST(SequiturTest, PeriodicStreamCompressesWell) {
+  std::vector<uint64_t> V;
+  for (int Rep = 0; Rep != 128; ++Rep)
+    for (uint64_t S : {1, 2, 3, 4, 5, 6, 7, 8})
+      V.push_back(S);
+  SequiturGrammar G;
+  G.appendAll(V);
+  EXPECT_TRUE(G.checkInvariants());
+  EXPECT_EQ(G.expandAll(), V);
+  // 1024 input symbols must collapse to a logarithmic-size grammar.
+  EXPECT_LT(G.totalBodySymbols(), 64u);
+  EXPECT_LT(G.serializedSizeBytes(), V.size());
+}
+
+TEST(SequiturTest, RuleUtilityHolds) {
+  // Build a stream whose intermediate rules become useless; the final
+  // grammar must never contain single-use rules (checkInvariants covers
+  // it, this test just exercises a known trigger pattern).
+  roundTrip(fromString("abcdbcabcdbc"), "utility-trigger");
+  roundTrip(fromString("xabcabcyabcabcz"), "nested-repeats");
+}
+
+TEST(SequiturTest, SerializeIsCompactForRepeats) {
+  std::vector<uint64_t> V;
+  for (int I = 0; I != 1000; ++I) {
+    V.push_back(7);
+    V.push_back(9);
+  }
+  SequiturGrammar G;
+  G.appendAll(V);
+  EXPECT_LT(G.serializedSizeBytes(), 100u);
+}
+
+TEST(SequiturTest, LargeTerminalValues) {
+  // Raw addresses use most of the 47-bit space; the tagged encoding must
+  // round-trip them.
+  std::vector<uint64_t> V;
+  for (int I = 0; I != 64; ++I) {
+    V.push_back(0x7fff'0000'0000ULL + I * 8);
+    V.push_back(0x2000'0000ULL + I * 16);
+  }
+  roundTrip(V, "large-terminals");
+}
+
+TEST(SequiturTest, DumpShowsRules) {
+  SequiturGrammar G;
+  G.appendAll(fromString("abcbcabcbc"));
+  std::string D = G.dump();
+  EXPECT_NE(D.find("R0 ->"), std::string::npos);
+  EXPECT_NE(D.find("R1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: random stream families
+//===----------------------------------------------------------------------===//
+
+struct StreamSpec {
+  const char *Name;
+  unsigned Alphabet;
+  unsigned Length;
+  double RepeatBias; ///< Probability of re-emitting a recent phrase.
+};
+
+class SequiturPropertyTest : public ::testing::TestWithParam<StreamSpec> {};
+
+TEST_P(SequiturPropertyTest, LosslessOnRandomStreams) {
+  const StreamSpec &Spec = GetParam();
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    Rng R(Seed * 1000003);
+    std::vector<uint64_t> V;
+    std::vector<size_t> PhraseStarts = {0};
+    while (V.size() < Spec.Length) {
+      if (!V.empty() && R.nextBool(Spec.RepeatBias)) {
+        // Re-emit a previously generated phrase.
+        size_t Start = PhraseStarts[R.nextBelow(PhraseStarts.size())];
+        size_t Len = 1 + R.nextBelow(12);
+        for (size_t I = Start; I < V.size() && Len--; ++I)
+          V.push_back(V[I]);
+      } else {
+        PhraseStarts.push_back(V.size());
+        V.push_back(R.nextBelow(Spec.Alphabet));
+      }
+    }
+    SequiturGrammar G;
+    G.appendAll(V);
+    ASSERT_TRUE(G.checkInvariants())
+        << Spec.Name << " seed " << Seed << " violates invariants";
+    ASSERT_EQ(G.expandAll(), V)
+        << Spec.Name << " seed " << Seed << " is not lossless";
+    ASSERT_EQ(SequiturGrammar::deserializeAndExpand(G.serialize()), V)
+        << Spec.Name << " seed " << Seed << " serialization broke";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, SequiturPropertyTest,
+    ::testing::Values(StreamSpec{"binary_random", 2, 2000, 0.0},
+                      StreamSpec{"small_alpha_random", 5, 2000, 0.0},
+                      StreamSpec{"wide_alpha_random", 1000, 2000, 0.0},
+                      StreamSpec{"binary_repeats", 2, 3000, 0.5},
+                      StreamSpec{"phrase_repeats", 16, 3000, 0.7},
+                      StreamSpec{"heavy_repeats", 4, 4000, 0.9}),
+    [](const auto &Info) { return Info.param.Name; });
+
+TEST(SequiturTest, IncrementalAppendMatchesBatch) {
+  Rng R(77);
+  std::vector<uint64_t> V;
+  for (int I = 0; I != 1500; ++I)
+    V.push_back(R.nextBelow(6));
+  SequiturGrammar G;
+  for (size_t I = 0; I != V.size(); ++I) {
+    G.append(V[I]);
+    if (I % 250 == 0) {
+      ASSERT_TRUE(G.checkInvariants()) << "at prefix " << I;
+      std::vector<uint64_t> Prefix(V.begin(), V.begin() + I + 1);
+      ASSERT_EQ(G.expandAll(), Prefix) << "at prefix " << I;
+    }
+  }
+  EXPECT_EQ(G.expandAll(), V);
+}

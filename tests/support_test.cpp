@@ -1,0 +1,353 @@
+//===- tests/support_test.cpp - Support library unit tests ---------------===//
+
+#include "support/Histogram.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+#include "support/VarInt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+using namespace orp;
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RandomTest, NextBelowStaysInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40})
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+}
+
+TEST(RandomTest, NextBelowOneIsAlwaysZero) {
+  Rng R(7);
+  for (int I = 0; I != 50; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RandomTest, NextBelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 2000; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RandomTest, NextInRangeInclusiveBounds) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBoolRespectsProbabilityRoughly) {
+  Rng R(17);
+  int True = 0;
+  for (int I = 0; I != 10000; ++I)
+    True += R.nextBool(0.25);
+  EXPECT_NEAR(True / 10000.0, 0.25, 0.03);
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  Rng R(19);
+  std::vector<int> V(100);
+  std::iota(V.begin(), V.end(), 0);
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  EXPECT_NE(V, Orig); // Overwhelmingly likely.
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RandomTest, PickReturnsElements) {
+  Rng R(23);
+  std::vector<int> V = {4, 8, 15, 16, 23, 42};
+  for (int I = 0; I != 100; ++I)
+    EXPECT_TRUE(std::count(V.begin(), V.end(), R.pick(V)));
+}
+
+TEST(RandomTest, SampleWeightedHonorsZeroWeights) {
+  Rng R(29);
+  std::vector<double> W = {0.0, 1.0, 0.0};
+  for (int I = 0; I != 200; ++I)
+    EXPECT_EQ(sampleWeighted(R, W), 1u);
+}
+
+TEST(RandomTest, SampleWeightedRoughProportions) {
+  Rng R(31);
+  std::vector<double> W = {1.0, 3.0};
+  int Hits1 = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits1 += sampleWeighted(R, W) == 1;
+  EXPECT_NEAR(Hits1 / 10000.0, 0.75, 0.03);
+}
+
+TEST(RandomTest, SplitMix64KnownSequenceIsStable) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, RunningStatBasics) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  for (double X : {2.0, 4.0, 6.0, 8.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 8.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 5.0); // Population variance.
+}
+
+TEST(StatisticsTest, RunningStatMatchesDirectComputation) {
+  Rng R(37);
+  RunningStat S;
+  std::vector<double> Xs;
+  for (int I = 0; I != 500; ++I) {
+    double X = R.nextDouble() * 100 - 50;
+    Xs.push_back(X);
+    S.add(X);
+  }
+  double Mean = std::accumulate(Xs.begin(), Xs.end(), 0.0) / Xs.size();
+  double Var = 0;
+  for (double X : Xs)
+    Var += (X - Mean) * (X - Mean);
+  Var /= Xs.size();
+  EXPECT_NEAR(S.mean(), Mean, 1e-9);
+  EXPECT_NEAR(S.variance(), Var, 1e-7);
+}
+
+TEST(StatisticsTest, QuantileEndpointsAndMedian) {
+  std::vector<double> V = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 3.0);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> V = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.5);
+}
+
+TEST(StatisticsTest, QuantileSingleElement) {
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_NEAR(geometricMean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, PercentOf) {
+  EXPECT_DOUBLE_EQ(percentOf(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percentOf(5, 0), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram H(0.0, 10.0, 5);
+  EXPECT_EQ(H.numBuckets(), 5u);
+  EXPECT_DOUBLE_EQ(H.bucketLo(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.bucketHi(0), 2.0);
+  EXPECT_DOUBLE_EQ(H.bucketLo(4), 8.0);
+  EXPECT_DOUBLE_EQ(H.bucketHi(4), 10.0);
+}
+
+TEST(HistogramTest, AddRoutesToCorrectBucket) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(0.0);
+  H.add(1.99);
+  H.add(2.0);
+  H.add(9.99);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(4), 1u);
+  EXPECT_EQ(H.total(), 4u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(-0.01);
+  H.add(10.0);
+  H.add(1e9);
+  EXPECT_EQ(H.underflow(), 1u);
+  EXPECT_EQ(H.overflow(), 2u);
+  EXPECT_EQ(H.total(), 3u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram H(0.0, 10.0, 2);
+  H.add(1.0, 7);
+  EXPECT_EQ(H.bucketCount(0), 7u);
+  EXPECT_EQ(H.total(), 7u);
+}
+
+TEST(HistogramTest, FractionInUsesBucketMidpoints) {
+  // The Figure 6-8 configuration: 21 buckets, centers -100..100.
+  Histogram H(-105.0, 105.0, 21);
+  H.add(0.0);   // Center bucket (mid 0).
+  H.add(-7.0);  // Mid -10 bucket.
+  H.add(33.0);  // Mid 30 bucket.
+  H.add(-98.0); // Mid -100 bucket.
+  EXPECT_DOUBLE_EQ(H.fractionIn(-10.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(H.fractionIn(-100.0, 100.0), 1.0);
+}
+
+TEST(HistogramTest, RenderAsciiMentionsCounts) {
+  Histogram H(0.0, 10.0, 2);
+  H.add(1.0);
+  H.add(1.5);
+  std::string Out = H.renderAscii(10);
+  EXPECT_NE(Out.find("2"), std::string::npos);
+  EXPECT_NE(Out.find('#'), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// VarInt
+//===----------------------------------------------------------------------===//
+
+TEST(VarIntTest, ULEBKnownEncodings) {
+  std::vector<uint8_t> Out;
+  encodeULEB128(0, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0x00}));
+  Out.clear();
+  encodeULEB128(127, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0x7f}));
+  Out.clear();
+  encodeULEB128(128, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0x80, 0x01}));
+  Out.clear();
+  encodeULEB128(624485, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0xe5, 0x8e, 0x26}));
+}
+
+TEST(VarIntTest, SLEBKnownEncodings) {
+  std::vector<uint8_t> Out;
+  encodeSLEB128(-1, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0x7f}));
+  Out.clear();
+  encodeSLEB128(-123456, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0xc0, 0xbb, 0x78}));
+}
+
+TEST(VarIntTest, ULEBRoundTripProperty) {
+  Rng R(41);
+  std::vector<uint64_t> Values = {0, 1, 127, 128, 16383, 16384,
+                                  std::numeric_limits<uint64_t>::max()};
+  for (int I = 0; I != 500; ++I)
+    Values.push_back(R.next() >> (R.nextBelow(64)));
+  std::vector<uint8_t> Buf;
+  for (uint64_t V : Values)
+    encodeULEB128(V, Buf);
+  size_t Pos = 0;
+  for (uint64_t V : Values)
+    EXPECT_EQ(decodeULEB128(Buf, Pos), V);
+  EXPECT_EQ(Pos, Buf.size());
+}
+
+TEST(VarIntTest, SLEBRoundTripProperty) {
+  Rng R(43);
+  std::vector<int64_t> Values = {0,  1,  -1, 63, 64, -64, -65,
+                                 std::numeric_limits<int64_t>::min(),
+                                 std::numeric_limits<int64_t>::max()};
+  for (int I = 0; I != 500; ++I)
+    Values.push_back(static_cast<int64_t>(R.next()) >> R.nextBelow(64));
+  std::vector<uint8_t> Buf;
+  for (int64_t V : Values)
+    encodeSLEB128(V, Buf);
+  size_t Pos = 0;
+  for (int64_t V : Values)
+    EXPECT_EQ(decodeSLEB128(Buf, Pos), V);
+  EXPECT_EQ(Pos, Buf.size());
+}
+
+TEST(VarIntTest, SizeFunctionsMatchEncodedLength) {
+  Rng R(47);
+  for (int I = 0; I != 300; ++I) {
+    uint64_t U = R.next() >> R.nextBelow(64);
+    std::vector<uint8_t> Buf;
+    encodeULEB128(U, Buf);
+    EXPECT_EQ(sizeULEB128(U), Buf.size());
+    int64_t S = static_cast<int64_t>(R.next()) >> R.nextBelow(64);
+    Buf.clear();
+    encodeSLEB128(S, Buf);
+    EXPECT_EQ(sizeSLEB128(S), Buf.size());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// TablePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(uint64_t(42)), "42");
+  EXPECT_EQ(TablePrinter::fmtPercent(12.34, 1), "12.3%");
+  EXPECT_EQ(TablePrinter::fmtRatio(3539.4, 0), "3539x");
+}
+
+TEST(TablePrinterTest, PrintsAlignedColumns) {
+  TablePrinter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  // Render to a temp file and check content.
+  std::FILE *F = std::tmpfile();
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::rewind(F);
+  char Buf[4096] = {};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::string Out(Buf, N);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}

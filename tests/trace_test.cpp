@@ -1,0 +1,185 @@
+//===- tests/trace_test.cpp - Instrumentation runtime unit tests ---------===//
+
+#include "memsim/AddressSpace.h"
+#include "trace/Events.h"
+#include "trace/InstructionRegistry.h"
+#include "trace/MemoryInterface.h"
+
+#include <gtest/gtest.h>
+
+using namespace orp;
+using namespace orp::trace;
+
+TEST(InstructionRegistryTest, AssignsDenseIds) {
+  InstructionRegistry R;
+  InstrId A = R.addInstruction("load x", AccessKind::Load);
+  InstrId B = R.addInstruction("store y", AccessKind::Store);
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(R.numInstructions(), 2u);
+  EXPECT_EQ(R.instruction(A).Name, "load x");
+  EXPECT_EQ(R.instruction(A).Kind, AccessKind::Load);
+  EXPECT_EQ(R.instruction(B).Kind, AccessKind::Store);
+}
+
+TEST(InstructionRegistryTest, AllocSites) {
+  InstructionRegistry R;
+  AllocSiteId S = R.addAllocSite("new node", "struct node");
+  EXPECT_EQ(S, 0u);
+  EXPECT_EQ(R.allocSite(S).Name, "new node");
+  EXPECT_EQ(R.allocSite(S).TypeName, "struct node");
+  EXPECT_EQ(R.numAllocSites(), 1u);
+}
+
+TEST(MemoryInterfaceTest, ClockAdvancesPerAccess) {
+  MemoryInterface M;
+  CountingSink C;
+  M.attachSink(&C);
+  EXPECT_EQ(M.now(), 0u);
+  M.load(0, 0x1000);
+  M.store(1, 0x1008);
+  EXPECT_EQ(M.now(), 2u);
+  EXPECT_EQ(C.accesses(), 2u);
+  EXPECT_EQ(C.loads(), 1u);
+  EXPECT_EQ(C.stores(), 1u);
+}
+
+TEST(MemoryInterfaceTest, ClockAdvancesEvenWithoutSinks) {
+  MemoryInterface M;
+  M.load(0, 0x1000);
+  M.load(0, 0x1000);
+  EXPECT_EQ(M.now(), 2u);
+}
+
+TEST(MemoryInterfaceTest, EventsCarryTimestamps) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  M.load(3, 0xAAAA, 4);
+  M.store(4, 0xBBBB, 8);
+  ASSERT_EQ(B.accesses().size(), 2u);
+  EXPECT_EQ(B.accesses()[0].Time, 0u);
+  EXPECT_EQ(B.accesses()[0].Instr, 3u);
+  EXPECT_EQ(B.accesses()[0].Size, 4u);
+  EXPECT_FALSE(B.accesses()[0].IsStore);
+  EXPECT_EQ(B.accesses()[1].Time, 1u);
+  EXPECT_TRUE(B.accesses()[1].IsStore);
+}
+
+TEST(MemoryInterfaceTest, HeapAllocEmitsObjectProbe) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  uint64_t Addr = M.heapAlloc(7, 96);
+  ASSERT_NE(Addr, 0u);
+  ASSERT_EQ(B.allocs().size(), 1u);
+  EXPECT_EQ(B.allocs()[0].Site, 7u);
+  EXPECT_EQ(B.allocs()[0].Addr, Addr);
+  EXPECT_EQ(B.allocs()[0].Size, 96u);
+  EXPECT_FALSE(B.allocs()[0].IsStatic);
+  M.heapFree(Addr);
+  ASSERT_EQ(B.frees().size(), 1u);
+  EXPECT_EQ(B.frees()[0].Addr, Addr);
+}
+
+TEST(MemoryInterfaceTest, StaticAllocPlacesInStaticSegment) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  uint64_t A1 = M.staticAlloc(0, 100, 8);
+  uint64_t A2 = M.staticAlloc(1, 50, 8);
+  EXPECT_EQ(memsim::classifyAddress(A1), memsim::SegmentKind::Static);
+  EXPECT_GE(A2, A1 + 100);
+  ASSERT_EQ(B.allocs().size(), 2u);
+  EXPECT_TRUE(B.allocs()[0].IsStatic);
+}
+
+TEST(MemoryInterfaceTest, FinishFreesStatics) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  uint64_t A1 = M.staticAlloc(0, 100, 8);
+  uint64_t A2 = M.staticAlloc(1, 50, 8);
+  M.finish();
+  ASSERT_EQ(B.frees().size(), 2u);
+  EXPECT_EQ(B.frees()[0].Addr, A1);
+  EXPECT_EQ(B.frees()[1].Addr, A2);
+  M.finish(); // Idempotent.
+  EXPECT_EQ(B.frees().size(), 2u);
+}
+
+TEST(MemoryInterfaceTest, SeedShiftsStaticBase) {
+  MemoryInterface M1(memsim::AllocPolicy::FirstFit, 1);
+  MemoryInterface M2(memsim::AllocPolicy::FirstFit, 12345);
+  uint64_t A1 = M1.staticAlloc(0, 8, 8);
+  uint64_t A2 = M2.staticAlloc(0, 8, 8);
+  EXPECT_NE(A1, A2) << "probe-insertion artifact should shift statics";
+}
+
+TEST(CountingSinkTest, RawTraceBytes) {
+  CountingSink C;
+  AccessEvent E{0, 0x1000, 8, false, 0};
+  for (int I = 0; I != 10; ++I)
+    C.onAccess(E);
+  EXPECT_EQ(C.rawTraceBytes(), 120u);
+}
+
+TEST(FanoutSinkTest, ForwardsToAll) {
+  FanoutSink F;
+  CountingSink C1, C2;
+  F.addSink(&C1);
+  F.addSink(&C2);
+  F.onAccess(AccessEvent{0, 1, 8, true, 0});
+  F.onAlloc(AllocEvent{0, 2, 8, 0, false});
+  F.onFree(FreeEvent{2, 0});
+  EXPECT_EQ(C1.accesses(), 1u);
+  EXPECT_EQ(C2.accesses(), 1u);
+  EXPECT_EQ(C1.allocs(), 1u);
+  EXPECT_EQ(C2.frees(), 1u);
+}
+
+TEST(BufferSinkTest, ReplayPreservesDeliveryOrder) {
+  // Free + realloc at the same address within one timestamp tick: replay
+  // must reproduce the exact order or a consumer would see a duplicate
+  // live range.
+  BufferSink B;
+  B.onAlloc(AllocEvent{0, 0x1000, 64, 0, false});
+  B.onFree(FreeEvent{0x1000, 0});
+  B.onAlloc(AllocEvent{1, 0x1000, 32, 0, false});
+  B.onAccess(AccessEvent{0, 0x1000, 8, false, 0});
+
+  struct OrderSink : TraceSink {
+    std::vector<int> Seen;
+    bool Finished = false;
+    void onAccess(const AccessEvent &) override { Seen.push_back(0); }
+    void onAlloc(const AllocEvent &) override { Seen.push_back(1); }
+    void onFree(const FreeEvent &) override { Seen.push_back(2); }
+    void onFinish() override { Finished = true; }
+  } S;
+  B.replayTo(S);
+  EXPECT_EQ(S.Seen, (std::vector<int>{1, 2, 1, 0}));
+  EXPECT_TRUE(S.Finished);
+}
+
+TEST(BufferSinkTest, ReplayEqualsOriginalStream) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  uint64_t H = M.heapAlloc(0, 128);
+  M.store(0, H, 8);
+  M.load(1, H + 8, 8);
+  M.heapFree(H);
+  uint64_t H2 = M.heapAlloc(0, 64);
+  M.load(1, H2, 8);
+  M.finish();
+
+  BufferSink Copy;
+  B.replayTo(Copy);
+  ASSERT_EQ(Copy.accesses().size(), B.accesses().size());
+  for (size_t I = 0; I != B.accesses().size(); ++I) {
+    EXPECT_EQ(Copy.accesses()[I].Addr, B.accesses()[I].Addr);
+    EXPECT_EQ(Copy.accesses()[I].Time, B.accesses()[I].Time);
+  }
+  EXPECT_EQ(Copy.allocs().size(), B.allocs().size());
+  EXPECT_EQ(Copy.frees().size(), B.frees().size());
+}

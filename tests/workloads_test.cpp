@@ -1,0 +1,159 @@
+//===- tests/workloads_test.cpp - Workload analogue tests ----------------===//
+
+#include "core/ProfilingSession.h"
+#include "trace/Events.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace orp;
+using namespace orp::workloads;
+
+namespace {
+
+struct RunResult {
+  uint64_t Checksum;
+  uint64_t Accesses;
+  uint64_t Allocs;
+  uint64_t Frees;
+  size_t LiveObjects;
+  uint64_t UnknownAccesses;
+};
+
+RunResult runOnce(const std::string &Name, uint64_t Seed,
+                  uint64_t EnvSeed = 0) {
+  core::ProfilingSession S(memsim::AllocPolicy::FirstFit, EnvSeed);
+  trace::CountingSink Counter;
+  S.addRawSink(&Counter);
+  auto W = createWorkloadByName(Name);
+  EXPECT_NE(W, nullptr) << Name;
+  WorkloadConfig Config;
+  Config.Seed = Seed;
+  uint64_t Checksum = W->run(S.memory(), S.registry(), Config);
+  S.finish();
+  return RunResult{Checksum,
+                   Counter.accesses(),
+                   Counter.allocs(),
+                   Counter.frees(),
+                   S.omc().numLiveObjects(),
+                   S.cdc().stats().Unknown};
+}
+
+} // namespace
+
+class WorkloadParamTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadParamTest, RunsAndProducesTraffic) {
+  RunResult R = runOnce(GetParam(), 42);
+  EXPECT_GT(R.Accesses, 10000u) << "workload too small to profile";
+  EXPECT_GT(R.Allocs, 0u);
+}
+
+TEST_P(WorkloadParamTest, DeterministicForFixedSeed) {
+  RunResult A = runOnce(GetParam(), 42);
+  RunResult B = runOnce(GetParam(), 42);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.Accesses, B.Accesses);
+  EXPECT_EQ(A.Allocs, B.Allocs);
+}
+
+TEST_P(WorkloadParamTest, DifferentInputsDiffer) {
+  RunResult A = runOnce(GetParam(), 42);
+  RunResult B = runOnce(GetParam(), 43);
+  EXPECT_NE(A.Checksum, B.Checksum)
+      << "input seed should change the computation";
+}
+
+TEST_P(WorkloadParamTest, ChecksumInvariantUnderEnvironment) {
+  // Changing the allocator seed moves every raw address but must not
+  // change the program's computation.
+  RunResult A = runOnce(GetParam(), 42, /*EnvSeed=*/0);
+  RunResult B = runOnce(GetParam(), 42, /*EnvSeed=*/777);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.Accesses, B.Accesses);
+}
+
+TEST_P(WorkloadParamTest, AllAccessesHitLiveObjects) {
+  RunResult R = runOnce(GetParam(), 42);
+  EXPECT_EQ(R.UnknownAccesses, 0u)
+      << "workload accessed memory it does not own";
+}
+
+TEST_P(WorkloadParamTest, HeapIsBalanced) {
+  RunResult R = runOnce(GetParam(), 42);
+  EXPECT_EQ(R.LiveObjects, 0u) << "leaked simulated objects";
+  EXPECT_EQ(R.Allocs, R.Frees + 0u);
+}
+
+TEST_P(WorkloadParamTest, InstructionKindsAreConsistent) {
+  // Every probe site must be used only in its registered direction.
+  core::ProfilingSession S;
+  trace::BufferSink B;
+  S.addRawSink(&B);
+  auto W = createWorkloadByName(GetParam());
+  WorkloadConfig Config;
+  W->run(S.memory(), S.registry(), Config);
+  S.finish();
+  for (const auto &E : B.accesses()) {
+    const auto &Info = S.registry().instruction(E.Instr);
+    EXPECT_EQ(E.IsStore, Info.Kind == trace::AccessKind::Store)
+        << "instruction '" << Info.Name << "' used against its kind";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadParamTest,
+    ::testing::Values("164.gzip-a", "175.vpr-a", "181.mcf-a",
+                      "186.crafty-a", "197.parser-a", "256.bzip2-a",
+                      "300.twolf-a", "list-traversal"),
+    [](const auto &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '.' || C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(WorkloadRegistryTest, SpecSetHasSevenBenchmarks) {
+  auto All = createSpecAnalogues();
+  ASSERT_EQ(All.size(), 7u);
+  std::set<std::string> Names;
+  for (const auto &W : All)
+    Names.insert(W->name());
+  EXPECT_EQ(Names.size(), 7u);
+  EXPECT_TRUE(Names.count("164.gzip-a"));
+  EXPECT_TRUE(Names.count("300.twolf-a"));
+}
+
+TEST(WorkloadRegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(createWorkloadByName("999.nonsense"), nullptr);
+}
+
+TEST(WorkloadScaleTest, ScaleIncreasesWork) {
+  core::ProfilingSession S1, S2;
+  trace::CountingSink C1, C2;
+  S1.addRawSink(&C1);
+  S2.addRawSink(&C2);
+  WorkloadConfig Small{1, 42};
+  WorkloadConfig Large{3, 42};
+  createMcfA()->run(S1.memory(), S1.registry(), Small);
+  createMcfA()->run(S2.memory(), S2.registry(), Large);
+  EXPECT_GT(C2.accesses(), C1.accesses() * 2);
+}
+
+TEST(WorkloadMixTest, BenchmarksHaveBothLoadsAndStores) {
+  for (auto &W : createSpecAnalogues()) {
+    core::ProfilingSession S;
+    trace::CountingSink C;
+    S.addRawSink(&C);
+    WorkloadConfig Config;
+    W->run(S.memory(), S.registry(), Config);
+    S.finish();
+    EXPECT_GT(C.loads(), 0u) << W->name();
+    EXPECT_GT(C.stores(), 0u) << W->name();
+    EXPECT_GT(C.loads(), C.stores() / 10) << W->name();
+  }
+}
