@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connors_window.dir/ablation_connors_window.cpp.o"
+  "CMakeFiles/ablation_connors_window.dir/ablation_connors_window.cpp.o.d"
+  "ablation_connors_window"
+  "ablation_connors_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connors_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

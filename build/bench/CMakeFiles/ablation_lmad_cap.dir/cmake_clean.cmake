@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lmad_cap.dir/ablation_lmad_cap.cpp.o"
+  "CMakeFiles/ablation_lmad_cap.dir/ablation_lmad_cap.cpp.o.d"
+  "ablation_lmad_cap"
+  "ablation_lmad_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lmad_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_leap_mdf_error.cpp" "bench/CMakeFiles/fig6_leap_mdf_error.dir/fig6_leap_mdf_error.cpp.o" "gcc" "bench/CMakeFiles/fig6_leap_mdf_error.dir/fig6_leap_mdf_error.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/orp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/orp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/whomp/CMakeFiles/orp_whomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/orp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/orp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/leap/CMakeFiles/orp_leap.dir/DependInfo.cmake"
+  "/root/repo/build/src/lmad/CMakeFiles/orp_lmad.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequitur/CMakeFiles/orp_sequitur.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/omc/CMakeFiles/orp_omc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/orp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/orp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/orp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

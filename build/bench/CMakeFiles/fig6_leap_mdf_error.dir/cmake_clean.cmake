@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_leap_mdf_error.dir/fig6_leap_mdf_error.cpp.o"
+  "CMakeFiles/fig6_leap_mdf_error.dir/fig6_leap_mdf_error.cpp.o.d"
+  "fig6_leap_mdf_error"
+  "fig6_leap_mdf_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_leap_mdf_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_stride_score.dir/fig9_stride_score.cpp.o"
+  "CMakeFiles/fig9_stride_score.dir/fig9_stride_score.cpp.o.d"
+  "fig9_stride_score"
+  "fig9_stride_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_stride_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_stride_score.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_bench_common.dir/common/BenchCommon.cpp.o"
+  "CMakeFiles/orp_bench_common.dir/common/BenchCommon.cpp.o.d"
+  "CMakeFiles/orp_bench_common.dir/common/MdfExperiment.cpp.o"
+  "CMakeFiles/orp_bench_common.dir/common/MdfExperiment.cpp.o.d"
+  "liborp_bench_common.a"
+  "liborp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

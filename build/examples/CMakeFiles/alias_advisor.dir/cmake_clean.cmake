@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_advisor.dir/alias_advisor.cpp.o"
+  "CMakeFiles/alias_advisor.dir/alias_advisor.cpp.o.d"
+  "alias_advisor"
+  "alias_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_profile.dir/orp_profile.cpp.o"
+  "CMakeFiles/orp_profile.dir/orp_profile.cpp.o.d"
+  "orp_profile"
+  "orp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

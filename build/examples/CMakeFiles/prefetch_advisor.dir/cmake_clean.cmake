@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_advisor.dir/prefetch_advisor.cpp.o"
+  "CMakeFiles/prefetch_advisor.dir/prefetch_advisor.cpp.o.d"
+  "prefetch_advisor"
+  "prefetch_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("memsim")
+subdirs("trace")
+subdirs("omc")
+subdirs("sequitur")
+subdirs("lmad")
+subdirs("core")
+subdirs("whomp")
+subdirs("leap")
+subdirs("analysis")
+subdirs("baseline")
+subdirs("workloads")

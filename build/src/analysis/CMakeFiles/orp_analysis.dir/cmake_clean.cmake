@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_analysis.dir/Dependence.cpp.o"
+  "CMakeFiles/orp_analysis.dir/Dependence.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/Diophantine.cpp.o"
+  "CMakeFiles/orp_analysis.dir/Diophantine.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/HotStreams.cpp.o"
+  "CMakeFiles/orp_analysis.dir/HotStreams.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/MdfError.cpp.o"
+  "CMakeFiles/orp_analysis.dir/MdfError.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/Phases.cpp.o"
+  "CMakeFiles/orp_analysis.dir/Phases.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/Stride.cpp.o"
+  "CMakeFiles/orp_analysis.dir/Stride.cpp.o.d"
+  "liborp_analysis.a"
+  "liborp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_baseline.dir/ConnorsProfiler.cpp.o"
+  "CMakeFiles/orp_baseline.dir/ConnorsProfiler.cpp.o.d"
+  "CMakeFiles/orp_baseline.dir/ExactDependence.cpp.o"
+  "CMakeFiles/orp_baseline.dir/ExactDependence.cpp.o.d"
+  "CMakeFiles/orp_baseline.dir/ExactStride.cpp.o"
+  "CMakeFiles/orp_baseline.dir/ExactStride.cpp.o.d"
+  "CMakeFiles/orp_baseline.dir/RasgProfiler.cpp.o"
+  "CMakeFiles/orp_baseline.dir/RasgProfiler.cpp.o.d"
+  "liborp_baseline.a"
+  "liborp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

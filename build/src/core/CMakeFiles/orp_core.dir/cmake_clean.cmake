@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_core.dir/Cdc.cpp.o"
+  "CMakeFiles/orp_core.dir/Cdc.cpp.o.d"
+  "CMakeFiles/orp_core.dir/Decomposition.cpp.o"
+  "CMakeFiles/orp_core.dir/Decomposition.cpp.o.d"
+  "CMakeFiles/orp_core.dir/ProfilingSession.cpp.o"
+  "CMakeFiles/orp_core.dir/ProfilingSession.cpp.o.d"
+  "liborp_core.a"
+  "liborp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

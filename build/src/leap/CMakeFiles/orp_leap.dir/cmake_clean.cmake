@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_leap.dir/Leap.cpp.o"
+  "CMakeFiles/orp_leap.dir/Leap.cpp.o.d"
+  "CMakeFiles/orp_leap.dir/LeapProfileData.cpp.o"
+  "CMakeFiles/orp_leap.dir/LeapProfileData.cpp.o.d"
+  "liborp_leap.a"
+  "liborp_leap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_leap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

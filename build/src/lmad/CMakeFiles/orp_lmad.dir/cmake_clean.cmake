@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_lmad.dir/Lmad.cpp.o"
+  "CMakeFiles/orp_lmad.dir/Lmad.cpp.o.d"
+  "CMakeFiles/orp_lmad.dir/LmadCompressor.cpp.o"
+  "CMakeFiles/orp_lmad.dir/LmadCompressor.cpp.o.d"
+  "liborp_lmad.a"
+  "liborp_lmad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_lmad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

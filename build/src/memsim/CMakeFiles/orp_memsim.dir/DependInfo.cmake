@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/AddressSpace.cpp" "src/memsim/CMakeFiles/orp_memsim.dir/AddressSpace.cpp.o" "gcc" "src/memsim/CMakeFiles/orp_memsim.dir/AddressSpace.cpp.o.d"
+  "/root/repo/src/memsim/Allocator.cpp" "src/memsim/CMakeFiles/orp_memsim.dir/Allocator.cpp.o" "gcc" "src/memsim/CMakeFiles/orp_memsim.dir/Allocator.cpp.o.d"
+  "/root/repo/src/memsim/FreeListAllocator.cpp" "src/memsim/CMakeFiles/orp_memsim.dir/FreeListAllocator.cpp.o" "gcc" "src/memsim/CMakeFiles/orp_memsim.dir/FreeListAllocator.cpp.o.d"
+  "/root/repo/src/memsim/SegregatedAllocator.cpp" "src/memsim/CMakeFiles/orp_memsim.dir/SegregatedAllocator.cpp.o" "gcc" "src/memsim/CMakeFiles/orp_memsim.dir/SegregatedAllocator.cpp.o.d"
+  "/root/repo/src/memsim/StaticLayout.cpp" "src/memsim/CMakeFiles/orp_memsim.dir/StaticLayout.cpp.o" "gcc" "src/memsim/CMakeFiles/orp_memsim.dir/StaticLayout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/orp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

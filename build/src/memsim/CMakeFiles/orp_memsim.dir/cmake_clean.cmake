@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_memsim.dir/AddressSpace.cpp.o"
+  "CMakeFiles/orp_memsim.dir/AddressSpace.cpp.o.d"
+  "CMakeFiles/orp_memsim.dir/Allocator.cpp.o"
+  "CMakeFiles/orp_memsim.dir/Allocator.cpp.o.d"
+  "CMakeFiles/orp_memsim.dir/FreeListAllocator.cpp.o"
+  "CMakeFiles/orp_memsim.dir/FreeListAllocator.cpp.o.d"
+  "CMakeFiles/orp_memsim.dir/SegregatedAllocator.cpp.o"
+  "CMakeFiles/orp_memsim.dir/SegregatedAllocator.cpp.o.d"
+  "CMakeFiles/orp_memsim.dir/StaticLayout.cpp.o"
+  "CMakeFiles/orp_memsim.dir/StaticLayout.cpp.o.d"
+  "liborp_memsim.a"
+  "liborp_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

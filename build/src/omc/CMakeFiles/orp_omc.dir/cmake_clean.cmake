@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_omc.dir/IntervalBTree.cpp.o"
+  "CMakeFiles/orp_omc.dir/IntervalBTree.cpp.o.d"
+  "CMakeFiles/orp_omc.dir/ObjectManager.cpp.o"
+  "CMakeFiles/orp_omc.dir/ObjectManager.cpp.o.d"
+  "liborp_omc.a"
+  "liborp_omc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_omc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_sequitur.dir/Sequitur.cpp.o"
+  "CMakeFiles/orp_sequitur.dir/Sequitur.cpp.o.d"
+  "liborp_sequitur.a"
+  "liborp_sequitur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_sequitur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

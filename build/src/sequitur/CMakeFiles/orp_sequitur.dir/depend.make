@@ -1,0 +1,2 @@
+# Empty dependencies file for orp_sequitur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/orp_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/orp_support.dir/Error.cpp.o.d"
+  "/root/repo/src/support/Histogram.cpp" "src/support/CMakeFiles/orp_support.dir/Histogram.cpp.o" "gcc" "src/support/CMakeFiles/orp_support.dir/Histogram.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/orp_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/orp_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/orp_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/orp_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/TablePrinter.cpp" "src/support/CMakeFiles/orp_support.dir/TablePrinter.cpp.o" "gcc" "src/support/CMakeFiles/orp_support.dir/TablePrinter.cpp.o.d"
+  "/root/repo/src/support/VarInt.cpp" "src/support/CMakeFiles/orp_support.dir/VarInt.cpp.o" "gcc" "src/support/CMakeFiles/orp_support.dir/VarInt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

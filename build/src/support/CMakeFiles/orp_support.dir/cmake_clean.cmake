@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_support.dir/Error.cpp.o"
+  "CMakeFiles/orp_support.dir/Error.cpp.o.d"
+  "CMakeFiles/orp_support.dir/Histogram.cpp.o"
+  "CMakeFiles/orp_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/orp_support.dir/Random.cpp.o"
+  "CMakeFiles/orp_support.dir/Random.cpp.o.d"
+  "CMakeFiles/orp_support.dir/Statistics.cpp.o"
+  "CMakeFiles/orp_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/orp_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/orp_support.dir/TablePrinter.cpp.o.d"
+  "CMakeFiles/orp_support.dir/VarInt.cpp.o"
+  "CMakeFiles/orp_support.dir/VarInt.cpp.o.d"
+  "liborp_support.a"
+  "liborp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/Events.cpp" "src/trace/CMakeFiles/orp_trace.dir/Events.cpp.o" "gcc" "src/trace/CMakeFiles/orp_trace.dir/Events.cpp.o.d"
+  "/root/repo/src/trace/InstructionRegistry.cpp" "src/trace/CMakeFiles/orp_trace.dir/InstructionRegistry.cpp.o" "gcc" "src/trace/CMakeFiles/orp_trace.dir/InstructionRegistry.cpp.o.d"
+  "/root/repo/src/trace/MemoryInterface.cpp" "src/trace/CMakeFiles/orp_trace.dir/MemoryInterface.cpp.o" "gcc" "src/trace/CMakeFiles/orp_trace.dir/MemoryInterface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/orp_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/orp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

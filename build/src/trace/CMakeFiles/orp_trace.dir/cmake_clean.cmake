@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_trace.dir/Events.cpp.o"
+  "CMakeFiles/orp_trace.dir/Events.cpp.o.d"
+  "CMakeFiles/orp_trace.dir/InstructionRegistry.cpp.o"
+  "CMakeFiles/orp_trace.dir/InstructionRegistry.cpp.o.d"
+  "CMakeFiles/orp_trace.dir/MemoryInterface.cpp.o"
+  "CMakeFiles/orp_trace.dir/MemoryInterface.cpp.o.d"
+  "liborp_trace.a"
+  "liborp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_whomp.dir/OmsgArchive.cpp.o"
+  "CMakeFiles/orp_whomp.dir/OmsgArchive.cpp.o.d"
+  "CMakeFiles/orp_whomp.dir/Whomp.cpp.o"
+  "CMakeFiles/orp_whomp.dir/Whomp.cpp.o.d"
+  "liborp_whomp.a"
+  "liborp_whomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_whomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for orp_whomp.
+# This may be replaced when dependencies are built.

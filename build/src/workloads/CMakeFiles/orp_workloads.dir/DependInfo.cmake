@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Bzip2A.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/Bzip2A.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/Bzip2A.cpp.o.d"
+  "/root/repo/src/workloads/CraftyA.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/CraftyA.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/CraftyA.cpp.o.d"
+  "/root/repo/src/workloads/GzipA.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/GzipA.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/GzipA.cpp.o.d"
+  "/root/repo/src/workloads/ListTraversal.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/ListTraversal.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/ListTraversal.cpp.o.d"
+  "/root/repo/src/workloads/McfA.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/McfA.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/McfA.cpp.o.d"
+  "/root/repo/src/workloads/ParserA.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/ParserA.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/ParserA.cpp.o.d"
+  "/root/repo/src/workloads/TwolfA.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/TwolfA.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/TwolfA.cpp.o.d"
+  "/root/repo/src/workloads/VprA.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/VprA.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/VprA.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/orp_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/orp_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/orp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/orp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/orp_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

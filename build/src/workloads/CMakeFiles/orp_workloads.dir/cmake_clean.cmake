@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_workloads.dir/Bzip2A.cpp.o"
+  "CMakeFiles/orp_workloads.dir/Bzip2A.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/CraftyA.cpp.o"
+  "CMakeFiles/orp_workloads.dir/CraftyA.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/GzipA.cpp.o"
+  "CMakeFiles/orp_workloads.dir/GzipA.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/ListTraversal.cpp.o"
+  "CMakeFiles/orp_workloads.dir/ListTraversal.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/McfA.cpp.o"
+  "CMakeFiles/orp_workloads.dir/McfA.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/ParserA.cpp.o"
+  "CMakeFiles/orp_workloads.dir/ParserA.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/TwolfA.cpp.o"
+  "CMakeFiles/orp_workloads.dir/TwolfA.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/VprA.cpp.o"
+  "CMakeFiles/orp_workloads.dir/VprA.cpp.o.d"
+  "CMakeFiles/orp_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/orp_workloads.dir/Workload.cpp.o.d"
+  "liborp_workloads.a"
+  "liborp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

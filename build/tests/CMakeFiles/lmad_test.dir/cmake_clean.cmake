@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmad_test.dir/lmad_test.cpp.o"
+  "CMakeFiles/lmad_test.dir/lmad_test.cpp.o.d"
+  "lmad_test"
+  "lmad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

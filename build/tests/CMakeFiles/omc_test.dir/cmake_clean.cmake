@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omc_test.dir/omc_test.cpp.o"
+  "CMakeFiles/omc_test.dir/omc_test.cpp.o.d"
+  "omc_test"
+  "omc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

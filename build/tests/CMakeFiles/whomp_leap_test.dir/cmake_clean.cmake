@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whomp_leap_test.dir/whomp_leap_test.cpp.o"
+  "CMakeFiles/whomp_leap_test.dir/whomp_leap_test.cpp.o.d"
+  "whomp_leap_test"
+  "whomp_leap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whomp_leap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
