@@ -18,6 +18,8 @@
 //     --hot-streams      hot data streams of the OMSG object dimension
 //     --mdf              dependence-frequency report
 //     --strides          strongly-strided instruction report
+//     --record=FILE      also record the probe stream to a .orpt trace
+//                        (replayable with tools/orp-trace)
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +30,7 @@
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
 #include "support/TablePrinter.h"
+#include "traceio/TraceWriter.h"
 #include "whomp/Whomp.h"
 #include "workloads/Workload.h"
 
@@ -53,6 +56,7 @@ struct Options {
   bool HotStreams = false;
   bool Mdf = false;
   bool Strides = false;
+  std::string RecordPath;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opt) {
@@ -96,6 +100,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.Mdf = Opt.RunLeap = true;
     } else if (Arg == "--strides") {
       Opt.Strides = Opt.RunLeap = true;
+    } else if (const char *V = Value("--record=")) {
+      Opt.RecordPath = V;
     } else {
       return false;
     }
@@ -111,7 +117,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "usage: %s <workload> [--alloc=POLICY] "
                          "[--seed=N] [--env=N] [--scale=N] [--whomp] "
                          "[--leap] [--lmads=N] [--phases] [--hot-streams] "
-                         "[--mdf] [--strides]\n",
+                         "[--mdf] [--strides] [--record=FILE]\n",
                  Argv[0]);
     return 1;
   }
@@ -132,6 +138,16 @@ int main(int Argc, char **Argv) {
   analysis::PhaseDetector Phases;
   trace::CountingSink Counter;
   Session.addRawSink(&Counter);
+  std::unique_ptr<traceio::TraceWriter> Recorder;
+  if (!Opt.RecordPath.empty()) {
+    Recorder = std::make_unique<traceio::TraceWriter>(
+        Opt.RecordPath, Session.registry(), Opt.Policy, Opt.EnvSeed);
+    if (!Recorder->ok()) {
+      std::fprintf(stderr, "%s\n", Recorder->error().c_str());
+      return 1;
+    }
+    Session.addRawSink(Recorder.get());
+  }
   if (Opt.RunWhomp)
     Session.addConsumer(&Whomp);
   if (Opt.RunLeap)
@@ -145,6 +161,16 @@ int main(int Argc, char **Argv) {
   uint64_t Checksum =
       Workload->run(Session.memory(), Session.registry(), Config);
   Session.finish();
+  if (Recorder) {
+    if (!Recorder->close()) {
+      std::fprintf(stderr, "%s\n", Recorder->error().c_str());
+      return 1;
+    }
+    std::printf("recorded %llu events to %s (%llu bytes)\n",
+                static_cast<unsigned long long>(Recorder->eventsWritten()),
+                Opt.RecordPath.c_str(),
+                static_cast<unsigned long long>(Recorder->bytesWritten()));
+  }
 
   std::printf("%s: %llu accesses (%llu loads, %llu stores), "
               "%llu allocs, checksum %llu, allocator %s\n\n",

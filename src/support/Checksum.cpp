@@ -1,0 +1,31 @@
+//===- support/Checksum.cpp - CRC-32 integrity checksums -----------------===//
+
+#include "support/Checksum.h"
+
+#include <array>
+
+using namespace orp;
+
+namespace {
+
+constexpr std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t Crc = I;
+    for (int Bit = 0; Bit != 8; ++Bit)
+      Crc = (Crc >> 1) ^ ((Crc & 1) ? 0xEDB88320u : 0u);
+    Table[I] = Crc;
+  }
+  return Table;
+}
+
+constexpr std::array<uint32_t, 256> CrcTable = makeCrcTable();
+
+} // namespace
+
+uint32_t orp::crc32(const uint8_t *Data, size_t Size) {
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (size_t I = 0; I != Size; ++I)
+    Crc = (Crc >> 8) ^ CrcTable[(Crc ^ Data[I]) & 0xFF];
+  return Crc ^ 0xFFFFFFFFu;
+}

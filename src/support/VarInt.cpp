@@ -59,6 +59,52 @@ int64_t orp::decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos) {
   return Result;
 }
 
+bool orp::tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+                           uint64_t &Value) {
+  uint64_t Result = 0;
+  unsigned Shift = 0;
+  for (size_t At = Pos; At != Size; ++At) {
+    uint8_t Byte = Data[At];
+    // The 10th byte holds bit 63 only; anything above it overflows.
+    if (Shift == 63 && (Byte & 0x7E))
+      return false;
+    Result |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if ((Byte & 0x80) == 0) {
+      Value = Result;
+      Pos = At + 1;
+      return true;
+    }
+    Shift += 7;
+    if (Shift > 63)
+      return false;
+  }
+  return false;
+}
+
+bool orp::tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+                           int64_t &Value) {
+  int64_t Result = 0;
+  unsigned Shift = 0;
+  for (size_t At = Pos; At != Size; ++At) {
+    uint8_t Byte = Data[At];
+    if (Shift == 63 && (Byte & 0x7F) != 0 && (Byte & 0x7F) != 0x7F)
+      return false;
+    Result |=
+        static_cast<int64_t>(static_cast<uint64_t>(Byte & 0x7f) << Shift);
+    Shift += 7;
+    if ((Byte & 0x80) == 0) {
+      if (Shift < 64 && (Byte & 0x40))
+        Result |= -(static_cast<int64_t>(1) << Shift);
+      Value = Result;
+      Pos = At + 1;
+      return true;
+    }
+    if (Shift > 63)
+      return false;
+  }
+  return false;
+}
+
 size_t orp::sizeULEB128(uint64_t Value) {
   size_t Size = 1;
   while (Value >>= 7)

@@ -37,6 +37,18 @@ uint64_t decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos);
 /// \p Pos.
 int64_t decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos);
 
+/// Bounds-checked ULEB128 decode for untrusted input (file parsers).
+/// On success stores the value in \p Value, advances \p Pos past the
+/// encoding and returns true. Returns false — leaving \p Pos unchanged —
+/// on truncated input or an encoding wider than 64 bits.
+bool tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+                      uint64_t &Value);
+
+/// Bounds-checked SLEB128 decode for untrusted input; same contract as
+/// tryDecodeULEB128.
+bool tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+                      int64_t &Value);
+
 /// Returns the number of bytes encodeULEB128(\p Value) would emit.
 size_t sizeULEB128(uint64_t Value);
 

@@ -79,6 +79,31 @@ uint64_t MemoryInterface::staticAlloc(AllocSiteId Site, uint64_t Size,
   return Addr;
 }
 
+void MemoryInterface::injectAccess(const AccessEvent &Event) {
+  assert(!Finished && "access after finish()");
+  for (TraceSink *Sink : Sinks)
+    Sink->onAccess(Event);
+  // Live record() stamps the current clock and then advances it.
+  if (Event.Time + 1 > Clock)
+    Clock = Event.Time + 1;
+}
+
+void MemoryInterface::injectAlloc(const AllocEvent &Event) {
+  assert(!Finished && "allocation after finish()");
+  for (TraceSink *Sink : Sinks)
+    Sink->onAlloc(Event);
+  if (Event.Time > Clock)
+    Clock = Event.Time;
+}
+
+void MemoryInterface::injectFree(const FreeEvent &Event) {
+  assert(!Finished && "free after finish()");
+  for (TraceSink *Sink : Sinks)
+    Sink->onFree(Event);
+  if (Event.Time > Clock)
+    Clock = Event.Time;
+}
+
 void MemoryInterface::finish() {
   if (Finished)
     return;

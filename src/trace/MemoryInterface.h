@@ -70,6 +70,18 @@ public:
   /// program-end object probes) and forwards onFinish() to the sinks.
   void finish();
 
+  /// \name Replay hooks
+  /// Deliver a pre-recorded event verbatim to every attached sink,
+  /// bypassing the simulated allocator and the live clock. Used by
+  /// traceio::TraceReplayer to re-drive a session from a trace file;
+  /// the event's recorded timestamp is forwarded unchanged and the
+  /// clock is advanced so now() stays consistent with the recording.
+  /// @{
+  void injectAccess(const AccessEvent &Event);
+  void injectAlloc(const AllocEvent &Event);
+  void injectFree(const FreeEvent &Event);
+  /// @}
+
   /// Returns the current value of the global access counter.
   uint64_t now() const { return Clock; }
 

@@ -1,0 +1,123 @@
+//===- traceio/TraceFormat.h - The .orpt binary trace format ---*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk layout of an ORP trace (.orpt): a persistent, compact
+/// record of one instrumented run's probe event stream, decoupling event
+/// collection from translation/decomposition (the two halves of the
+/// paper's Figure 4 framework). A recorded trace can be replayed into a
+/// fresh ProfilingSession on any host and yields bit-identical profiles.
+///
+/// File layout (all fixed-width fields little-endian, see
+/// support/Endian.h; all variable-width fields LEB128, see
+/// support/VarInt.h):
+///
+///   FixedHeader (36 bytes)
+///     [0]  magic "ORPT"
+///     [4]  u8  version (currently 1)
+///     [5]  u8  flags (kFlagHasRegistry)
+///     [6]  u8  alloc policy (memsim::AllocPolicy)
+///     [7]  u8  reserved (0)
+///     [8]  u64 environment seed of the recorded run
+///     [16] u64 registry section offset (0 => writer never finalized)
+///     [24] u64 total event count
+///     [32] u32 CRC-32 of header bytes [0, 32)
+///   Event blocks, back to back, from offset 36 to the registry offset:
+///     u8 kind (kBlockEvents) | uleb payloadLen | uleb eventCount |
+///     u32 CRC-32 of payload | payload
+///   Registry section at the registry offset:
+///     u8 kind (kBlockRegistry) | uleb payloadLen | u32 CRC-32 | payload
+///     payload: uleb numInstrs, per instr {uleb nameLen, name, u8 kind};
+///              uleb numSites, per site {uleb nameLen, name,
+///                                       uleb typeLen, type}
+///   End marker: u8 kEndMarker, which must be the last byte of the file.
+///
+/// Event payload encoding. Addresses and timestamps are delta-encoded
+/// against the previous record; delta state resets to zero at every
+/// block boundary so blocks decode independently (a corrupted block
+/// cannot poison its successors, and future shard-parallel readers can
+/// start at any block). Each record is a tag byte followed by fields:
+///
+///   access: tag kOpAccess | kTagStore? | kTagSize8?
+///           uleb instr, sleb addrDelta, sleb timeDelta,
+///           [uleb size when kTagSize8 is clear]
+///   alloc:  tag kOpAlloc | kTagStatic?
+///           uleb site, sleb addrDelta, uleb size, sleb timeDelta
+///   free:   tag kOpFree
+///           sleb addrDelta, sleb timeDelta
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TRACEIO_TRACEFORMAT_H
+#define ORP_TRACEIO_TRACEFORMAT_H
+
+#include "trace/Events.h"
+
+#include <cstdint>
+
+namespace orp {
+namespace traceio {
+
+/// File magic: "ORPT".
+constexpr uint8_t kMagic[4] = {'O', 'R', 'P', 'T'};
+
+/// Current format version. Readers reject anything newer; the format is
+/// append-only versioned (new event kinds or header fields bump this).
+constexpr uint8_t kFormatVersion = 1;
+
+/// Size in bytes of the fixed file header.
+constexpr size_t kHeaderSize = 36;
+
+/// Header flag: a registry section is present.
+constexpr uint8_t kFlagHasRegistry = 0x01;
+
+/// Section kinds.
+constexpr uint8_t kBlockEvents = 0x01;
+constexpr uint8_t kBlockRegistry = 0x02;
+constexpr uint8_t kEndMarker = 0xFF;
+
+/// Record tag opcodes (low 3 bits of the tag byte).
+constexpr uint8_t kOpAccess = 0x00;
+constexpr uint8_t kOpAlloc = 0x01;
+constexpr uint8_t kOpFree = 0x02;
+constexpr uint8_t kOpMask = 0x07;
+
+/// Tag modifier bits.
+constexpr uint8_t kTagStore = 0x08;  ///< Access is a store.
+constexpr uint8_t kTagSize8 = 0x10;  ///< Access width is 8 (elided field).
+constexpr uint8_t kTagStatic = 0x08; ///< Alloc is a static object.
+
+/// One decoded trace record, in original delivery order. A flat struct
+/// rather than a variant: readers switch on Kind and use the fields that
+/// apply (AccessEvent fields for Access, AllocEvent fields for Alloc...).
+struct TraceEvent {
+  enum class Kind : uint8_t { Access, Alloc, Free } K;
+  uint32_t InstrOrSite = 0; ///< InstrId (access) or AllocSiteId (alloc).
+  uint64_t Addr = 0;
+  uint64_t Size = 0; ///< Access width or object size.
+  uint64_t Time = 0;
+  bool IsStore = false;  ///< Access only.
+  bool IsStatic = false; ///< Alloc only.
+};
+
+/// Parsed fixed-header metadata plus file statistics.
+struct TraceInfo {
+  uint8_t Version = 0;
+  uint8_t Flags = 0;
+  uint8_t AllocPolicy = 0;
+  uint64_t Seed = 0;
+  uint64_t TotalEvents = 0;
+  uint64_t NumBlocks = 0;
+  uint64_t FileBytes = 0;
+  uint64_t NumInstructions = 0;
+  uint64_t NumAllocSites = 0;
+};
+
+} // namespace traceio
+} // namespace orp
+
+#endif // ORP_TRACEIO_TRACEFORMAT_H

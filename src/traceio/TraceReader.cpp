@@ -1,0 +1,270 @@
+//===- traceio/TraceReader.cpp - .orpt trace parsing ---------------------===//
+
+#include "traceio/TraceReader.h"
+
+#include "support/Checksum.h"
+#include "support/Endian.h"
+#include "support/VarInt.h"
+
+#include <cstdio>
+
+using namespace orp;
+using namespace orp::traceio;
+
+bool TraceReader::failed(const std::string &Msg) {
+  if (Err.empty())
+    Err = Name + ": " + Msg;
+  return false;
+}
+
+bool TraceReader::open(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Name = Path;
+    return failed("cannot open file");
+  }
+  std::vector<uint8_t> Image;
+  uint8_t Buf[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Image.insert(Image.end(), Buf, Buf + N);
+  bool ReadErr = std::ferror(File) != 0;
+  std::fclose(File);
+  if (ReadErr) {
+    Name = Path;
+    return failed("read error");
+  }
+  return openImage(std::move(Image), Path);
+}
+
+bool TraceReader::openImage(std::vector<uint8_t> Image,
+                            const std::string &FileName) {
+  Name = FileName;
+  Bytes = std::move(Image);
+  Err.clear();
+  Instrs.clear();
+  Sites.clear();
+  Blocks.clear();
+  Info = TraceInfo{};
+  Info.FileBytes = Bytes.size();
+
+  if (!parseHeader())
+    return false;
+  uint64_t RegistryOffset = readLE64(Bytes.data() + 16);
+  if (!indexBlocks(RegistryOffset))
+    return false;
+  if (!parseRegistry(RegistryOffset))
+    return false;
+  Info.NumBlocks = Blocks.size();
+  Info.NumInstructions = Instrs.size();
+  Info.NumAllocSites = Sites.size();
+  return true;
+}
+
+bool TraceReader::parseHeader() {
+  if (Bytes.size() < kHeaderSize)
+    return failed("truncated file: shorter than the fixed header");
+  for (unsigned I = 0; I != 4; ++I)
+    if (Bytes[I] != kMagic[I])
+      return failed("bad magic: not an .orpt trace");
+  Info.Version = Bytes[4];
+  if (Info.Version == 0 || Info.Version > kFormatVersion)
+    return failed("unsupported format version " +
+                  std::to_string(Info.Version));
+  Info.Flags = Bytes[5];
+  Info.AllocPolicy = Bytes[6];
+  Info.Seed = readLE64(Bytes.data() + 8);
+  Info.TotalEvents = readLE64(Bytes.data() + 24);
+  uint32_t Want = readLE32(Bytes.data() + 32);
+  uint32_t Got = crc32(Bytes.data(), 32);
+  if (Want != Got)
+    return failed("header checksum mismatch (corrupted file)");
+  uint64_t RegistryOffset = readLE64(Bytes.data() + 16);
+  if (RegistryOffset == 0)
+    return failed("unfinalized trace: the writer never close()d it");
+  if (RegistryOffset < kHeaderSize || RegistryOffset >= Bytes.size())
+    return failed("registry offset out of bounds (truncated file?)");
+  return true;
+}
+
+bool TraceReader::indexBlocks(uint64_t RegistryOffset) {
+  size_t Pos = kHeaderSize;
+  uint64_t Events = 0;
+  while (Pos < RegistryOffset) {
+    uint64_t BlockIndex = Blocks.size();
+    auto Where = [&] { return "block " + std::to_string(BlockIndex); };
+    if (Bytes[Pos] != kBlockEvents)
+      return failed(Where() + ": unexpected section kind " +
+                    std::to_string(Bytes[Pos]));
+    ++Pos;
+    uint64_t PayloadLen, EventCount;
+    if (!tryDecodeULEB128(Bytes.data(), RegistryOffset, Pos, PayloadLen) ||
+        !tryDecodeULEB128(Bytes.data(), RegistryOffset, Pos, EventCount))
+      return failed(Where() + ": truncated block header");
+    if (RegistryOffset - Pos < 4)
+      return failed(Where() + ": truncated block header");
+    uint32_t Crc = readLE32(Bytes.data() + Pos);
+    Pos += 4;
+    if (PayloadLen > RegistryOffset - Pos)
+      return failed(Where() + ": payload extends past the registry "
+                              "section (truncated file?)");
+    Blocks.push_back(BlockRef{Pos, static_cast<size_t>(PayloadLen),
+                              EventCount, Crc});
+    Events += EventCount;
+    Pos += PayloadLen;
+  }
+  if (Events != Info.TotalEvents)
+    return failed("event count mismatch: header declares " +
+                  std::to_string(Info.TotalEvents) + ", blocks hold " +
+                  std::to_string(Events));
+  return true;
+}
+
+bool TraceReader::parseRegistry(uint64_t Offset) {
+  size_t Pos = Offset;
+  const size_t Size = Bytes.size();
+  if (Bytes[Pos] != kBlockRegistry)
+    return failed("registry section: unexpected kind " +
+                  std::to_string(Bytes[Pos]));
+  ++Pos;
+  uint64_t PayloadLen;
+  if (!tryDecodeULEB128(Bytes.data(), Size, Pos, PayloadLen) ||
+      Size - Pos < 4)
+    return failed("registry section: truncated header");
+  uint32_t Want = readLE32(Bytes.data() + Pos);
+  Pos += 4;
+  if (PayloadLen > Size - Pos)
+    return failed("registry section: truncated payload");
+  const size_t End = Pos + PayloadLen;
+  if (crc32(Bytes.data() + Pos, PayloadLen) != Want)
+    return failed("registry section: checksum mismatch (corrupted file)");
+  if (End >= Size || Bytes[End] != kEndMarker)
+    return failed("missing end marker (truncated file?)");
+  if (End + 1 != Size)
+    return failed("trailing garbage after end marker");
+
+  auto ReadString = [&](std::string &Out) {
+    uint64_t Len;
+    if (!tryDecodeULEB128(Bytes.data(), End, Pos, Len) || Len > End - Pos)
+      return false;
+    Out.assign(Bytes.begin() + Pos, Bytes.begin() + Pos + Len);
+    Pos += Len;
+    return true;
+  };
+
+  uint64_t NumInstrs;
+  if (!tryDecodeULEB128(Bytes.data(), End, Pos, NumInstrs))
+    return failed("registry section: malformed instruction table");
+  for (uint64_t I = 0; I != NumInstrs; ++I) {
+    trace::InstrInfo Instr;
+    if (!ReadString(Instr.Name) || Pos >= End)
+      return failed("registry section: malformed instruction entry");
+    Instr.Kind = static_cast<trace::AccessKind>(Bytes[Pos++]);
+    Instrs.push_back(std::move(Instr));
+  }
+  uint64_t NumSites;
+  if (!tryDecodeULEB128(Bytes.data(), End, Pos, NumSites))
+    return failed("registry section: malformed allocation-site table");
+  for (uint64_t I = 0; I != NumSites; ++I) {
+    trace::AllocSiteInfo Site;
+    if (!ReadString(Site.Name) || !ReadString(Site.TypeName))
+      return failed("registry section: malformed allocation-site entry");
+    Sites.push_back(std::move(Site));
+  }
+  if (Pos != End)
+    return failed("registry section: trailing bytes");
+  return true;
+}
+
+bool TraceReader::decodeBlock(
+    size_t PayloadPos, size_t PayloadLen, uint64_t Count,
+    uint64_t BlockIndex, const std::function<void(const TraceEvent &)> &Fn) {
+  auto Where = [&] { return "block " + std::to_string(BlockIndex); };
+  const uint8_t *Data = Bytes.data();
+  const size_t End = PayloadPos + PayloadLen;
+  size_t Pos = PayloadPos;
+  uint64_t PrevAddr = 0, PrevTime = 0;
+  for (uint64_t I = 0; I != Count; ++I) {
+    if (Pos >= End)
+      return failed(Where() + ": truncated event payload");
+    uint8_t Tag = Data[Pos++];
+    TraceEvent Event;
+    uint64_t U;
+    int64_t S;
+    switch (Tag & kOpMask) {
+    case kOpAccess:
+      Event.K = TraceEvent::Kind::Access;
+      Event.IsStore = (Tag & kTagStore) != 0;
+      if (!tryDecodeULEB128(Data, End, Pos, U))
+        return failed(Where() + ": malformed access record");
+      Event.InstrOrSite = static_cast<uint32_t>(U);
+      if (!tryDecodeSLEB128(Data, End, Pos, S))
+        return failed(Where() + ": malformed access record");
+      Event.Addr = PrevAddr + static_cast<uint64_t>(S);
+      if (!tryDecodeSLEB128(Data, End, Pos, S))
+        return failed(Where() + ": malformed access record");
+      Event.Time = PrevTime + static_cast<uint64_t>(S);
+      if (Tag & kTagSize8) {
+        Event.Size = 8;
+      } else if (!tryDecodeULEB128(Data, End, Pos, U)) {
+        return failed(Where() + ": malformed access record");
+      } else {
+        Event.Size = U;
+      }
+      break;
+    case kOpAlloc:
+      Event.K = TraceEvent::Kind::Alloc;
+      Event.IsStatic = (Tag & kTagStatic) != 0;
+      if (!tryDecodeULEB128(Data, End, Pos, U))
+        return failed(Where() + ": malformed alloc record");
+      Event.InstrOrSite = static_cast<uint32_t>(U);
+      if (!tryDecodeSLEB128(Data, End, Pos, S))
+        return failed(Where() + ": malformed alloc record");
+      Event.Addr = PrevAddr + static_cast<uint64_t>(S);
+      if (!tryDecodeULEB128(Data, End, Pos, U))
+        return failed(Where() + ": malformed alloc record");
+      Event.Size = U;
+      if (!tryDecodeSLEB128(Data, End, Pos, S))
+        return failed(Where() + ": malformed alloc record");
+      Event.Time = PrevTime + static_cast<uint64_t>(S);
+      break;
+    case kOpFree:
+      Event.K = TraceEvent::Kind::Free;
+      if (!tryDecodeSLEB128(Data, End, Pos, S))
+        return failed(Where() + ": malformed free record");
+      Event.Addr = PrevAddr + static_cast<uint64_t>(S);
+      if (!tryDecodeSLEB128(Data, End, Pos, S))
+        return failed(Where() + ": malformed free record");
+      Event.Time = PrevTime + static_cast<uint64_t>(S);
+      break;
+    default:
+      return failed(Where() + ": unknown event opcode " +
+                    std::to_string(Tag & kOpMask));
+    }
+    PrevAddr = Event.Addr;
+    PrevTime = Event.Time;
+    Fn(Event);
+  }
+  if (Pos != End)
+    return failed(Where() + ": trailing bytes in event payload");
+  return true;
+}
+
+bool TraceReader::forEachEvent(
+    const std::function<void(const TraceEvent &)> &Fn) {
+  for (size_t B = 0; B != Blocks.size(); ++B) {
+    const BlockRef &Ref = Blocks[B];
+    if (crc32(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen) != Ref.Crc)
+      return failed("block " + std::to_string(B) +
+                    ": checksum mismatch (corrupted file)");
+    if (!decodeBlock(Ref.PayloadPos, Ref.PayloadLen, Ref.EventCount, B, Fn))
+      return false;
+  }
+  return true;
+}
+
+bool TraceReader::readAllEvents(std::vector<TraceEvent> &Out) {
+  Out.clear();
+  Out.reserve(Info.TotalEvents);
+  return forEachEvent([&](const TraceEvent &E) { Out.push_back(E); });
+}

@@ -1,0 +1,47 @@
+//===- traceio/TraceReplayer.cpp - Re-drive sessions from traces ---------===//
+
+#include "traceio/TraceReplayer.h"
+
+using namespace orp;
+using namespace orp::traceio;
+
+std::unique_ptr<core::ProfilingSession>
+TraceReplayer::makeSession(core::UnknownAddressPolicy Unknown) const {
+  auto Policy = static_cast<memsim::AllocPolicy>(Reader.info().AllocPolicy);
+  return std::make_unique<core::ProfilingSession>(Policy,
+                                                  Reader.info().Seed,
+                                                  Unknown);
+}
+
+bool TraceReplayer::replayInto(core::ProfilingSession &Session,
+                               bool CallFinish) {
+  trace::InstructionRegistry &Registry = Session.registry();
+  for (const trace::InstrInfo &Info : Reader.instructions())
+    Registry.addInstruction(Info.Name, Info.Kind);
+  for (const trace::AllocSiteInfo &Info : Reader.allocSites())
+    Registry.addAllocSite(Info.Name, Info.TypeName);
+
+  trace::MemoryInterface &Memory = Session.memory();
+  Replayed = 0;
+  bool Ok = Reader.forEachEvent([&](const TraceEvent &E) {
+    switch (E.K) {
+    case TraceEvent::Kind::Access:
+      Memory.injectAccess(trace::AccessEvent{
+          E.InstrOrSite, E.Addr, static_cast<uint32_t>(E.Size), E.IsStore,
+          E.Time});
+      break;
+    case TraceEvent::Kind::Alloc:
+      Memory.injectAlloc(
+          trace::AllocEvent{E.InstrOrSite, E.Addr, E.Size, E.Time,
+                            E.IsStatic});
+      break;
+    case TraceEvent::Kind::Free:
+      Memory.injectFree(trace::FreeEvent{E.Addr, E.Time});
+      break;
+    }
+    ++Replayed;
+  });
+  if (Ok && CallFinish)
+    Session.finish();
+  return Ok;
+}

@@ -1,0 +1,66 @@
+//===- traceio/TraceReplayer.h - Re-drive sessions from traces -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a recorded .orpt trace into a fresh ProfilingSession: the
+/// recorded probe-site tables are re-registered into the session's
+/// InstructionRegistry and every event is injected, in original delivery
+/// order and with original timestamps, into the session's sinks (CDC and
+/// any attached raw sinks). Profiles built from a replayed trace are
+/// bit-identical to the live in-process run — collection and analysis
+/// can happen on different machines, at different times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TRACEIO_TRACEREPLAYER_H
+#define ORP_TRACEIO_TRACEREPLAYER_H
+
+#include "core/ProfilingSession.h"
+#include "traceio/TraceReader.h"
+
+#include <memory>
+#include <string>
+
+namespace orp {
+namespace traceio {
+
+/// Replays an opened TraceReader into profiling sessions.
+class TraceReplayer {
+public:
+  /// \p Reader must have been open()ed successfully and must outlive
+  /// the replayer.
+  explicit TraceReplayer(TraceReader &Reader) : Reader(Reader) {}
+
+  /// Creates a session configured exactly like the recorded run (same
+  /// allocator policy and environment seed, though replay never touches
+  /// the allocator), with \p Unknown forwarded to the CDC.
+  std::unique_ptr<core::ProfilingSession> makeSession(
+      core::UnknownAddressPolicy Unknown =
+          core::UnknownAddressPolicy::Drop) const;
+
+  /// Re-registers the recorded probe sites into \p Session's registry
+  /// and injects the full event stream. When \p CallFinish is set the
+  /// session is finish()ed afterwards (the trace already contains the
+  /// recorded run's static frees, so finishing only notifies sinks).
+  /// Returns false with error() set when the trace is corrupt.
+  bool replayInto(core::ProfilingSession &Session, bool CallFinish = true);
+
+  /// Events delivered by the last replayInto().
+  uint64_t eventsReplayed() const { return Replayed; }
+
+  /// The reader's error, or empty.
+  const std::string &error() const { return Reader.error(); }
+
+private:
+  TraceReader &Reader;
+  uint64_t Replayed = 0;
+};
+
+} // namespace traceio
+} // namespace orp
+
+#endif // ORP_TRACEIO_TRACEREPLAYER_H

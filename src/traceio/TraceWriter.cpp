@@ -1,0 +1,196 @@
+//===- traceio/TraceWriter.cpp - Streaming .orpt trace recorder ----------===//
+
+#include "traceio/TraceWriter.h"
+
+#include "support/Checksum.h"
+#include "support/Endian.h"
+#include "support/VarInt.h"
+
+using namespace orp;
+using namespace orp::traceio;
+
+TraceWriter::TraceWriter(std::string Path,
+                         const trace::InstructionRegistry &Registry,
+                         memsim::AllocPolicy Policy, uint64_t Seed,
+                         size_t BlockBytes)
+    : Path(std::move(Path)), Registry(Registry), Policy(Policy), Seed(Seed),
+      BlockBytes(BlockBytes) {
+  File = std::fopen(this->Path.c_str(), "wb");
+  if (!File) {
+    fail("cannot open '" + this->Path + "' for writing");
+    return;
+  }
+  // Provisional header with registry offset 0: a reader that sees it
+  // knows the writer died before close().
+  writeBytes(encodeHeader(0).data(), kHeaderSize);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::fail(const std::string &Msg) {
+  if (Err.empty())
+    Err = Msg;
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+void TraceWriter::writeBytes(const void *Data, size_t Size) {
+  if (!File)
+    return;
+  if (std::fwrite(Data, 1, Size, File) != Size) {
+    fail("write error on '" + Path + "'");
+    return;
+  }
+  BytesOut += Size;
+}
+
+std::vector<uint8_t> TraceWriter::encodeHeader(uint64_t RegistryOffset) const {
+  std::vector<uint8_t> Out;
+  Out.reserve(kHeaderSize);
+  Out.insert(Out.end(), kMagic, kMagic + 4);
+  Out.push_back(kFormatVersion);
+  Out.push_back(RegistryOffset ? kFlagHasRegistry : 0);
+  Out.push_back(static_cast<uint8_t>(Policy));
+  Out.push_back(0); // reserved
+  appendLE64(Seed, Out);
+  appendLE64(RegistryOffset, Out);
+  appendLE64(TotalEvents, Out);
+  appendLE32(crc32(Out), Out);
+  return Out;
+}
+
+void TraceWriter::flushBlock() {
+  if (Block.empty()) {
+    PrevAddr = PrevTime = 0;
+    return;
+  }
+  std::vector<uint8_t> Frame;
+  Frame.reserve(Block.size() + 16);
+  Frame.push_back(kBlockEvents);
+  encodeULEB128(Block.size(), Frame);
+  encodeULEB128(BlockEvents, Frame);
+  appendLE32(crc32(Block), Frame);
+  writeBytes(Frame.data(), Frame.size());
+  writeBytes(Block.data(), Block.size());
+  Block.clear();
+  BlockEvents = 0;
+  PrevAddr = PrevTime = 0;
+}
+
+void TraceWriter::maybeFlush() {
+  if (Block.size() >= BlockBytes)
+    flushBlock();
+}
+
+void TraceWriter::onAccess(const trace::AccessEvent &Event) {
+  if (!File || Closed)
+    return;
+  uint8_t Tag = kOpAccess;
+  if (Event.IsStore)
+    Tag |= kTagStore;
+  if (Event.Size == 8)
+    Tag |= kTagSize8;
+  Block.push_back(Tag);
+  encodeULEB128(Event.Instr, Block);
+  encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
+  encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  if (Event.Size != 8)
+    encodeULEB128(Event.Size, Block);
+  PrevAddr = Event.Addr;
+  PrevTime = Event.Time;
+  ++BlockEvents;
+  ++TotalEvents;
+  maybeFlush();
+}
+
+void TraceWriter::onAlloc(const trace::AllocEvent &Event) {
+  if (!File || Closed)
+    return;
+  uint8_t Tag = kOpAlloc;
+  if (Event.IsStatic)
+    Tag |= kTagStatic;
+  Block.push_back(Tag);
+  encodeULEB128(Event.Site, Block);
+  encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
+  encodeULEB128(Event.Size, Block);
+  encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  PrevAddr = Event.Addr;
+  PrevTime = Event.Time;
+  ++BlockEvents;
+  ++TotalEvents;
+  maybeFlush();
+}
+
+void TraceWriter::onFree(const trace::FreeEvent &Event) {
+  if (!File || Closed)
+    return;
+  Block.push_back(kOpFree);
+  encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
+  encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  PrevAddr = Event.Addr;
+  PrevTime = Event.Time;
+  ++BlockEvents;
+  ++TotalEvents;
+  maybeFlush();
+}
+
+void TraceWriter::onFinish() { close(); }
+
+std::vector<uint8_t> TraceWriter::encodeRegistry() const {
+  std::vector<uint8_t> Out;
+  encodeULEB128(Registry.numInstructions(), Out);
+  for (size_t I = 0; I != Registry.numInstructions(); ++I) {
+    const trace::InstrInfo &Info =
+        Registry.instruction(static_cast<trace::InstrId>(I));
+    encodeULEB128(Info.Name.size(), Out);
+    Out.insert(Out.end(), Info.Name.begin(), Info.Name.end());
+    Out.push_back(static_cast<uint8_t>(Info.Kind));
+  }
+  encodeULEB128(Registry.numAllocSites(), Out);
+  for (size_t I = 0; I != Registry.numAllocSites(); ++I) {
+    const trace::AllocSiteInfo &Info =
+        Registry.allocSite(static_cast<trace::AllocSiteId>(I));
+    encodeULEB128(Info.Name.size(), Out);
+    Out.insert(Out.end(), Info.Name.begin(), Info.Name.end());
+    encodeULEB128(Info.TypeName.size(), Out);
+    Out.insert(Out.end(), Info.TypeName.begin(), Info.TypeName.end());
+  }
+  return Out;
+}
+
+bool TraceWriter::close() {
+  if (Closed)
+    return ok();
+  Closed = true;
+  if (!File)
+    return false;
+  flushBlock();
+  uint64_t RegistryOffset = BytesOut;
+
+  std::vector<uint8_t> Payload = encodeRegistry();
+  std::vector<uint8_t> Frame;
+  Frame.push_back(kBlockRegistry);
+  encodeULEB128(Payload.size(), Frame);
+  appendLE32(crc32(Payload), Frame);
+  writeBytes(Frame.data(), Frame.size());
+  writeBytes(Payload.data(), Payload.size());
+
+  uint8_t End = kEndMarker;
+  writeBytes(&End, 1);
+
+  if (File && std::fseek(File, 0, SEEK_SET) != 0)
+    fail("seek error on '" + Path + "'");
+  if (File) {
+    std::vector<uint8_t> Header = encodeHeader(RegistryOffset);
+    if (std::fwrite(Header.data(), 1, kHeaderSize, File) != kHeaderSize)
+      fail("write error on '" + Path + "'");
+  }
+  if (File) {
+    if (std::fclose(File) != 0)
+      fail("close error on '" + Path + "'");
+    File = nullptr;
+  }
+  return ok();
+}

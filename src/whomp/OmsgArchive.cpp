@@ -2,6 +2,9 @@
 
 #include "whomp/OmsgArchive.h"
 
+#include "support/Checksum.h"
+#include "support/Endian.h"
+#include "support/Error.h"
 #include "support/VarInt.h"
 
 #include <cassert>
@@ -33,8 +36,16 @@ OmsgArchive OmsgArchive::build(const WhompProfiler &Profiler,
   return Archive;
 }
 
+// Header layout: [magic 4]["version" u8][payload CRC-32, LE u32]; the
+// payload (everything after the 9-byte header) is LEB128-encoded and so
+// byte-order free by construction.
+constexpr size_t kArchiveHeaderSize = 9;
+
 std::vector<uint8_t> OmsgArchive::serialize() const {
   std::vector<uint8_t> Out;
+  Out.insert(Out.end(), kMagic, kMagic + 4);
+  Out.push_back(kFormatVersion);
+  appendLE32(0, Out); // payload checksum, patched below
   encodeULEB128(GrammarImages.size(), Out);
   for (const auto &Image : GrammarImages) {
     encodeULEB128(Image.size(), Out);
@@ -52,12 +63,28 @@ std::vector<uint8_t> OmsgArchive::serialize() const {
     if (Freed)
       encodeULEB128(Row.FreeTime, Out);
   }
+  uint32_t Crc = crc32(Out.data() + kArchiveHeaderSize,
+                       Out.size() - kArchiveHeaderSize);
+  for (unsigned I = 0; I != 4; ++I)
+    Out[5 + I] = static_cast<uint8_t>(Crc >> (8 * I));
   return Out;
 }
 
 OmsgArchive OmsgArchive::deserialize(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < kArchiveHeaderSize)
+    ORP_FATAL_ERROR("OMSG archive: truncated header");
+  for (unsigned I = 0; I != 4; ++I)
+    if (Bytes[I] != kMagic[I])
+      ORP_FATAL_ERROR("OMSG archive: bad magic");
+  if (Bytes[4] == 0 || Bytes[4] > kFormatVersion)
+    ORP_FATAL_ERROR("OMSG archive: unsupported format version");
+  uint32_t Want = readLE32(Bytes.data() + 5);
+  if (crc32(Bytes.data() + kArchiveHeaderSize,
+            Bytes.size() - kArchiveHeaderSize) != Want)
+    ORP_FATAL_ERROR("OMSG archive: checksum mismatch (corrupted image)");
+
   OmsgArchive Archive;
-  size_t Pos = 0;
+  size_t Pos = kArchiveHeaderSize;
   uint64_t NumGrammars = decodeULEB128(Bytes, Pos);
   for (uint64_t G = 0; G != NumGrammars; ++G) {
     uint64_t Len = decodeULEB128(Bytes, Pos);

@@ -50,10 +50,19 @@ public:
   static OmsgArchive build(const WhompProfiler &Profiler,
                            const omc::ObjectManager *Omc = nullptr);
 
-  /// Serializes the archive (ULEB128-framed grammar images + aux rows).
+  /// Archive magic ("OMSA") and current format version.
+  static constexpr uint8_t kMagic[4] = {'O', 'M', 'S', 'A'};
+  static constexpr uint8_t kFormatVersion = 1;
+
+  /// Serializes the archive: a fixed header (magic, version, explicit
+  /// little-endian u32 payload CRC-32 — byte order is pinned so archives
+  /// are portable across hosts) followed by the ULEB128-framed grammar
+  /// images and aux rows.
   std::vector<uint8_t> serialize() const;
 
-  /// Parses a serialize()d image.
+  /// Parses a serialize()d image. A bad magic, unsupported version or
+  /// checksum mismatch is a loud fatal error (also in release builds),
+  /// never a silent misparse.
   static OmsgArchive deserialize(const std::vector<uint8_t> &Bytes);
 
   /// Expanded dimension streams, in (instr, group, object, offset)

@@ -1,5 +1,7 @@
 //===- tests/support_test.cpp - Support library unit tests ---------------===//
 
+#include "support/Checksum.h"
+#include "support/Endian.h"
 #include "support/Histogram.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -278,6 +280,95 @@ TEST(VarIntTest, SLEBKnownEncodings) {
   EXPECT_EQ(Out, (std::vector<uint8_t>{0xc0, 0xbb, 0x78}));
 }
 
+TEST(VarIntTest, ULEBBoundaryValues) {
+  // 0, 2^7 - 1, 2^7, 2^7 + 1 and 2^64 - 1: the width-transition points
+  // that a LEB128 implementation most easily gets wrong.
+  struct Boundary {
+    uint64_t Value;
+    size_t Width;
+  };
+  const Boundary Cases[] = {{0, 1},
+                            {127, 1},
+                            {128, 2},
+                            {129, 2},
+                            {std::numeric_limits<uint64_t>::max(), 10}};
+  for (const Boundary &C : Cases) {
+    std::vector<uint8_t> Buf;
+    encodeULEB128(C.Value, Buf);
+    EXPECT_EQ(Buf.size(), C.Width) << C.Value;
+    EXPECT_EQ(sizeULEB128(C.Value), C.Width) << C.Value;
+    size_t Pos = 0;
+    EXPECT_EQ(decodeULEB128(Buf, Pos), C.Value);
+    EXPECT_EQ(Pos, Buf.size());
+    uint64_t Back = 0;
+    Pos = 0;
+    EXPECT_TRUE(tryDecodeULEB128(Buf.data(), Buf.size(), Pos, Back));
+    EXPECT_EQ(Back, C.Value);
+    EXPECT_EQ(Pos, Buf.size());
+  }
+  // UINT64_MAX is ten 0xff bytes capped by 0x01.
+  std::vector<uint8_t> Buf;
+  encodeULEB128(std::numeric_limits<uint64_t>::max(), Buf);
+  EXPECT_EQ(Buf.back(), 0x01);
+}
+
+TEST(VarIntTest, TryDecodeRejectsTruncationAndOverflow) {
+  std::vector<uint8_t> Buf;
+  encodeULEB128(1ULL << 40, Buf);
+  // Every strict prefix is truncated input.
+  for (size_t Len = 0; Len != Buf.size(); ++Len) {
+    uint64_t V;
+    size_t Pos = 0;
+    EXPECT_FALSE(tryDecodeULEB128(Buf.data(), Len, Pos, V));
+    EXPECT_EQ(Pos, 0u); // Pos untouched on failure
+  }
+  // 11-byte encodings (and 10-byte ones spilling past bit 63) overflow.
+  std::vector<uint8_t> TooWide(10, 0x80);
+  TooWide.push_back(0x01);
+  uint64_t V;
+  size_t Pos = 0;
+  EXPECT_FALSE(tryDecodeULEB128(TooWide.data(), TooWide.size(), Pos, V));
+  std::vector<uint8_t> Spill(9, 0xff);
+  Spill.push_back(0x02); // bit 64
+  Pos = 0;
+  EXPECT_FALSE(tryDecodeULEB128(Spill.data(), Spill.size(), Pos, V));
+
+  int64_t S;
+  Pos = 0;
+  std::vector<uint8_t> Cut = {0x80};
+  EXPECT_FALSE(tryDecodeSLEB128(Cut.data(), Cut.size(), Pos, S));
+}
+
+TEST(VarIntTest, TryDecodeMatchesDecodeOnValidStreams) {
+  Rng R(97);
+  std::vector<uint64_t> UValues;
+  std::vector<int64_t> SValues;
+  std::vector<uint8_t> Buf;
+  for (int I = 0; I != 200; ++I) {
+    uint64_t U = R.next() >> R.nextBelow(64);
+    int64_t S = static_cast<int64_t>(R.next()) >> R.nextBelow(64);
+    UValues.push_back(U);
+    SValues.push_back(S);
+    encodeULEB128(U, Buf);
+    encodeSLEB128(S, Buf);
+  }
+  UValues.push_back(std::numeric_limits<uint64_t>::max());
+  SValues.push_back(std::numeric_limits<int64_t>::min());
+  encodeULEB128(UValues.back(), Buf);
+  encodeSLEB128(SValues.back(), Buf);
+
+  size_t Pos = 0;
+  for (size_t I = 0; I != UValues.size(); ++I) {
+    uint64_t U;
+    int64_t S;
+    ASSERT_TRUE(tryDecodeULEB128(Buf.data(), Buf.size(), Pos, U));
+    EXPECT_EQ(U, UValues[I]);
+    ASSERT_TRUE(tryDecodeSLEB128(Buf.data(), Buf.size(), Pos, S));
+    EXPECT_EQ(S, SValues[I]);
+  }
+  EXPECT_EQ(Pos, Buf.size());
+}
+
 TEST(VarIntTest, ULEBRoundTripProperty) {
   Rng R(41);
   std::vector<uint64_t> Values = {0, 1, 127, 128, 16383, 16384,
@@ -350,4 +441,55 @@ TEST(TablePrinterTest, PrintsAlignedColumns) {
   EXPECT_NE(Out.find("name"), std::string::npos);
   EXPECT_NE(Out.find("longer-name"), std::string::npos);
   EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Checksum
+//===----------------------------------------------------------------------===//
+
+TEST(ChecksumTest, Crc32StandardCheckValue) {
+  const uint8_t Check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(Check, sizeof(Check)), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(ChecksumTest, Crc32DetectsSingleBitFlips) {
+  Rng R(11);
+  std::vector<uint8_t> Data(257);
+  for (uint8_t &B : Data)
+    B = static_cast<uint8_t>(R.next());
+  uint32_t Reference = crc32(Data);
+  for (size_t I = 0; I < Data.size(); I += 13) {
+    Data[I] ^= 0x20;
+    EXPECT_NE(crc32(Data), Reference) << "flip at " << I;
+    Data[I] ^= 0x20;
+  }
+  EXPECT_EQ(crc32(Data), Reference);
+}
+
+//===----------------------------------------------------------------------===//
+// Endian
+//===----------------------------------------------------------------------===//
+
+TEST(EndianTest, LittleEndianByteLayoutIsExplicit) {
+  std::vector<uint8_t> Out;
+  appendLE16(0x1234, Out);
+  appendLE32(0xDEADBEEFu, Out);
+  appendLE64(0x0102030405060708ULL, Out);
+  EXPECT_EQ(Out, (std::vector<uint8_t>{0x34, 0x12, 0xEF, 0xBE, 0xAD, 0xDE,
+                                       0x08, 0x07, 0x06, 0x05, 0x04, 0x03,
+                                       0x02, 0x01}));
+  EXPECT_EQ(readLE16(Out.data()), 0x1234);
+  EXPECT_EQ(readLE32(Out.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(readLE64(Out.data() + 6), 0x0102030405060708ULL);
+}
+
+TEST(EndianTest, RoundTripsExtremeValues) {
+  for (uint64_t V : std::vector<uint64_t>{
+           0, 1, 0xFF, 0xFF00FF00FF00FF00ULL,
+           std::numeric_limits<uint64_t>::max()}) {
+    std::vector<uint8_t> Out;
+    appendLE64(V, Out);
+    EXPECT_EQ(readLE64(Out.data()), V);
+  }
 }

@@ -1,0 +1,428 @@
+//===- tests/traceio_test.cpp - Trace record/replay tests ----------------===//
+//
+// The contract under test: a .orpt recording of a run, replayed into a
+// fresh ProfilingSession, yields bit-identical profiles (OMSG archive,
+// LEAP profile, RASG grammars) — and a damaged trace file is rejected
+// with a clear error, never silently misparsed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/RasgProfiler.h"
+#include "core/ProfilingSession.h"
+#include "leap/LeapProfileData.h"
+#include "support/Checksum.h"
+#include "support/Endian.h"
+#include "traceio/TraceReader.h"
+#include "traceio/TraceReplayer.h"
+#include "traceio/TraceWriter.h"
+#include "whomp/OmsgArchive.h"
+#include "whomp/Whomp.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace orp;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "orp_traceio_" + Name;
+}
+
+/// Runs \p WorkloadName live with \p Extra sinks/consumers attached and
+/// records the probe stream to \p Path. Returns the session (finished).
+std::unique_ptr<core::ProfilingSession>
+recordRun(const std::string &WorkloadName, const std::string &Path,
+          core::OrTupleConsumer *Consumer = nullptr,
+          trace::TraceSink *RawSink = nullptr, uint64_t Scale = 1,
+          size_t BlockBytes = traceio::TraceWriter::kDefaultBlockBytes) {
+  auto Session = std::make_unique<core::ProfilingSession>(
+      memsim::AllocPolicy::FirstFit, /*Seed=*/7);
+  traceio::TraceWriter Writer(Path, Session->registry(),
+                              memsim::AllocPolicy::FirstFit, /*Seed=*/7,
+                              BlockBytes);
+  EXPECT_TRUE(Writer.ok()) << Writer.error();
+  Session->addRawSink(&Writer);
+  if (Consumer)
+    Session->addConsumer(Consumer);
+  if (RawSink)
+    Session->addRawSink(RawSink);
+
+  auto W = workloads::createWorkloadByName(WorkloadName);
+  EXPECT_TRUE(W);
+  workloads::WorkloadConfig Config;
+  Config.Scale = Scale;
+  W->run(Session->memory(), Session->registry(), Config);
+  Session->finish();
+  EXPECT_TRUE(Writer.close()) << Writer.error();
+  return Session;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trips: replayed profiles are bit-identical to live ones
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoTest, GzipReplayProducesByteIdenticalOmsg) {
+  // The acceptance scenario: record the gzip workload, replay with
+  // WHOMP, compare the serialized OMSG archives byte for byte.
+  std::string Path = tempPath("gzip.orpt");
+  whomp::WhompProfiler Live;
+  auto LiveSession = recordRun("164.gzip-a", Path, &Live);
+  auto LiveBytes =
+      whomp::OmsgArchive::build(Live, &LiveSession->omc()).serialize();
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  traceio::TraceReplayer Replayer(Reader);
+  auto Replayed = Replayer.makeSession();
+  whomp::WhompProfiler Offline;
+  Replayed->addConsumer(&Offline);
+  ASSERT_TRUE(Replayer.replayInto(*Replayed)) << Replayer.error();
+
+  auto ReplayBytes =
+      whomp::OmsgArchive::build(Offline, &Replayed->omc()).serialize();
+  EXPECT_EQ(Live.tuplesSeen(), Offline.tuplesSeen());
+  EXPECT_EQ(LiveBytes, ReplayBytes);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIoTest, LeapReplayProducesIdenticalProfile) {
+  std::string Path = tempPath("leap.orpt");
+  leap::LeapProfiler Live(/*MaxLmads=*/30);
+  recordRun("181.mcf-a", Path, &Live);
+  auto LiveBytes = leap::LeapProfileData::fromProfiler(Live).serialize();
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  traceio::TraceReplayer Replayer(Reader);
+  auto Replayed = Replayer.makeSession();
+  leap::LeapProfiler Offline(/*MaxLmads=*/30);
+  Replayed->addConsumer(&Offline);
+  ASSERT_TRUE(Replayer.replayInto(*Replayed)) << Replayer.error();
+
+  EXPECT_EQ(LiveBytes,
+            leap::LeapProfileData::fromProfiler(Offline).serialize());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIoTest, RasgReplayProducesIdenticalGrammars) {
+  std::string Path = tempPath("rasg.orpt");
+  baseline::RasgProfiler Live;
+  recordRun("list-traversal", Path, nullptr, &Live);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  traceio::TraceReplayer Replayer(Reader);
+  auto Replayed = Replayer.makeSession();
+  baseline::RasgProfiler Offline;
+  Replayed->addRawSink(&Offline);
+  ASSERT_TRUE(Replayer.replayInto(*Replayed)) << Replayer.error();
+
+  EXPECT_EQ(Live.accessesSeen(), Offline.accessesSeen());
+  EXPECT_EQ(Live.addressGrammar().serialize(),
+            Offline.addressGrammar().serialize());
+  EXPECT_EQ(Live.instructionGrammar().serialize(),
+            Offline.instructionGrammar().serialize());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIoTest, MultiBlockEventStreamRoundTrips) {
+  // Tiny blocks force many delta-state resets; the decoded stream must
+  // still match the live stream event for event.
+  std::string Path = tempPath("blocks.orpt");
+  trace::BufferSink Live;
+  recordRun("list-traversal", Path, nullptr, &Live, /*Scale=*/1,
+            /*BlockBytes=*/256);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_GT(Reader.info().NumBlocks, 1u);
+
+  traceio::TraceReplayer Replayer(Reader);
+  auto Replayed = Replayer.makeSession();
+  trace::BufferSink Offline;
+  Replayed->addRawSink(&Offline);
+  ASSERT_TRUE(Replayer.replayInto(*Replayed)) << Replayer.error();
+
+  ASSERT_EQ(Live.accesses().size(), Offline.accesses().size());
+  for (size_t I = 0; I != Live.accesses().size(); ++I) {
+    const trace::AccessEvent &A = Live.accesses()[I];
+    const trace::AccessEvent &B = Offline.accesses()[I];
+    ASSERT_EQ(A.Instr, B.Instr);
+    ASSERT_EQ(A.Addr, B.Addr);
+    ASSERT_EQ(A.Size, B.Size);
+    ASSERT_EQ(A.IsStore, B.IsStore);
+    ASSERT_EQ(A.Time, B.Time);
+  }
+  ASSERT_EQ(Live.allocs().size(), Offline.allocs().size());
+  for (size_t I = 0; I != Live.allocs().size(); ++I) {
+    const trace::AllocEvent &A = Live.allocs()[I];
+    const trace::AllocEvent &B = Offline.allocs()[I];
+    ASSERT_EQ(A.Site, B.Site);
+    ASSERT_EQ(A.Addr, B.Addr);
+    ASSERT_EQ(A.Size, B.Size);
+    ASSERT_EQ(A.Time, B.Time);
+    ASSERT_EQ(A.IsStatic, B.IsStatic);
+  }
+  ASSERT_EQ(Live.frees().size(), Offline.frees().size());
+  for (size_t I = 0; I != Live.frees().size(); ++I) {
+    ASSERT_EQ(Live.frees()[I].Addr, Offline.frees()[I].Addr);
+    ASSERT_EQ(Live.frees()[I].Time, Offline.frees()[I].Time);
+  }
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Metadata
+//===----------------------------------------------------------------------===//
+
+TEST(TraceIoTest, InfoAndRegistryMatchTheRecordedRun) {
+  std::string Path = tempPath("info.orpt");
+  trace::CountingSink Counter;
+  auto Session = recordRun("list-traversal", Path, nullptr, &Counter);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  const traceio::TraceInfo &Info = Reader.info();
+  EXPECT_EQ(Info.Version, traceio::kFormatVersion);
+  EXPECT_EQ(Info.AllocPolicy,
+            static_cast<uint8_t>(memsim::AllocPolicy::FirstFit));
+  EXPECT_EQ(Info.Seed, 7u);
+  EXPECT_EQ(Info.TotalEvents,
+            Counter.accesses() + Counter.allocs() + Counter.frees());
+
+  const trace::InstructionRegistry &Live = Session->registry();
+  ASSERT_EQ(Info.NumInstructions, Live.numInstructions());
+  ASSERT_EQ(Info.NumAllocSites, Live.numAllocSites());
+  for (size_t I = 0; I != Live.numInstructions(); ++I) {
+    EXPECT_EQ(Reader.instructions()[I].Name,
+              Live.instruction(static_cast<trace::InstrId>(I)).Name);
+    EXPECT_EQ(Reader.instructions()[I].Kind,
+              Live.instruction(static_cast<trace::InstrId>(I)).Kind);
+  }
+  for (size_t I = 0; I != Live.numAllocSites(); ++I) {
+    EXPECT_EQ(Reader.allocSites()[I].Name,
+              Live.allocSite(static_cast<trace::AllocSiteId>(I)).Name);
+    EXPECT_EQ(Reader.allocSites()[I].TypeName,
+              Live.allocSite(static_cast<trace::AllocSiteId>(I)).TypeName);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  std::string Path = tempPath("empty.orpt");
+  {
+    core::ProfilingSession Session;
+    traceio::TraceWriter Writer(Path, Session.registry(),
+                                memsim::AllocPolicy::FirstFit, 0);
+    ASSERT_TRUE(Writer.ok()) << Writer.error();
+    Session.addRawSink(&Writer);
+    Session.finish(); // no workload: zero events
+    EXPECT_TRUE(Writer.close()) << Writer.error();
+    EXPECT_EQ(Writer.eventsWritten(), 0u);
+  }
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  EXPECT_EQ(Reader.info().TotalEvents, 0u);
+  EXPECT_EQ(Reader.info().NumBlocks, 0u);
+  uint64_t Seen = 0;
+  EXPECT_TRUE(
+      Reader.forEachEvent([&](const traceio::TraceEvent &) { ++Seen; }));
+  EXPECT_EQ(Seen, 0u);
+
+  traceio::TraceReplayer Replayer(Reader);
+  auto Session = Replayer.makeSession();
+  EXPECT_TRUE(Replayer.replayInto(*Session));
+  EXPECT_EQ(Replayer.eventsReplayed(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIoTest, WriterReportsUnwritablePath) {
+  trace::InstructionRegistry Registry;
+  traceio::TraceWriter Writer("/nonexistent-dir/trace.orpt", Registry,
+                              memsim::AllocPolicy::FirstFit, 0);
+  EXPECT_FALSE(Writer.ok());
+  EXPECT_NE(Writer.error().find("cannot open"), std::string::npos);
+  EXPECT_FALSE(Writer.close());
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption and truncation are rejected loudly
+//===----------------------------------------------------------------------===//
+
+class TraceIoCorruptionTest : public testing::Test {
+protected:
+  void SetUp() override {
+    Path = tempPath("corrupt.orpt");
+    recordRun("list-traversal", Path);
+    Good = readFile(Path);
+    ASSERT_GT(Good.size(), traceio::kHeaderSize + 64);
+    std::remove(Path.c_str());
+  }
+
+  /// Expects openImage (or the event walk) to fail with \p Needle in
+  /// the error message.
+  void expectRejected(std::vector<uint8_t> Image,
+                      const std::string &Needle) {
+    traceio::TraceReader Reader;
+    bool Ok = Reader.openImage(std::move(Image), "corrupt.orpt");
+    if (Ok)
+      Ok = Reader.forEachEvent([](const traceio::TraceEvent &) {});
+    EXPECT_FALSE(Ok);
+    EXPECT_NE(Reader.error().find(Needle), std::string::npos)
+        << "error was: " << Reader.error();
+  }
+
+  std::string Path;
+  std::vector<uint8_t> Good;
+};
+
+TEST_F(TraceIoCorruptionTest, IntactImageIsAccepted) {
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.openImage(Good, "good.orpt")) << Reader.error();
+  EXPECT_TRUE(Reader.forEachEvent([](const traceio::TraceEvent &) {}));
+}
+
+TEST_F(TraceIoCorruptionTest, NotATraceFile) {
+  expectRejected({'n', 'o', 'p', 'e'}, "truncated file");
+  std::vector<uint8_t> Bad = Good;
+  Bad[0] = 'X';
+  expectRejected(std::move(Bad), "bad magic");
+}
+
+TEST_F(TraceIoCorruptionTest, TruncationsAreRejected) {
+  for (size_t Keep :
+       {size_t(10), traceio::kHeaderSize - 1, traceio::kHeaderSize + 3,
+        Good.size() / 2, Good.size() - 1}) {
+    std::vector<uint8_t> Bad(Good.begin(), Good.begin() + Keep);
+    traceio::TraceReader Reader;
+    bool Ok = Reader.openImage(std::move(Bad), "truncated.orpt");
+    if (Ok)
+      Ok = Reader.forEachEvent([](const traceio::TraceEvent &) {});
+    EXPECT_FALSE(Ok) << "prefix of " << Keep << " bytes was accepted";
+    EXPECT_FALSE(Reader.error().empty());
+  }
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedHeaderByteIsRejected) {
+  std::vector<uint8_t> Bad = Good;
+  Bad[8] ^= 0x40; // seed field; covered by the header CRC
+  expectRejected(std::move(Bad), "header checksum mismatch");
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedBlockPayloadByteIsRejected) {
+  // Well inside the first event block's payload.
+  std::vector<uint8_t> Bad = Good;
+  Bad[traceio::kHeaderSize + 32] ^= 0x01;
+  expectRejected(std::move(Bad), "checksum mismatch");
+}
+
+TEST_F(TraceIoCorruptionTest, UnsupportedVersionIsRejected) {
+  std::vector<uint8_t> Bad = Good;
+  Bad[4] = traceio::kFormatVersion + 1;
+  // Re-seal the header so only the version check can fire.
+  uint32_t Crc = crc32(Bad.data(), 32);
+  for (unsigned I = 0; I != 4; ++I)
+    Bad[32 + I] = static_cast<uint8_t>(Crc >> (8 * I));
+  expectRejected(std::move(Bad), "unsupported format version");
+}
+
+TEST_F(TraceIoCorruptionTest, UnfinalizedTraceIsRejected) {
+  std::vector<uint8_t> Bad = Good;
+  for (unsigned I = 0; I != 8; ++I)
+    Bad[16 + I] = 0; // registry offset 0 = writer never close()d
+  uint32_t Crc = crc32(Bad.data(), 32);
+  for (unsigned I = 0; I != 4; ++I)
+    Bad[32 + I] = static_cast<uint8_t>(Crc >> (8 * I));
+  expectRejected(std::move(Bad), "unfinalized trace");
+}
+
+TEST_F(TraceIoCorruptionTest, TrailingGarbageIsRejected) {
+  std::vector<uint8_t> Bad = Good;
+  Bad.push_back(0xAB);
+  expectRejected(std::move(Bad), "trailing garbage");
+}
+
+TEST_F(TraceIoCorruptionTest, OpenOnDiskReportsTheFileName) {
+  std::string BadPath = tempPath("ondisk_corrupt.orpt");
+  std::vector<uint8_t> Bad = Good;
+  Bad[traceio::kHeaderSize + 32] ^= 0x01;
+  writeFile(BadPath, Bad);
+  traceio::TraceReader Reader;
+  bool Ok = Reader.open(BadPath);
+  if (Ok)
+    Ok = Reader.forEachEvent([](const traceio::TraceEvent &) {});
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Reader.error().find("ondisk_corrupt.orpt"), std::string::npos);
+  std::remove(BadPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// OMSG archive header (fixed-width little-endian, checksummed)
+//===----------------------------------------------------------------------===//
+
+TEST(OmsgArchiveFormatTest, HeaderIsExplicitLittleEndian) {
+  core::ProfilingSession Session;
+  whomp::WhompProfiler Whomp;
+  Session.addConsumer(&Whomp);
+  auto W = workloads::createListTraversal();
+  workloads::WorkloadConfig Config;
+  W->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+
+  auto Bytes = whomp::OmsgArchive::build(Whomp, &Session.omc()).serialize();
+  ASSERT_GT(Bytes.size(), 9u);
+  EXPECT_EQ(Bytes[0], 'O');
+  EXPECT_EQ(Bytes[1], 'M');
+  EXPECT_EQ(Bytes[2], 'S');
+  EXPECT_EQ(Bytes[3], 'A');
+  EXPECT_EQ(Bytes[4], whomp::OmsgArchive::kFormatVersion);
+  // The stored CRC is little-endian by construction, independent of the
+  // host: reassembling it LE must match a recomputation of the payload.
+  uint32_t Stored = readLE32(Bytes.data() + 5);
+  EXPECT_EQ(Stored, crc32(Bytes.data() + 9, Bytes.size() - 9));
+
+  // And the round trip still holds on the new format.
+  auto Back = whomp::OmsgArchive::deserialize(Bytes);
+  EXPECT_EQ(Back.serialize(), Bytes);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(OmsgArchiveFormatTest, CorruptedArchiveDiesLoudly) {
+  core::ProfilingSession Session;
+  whomp::WhompProfiler Whomp;
+  Session.addConsumer(&Whomp);
+  auto W = workloads::createListTraversal();
+  workloads::WorkloadConfig Config;
+  W->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+  auto Bytes = whomp::OmsgArchive::build(Whomp).serialize();
+
+  auto Flipped = Bytes;
+  Flipped[Flipped.size() / 2] ^= 0x10;
+  EXPECT_DEATH(whomp::OmsgArchive::deserialize(Flipped), "checksum");
+  auto BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_DEATH(whomp::OmsgArchive::deserialize(BadMagic), "magic");
+}
+#endif

@@ -1,0 +1,327 @@
+//===- tools/orp_trace.cpp - Record/replay trace CLI ---------------------===//
+//
+// Command-line front end over src/traceio: capture a workload's probe
+// event stream into a .orpt file, inspect and verify trace files, and
+// replay them through any of the profilers. Record once, analyze
+// anywhere — replayed profiles are bit-identical to live runs.
+//
+//   orp-trace record <workload> [-o FILE] [--alloc=POLICY] [--seed=N]
+//                    [--env=N] [--scale=N]
+//   orp-trace replay <file> [--profiler=whomp|leap|rasg] [--lmads=N]
+//                    [--dump-omsg=FILE]
+//   orp-trace info <file>
+//   orp-trace verify <file>
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/RasgProfiler.h"
+#include "core/ProfilingSession.h"
+#include "leap/LeapProfileData.h"
+#include "traceio/TraceReplayer.h"
+#include "traceio/TraceWriter.h"
+#include "whomp/OmsgArchive.h"
+#include "whomp/Whomp.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace orp;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> ...\n"
+      "  record <workload> [-o FILE] [--alloc=first-fit|best-fit|"
+      "next-fit|segregated]\n"
+      "         [--seed=N] [--env=N] [--scale=N]     capture a run "
+      "(default FILE: <workload>.orpt)\n"
+      "  replay <file> [--profiler=whomp|leap|rasg] [--lmads=N] "
+      "[--dump-omsg=FILE]\n"
+      "                                              re-drive profilers "
+      "from a trace\n"
+      "  info <file>                                 print header and "
+      "stream statistics\n"
+      "  verify <file>                               validate structure "
+      "and checksums\n",
+      Argv0);
+  return 1;
+}
+
+const char *flagValue(const std::string &Arg, const char *Prefix) {
+  size_t Len = std::strlen(Prefix);
+  return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+}
+
+bool parseAllocPolicy(const char *Name, memsim::AllocPolicy &Policy) {
+  if (!std::strcmp(Name, "first-fit"))
+    Policy = memsim::AllocPolicy::FirstFit;
+  else if (!std::strcmp(Name, "best-fit"))
+    Policy = memsim::AllocPolicy::BestFit;
+  else if (!std::strcmp(Name, "next-fit"))
+    Policy = memsim::AllocPolicy::NextFit;
+  else if (!std::strcmp(Name, "segregated"))
+    Policy = memsim::AllocPolicy::Segregated;
+  else
+    return false;
+  return true;
+}
+
+int cmdRecord(int Argc, char **Argv) {
+  std::string WorkloadName, OutPath;
+  memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
+  uint64_t Seed = 42, EnvSeed = 0, Scale = 1;
+  for (int I = 0; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-o" && I + 1 != Argc) {
+      OutPath = Argv[++I];
+    } else if (const char *V = flagValue(Arg, "--out=")) {
+      OutPath = V;
+    } else if (const char *V = flagValue(Arg, "--alloc=")) {
+      if (!parseAllocPolicy(V, Policy)) {
+        std::fprintf(stderr, "orp-trace: unknown alloc policy '%s'\n", V);
+        return 1;
+      }
+    } else if (const char *V = flagValue(Arg, "--seed=")) {
+      Seed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = flagValue(Arg, "--env=")) {
+      EnvSeed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = flagValue(Arg, "--scale=")) {
+      Scale = std::strtoull(V, nullptr, 10);
+    } else if (Arg[0] != '-' && WorkloadName.empty()) {
+      WorkloadName = Arg;
+    } else {
+      std::fprintf(stderr, "orp-trace record: bad argument '%s'\n",
+                   Arg.c_str());
+      return 1;
+    }
+  }
+  if (WorkloadName.empty()) {
+    std::fprintf(stderr, "orp-trace record: missing workload name\n");
+    return 1;
+  }
+  auto Workload = workloads::createWorkloadByName(WorkloadName);
+  if (!Workload) {
+    std::fprintf(stderr,
+                 "orp-trace: unknown workload '%s'; available: 164.gzip-a "
+                 "175.vpr-a 181.mcf-a 186.crafty-a 197.parser-a "
+                 "256.bzip2-a 300.twolf-a list-traversal\n",
+                 WorkloadName.c_str());
+    return 1;
+  }
+  if (OutPath.empty())
+    OutPath = WorkloadName + ".orpt";
+
+  core::ProfilingSession Session(Policy, EnvSeed);
+  traceio::TraceWriter Writer(OutPath, Session.registry(), Policy, EnvSeed);
+  if (!Writer.ok()) {
+    std::fprintf(stderr, "orp-trace: %s\n", Writer.error().c_str());
+    return 1;
+  }
+  Session.addRawSink(&Writer);
+
+  workloads::WorkloadConfig Config;
+  Config.Seed = Seed;
+  Config.Scale = Scale;
+  uint64_t Checksum =
+      Workload->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+  if (!Writer.close()) {
+    std::fprintf(stderr, "orp-trace: %s\n", Writer.error().c_str());
+    return 1;
+  }
+  std::printf("%s: recorded %llu events to %s (%llu bytes, %.2f "
+              "bytes/event), checksum %llu\n",
+              Workload->name(),
+              static_cast<unsigned long long>(Writer.eventsWritten()),
+              OutPath.c_str(),
+              static_cast<unsigned long long>(Writer.bytesWritten()),
+              Writer.eventsWritten()
+                  ? static_cast<double>(Writer.bytesWritten()) /
+                        static_cast<double>(Writer.eventsWritten())
+                  : 0.0,
+              static_cast<unsigned long long>(Checksum));
+  return 0;
+}
+
+int cmdReplay(int Argc, char **Argv) {
+  std::string Path, Profiler = "whomp", DumpOmsg;
+  unsigned MaxLmads = 30;
+  for (int I = 0; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (const char *V = flagValue(Arg, "--profiler=")) {
+      Profiler = V;
+    } else if (const char *V = flagValue(Arg, "--lmads=")) {
+      MaxLmads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (const char *V = flagValue(Arg, "--dump-omsg=")) {
+      DumpOmsg = V;
+    } else if (Arg[0] != '-' && Path.empty()) {
+      Path = Arg;
+    } else {
+      std::fprintf(stderr, "orp-trace replay: bad argument '%s'\n",
+                   Arg.c_str());
+      return 1;
+    }
+  }
+  if (Path.empty() ||
+      (Profiler != "whomp" && Profiler != "leap" && Profiler != "rasg")) {
+    std::fprintf(stderr, "orp-trace replay: need <file> and "
+                         "--profiler=whomp|leap|rasg\n");
+    return 1;
+  }
+
+  traceio::TraceReader Reader;
+  if (!Reader.open(Path)) {
+    std::fprintf(stderr, "orp-trace: %s\n", Reader.error().c_str());
+    return 1;
+  }
+  traceio::TraceReplayer Replayer(Reader);
+  auto Session = Replayer.makeSession();
+
+  whomp::WhompProfiler Whomp;
+  leap::LeapProfiler Leap(MaxLmads);
+  baseline::RasgProfiler Rasg;
+  if (Profiler == "whomp")
+    Session->addConsumer(&Whomp);
+  else if (Profiler == "leap")
+    Session->addConsumer(&Leap);
+  else
+    Session->addRawSink(&Rasg);
+
+  if (!Replayer.replayInto(*Session)) {
+    std::fprintf(stderr, "orp-trace: %s\n", Replayer.error().c_str());
+    return 1;
+  }
+  std::printf("%s: replayed %llu events (%llu instr sites, %llu alloc "
+              "sites, alloc policy %s, env seed %llu)\n",
+              Path.c_str(),
+              static_cast<unsigned long long>(Replayer.eventsReplayed()),
+              static_cast<unsigned long long>(Reader.info().NumInstructions),
+              static_cast<unsigned long long>(Reader.info().NumAllocSites),
+              memsim::allocPolicyName(static_cast<memsim::AllocPolicy>(
+                  Reader.info().AllocPolicy)),
+              static_cast<unsigned long long>(Reader.info().Seed));
+
+  if (Profiler == "whomp") {
+    whomp::OmsgSizes S = Whomp.sizes();
+    std::printf("WHOMP OMSG: %zu tuples, %zu bytes (instr %zu, group %zu, "
+                "object %zu, offset %zu)\n",
+                static_cast<size_t>(Whomp.tuplesSeen()), S.total(), S.Instr,
+                S.Group, S.Object, S.Offset);
+    if (!DumpOmsg.empty()) {
+      auto Bytes =
+          whomp::OmsgArchive::build(Whomp, &Session->omc()).serialize();
+      std::FILE *Out = std::fopen(DumpOmsg.c_str(), "wb");
+      if (!Out || std::fwrite(Bytes.data(), 1, Bytes.size(), Out) !=
+                      Bytes.size()) {
+        std::fprintf(stderr, "orp-trace: cannot write '%s'\n",
+                     DumpOmsg.c_str());
+        if (Out)
+          std::fclose(Out);
+        return 1;
+      }
+      std::fclose(Out);
+      std::printf("wrote OMSG archive: %s (%zu bytes)\n", DumpOmsg.c_str(),
+                  Bytes.size());
+    }
+  } else if (Profiler == "leap") {
+    auto Data = leap::LeapProfileData::fromProfiler(Leap);
+    std::printf("LEAP: %zu substreams, %zu profile bytes, %.1f%% accesses "
+                "/ %.1f%% instructions captured\n",
+                Data.substreams().size(), Data.serialize().size(),
+                Leap.accessesCapturedPercent(),
+                Leap.instructionsCapturedPercent());
+  } else {
+    std::printf("RASG: %llu accesses, %zu bytes\n",
+                static_cast<unsigned long long>(Rasg.accessesSeen()),
+                Rasg.serializedSizeBytes());
+  }
+  return 0;
+}
+
+int cmdInfo(const char *Path) {
+  traceio::TraceReader Reader;
+  if (!Reader.open(Path)) {
+    std::fprintf(stderr, "orp-trace: %s\n", Reader.error().c_str());
+    return 1;
+  }
+  const traceio::TraceInfo &I = Reader.info();
+  uint64_t Accesses = 0, Allocs = 0, Frees = 0;
+  if (!Reader.forEachEvent([&](const traceio::TraceEvent &E) {
+        switch (E.K) {
+        case traceio::TraceEvent::Kind::Access:
+          ++Accesses;
+          break;
+        case traceio::TraceEvent::Kind::Alloc:
+          ++Allocs;
+          break;
+        case traceio::TraceEvent::Kind::Free:
+          ++Frees;
+          break;
+        }
+      })) {
+    std::fprintf(stderr, "orp-trace: %s\n", Reader.error().c_str());
+    return 1;
+  }
+  std::printf("%s:\n", Path);
+  std::printf("  format version  %u\n", I.Version);
+  std::printf("  alloc policy    %s\n",
+              memsim::allocPolicyName(
+                  static_cast<memsim::AllocPolicy>(I.AllocPolicy)));
+  std::printf("  env seed        %llu\n",
+              static_cast<unsigned long long>(I.Seed));
+  std::printf("  file size       %llu bytes (%llu blocks, %.2f "
+              "bytes/event)\n",
+              static_cast<unsigned long long>(I.FileBytes),
+              static_cast<unsigned long long>(I.NumBlocks),
+              I.TotalEvents ? static_cast<double>(I.FileBytes) /
+                                  static_cast<double>(I.TotalEvents)
+                            : 0.0);
+  std::printf("  events          %llu (%llu accesses, %llu allocs, %llu "
+              "frees)\n",
+              static_cast<unsigned long long>(I.TotalEvents),
+              static_cast<unsigned long long>(Accesses),
+              static_cast<unsigned long long>(Allocs),
+              static_cast<unsigned long long>(Frees));
+  std::printf("  probe sites     %llu instructions, %llu alloc sites\n",
+              static_cast<unsigned long long>(I.NumInstructions),
+              static_cast<unsigned long long>(I.NumAllocSites));
+  return 0;
+}
+
+int cmdVerify(const char *Path) {
+  traceio::TraceReader Reader;
+  uint64_t Events = 0;
+  if (!Reader.open(Path) ||
+      !Reader.forEachEvent([&](const traceio::TraceEvent &) { ++Events; })) {
+    std::fprintf(stderr, "orp-trace: verify FAILED: %s\n",
+                 Reader.error().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%llu events, %llu blocks, all checksums valid)\n",
+              Path, static_cast<unsigned long long>(Events),
+              static_cast<unsigned long long>(Reader.info().NumBlocks));
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  if (Cmd == "record")
+    return cmdRecord(Argc - 2, Argv + 2);
+  if (Cmd == "replay")
+    return cmdReplay(Argc - 2, Argv + 2);
+  if (Cmd == "info" && Argc == 3)
+    return cmdInfo(Argv[2]);
+  if (Cmd == "verify" && Argc == 3)
+    return cmdVerify(Argv[2]);
+  return usage(Argv[0]);
+}
