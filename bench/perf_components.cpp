@@ -15,6 +15,7 @@
 #include "sequitur/Sequitur.h"
 #include "support/Random.h"
 #include "whomp/Whomp.h"
+#include "workloads/Workload.h"
 
 #include <benchmark/benchmark.h>
 
@@ -79,6 +80,38 @@ void BM_OmcTranslate(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Queries.size());
 }
 BENCHMARK(BM_OmcTranslate)->Arg(100)->Arg(10000)->Arg(300000);
+
+/// The vpr/parser pattern: each instruction keeps hitting its own
+/// object, but the instructions interleave, so a single shared MRU entry
+/// misses on every access. Arg(0) uses the shared-entry translate(Addr),
+/// Arg(1) the per-instruction MRU translate(Addr, Instr) the CDC uses.
+void BM_OmcTranslateAlternating(benchmark::State &State) {
+  const bool UseInstrMru = State.range(0) != 0;
+  constexpr uint64_t Objects = 8;
+  omc::ObjectManager Omc;
+  uint64_t Bases[Objects];
+  uint64_t Cursor = 0x10000;
+  for (uint64_t I = 0; I != Objects; ++I) {
+    Omc.onAlloc(trace::AllocEvent{static_cast<trace::AllocSiteId>(I),
+                                  Cursor, 4096, I, false});
+    Bases[I] = Cursor;
+    Cursor += 8192;
+  }
+  uint64_t Offset = 0;
+  for (auto _ : State) {
+    for (uint64_t I = 0; I != Objects; ++I) {
+      uint64_t Addr = Bases[I] + Offset;
+      if (UseInstrMru)
+        benchmark::DoNotOptimize(
+            Omc.translate(Addr, static_cast<trace::InstrId>(I)));
+      else
+        benchmark::DoNotOptimize(Omc.translate(Addr));
+    }
+    Offset = (Offset + 8) & 0xfff;
+  }
+  State.SetItemsProcessed(State.iterations() * Objects);
+}
+BENCHMARK(BM_OmcTranslateAlternating)->Arg(0)->Arg(1);
 
 //===----------------------------------------------------------------------===//
 // LMAD compression
@@ -146,6 +179,43 @@ void BM_PipelineWhompProbe(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_PipelineWhompProbe);
+
+/// Batch-size sweep over the probe->CDC->WHOMP path. Arg is the
+/// MemoryInterface flush threshold; 1 reproduces the old per-event
+/// delivery, the default is 128.
+void BM_PipelineWhompBatch(benchmark::State &State) {
+  core::ProfilingSession S;
+  whomp::WhompProfiler Whomp;
+  S.addConsumer(&Whomp);
+  S.memory().setBatchCapacity(static_cast<size_t>(State.range(0)));
+  uint64_t Addr = S.memory().heapAlloc(0, 4096);
+  for (auto _ : State)
+    S.memory().load(0, Addr + (State.iterations() & 0xfff) / 8 * 8);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PipelineWhompBatch)->Arg(1)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+/// Whole-pipeline WHOMP benchmark: a complete instrumented run of one
+/// workload analogue through probes, batching, OMC translation and the
+/// 4-dimension OMSG. Items = profiled accesses, i.e. items/s is the
+/// sustained WHOMP profiling rate on realistic access patterns.
+void BM_PipelineWhompWorkload(benchmark::State &State) {
+  workloads::WorkloadConfig Config;
+  uint64_t Accesses = 0;
+  for (auto _ : State) {
+    core::ProfilingSession S;
+    whomp::WhompProfiler Whomp;
+    S.addConsumer(&Whomp);
+    auto W = workloads::createVprA();
+    benchmark::DoNotOptimize(
+        W->run(S.memory(), S.registry(), Config));
+    S.finish();
+    Accesses += S.memory().accessCount();
+    benchmark::DoNotOptimize(Whomp.sizes().total());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Accesses));
+}
+BENCHMARK(BM_PipelineWhompWorkload)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

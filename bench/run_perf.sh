@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the perf_components micro-benchmark suite and writes the raw
+# google-benchmark JSON to BENCH_pipeline.json — the machine-readable
+# throughput record referenced by EXPERIMENTS.md and uploaded by the CI
+# perf-smoke job.
+#
+# Usage: bench/run_perf.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR  CMake build tree containing bench/perf_components
+#              (default: build)
+#   OUT_JSON   output path (default: BENCH_pipeline.json in the cwd)
+#
+# Environment:
+#   ORP_BENCH_MIN_TIME  per-benchmark min running time in seconds
+#                       (default 0.2; CI uses 0.05 for a smoke signal)
+#   ORP_BENCH_FILTER    benchmark name regex (default: the Sequitur, OMC
+#                       and pipeline families the PR gates on)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_pipeline.json}"
+MIN_TIME="${ORP_BENCH_MIN_TIME:-0.2}"
+FILTER="${ORP_BENCH_FILTER:-BM_Sequitur|BM_OmcTranslate|BM_Pipeline}"
+
+BIN="$BUILD_DIR/bench/perf_components"
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found; build the tree first" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# Note: this google-benchmark release expects a plain double for
+# --benchmark_min_time (no "s" suffix).
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT_JSON" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT_JSON"

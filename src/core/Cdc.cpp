@@ -9,6 +9,11 @@ using namespace orp::core;
 
 OrTupleConsumer::~OrTupleConsumer() = default;
 
+void OrTupleConsumer::consumeBatch(std::span<const OrTuple> Tuples) {
+  for (const OrTuple &Tuple : Tuples)
+    consume(Tuple);
+}
+
 void OrTupleConsumer::finish() {}
 
 const char *orp::core::dimensionName(Dimension D) {
@@ -35,28 +40,49 @@ void Cdc::addConsumer(OrTupleConsumer *Consumer) {
   Consumers.push_back(Consumer);
 }
 
-void Cdc::onAccess(const trace::AccessEvent &Event) {
-  OrTuple Tuple;
+bool Cdc::translateEvent(const trace::AccessEvent &Event, OrTuple &Tuple) {
   Tuple.Instr = Event.Instr;
   Tuple.Time = Event.Time;
   Tuple.IsStore = Event.IsStore;
   Tuple.Size = Event.Size;
 
-  if (auto Tr = Omc.translate(Event.Addr)) {
+  if (auto Tr = Omc.translate(Event.Addr, Event.Instr)) {
     Tuple.Group = Tr->Group;
     Tuple.Object = Tr->Object;
     Tuple.Offset = Tr->Offset;
     ++Stats.Translated;
-  } else {
-    ++Stats.Unknown;
-    if (Policy == UnknownAddressPolicy::Drop)
-      return;
-    Tuple.Group = WildGroupId;
-    Tuple.Object = 0;
-    Tuple.Offset = Event.Addr;
+    return true;
   }
+  ++Stats.Unknown;
+  if (Policy == UnknownAddressPolicy::Drop)
+    return false;
+  Tuple.Group = WildGroupId;
+  Tuple.Object = 0;
+  Tuple.Offset = Event.Addr;
+  return true;
+}
+
+void Cdc::onAccess(const trace::AccessEvent &Event) {
+  OrTuple Tuple;
+  if (!translateEvent(Event, Tuple))
+    return;
   for (OrTupleConsumer *Consumer : Consumers)
     Consumer->consume(Tuple);
+}
+
+void Cdc::onAccessBatch(std::span<const trace::AccessEvent> Events) {
+  TupleBatch.clear();
+  TupleBatch.reserve(Events.size());
+  for (const trace::AccessEvent &Event : Events) {
+    OrTuple Tuple;
+    if (translateEvent(Event, Tuple))
+      TupleBatch.push_back(Tuple);
+  }
+  if (TupleBatch.empty())
+    return;
+  std::span<const OrTuple> Tuples(TupleBatch.data(), TupleBatch.size());
+  for (OrTupleConsumer *Consumer : Consumers)
+    Consumer->consumeBatch(Tuples);
 }
 
 void Cdc::onAlloc(const trace::AllocEvent &Event) { Omc.onAlloc(Event); }

@@ -53,6 +53,10 @@ public:
   void addConsumer(OrTupleConsumer *Consumer);
 
   void onAccess(const trace::AccessEvent &Event) override;
+  /// Translates the whole batch through the OMC before fanning out: the
+  /// per-instruction MRU cache stays hot across the run, and consumers
+  /// receive one consumeBatch() call instead of N virtual consume()s.
+  void onAccessBatch(std::span<const trace::AccessEvent> Events) override;
   void onAlloc(const trace::AllocEvent &Event) override;
   void onFree(const trace::FreeEvent &Event) override;
   void onFinish() override;
@@ -64,10 +68,16 @@ public:
   omc::ObjectManager &omc() { return Omc; }
 
 private:
+  /// Translates \p Event into \p Tuple. Returns false when the address
+  /// is unknown and the policy says to drop the access.
+  bool translateEvent(const trace::AccessEvent &Event, OrTuple &Tuple);
+
   omc::ObjectManager &Omc;
   UnknownAddressPolicy Policy;
   std::vector<OrTupleConsumer *> Consumers;
   CdcStats Stats;
+  /// Scratch buffer reused by onAccessBatch().
+  std::vector<OrTuple> TupleBatch;
 };
 
 } // namespace core

@@ -11,6 +11,11 @@ using namespace orp::core;
 
 StreamCompressor::~StreamCompressor() = default;
 
+void StreamCompressor::appendBatch(std::span<const uint64_t> Symbols) {
+  for (uint64_t Symbol : Symbols)
+    append(Symbol);
+}
+
 void StreamCompressor::finish() {}
 
 SubstreamConsumer::~SubstreamConsumer() = default;
@@ -27,6 +32,17 @@ HorizontalDecomposer::HorizontalDecomposer(std::vector<Dimension> Dims,
 void HorizontalDecomposer::consume(const OrTuple &Tuple) {
   for (size_t I = 0; I != Dims.size(); ++I)
     Compressors[I]->append(dimensionValue(Tuple, Dims[I]));
+}
+
+void HorizontalDecomposer::consumeBatch(std::span<const OrTuple> Tuples) {
+  SymbolBatch.resize(Tuples.size());
+  for (size_t I = 0; I != Dims.size(); ++I) {
+    Dimension D = Dims[I];
+    for (size_t J = 0; J != Tuples.size(); ++J)
+      SymbolBatch[J] = dimensionValue(Tuples[J], D);
+    Compressors[I]->appendBatch(
+        std::span<const uint64_t>(SymbolBatch.data(), SymbolBatch.size()));
+  }
 }
 
 void HorizontalDecomposer::finish() {

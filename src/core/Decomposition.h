@@ -40,6 +40,11 @@ public:
                        const CompressorFactory &Factory);
 
   void consume(const OrTuple &Tuple) override;
+  /// Processes the batch one dimension at a time (dimension outer, tuple
+  /// inner): each compressor then sees a dense run of symbols with its
+  /// own grammar state hot in cache, instead of being revisited once per
+  /// tuple.
+  void consumeBatch(std::span<const OrTuple> Tuples) override;
   void finish() override;
 
   /// Returns the decomposed dimensions, in construction order.
@@ -54,6 +59,8 @@ public:
 private:
   std::vector<Dimension> Dims;
   std::vector<std::unique_ptr<StreamCompressor>> Compressors;
+  /// Scratch symbol buffer reused by consumeBatch().
+  std::vector<uint64_t> SymbolBatch;
 };
 
 /// Key of one vertical substream. The paper decomposes by instruction,
@@ -66,6 +73,21 @@ struct VerticalKey {
   }
   bool operator==(const VerticalKey &O) const {
     return Instr == O.Instr && Group == O.Group;
+  }
+};
+
+/// Hash for VerticalKey (unordered containers). Packs both ids into one
+/// word and applies a full-avalanche finalizer so nearby instruction ids
+/// (the common case: a dense registry) spread across the table.
+struct VerticalKeyHash {
+  size_t operator()(const VerticalKey &Key) const {
+    uint64_t X = (static_cast<uint64_t>(Key.Instr) << 32) | Key.Group;
+    X ^= X >> 33;
+    X *= 0xff51afd7ed558ccdULL;
+    X ^= X >> 33;
+    X *= 0xc4ceb9fe1a85ec53ULL;
+    X ^= X >> 33;
+    return static_cast<size_t>(X);
   }
 };
 

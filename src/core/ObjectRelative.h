@@ -26,6 +26,7 @@
 #include "trace/InstructionRegistry.h"
 
 #include <cstdint>
+#include <span>
 
 namespace orp {
 namespace core {
@@ -51,6 +52,12 @@ public:
 
   /// Receives the next translated access.
   virtual void consume(const OrTuple &Tuple) = 0;
+
+  /// Receives a run of consecutive translated accesses. Equivalent to
+  /// calling consume() on each tuple in order (and that is the default
+  /// implementation); consumers override it to amortize per-access
+  /// dispatch and setup cost over the whole run.
+  virtual void consumeBatch(std::span<const OrTuple> Tuples);
 
   /// Signals the end of the stream. Default: no-op.
   virtual void finish();

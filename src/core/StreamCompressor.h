@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 
 namespace orp {
 namespace core {
@@ -32,6 +33,11 @@ public:
 
   /// Appends the next symbol of the stream.
   virtual void append(uint64_t Symbol) = 0;
+
+  /// Appends a run of consecutive symbols. Equivalent to append()ing
+  /// each in order (the default implementation); compressors override
+  /// it to amortize per-symbol virtual dispatch.
+  virtual void appendBatch(std::span<const uint64_t> Symbols);
 
   /// Declares the stream complete. Default: no-op.
   virtual void finish();

@@ -4,6 +4,7 @@
 
 #include "support/VarInt.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace orp;
@@ -25,21 +26,22 @@ bool SubstreamData::operator==(const SubstreamData &O) const {
 }
 
 bool LeapProfileData::operator==(const LeapProfileData &O) const {
+  // The maps are unordered; compare by lookup, not by iteration order.
   if (Substreams.size() != O.Substreams.size() ||
       Instrs.size() != O.Instrs.size())
     return false;
-  auto IA = Instrs.begin();
-  auto IB = O.Instrs.begin();
-  for (; IA != Instrs.end(); ++IA, ++IB)
-    if (IA->first != IB->first ||
-        IA->second.ExecCount != IB->second.ExecCount ||
-        IA->second.IsStore != IB->second.IsStore)
+  for (const auto &[Instr, Summary] : Instrs) {
+    auto It = O.Instrs.find(Instr);
+    if (It == O.Instrs.end() ||
+        It->second.ExecCount != Summary.ExecCount ||
+        It->second.IsStore != Summary.IsStore)
       return false;
-  auto SA = Substreams.begin();
-  auto SB = O.Substreams.begin();
-  for (; SA != Substreams.end(); ++SA, ++SB)
-    if (!(SA->first == SB->first) || !(SA->second == SB->second))
+  }
+  for (const auto &[Key, Sub] : Substreams) {
+    auto It = O.Substreams.find(Key);
+    if (It == O.Substreams.end() || !(It->second == Sub))
       return false;
+  }
   return true;
 }
 
@@ -61,8 +63,20 @@ LeapProfileData::fromProfiler(const LeapProfiler &Profiler) {
 
 std::vector<uint8_t> LeapProfileData::serialize() const {
   std::vector<uint8_t> Out;
+  // Emit in sorted key order: the byte image must not depend on the
+  // unordered containers' iteration order.
+  std::vector<const std::pair<const core::VerticalKey, SubstreamData> *>
+      SortedSubs;
+  SortedSubs.reserve(Substreams.size());
+  for (const auto &Entry : Substreams)
+    SortedSubs.push_back(&Entry);
+  std::sort(SortedSubs.begin(), SortedSubs.end(),
+            [](const auto *A, const auto *B) { return A->first < B->first; });
+
   encodeULEB128(Substreams.size(), Out);
-  for (const auto &[Key, Sub] : Substreams) {
+  for (const auto *Entry : SortedSubs) {
+    const core::VerticalKey &Key = Entry->first;
+    const SubstreamData &Sub = Entry->second;
     encodeULEB128(Key.Instr, Out);
     encodeULEB128(Key.Group, Out);
     encodeULEB128(Sub.TotalPoints, Out);
@@ -84,11 +98,19 @@ std::vector<uint8_t> LeapProfileData::serialize() const {
       }
     }
   }
+  std::vector<const std::pair<const trace::InstrId, InstrSummary> *>
+      SortedInstrs;
+  SortedInstrs.reserve(Instrs.size());
+  for (const auto &Entry : Instrs)
+    SortedInstrs.push_back(&Entry);
+  std::sort(SortedInstrs.begin(), SortedInstrs.end(),
+            [](const auto *A, const auto *B) { return A->first < B->first; });
+
   encodeULEB128(Instrs.size(), Out);
-  for (const auto &[Instr, Summary] : Instrs) {
-    encodeULEB128(Instr, Out);
-    encodeULEB128(Summary.ExecCount, Out);
-    Out.push_back(Summary.IsStore ? 1 : 0);
+  for (const auto *Entry : SortedInstrs) {
+    encodeULEB128(Entry->first, Out);
+    encodeULEB128(Entry->second.ExecCount, Out);
+    Out.push_back(Entry->second.IsStore ? 1 : 0);
   }
   return Out;
 }

@@ -24,7 +24,7 @@
 #include "lmad/LmadCompressor.h"
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace orp {
@@ -52,21 +52,26 @@ public:
   /// builds (profiles are trusted, locally produced artifacts).
   static LeapProfileData deserialize(const std::vector<uint8_t> &Bytes);
 
-  /// Substreams in key order.
-  const std::map<core::VerticalKey, SubstreamData> &substreams() const {
+  /// Substreams, unordered. serialize() emits them in sorted key order,
+  /// so the byte image stays independent of insertion/hash order.
+  const std::unordered_map<core::VerticalKey, SubstreamData,
+                           core::VerticalKeyHash> &
+  substreams() const {
     return Substreams;
   }
 
-  /// Per-instruction execution summaries.
-  const std::map<trace::InstrId, InstrSummary> &instructions() const {
+  /// Per-instruction execution summaries, unordered.
+  const std::unordered_map<trace::InstrId, InstrSummary> &
+  instructions() const {
     return Instrs;
   }
 
   bool operator==(const LeapProfileData &O) const;
 
 private:
-  std::map<core::VerticalKey, SubstreamData> Substreams;
-  std::map<trace::InstrId, InstrSummary> Instrs;
+  std::unordered_map<core::VerticalKey, SubstreamData, core::VerticalKeyHash>
+      Substreams;
+  std::unordered_map<trace::InstrId, InstrSummary> Instrs;
 };
 
 } // namespace leap

@@ -75,6 +75,9 @@ void ObjectManager::onFree(const trace::FreeEvent &Event) {
   // The freed range must not serve cached translations anymore.
   if (Event.Addr == CachedBase)
     CachedEnd = 0;
+  for (CacheLine &Line : InstrCache)
+    if (Line.Base == Event.Addr)
+      Line.End = 0;
 }
 
 std::optional<Translation> ObjectManager::translate(uint64_t Addr) {
@@ -92,6 +95,24 @@ std::optional<Translation> ObjectManager::translate(uint64_t Addr) {
   CachedEnd = Entry->End;
   CachedObjectId = Entry->Value;
   return translateWithin(Entry->Value, Addr);
+}
+
+std::optional<Translation> ObjectManager::translate(uint64_t Addr,
+                                                    trace::InstrId Instr) {
+  CacheLine &Line = InstrCache[Instr & (InstrCacheLines - 1)];
+  if (Addr >= Line.Base && Addr < Line.End) {
+    ++Stats.Translations;
+    return translateWithin(Line.ObjectId, Addr);
+  }
+  std::optional<Translation> Result = translate(Addr);
+  if (Result) {
+    // translate() refreshed the shared entry; mirror it into this
+    // instruction's line.
+    Line.Base = CachedBase;
+    Line.End = CachedEnd;
+    Line.ObjectId = CachedObjectId;
+  }
+  return Result;
 }
 
 Translation ObjectManager::translateWithin(uint64_t ObjectId,

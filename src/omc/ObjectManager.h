@@ -26,6 +26,7 @@
 #include "omc/IntervalBTree.h"
 #include "trace/Events.h"
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -95,6 +96,14 @@ public:
   /// no live object covers the address.
   std::optional<Translation> translate(uint64_t Addr);
 
+  /// Translates \p Addr for an access by \p Instr. Functionally
+  /// identical to translate(Addr), but consults a small per-instruction
+  /// MRU cache first: loops that alternate between objects from
+  /// different instructions (the vpr/parser pattern) thrash a single
+  /// shared cache entry, while each instruction's own last object is
+  /// highly stable. This is the entry point the CDC uses.
+  std::optional<Translation> translate(uint64_t Addr, trace::InstrId Instr);
+
   /// Returns the group assigned to \p Site, creating it on first use.
   GroupId groupForSite(trace::AllocSiteId Site);
 
@@ -142,6 +151,16 @@ private:
   uint64_t CachedBase = 1;
   uint64_t CachedEnd = 0;
   uint64_t CachedObjectId = 0;
+  /// Per-instruction MRU translation cache, direct-mapped by the low
+  /// bits of the instruction id (see translate(Addr, Instr)). An entry
+  /// with End <= Base is empty; onFree() invalidates matching lines.
+  struct CacheLine {
+    uint64_t Base = 1;
+    uint64_t End = 0;
+    uint64_t ObjectId = 0;
+  };
+  static constexpr size_t InstrCacheLines = 64;
+  std::array<CacheLine, InstrCacheLines> InstrCache;
 };
 
 } // namespace omc

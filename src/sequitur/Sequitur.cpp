@@ -20,7 +20,8 @@ using namespace orp::sequitur;
 /// One symbol node. A symbol is exactly one of: a terminal, a use of a
 /// rule (nonterminal), or the guard sentinel of a rule. Guards close each
 /// rule body into a ring: Guard->Next is the first body symbol and
-/// Guard->Prev the last.
+/// Guard->Prev the last. Nodes live in grammar-owned slabs; Live is the
+/// intrusive liveness tag that replaced the LiveSymbols pointer set.
 struct SequiturGrammar::Symbol {
   Symbol *Next = nullptr;
   Symbol *Prev = nullptr;
@@ -29,21 +30,89 @@ struct SequiturGrammar::Symbol {
   Rule *GuardOf = nullptr; ///< Non-null iff this is a guard.
   Symbol *UseNext = nullptr; ///< Next use of RuleRef (intrusive list).
   Symbol *UsePrev = nullptr;
+  bool Live = false;
 };
 
-/// One grammar rule.
+/// One grammar rule. LivePrev/LiveNext thread the live-rule list while
+/// the rule is live and the arena free list once it is released.
 struct SequiturGrammar::Rule {
   uint64_t Id = 0;
   Symbol *Guard = nullptr;
   Symbol *UseHead = nullptr; ///< Intrusive list of nonterminal uses.
   size_t UseCount = 0;
+  Rule *LivePrev = nullptr;
+  Rule *LiveNext = nullptr;
+  bool Live = false;
 };
 
-size_t SequiturGrammar::DigramKeyHash::operator()(const DigramKey &K) const {
-  uint64_t H = K.V1 * 0x9e3779b97f4a7c15ULL;
-  H ^= (K.V2 + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2));
-  H ^= static_cast<uint64_t>(K.Tags) << 32;
-  return static_cast<size_t>(H * 0xbf58476d1ce4e5b9ULL >> 7);
+bool SequiturGrammar::isLive(const Symbol *S) const { return S->Live; }
+bool SequiturGrammar::isLiveRule(const Rule *R) const { return R->Live; }
+
+//===----------------------------------------------------------------------===//
+// Slab arena
+//===----------------------------------------------------------------------===//
+
+SequiturGrammar::Symbol *SequiturGrammar::allocSymbol() {
+  Symbol *S;
+  if (SymbolFreeList) {
+    S = SymbolFreeList;
+    SymbolFreeList = S->Next;
+  } else {
+    if (SymbolSlabUsed == SymbolsPerSlab) {
+      SymbolSlabs.push_back(new Symbol[SymbolsPerSlab]);
+      SymbolSlabUsed = 0;
+    }
+    S = &SymbolSlabs.back()[SymbolSlabUsed++];
+  }
+  *S = Symbol{};
+  S->Live = true;
+  return S;
+}
+
+void SequiturGrammar::releaseSymbol(Symbol *S) {
+  assert(S->Live && "double release");
+  S->Live = false;
+  S->Next = SymbolPendingList;
+  SymbolPendingList = S;
+}
+
+SequiturGrammar::Rule *SequiturGrammar::allocRule() {
+  Rule *R;
+  if (RuleFreeList) {
+    R = RuleFreeList;
+    RuleFreeList = R->LiveNext;
+  } else {
+    if (RuleSlabUsed == RulesPerSlab) {
+      RuleSlabs.push_back(new Rule[RulesPerSlab]);
+      RuleSlabUsed = 0;
+    }
+    R = &RuleSlabs.back()[RuleSlabUsed++];
+  }
+  *R = Rule{};
+  R->Live = true;
+  return R;
+}
+
+void SequiturGrammar::releaseRule(Rule *R) {
+  assert(R->Live && "double release");
+  R->Live = false;
+  R->LiveNext = RulePendingList;
+  RulePendingList = R;
+}
+
+void SequiturGrammar::reclaimPending() {
+  while (SymbolPendingList) {
+    Symbol *S = SymbolPendingList;
+    SymbolPendingList = S->Next;
+    S->Next = SymbolFreeList;
+    SymbolFreeList = S;
+  }
+  while (RulePendingList) {
+    Rule *R = RulePendingList;
+    RulePendingList = R->LiveNext;
+    R->LiveNext = RuleFreeList;
+    RuleFreeList = R;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -53,34 +122,28 @@ size_t SequiturGrammar::DigramKeyHash::operator()(const DigramKey &K) const {
 SequiturGrammar::SequiturGrammar() { Start = newRule(); }
 
 SequiturGrammar::~SequiturGrammar() {
-  for (const Rule *R : LiveRules) {
-    Symbol *S = R->Guard->Next;
-    while (S != R->Guard) {
-      Symbol *Next = S->Next;
-      delete S;
-      S = Next;
-    }
-    delete R->Guard;
-    delete R;
-  }
+  // Nodes are trivially destructible; dropping the slabs releases
+  // everything (live, pending and free alike).
+  for (Symbol *Slab : SymbolSlabs)
+    delete[] Slab;
+  for (Rule *Slab : RuleSlabs)
+    delete[] Slab;
 }
 
 SequiturGrammar::Symbol *SequiturGrammar::newTerminal(uint64_t Value) {
-  Symbol *S = new Symbol();
+  Symbol *S = allocSymbol();
   S->Terminal = Value;
-  LiveSymbols.insert(S);
   return S;
 }
 
 SequiturGrammar::Symbol *SequiturGrammar::newNonTerminal(Rule *R) {
-  Symbol *S = new Symbol();
+  Symbol *S = allocSymbol();
   S->RuleRef = R;
   S->UseNext = R->UseHead;
   if (R->UseHead)
     R->UseHead->UsePrev = S;
   R->UseHead = S;
   ++R->UseCount;
-  LiveSymbols.insert(S);
   return S;
 }
 
@@ -97,27 +160,36 @@ void SequiturGrammar::destroySymbol(Symbol *S) {
     if (R->UseCount <= 1 && R != Start)
       MaybeUnderused.push_back(R);
   }
-  LiveSymbols.erase(S);
-  delete S;
+  releaseSymbol(S);
 }
 
 SequiturGrammar::Rule *SequiturGrammar::newRule() {
-  Rule *R = new Rule();
+  Rule *R = allocRule();
   R->Id = NextRuleId++;
-  R->Guard = new Symbol();
+  R->Guard = allocSymbol();
   R->Guard->GuardOf = R;
   R->Guard->Next = R->Guard;
   R->Guard->Prev = R->Guard;
-  LiveRules.insert(R);
+  R->LiveNext = LiveRuleHead;
+  if (LiveRuleHead)
+    LiveRuleHead->LivePrev = R;
+  LiveRuleHead = R;
+  ++NumLiveRules;
   return R;
 }
 
 void SequiturGrammar::destroyRule(Rule *R) {
   assert(R != Start && "cannot destroy the start rule");
   assert(R->UseCount == 0 && !R->UseHead && "destroying a rule in use");
-  LiveRules.erase(R);
-  delete R->Guard;
-  delete R;
+  if (R->LivePrev)
+    R->LivePrev->LiveNext = R->LiveNext;
+  else
+    LiveRuleHead = R->LiveNext;
+  if (R->LiveNext)
+    R->LiveNext->LivePrev = R->LivePrev;
+  --NumLiveRules;
+  releaseSymbol(R->Guard);
+  releaseRule(R);
 }
 
 //===----------------------------------------------------------------------===//
@@ -142,9 +214,10 @@ SequiturGrammar::DigramKey SequiturGrammar::keyOf(const Symbol *A) const {
 void SequiturGrammar::removeDigramAt(Symbol *A) {
   if (!A || A->GuardOf || !A->Next || A->Next->GuardOf)
     return;
-  auto It = Index.find(keyOf(A));
-  if (It != Index.end() && It->second == A)
-    Index.erase(It);
+  DigramKey K = keyOf(A);
+  size_t Slot = Index.findSlot(K.V1, K.V2, K.Tags);
+  if (Slot != DigramTable<Symbol *>::Npos && Index.valueAt(Slot) == A)
+    Index.eraseSlot(Slot);
 }
 
 //===----------------------------------------------------------------------===//
@@ -152,6 +225,9 @@ void SequiturGrammar::removeDigramAt(Symbol *A) {
 //===----------------------------------------------------------------------===//
 
 void SequiturGrammar::append(uint64_t Value) {
+  // No references into the grammar are held across appends, so nodes
+  // freed during the previous append are now safe to recycle.
+  reclaimPending();
   Symbol *S = newTerminal(Value);
   Symbol *Tail = Start->Guard->Prev;
   link(Tail, S);
@@ -172,12 +248,12 @@ bool SequiturGrammar::checkDigram(Symbol *A) {
   if (A->GuardOf || B->GuardOf)
     return false;
   DigramKey K = keyOf(A);
-  auto It = Index.find(K);
-  if (It == Index.end()) {
-    Index.emplace(K, A);
+  size_t Slot = Index.findSlot(K.V1, K.V2, K.Tags);
+  if (Slot == DigramTable<Symbol *>::Npos) {
+    Index.insert(K.V1, K.V2, K.Tags, A);
     return false;
   }
-  Symbol *M = It->second;
+  Symbol *M = Index.valueAt(Slot);
   if (M == A)
     return false;
   // Overlapping occurrences (e.g. the middle of "aaa") never substitute.
@@ -221,14 +297,14 @@ void SequiturGrammar::processMatch(Symbol *A, Symbol *M) {
   while (isLiveRule(R) && !R->Guard->Next->GuardOf &&
          !R->Guard->Next->Next->GuardOf) {
     DigramKey BodyKey = keyOf(R->Guard->Next);
-    auto It = Index.find(BodyKey);
-    if (It == Index.end()) {
-      Index.emplace(BodyKey, R->Guard->Next);
+    size_t Slot = Index.findSlot(BodyKey.V1, BodyKey.V2, BodyKey.Tags);
+    if (Slot == DigramTable<Symbol *>::Npos) {
+      Index.insert(BodyKey.V1, BodyKey.V2, BodyKey.Tags, R->Guard->Next);
       break;
     }
-    if (It->second == R->Guard->Next)
+    if (Index.valueAt(Slot) == R->Guard->Next)
       break;
-    Symbol *Other = It->second;
+    Symbol *Other = Index.valueAt(Slot);
     substituteDigram(Other, R);
   }
   // A freshly created rule that gained only one use (second substitution
@@ -329,7 +405,7 @@ void SequiturGrammar::repairUtility() {
 
 size_t SequiturGrammar::totalBodySymbols() const {
   size_t Total = 0;
-  for (const Rule *R : LiveRules)
+  for (const Rule *R = LiveRuleHead; R; R = R->LiveNext)
     for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
       ++Total;
   return Total;
@@ -539,9 +615,22 @@ SequiturGrammar::ruleStats(size_t PrefixCap) const {
 
 bool SequiturGrammar::checkInvariants() const {
 
+  // Live-rule list consistency: the intrusive list is well linked and
+  // its length matches the live-rule counter.
+  size_t Listed = 0;
+  for (const Rule *R = LiveRuleHead; R; R = R->LiveNext) {
+    if (!R->Live)
+      return false;
+    if (R->LiveNext && R->LiveNext->LivePrev != R)
+      return false;
+    ++Listed;
+  }
+  if (Listed != NumLiveRules || LiveRuleHead->LivePrev != nullptr)
+    return false;
+
   // Utility: every non-start rule has at least two uses; use lists are
   // consistent with the counts and point back at the rule.
-  for (const Rule *R : LiveRules) {
+  for (const Rule *R = LiveRuleHead; R; R = R->LiveNext) {
     size_t Uses = 0;
     for (const Symbol *U = R->UseHead; U; U = U->UseNext) {
       if (U->RuleRef != R)
@@ -556,7 +645,9 @@ bool SequiturGrammar::checkInvariants() const {
     for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next) {
       if (S->GuardOf)
         return false;
-      if (S->RuleRef && !LiveRules.count(S->RuleRef))
+      if (!S->Live)
+        return false;
+      if (S->RuleRef && !S->RuleRef->Live)
         return false;
       ++BodyLen;
     }
@@ -567,7 +658,7 @@ bool SequiturGrammar::checkInvariants() const {
   // Digram uniqueness: no digram occurs at two non-overlapping positions.
   std::unordered_map<DigramKey, std::vector<const Symbol *>, DigramKeyHash>
       Occurrences;
-  for (const Rule *R : LiveRules)
+  for (const Rule *R = LiveRuleHead; R; R = R->LiveNext)
     for (const Symbol *S = R->Guard->Next; S != R->Guard; S = S->Next)
       if (!S->Next->GuardOf)
         Occurrences[keyOf(S)].push_back(S);
@@ -583,13 +674,15 @@ bool SequiturGrammar::checkInvariants() const {
 
   // Index soundness: every entry points at a live symbol whose current
   // digram matches the key.
-  for (const auto &[Key, S] : Index) {
-    if (!LiveSymbols.count(S))
-      return false;
-    if (S->GuardOf || S->Next->GuardOf)
-      return false;
-    if (!(keyOf(S) == Key))
-      return false;
-  }
-  return true;
+  bool IndexSound = true;
+  Index.forEach([&](uint64_t V1, uint64_t V2, uint8_t Tags, Symbol *S) {
+    if (!S->Live || S->GuardOf || S->Next->GuardOf) {
+      IndexSound = false;
+      return;
+    }
+    DigramKey K = keyOf(S);
+    if (K.V1 != V1 || K.V2 != V2 || K.Tags != Tags)
+      IndexSound = false;
+  });
+  return IndexSound;
 }

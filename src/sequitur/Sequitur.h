@@ -33,11 +33,11 @@
 #ifndef ORP_SEQUITUR_SEQUITUR_H
 #define ORP_SEQUITUR_SEQUITUR_H
 
+#include "sequitur/DigramTable.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace orp {
@@ -62,7 +62,7 @@ public:
   uint64_t inputLength() const { return InputLen; }
 
   /// Returns the number of live rules, including the start rule.
-  size_t numRules() const { return LiveRules.size(); }
+  size_t numRules() const { return NumLiveRules; }
 
   /// Returns the total number of symbols across all rule bodies — the
   /// standard abstract "grammar size" measure.
@@ -122,8 +122,26 @@ private:
     }
   };
   struct DigramKeyHash {
-    size_t operator()(const DigramKey &K) const;
+    size_t operator()(const DigramKey &K) const {
+      return static_cast<size_t>(hashDigram(K.V1, K.V2, K.Tags));
+    }
   };
+
+  /// \name Slab arena
+  /// Symbols and rules come from grammar-owned slabs instead of the
+  /// global heap: appending is the profiling hot path and pays for every
+  /// malloc/free twice (allocation plus the liveness bookkeeping the old
+  /// unordered_sets did per node). Freed nodes go onto a *pending* list
+  /// first and only become reusable at the next top-level append() —
+  /// within one append cascade a stale pointer therefore still reads as
+  /// dead, exactly matching the pointer-set semantics this replaced.
+  /// @{
+  Symbol *allocSymbol();
+  void releaseSymbol(Symbol *S);
+  Rule *allocRule();
+  void releaseRule(Rule *R);
+  void reclaimPending();
+  /// @}
 
   Symbol *newTerminal(uint64_t Value);
   Symbol *newNonTerminal(Rule *R);
@@ -152,8 +170,10 @@ private:
   /// Drains MaybeUnderused until the utility invariant holds.
   void repairUtility();
 
-  bool isLive(const Symbol *S) const { return LiveSymbols.count(S) != 0; }
-  bool isLiveRule(const Rule *R) const { return LiveRules.count(R) != 0; }
+  /// Liveness is an intrusive tag on the node (set by alloc*, cleared by
+  /// release*), so these are plain field reads instead of hash probes.
+  bool isLive(const Symbol *S) const;
+  bool isLiveRule(const Rule *R) const;
 
   /// Collects live rules reachable from the start rule, start first, in
   /// first-visit order; assigns dense ids for serialization/dump.
@@ -162,10 +182,25 @@ private:
   Rule *Start;
   uint64_t InputLen = 0;
   uint64_t NextRuleId = 0;
-  std::unordered_map<DigramKey, Symbol *, DigramKeyHash> Index;
-  std::unordered_set<const Symbol *> LiveSymbols;
-  std::unordered_set<const Rule *> LiveRules;
+  DigramTable<Symbol *> Index;
   std::vector<Rule *> MaybeUnderused;
+
+  /// Number of symbols per arena slab.
+  static constexpr size_t SymbolsPerSlab = 2048;
+  /// Number of rules per arena slab.
+  static constexpr size_t RulesPerSlab = 256;
+  std::vector<Symbol *> SymbolSlabs; ///< Each: new Symbol[SymbolsPerSlab].
+  std::vector<Rule *> RuleSlabs;     ///< Each: new Rule[RulesPerSlab].
+  size_t SymbolSlabUsed = SymbolsPerSlab; ///< Bump cursor in newest slab.
+  size_t RuleSlabUsed = RulesPerSlab;
+  Symbol *SymbolFreeList = nullptr;    ///< Reusable slots (chained via Next).
+  Symbol *SymbolPendingList = nullptr; ///< Freed since the last append().
+  Rule *RuleFreeList = nullptr;        ///< Chained via LiveNext.
+  Rule *RulePendingList = nullptr;
+  /// Intrusive doubly-linked list of live rules (unordered), for the
+  /// whole-grammar walks (totalBodySymbols, checkInvariants).
+  Rule *LiveRuleHead = nullptr;
+  size_t NumLiveRules = 0;
 };
 
 } // namespace sequitur

@@ -7,6 +7,11 @@ using namespace orp::trace;
 
 TraceSink::~TraceSink() = default;
 
+void TraceSink::onAccessBatch(std::span<const AccessEvent> Events) {
+  for (const AccessEvent &Event : Events)
+    onAccess(Event);
+}
+
 void TraceSink::onFinish() {}
 
 void CountingSink::onAccess(const AccessEvent &Event) {
@@ -17,6 +22,15 @@ void CountingSink::onAccess(const AccessEvent &Event) {
     ++Loads;
 }
 
+void CountingSink::onAccessBatch(std::span<const AccessEvent> Events) {
+  Accesses += Events.size();
+  uint64_t BatchStores = 0;
+  for (const AccessEvent &Event : Events)
+    BatchStores += Event.IsStore ? 1 : 0;
+  Stores += BatchStores;
+  Loads += Events.size() - BatchStores;
+}
+
 void CountingSink::onAlloc(const AllocEvent &) { ++Allocs; }
 
 void CountingSink::onFree(const FreeEvent &) { ++Frees; }
@@ -24,6 +38,12 @@ void CountingSink::onFree(const FreeEvent &) { ++Frees; }
 void BufferSink::onAccess(const AccessEvent &Event) {
   AccessLog.push_back(Event);
   AccessSeq.push_back(NextSeq++);
+}
+
+void BufferSink::onAccessBatch(std::span<const AccessEvent> Events) {
+  AccessLog.insert(AccessLog.end(), Events.begin(), Events.end());
+  for (size_t I = 0; I != Events.size(); ++I)
+    AccessSeq.push_back(NextSeq++);
 }
 
 void BufferSink::onAlloc(const AllocEvent &Event) {
@@ -61,6 +81,11 @@ void BufferSink::replayTo(TraceSink &Sink) const {
 void FanoutSink::onAccess(const AccessEvent &Event) {
   for (TraceSink *Sink : Sinks)
     Sink->onAccess(Event);
+}
+
+void FanoutSink::onAccessBatch(std::span<const AccessEvent> Events) {
+  for (TraceSink *Sink : Sinks)
+    Sink->onAccessBatch(Events);
 }
 
 void FanoutSink::onAlloc(const AllocEvent &Event) {

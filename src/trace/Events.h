@@ -19,6 +19,7 @@
 #include "trace/InstructionRegistry.h"
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace orp {
@@ -56,6 +57,14 @@ public:
   /// Called for every executed load/store.
   virtual void onAccess(const AccessEvent &Event) = 0;
 
+  /// Called with a run of consecutive accesses. The probe runtime
+  /// (MemoryInterface) buffers accesses and delivers them through this
+  /// entry point, amortizing one virtual dispatch over the whole batch;
+  /// events arrive in execution order and carry their own timestamps.
+  /// Default: forwards each event to onAccess(), so sinks that don't
+  /// care about batching behave exactly as before.
+  virtual void onAccessBatch(std::span<const AccessEvent> Events);
+
   /// Called when an object is created (heap alloc, or statics at startup).
   virtual void onAlloc(const AllocEvent &Event) = 0;
 
@@ -71,6 +80,7 @@ public:
 class CountingSink : public TraceSink {
 public:
   void onAccess(const AccessEvent &Event) override;
+  void onAccessBatch(std::span<const AccessEvent> Events) override;
   void onAlloc(const AllocEvent &Event) override;
   void onFree(const FreeEvent &Event) override;
 
@@ -101,6 +111,7 @@ private:
 class BufferSink : public TraceSink {
 public:
   void onAccess(const AccessEvent &Event) override;
+  void onAccessBatch(std::span<const AccessEvent> Events) override;
   void onAlloc(const AllocEvent &Event) override;
   void onFree(const FreeEvent &Event) override;
 
@@ -129,6 +140,7 @@ public:
   void addSink(TraceSink *Sink) { Sinks.push_back(Sink); }
 
   void onAccess(const AccessEvent &Event) override;
+  void onAccessBatch(std::span<const AccessEvent> Events) override;
   void onAlloc(const AllocEvent &Event) override;
   void onFree(const FreeEvent &Event) override;
   void onFinish() override;

@@ -22,18 +22,28 @@ MemoryInterface::~MemoryInterface() = default;
 
 void MemoryInterface::attachSink(TraceSink *Sink) {
   assert(Sink && "null sink");
+  // A sink attached mid-run must not receive accesses that executed
+  // before it was attached.
+  flushAccesses();
   Sinks.push_back(Sink);
 }
 
-void MemoryInterface::record(InstrId Instr, uint64_t Addr, uint32_t Size,
-                             bool IsStore) {
-  assert(!Finished && "access after finish()");
-  if (!Sinks.empty()) {
-    AccessEvent Event{Instr, Addr, Size, IsStore, Clock};
-    for (TraceSink *Sink : Sinks)
-      Sink->onAccess(Event);
-  }
-  ++Clock;
+void MemoryInterface::flushAccesses() {
+  if (BatchLen == 0)
+    return;
+  std::span<const AccessEvent> Events(Batch.data(), BatchLen);
+  for (TraceSink *Sink : Sinks)
+    Sink->onAccessBatch(Events);
+  BatchLen = 0;
+}
+
+void MemoryInterface::setBatchCapacity(size_t N) {
+  flushAccesses();
+  if (N < 1)
+    N = 1;
+  if (N > MaxBatchCapacity)
+    N = MaxBatchCapacity;
+  BatchCapacity = N;
 }
 
 uint64_t MemoryInterface::heapAlloc(AllocSiteId Site, uint64_t Size,
@@ -43,6 +53,7 @@ uint64_t MemoryInterface::heapAlloc(AllocSiteId Site, uint64_t Size,
   if (Addr == 0)
     return 0;
   if (!Sinks.empty()) {
+    flushAccesses(); // Keep access/alloc order at the sinks.
     AllocEvent Event{Site, Addr, Size, Clock, /*IsStatic=*/false};
     for (TraceSink *Sink : Sinks)
       Sink->onAlloc(Event);
@@ -54,6 +65,7 @@ void MemoryInterface::heapFree(uint64_t Addr) {
   assert(!Finished && "free after finish()");
   Heap->deallocate(Addr);
   if (!Sinks.empty()) {
+    flushAccesses(); // Keep access/free order at the sinks.
     FreeEvent Event{Addr, Clock};
     for (TraceSink *Sink : Sinks)
       Sink->onFree(Event);
@@ -72,6 +84,7 @@ uint64_t MemoryInterface::staticAlloc(AllocSiteId Site, uint64_t Size,
     ORP_FATAL_ERROR("static segment overflow");
   StaticObjects.push_back(Addr);
   if (!Sinks.empty()) {
+    flushAccesses();
     AllocEvent Event{Site, Addr, Size, Clock, /*IsStatic=*/true};
     for (TraceSink *Sink : Sinks)
       Sink->onAlloc(Event);
@@ -81,8 +94,13 @@ uint64_t MemoryInterface::staticAlloc(AllocSiteId Site, uint64_t Size,
 
 void MemoryInterface::injectAccess(const AccessEvent &Event) {
   assert(!Finished && "access after finish()");
-  for (TraceSink *Sink : Sinks)
-    Sink->onAccess(Event);
+  // Replayed accesses ride the same batch buffer as live ones; the
+  // recorded timestamp travels inside the event.
+  if (!Sinks.empty()) {
+    Batch[BatchLen++] = Event;
+    if (BatchLen >= BatchCapacity)
+      flushAccesses();
+  }
   // Live record() stamps the current clock and then advances it.
   if (Event.Time + 1 > Clock)
     Clock = Event.Time + 1;
@@ -90,6 +108,7 @@ void MemoryInterface::injectAccess(const AccessEvent &Event) {
 
 void MemoryInterface::injectAlloc(const AllocEvent &Event) {
   assert(!Finished && "allocation after finish()");
+  flushAccesses();
   for (TraceSink *Sink : Sinks)
     Sink->onAlloc(Event);
   if (Event.Time > Clock)
@@ -98,6 +117,7 @@ void MemoryInterface::injectAlloc(const AllocEvent &Event) {
 
 void MemoryInterface::injectFree(const FreeEvent &Event) {
   assert(!Finished && "free after finish()");
+  flushAccesses();
   for (TraceSink *Sink : Sinks)
     Sink->onFree(Event);
   if (Event.Time > Clock)
@@ -107,6 +127,7 @@ void MemoryInterface::injectFree(const FreeEvent &Event) {
 void MemoryInterface::finish() {
   if (Finished)
     return;
+  flushAccesses();
   Finished = true;
   if (!Sinks.empty()) {
     for (uint64_t Addr : StaticObjects) {

@@ -22,6 +22,8 @@
 #include "trace/Events.h"
 #include "trace/InstructionRegistry.h"
 
+#include <array>
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,8 +32,20 @@ namespace orp {
 namespace trace {
 
 /// Runtime for one instrumented (simulated) program execution.
+///
+/// Accesses are not delivered to the sinks one at a time: the probes
+/// buffer into a fixed-size batch which is flushed when full and at
+/// every event that could change the address map (alloc/free/finish).
+/// Sinks therefore see accesses slightly later than they execute —
+/// always in order, always carrying their true timestamps — and a sink
+/// inspected mid-run must be preceded by flushAccesses().
 class MemoryInterface {
 public:
+  /// Hard upper bound on the access batch (buffer is allocated inline).
+  static constexpr size_t MaxBatchCapacity = 256;
+  /// Default flush threshold; see bench/perf_components batch sweep.
+  static constexpr size_t DefaultBatchCapacity = 128;
+
   /// Creates a runtime with a heap served by \p Policy. \p Seed models the
   /// environment-dependent layout noise of one particular run.
   explicit MemoryInterface(
@@ -52,6 +66,18 @@ public:
   void store(InstrId Instr, uint64_t Addr, uint32_t Size = 8) {
     record(Instr, Addr, Size, /*IsStore=*/true);
   }
+
+  /// Delivers all buffered accesses to the sinks now. Object probes and
+  /// finish() flush implicitly; call this before inspecting sink state
+  /// mid-run.
+  void flushAccesses();
+
+  /// Sets the flush threshold (clamped to [1, MaxBatchCapacity]);
+  /// flushes pending accesses first. 1 reproduces per-event delivery.
+  void setBatchCapacity(size_t N);
+
+  /// Returns the current flush threshold.
+  size_t batchCapacity() const { return BatchCapacity; }
 
   /// Object probe: allocates \p Size heap bytes at allocation site
   /// \p Site. Returns the object's address (0 on simulated OOM).
@@ -92,10 +118,25 @@ public:
   const memsim::SimAllocator &allocator() const { return *Heap; }
 
 private:
-  void record(InstrId Instr, uint64_t Addr, uint32_t Size, bool IsStore);
+  /// The instruction-probe fast path: stamps the event into the batch
+  /// buffer and only crosses into virtual sink dispatch when the batch
+  /// fills. Inline — this is the per-access cost behind Table 1.
+  void record(InstrId Instr, uint64_t Addr, uint32_t Size, bool IsStore) {
+    assert(!Finished && "access after finish()");
+    if (!Sinks.empty()) {
+      Batch[BatchLen++] = AccessEvent{Instr, Addr, Size, IsStore, Clock};
+      if (BatchLen >= BatchCapacity)
+        flushAccesses();
+    }
+    ++Clock;
+  }
 
   std::unique_ptr<memsim::SimAllocator> Heap;
   std::vector<TraceSink *> Sinks;
+  /// Access batch buffer (see class comment).
+  std::array<AccessEvent, MaxBatchCapacity> Batch;
+  size_t BatchLen = 0;
+  size_t BatchCapacity = DefaultBatchCapacity;
   /// Global access counter; "a counter starting from 0 at the beginning of
   /// the program and incremented after every collected access" (Sec. 2.2).
   uint64_t Clock = 0;

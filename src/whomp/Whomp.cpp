@@ -16,6 +16,11 @@ void WhompProfiler::consume(const core::OrTuple &Tuple) {
   ++Tuples;
 }
 
+void WhompProfiler::consumeBatch(std::span<const core::OrTuple> Batch) {
+  Decomposer.consumeBatch(Batch);
+  Tuples += Batch.size();
+}
+
 void WhompProfiler::finish() { Decomposer.finish(); }
 
 const sequitur::SequiturGrammar &

@@ -34,6 +34,12 @@ namespace whomp {
 class SequiturStreamCompressor : public core::StreamCompressor {
 public:
   void append(uint64_t Symbol) override { Grammar.append(Symbol); }
+  void appendBatch(std::span<const uint64_t> Symbols) override {
+    // One virtual call for the whole run; the grammar's digram table and
+    // arena stay hot across the inner loop.
+    for (uint64_t Symbol : Symbols)
+      Grammar.append(Symbol);
+  }
   size_t serializedSizeBytes() const override {
     return Grammar.serializedSizeBytes();
   }
@@ -63,6 +69,7 @@ public:
   WhompProfiler();
 
   void consume(const core::OrTuple &Tuple) override;
+  void consumeBatch(std::span<const core::OrTuple> Tuples) override;
   void finish() override;
 
   /// Returns the number of tuples compressed.

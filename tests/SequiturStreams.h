@@ -1,0 +1,137 @@
+//===- tests/SequiturStreams.h - Deterministic fuzz stream suite -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic stream family behind the Sequitur fuzz-lite suite.
+/// Every stream is reproducible from its StreamCase entry alone, so the
+/// serialize() images produced by the current SequiturGrammar can be
+/// checked byte-for-byte (via CRC-32) against images recorded from the
+/// pre-arena implementation. Generators must never change once a golden
+/// CRC has been recorded against them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TESTS_SEQUITURSTREAMS_H
+#define ORP_TESTS_SEQUITURSTREAMS_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace orp {
+namespace seqstreams {
+
+/// Stream families exercised by the fuzz suite.
+enum class StreamKind : uint8_t {
+  Periodic,  ///< V[i] = i % A; adversarial for digram reuse.
+  Runs,      ///< Runs of one symbol with Rng-chosen lengths ("aaa" twins).
+  Random,    ///< Uniform over an alphabet of A symbols.
+  Phrases,   ///< Random with re-emission of earlier phrases (B% bias).
+  Nested,    ///< Doubling repetition: w, ww, wwww, ... of a random seed w.
+  Sawtooth,  ///< Interleaved up/down counters; periodic with phase drift.
+};
+
+/// One reproducible stream: kind + parameters + expected CRC-32 of the
+/// grammar serialization recorded from the pre-arena implementation.
+struct StreamCase {
+  const char *Name;
+  StreamKind Kind;
+  uint64_t Alphabet; ///< Symbol alphabet size (Kind-dependent meaning).
+  uint32_t Length;   ///< Terminals to generate.
+  uint64_t Seed;     ///< Rng seed for randomized kinds.
+  uint32_t GoldenCrc; ///< CRC-32 of serialize() (pre-arena recording).
+};
+
+/// Generates the terminals of \p C. Deterministic; identical across
+/// platforms (Rng is the repo's fixed xoshiro256**).
+inline std::vector<uint64_t> makeStream(const StreamCase &C) {
+  std::vector<uint64_t> V;
+  V.reserve(C.Length);
+  Rng R(C.Seed);
+  switch (C.Kind) {
+  case StreamKind::Periodic:
+    for (uint32_t I = 0; I != C.Length; ++I)
+      V.push_back(I % C.Alphabet);
+    break;
+  case StreamKind::Runs:
+    while (V.size() < C.Length) {
+      uint64_t Sym = R.nextBelow(C.Alphabet);
+      uint64_t Run = 1 + R.nextBelow(9);
+      for (uint64_t I = 0; I != Run && V.size() < C.Length; ++I)
+        V.push_back(Sym);
+    }
+    break;
+  case StreamKind::Random:
+    for (uint32_t I = 0; I != C.Length; ++I)
+      V.push_back(R.nextBelow(C.Alphabet));
+    break;
+  case StreamKind::Phrases:
+    while (V.size() < C.Length) {
+      if (!V.empty() && R.nextBool(0.6)) {
+        size_t Start = R.nextBelow(V.size());
+        size_t Len = 1 + R.nextBelow(12);
+        for (size_t I = Start; I < V.size() && Len--; ++I)
+          V.push_back(V[I]);
+      } else {
+        V.push_back(R.nextBelow(C.Alphabet));
+      }
+    }
+    V.resize(C.Length);
+    break;
+  case StreamKind::Nested: {
+    for (uint64_t I = 0; I != 4; ++I)
+      V.push_back(R.nextBelow(C.Alphabet));
+    while (V.size() * 2 <= C.Length)
+      V.insert(V.end(), V.begin(), V.end());
+    V.resize(C.Length);
+    break;
+  }
+  case StreamKind::Sawtooth:
+    for (uint32_t I = 0; I != C.Length; ++I) {
+      uint64_t Phase = I / 64;
+      V.push_back((I % 2) ? (I % C.Alphabet)
+                          : (C.Alphabet - 1 - (I + Phase) % C.Alphabet));
+    }
+    break;
+  }
+  return V;
+}
+
+/// The fuzz-lite suite. Golden CRCs were recorded by building the
+/// pre-arena SequiturGrammar (commit 5092134) against this exact
+/// generator; the arena implementation must reproduce every image
+/// byte-for-byte.
+inline const StreamCase *streamCases(size_t &Count) {
+  static const StreamCase Cases[] = {
+      {"periodic_p1", StreamKind::Periodic, 1, 6000, 0, 0x4f38221du},
+      {"periodic_p2", StreamKind::Periodic, 2, 6000, 0, 0xa1364331u},
+      {"periodic_p3", StreamKind::Periodic, 3, 6000, 0, 0xc3c0c42cu},
+      {"periodic_p7", StreamKind::Periodic, 7, 6000, 0, 0x90488c1eu},
+      {"periodic_p64", StreamKind::Periodic, 64, 6000, 0, 0x2fac77c1u},
+      {"periodic_p1024", StreamKind::Periodic, 1024, 6000, 0, 0xec82ecbfu},
+      {"runs_a2", StreamKind::Runs, 2, 5000, 11, 0x3d79adf3u},
+      {"runs_a5", StreamKind::Runs, 5, 5000, 12, 0x82404acfu},
+      {"random_a2", StreamKind::Random, 2, 5000, 21, 0x7b25eee3u},
+      {"random_a16", StreamKind::Random, 16, 5000, 22, 0x9a4ba388u},
+      {"random_a256", StreamKind::Random, 256, 5000, 23, 0x3f587aaau},
+      {"random_wide", StreamKind::Random, 1ULL << 40, 5000, 24, 0x58250927u},
+      {"phrases_a4", StreamKind::Phrases, 4, 6000, 31, 0xf3e3b8bbu},
+      {"phrases_a64", StreamKind::Phrases, 64, 6000, 32, 0xddeb810du},
+      {"nested_a3", StreamKind::Nested, 3, 4096, 41, 0xf7fa87feu},
+      {"nested_a300", StreamKind::Nested, 300, 4096, 42, 0x187bb2bfu},
+      {"sawtooth_a8", StreamKind::Sawtooth, 8, 6000, 0, 0xedb9482au},
+      {"sawtooth_a97", StreamKind::Sawtooth, 97, 6000, 0, 0x87d80415u},
+  };
+  Count = sizeof(Cases) / sizeof(Cases[0]);
+  return Cases;
+}
+
+} // namespace seqstreams
+} // namespace orp
+
+#endif // ORP_TESTS_SEQUITURSTREAMS_H

@@ -232,6 +232,7 @@ TEST(ProfilingSessionTest, RawSinksSeeUntranslatedEvents) {
   S.addRawSink(&Raw);
   uint64_t Addr = S.memory().heapAlloc(0, 64);
   S.memory().store(0, Addr);
+  S.memory().flushAccesses(); // Accesses batch; deliver before inspecting.
   EXPECT_EQ(Raw.accesses(), 1u);
   EXPECT_EQ(Raw.allocs(), 1u);
 }
@@ -243,6 +244,7 @@ TEST(ProfilingSessionTest, StackAddressesAreDroppedLikeThePaper) {
   TupleBuffer Buf;
   S.addConsumer(&Buf);
   S.memory().load(0, memsim::AddressSpaceLayout::StackBase + 0x100);
+  S.memory().flushAccesses();
   EXPECT_TRUE(Buf.Tuples.empty());
   EXPECT_EQ(S.cdc().stats().Unknown, 1u);
 }

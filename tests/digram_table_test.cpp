@@ -1,0 +1,176 @@
+//===- tests/digram_table_test.cpp - Digram hash/table regression --------===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+//
+// Collision-focused regression tests for hashDigram() and the robin-hood
+// DigramTable. The previous digram hash folded the two symbol words with
+// plain shift-xors, which left address-like strided keys clustered in the
+// low bits the table indexes with; these tests pin the strengthened
+// hash's avalanche and the table's probe-length behavior on exactly those
+// adversarial key families.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sequitur/DigramTable.h"
+#include "support/Random.h"
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace orp;
+using namespace orp::sequitur;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// hashDigram quality
+//===----------------------------------------------------------------------===//
+
+TEST(DigramHashTest, SingleBitAvalanche) {
+  // Flipping any single input bit must flip roughly half the output
+  // bits. A weak folding hash fails this badly for high input bits.
+  Rng R(7);
+  for (int Sample = 0; Sample != 32; ++Sample) {
+    uint64_t V1 = R.next();
+    uint64_t V2 = R.next();
+    uint8_t Tags = static_cast<uint8_t>(R.nextBelow(4));
+    uint64_t H = hashDigram(V1, V2, Tags);
+    for (int Bit = 0; Bit != 64; ++Bit) {
+      uint64_t FlippedV1 = hashDigram(V1 ^ (1ULL << Bit), V2, Tags);
+      uint64_t FlippedV2 = hashDigram(V1, V2 ^ (1ULL << Bit), Tags);
+      EXPECT_GE(std::popcount(H ^ FlippedV1), 16) << "V1 bit " << Bit;
+      EXPECT_LE(std::popcount(H ^ FlippedV1), 48) << "V1 bit " << Bit;
+      EXPECT_GE(std::popcount(H ^ FlippedV2), 16) << "V2 bit " << Bit;
+      EXPECT_LE(std::popcount(H ^ FlippedV2), 48) << "V2 bit " << Bit;
+    }
+  }
+}
+
+TEST(DigramHashTest, OrderAndTagSensitivity) {
+  // (a, b) and (b, a) are different digrams; equal values with different
+  // tags (terminal vs. rule id) are different digrams too.
+  Rng R(13);
+  for (int Sample = 0; Sample != 256; ++Sample) {
+    uint64_t A = R.nextBelow(1024);
+    uint64_t B = R.nextBelow(1024);
+    if (A != B)
+      EXPECT_NE(hashDigram(A, B, 0), hashDigram(B, A, 0));
+    for (uint8_t T1 = 0; T1 != 4; ++T1)
+      for (uint8_t T2 = static_cast<uint8_t>(T1 + 1); T2 != 4; ++T2)
+        EXPECT_NE(hashDigram(A, B, T1), hashDigram(A, B, T2));
+  }
+}
+
+TEST(DigramHashTest, StridedKeysSpreadAcrossLowBits) {
+  // Offsets in profiled streams are multiples of the access size; rule
+  // ids are consecutive integers. Both families must still spread over
+  // the low bits a power-of-2 table masks with.
+  constexpr size_t Buckets = 256;
+  constexpr size_t Keys = 4096;
+  for (uint64_t Stride : {8ULL, 64ULL, 4096ULL}) {
+    std::vector<uint32_t> Histogram(Buckets, 0);
+    for (size_t I = 0; I != Keys; ++I)
+      ++Histogram[hashDigram(I * Stride, (I + 1) * Stride, 0) & (Buckets - 1)];
+    // Expected load 16 per bucket; no bucket may be empty or grossly
+    // overloaded under a full-avalanche finalizer.
+    for (size_t B = 0; B != Buckets; ++B) {
+      EXPECT_GT(Histogram[B], 0u) << "stride " << Stride << " bucket " << B;
+      EXPECT_LT(Histogram[B], 48u) << "stride " << Stride << " bucket " << B;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DigramTable behavior
+//===----------------------------------------------------------------------===//
+
+TEST(DigramTableTest, InsertFindErase) {
+  DigramTable<int> T;
+  EXPECT_EQ(T.findSlot(1, 2, 0), DigramTable<int>::Npos);
+  T.insert(1, 2, 0, 42);
+  size_t Slot = T.findSlot(1, 2, 0);
+  ASSERT_NE(Slot, DigramTable<int>::Npos);
+  EXPECT_EQ(T.valueAt(Slot), 42);
+  // Same values, different tags: distinct key.
+  EXPECT_EQ(T.findSlot(1, 2, 1), DigramTable<int>::Npos);
+  T.eraseSlot(Slot);
+  EXPECT_EQ(T.findSlot(1, 2, 0), DigramTable<int>::Npos);
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(DigramTableTest, SurvivesGrowthAndChurn) {
+  DigramTable<uint64_t> T;
+  Rng R(3);
+  constexpr uint64_t N = 20000;
+  for (uint64_t I = 0; I != N; ++I)
+    T.insert(I, I * 3, static_cast<uint8_t>(I & 3), I);
+  EXPECT_EQ(T.size(), N);
+  // Erase a random half, then verify every membership answer.
+  std::vector<bool> Erased(N, false);
+  for (uint64_t I = 0; I != N; ++I)
+    if (R.nextBool(0.5)) {
+      size_t Slot = T.findSlot(I, I * 3, static_cast<uint8_t>(I & 3));
+      ASSERT_NE(Slot, DigramTable<uint64_t>::Npos);
+      T.eraseSlot(Slot);
+      Erased[I] = true;
+    }
+  for (uint64_t I = 0; I != N; ++I) {
+    size_t Slot = T.findSlot(I, I * 3, static_cast<uint8_t>(I & 3));
+    if (Erased[I]) {
+      EXPECT_EQ(Slot, DigramTable<uint64_t>::Npos);
+    } else {
+      ASSERT_NE(Slot, DigramTable<uint64_t>::Npos);
+      EXPECT_EQ(T.valueAt(Slot), I);
+    }
+  }
+}
+
+TEST(DigramTableTest, CollisionHeavyKeysKeepShortProbes) {
+  // Regression guard: the adversarial families that defeated the old
+  // folded hash (large strides, aligned bases, consecutive rule ids)
+  // must keep robin-hood probe sequences short. With a sound hash at
+  // load factor <= 0.7 the longest probe stays in single digits; a
+  // clustered hash pushes it to dozens (and in the worst case trips the
+  // table's MaxDisplacement rehash loop).
+  struct Family {
+    const char *Name;
+    uint64_t Base, Stride;
+  } Families[] = {
+      {"page_aligned", 0x7f0000000000ULL, 4096},
+      {"cacheline", 0x560000001000ULL, 64},
+      {"word", 0, 8},
+      {"rule_ids", 0, 1},
+  };
+  for (const Family &F : Families) {
+    DigramTable<uint64_t> T;
+    for (uint64_t I = 0; I != 8192; ++I)
+      T.insert(F.Base + I * F.Stride, F.Base + (I + 1) * F.Stride, 0, I);
+    EXPECT_LE(T.maxProbeLength(), 12u) << F.Name;
+  }
+}
+
+TEST(DigramTableTest, ForEachVisitsEveryEntry) {
+  DigramTable<uint64_t> T;
+  constexpr uint64_t N = 1000;
+  for (uint64_t I = 0; I != N; ++I)
+    T.insert(I, I + 1, 0, I);
+  std::vector<bool> Seen(N, false);
+  T.forEach([&](uint64_t V1, uint64_t V2, uint8_t Tags, uint64_t Value) {
+    EXPECT_EQ(V2, V1 + 1);
+    EXPECT_EQ(Tags, 0);
+    EXPECT_EQ(Value, V1);
+    ASSERT_LT(Value, N);
+    EXPECT_FALSE(Seen[Value]);
+    Seen[Value] = true;
+  });
+  for (uint64_t I = 0; I != N; ++I)
+    EXPECT_TRUE(Seen[I]) << I;
+}
+
+} // namespace

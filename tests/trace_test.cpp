@@ -39,6 +39,7 @@ TEST(MemoryInterfaceTest, ClockAdvancesPerAccess) {
   M.load(0, 0x1000);
   M.store(1, 0x1008);
   EXPECT_EQ(M.now(), 2u);
+  M.flushAccesses(); // Accesses batch; deliver before inspecting the sink.
   EXPECT_EQ(C.accesses(), 2u);
   EXPECT_EQ(C.loads(), 1u);
   EXPECT_EQ(C.stores(), 1u);
@@ -57,6 +58,7 @@ TEST(MemoryInterfaceTest, EventsCarryTimestamps) {
   M.attachSink(&B);
   M.load(3, 0xAAAA, 4);
   M.store(4, 0xBBBB, 8);
+  M.flushAccesses();
   ASSERT_EQ(B.accesses().size(), 2u);
   EXPECT_EQ(B.accesses()[0].Time, 0u);
   EXPECT_EQ(B.accesses()[0].Instr, 3u);
