@@ -1,0 +1,132 @@
+//===- fuzz/FuzzDriver.cpp - Fallback driver for fuzz targets ------------===//
+//
+// main() for toolchains without libFuzzer. Two modes:
+//
+//   orp-fuzz-<target> FILE...         replay each file once (crash repro);
+//   orp-fuzz-<target> [-rounds=N]     run the built-in seed corpus, then
+//                                     N deterministic mutations per seed
+//                                     (default 256).
+//
+// Mutations come from a fixed-seed xorshift64 PRNG, so a given binary
+// always explores the same inputs — the fuzz-smoke CI job is
+// reproducible, and a crash there is a crash on every machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzTarget.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// xorshift64: tiny, fast, and good enough to perturb seeds.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ULL) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  /// Uniform-ish value in [0, Bound).
+  uint64_t below(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+};
+
+/// Applies 1-4 random byte-level mutations to \p Input.
+std::vector<uint8_t> mutate(const std::vector<uint8_t> &Input, Rng &R) {
+  std::vector<uint8_t> Out = Input;
+  unsigned Ops = 1 + static_cast<unsigned>(R.below(4));
+  for (unsigned I = 0; I != Ops; ++I) {
+    switch (R.below(5)) {
+    case 0: // Flip one bit.
+      if (!Out.empty())
+        Out[R.below(Out.size())] ^= static_cast<uint8_t>(1 << R.below(8));
+      break;
+    case 1: // Overwrite one byte.
+      if (!Out.empty())
+        Out[R.below(Out.size())] = static_cast<uint8_t>(R.next());
+      break;
+    case 2: // Truncate the tail.
+      if (!Out.empty())
+        Out.resize(R.below(Out.size()) + 1);
+      break;
+    case 3: // Insert a byte.
+      Out.insert(Out.begin() + static_cast<ptrdiff_t>(R.below(Out.size() + 1)),
+                 static_cast<uint8_t>(R.next()));
+      break;
+    default: { // Duplicate a short slice onto another position.
+      if (Out.size() < 2)
+        break;
+      size_t From = R.below(Out.size());
+      size_t Len = 1 + R.below(std::min<size_t>(16, Out.size() - From));
+      size_t To = R.below(Out.size());
+      Len = std::min(Len, Out.size() - To);
+      std::memmove(Out.data() + To, Out.data() + From, Len);
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Rounds = 256;
+  std::vector<std::string> Files;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("-rounds=", 0) == 0)
+      Rounds = std::strtoull(Arg.c_str() + 8, nullptr, 10);
+    else if (Arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return 2;
+    } else
+      Files.push_back(Arg);
+  }
+
+  if (!Files.empty()) {
+    for (const std::string &Path : Files) {
+      std::vector<uint8_t> Bytes;
+      if (!readFile(Path, Bytes)) {
+        std::fprintf(stderr, "cannot read %s\n", Path.c_str());
+        return 2;
+      }
+      LLVMFuzzerTestOneInput(Bytes.data(), Bytes.size());
+      std::printf("ran %s (%zu bytes)\n", Path.c_str(), Bytes.size());
+    }
+    return 0;
+  }
+
+  std::vector<std::vector<uint8_t>> Seeds = orpFuzzSeedInputs();
+  uint64_t Executions = 0;
+  for (size_t S = 0; S != Seeds.size(); ++S) {
+    LLVMFuzzerTestOneInput(Seeds[S].data(), Seeds[S].size());
+    ++Executions;
+    Rng R(0x5eedf00dULL * (S + 1));
+    for (uint64_t Round = 0; Round != Rounds; ++Round) {
+      std::vector<uint8_t> Input = mutate(Seeds[S], R);
+      LLVMFuzzerTestOneInput(Input.data(), Input.size());
+      ++Executions;
+    }
+  }
+  std::printf("fuzz driver: %llu executions over %zu seeds, no crashes\n",
+              static_cast<unsigned long long>(Executions), Seeds.size());
+  return 0;
+}

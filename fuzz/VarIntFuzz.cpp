@@ -1,0 +1,123 @@
+//===- fuzz/VarIntFuzz.cpp - LEB128 decode/encode differential -----------===//
+//
+// Properties checked on every input position:
+//
+//   * a checked decode never reads past the buffer and never crashes;
+//   * Ok implies the canonical round trip: re-encoding the value
+//     reproduces exactly the consumed bytes, and the consumed length
+//     matches size{U,S}LEB128;
+//   * non-Ok leaves the cursor untouched, and tryDecode* agrees with
+//     the checked status;
+//   * every value round-trips encode -> decode bit-exactly (the first 8
+//     input bytes seed the value sweep).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FuzzTarget.h"
+
+#include "support/VarInt.h"
+
+#include <cstring>
+
+using namespace orp;
+
+namespace {
+
+void checkDecodeAt(const uint8_t *Data, size_t Size, size_t Pos) {
+  // Unsigned.
+  size_t UPos = Pos;
+  uint64_t U = 0;
+  VarIntStatus USt = decodeULEB128Checked(Data, Size, UPos, U);
+  if (USt == VarIntStatus::Ok) {
+    size_t Consumed = UPos - Pos;
+    ORP_FUZZ_REQUIRE(Consumed == sizeULEB128(U),
+                     "ULEB128 consumed length is not canonical");
+    std::vector<uint8_t> Re;
+    encodeULEB128(U, Re);
+    ORP_FUZZ_REQUIRE(Re.size() == Consumed &&
+                         std::memcmp(Re.data(), Data + Pos, Consumed) == 0,
+                     "ULEB128 re-encode differs from input bytes");
+  } else {
+    ORP_FUZZ_REQUIRE(UPos == Pos, "failed ULEB128 decode moved the cursor");
+  }
+  size_t TPos = Pos;
+  uint64_t TVal = 0;
+  ORP_FUZZ_REQUIRE(tryDecodeULEB128(Data, Size, TPos, TVal) ==
+                       (USt == VarIntStatus::Ok),
+                   "tryDecodeULEB128 disagrees with checked status");
+
+  // Signed.
+  size_t SPos = Pos;
+  int64_t S = 0;
+  VarIntStatus SSt = decodeSLEB128Checked(Data, Size, SPos, S);
+  if (SSt == VarIntStatus::Ok) {
+    size_t Consumed = SPos - Pos;
+    ORP_FUZZ_REQUIRE(Consumed == sizeSLEB128(S),
+                     "SLEB128 consumed length is not canonical");
+    std::vector<uint8_t> Re;
+    encodeSLEB128(S, Re);
+    ORP_FUZZ_REQUIRE(Re.size() == Consumed &&
+                         std::memcmp(Re.data(), Data + Pos, Consumed) == 0,
+                     "SLEB128 re-encode differs from input bytes");
+  } else {
+    ORP_FUZZ_REQUIRE(SPos == Pos, "failed SLEB128 decode moved the cursor");
+  }
+}
+
+void checkValueRoundTrip(uint64_t Value) {
+  std::vector<uint8_t> Buf;
+  encodeULEB128(Value, Buf);
+  size_t Pos = 0;
+  uint64_t Back = 0;
+  ORP_FUZZ_REQUIRE(decodeULEB128Checked(Buf.data(), Buf.size(), Pos, Back) ==
+                           VarIntStatus::Ok &&
+                       Back == Value && Pos == Buf.size(),
+                   "ULEB128 value does not round-trip");
+
+  auto SValue = static_cast<int64_t>(Value);
+  Buf.clear();
+  encodeSLEB128(SValue, Buf);
+  Pos = 0;
+  int64_t SBack = 0;
+  ORP_FUZZ_REQUIRE(decodeSLEB128Checked(Buf.data(), Buf.size(), Pos, SBack) ==
+                           VarIntStatus::Ok &&
+                       SBack == SValue && Pos == Buf.size(),
+                   "SLEB128 value does not round-trip");
+}
+
+} // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  for (size_t Pos = 0; Pos < Size; ++Pos)
+    checkDecodeAt(Data, Size, Pos);
+
+  // Value sweep seeded by the input: the raw bytes, their complement,
+  // and single-bit values reachable from them.
+  uint64_t Seed = 0;
+  if (Size)
+    std::memcpy(&Seed, Data, Size < 8 ? Size : 8);
+  checkValueRoundTrip(Seed);
+  checkValueRoundTrip(~Seed);
+  checkValueRoundTrip(Seed >> 1);
+  checkValueRoundTrip(Seed << 1);
+  return 0;
+}
+
+std::vector<std::vector<uint8_t>> orpFuzzSeedInputs() {
+  std::vector<std::vector<uint8_t>> Seeds;
+  // Canonical encodings of boundary values.
+  for (uint64_t V : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                     0x7fffffffffffffffULL, 0x8000000000000000ULL,
+                     0xffffffffffffffffULL}) {
+    std::vector<uint8_t> Buf;
+    encodeULEB128(V, Buf);
+    encodeSLEB128(static_cast<int64_t>(V), Buf);
+    Seeds.push_back(std::move(Buf));
+  }
+  // Overlong zero, truncated run, and an 11-byte overflow.
+  Seeds.push_back({0x80, 0x00});
+  Seeds.push_back({0x80, 0x80, 0x80});
+  Seeds.push_back({0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                   0x80, 0x01});
+  return Seeds;
+}

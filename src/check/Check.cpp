@@ -1,0 +1,16 @@
+//===- check/Check.cpp - Invariant-check failure reporting ---------------===//
+
+#include "check/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace orp;
+
+void check::checkFailed(const char *Cond, const char *Msg, const char *File,
+                        unsigned Line) {
+  std::fprintf(stderr, "orp check failure: %s\n  condition: %s\n  at %s:%u\n",
+               Msg, Cond, File, Line);
+  std::fflush(stderr);
+  std::abort();
+}

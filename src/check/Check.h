@@ -1,0 +1,177 @@
+//===- check/Check.h - Compile-time-gated invariant checking ---*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The invariant-checking runtime: check levels, check macros, and manual
+/// AddressSanitizer poisoning helpers for the arena free lists.
+///
+/// The hot path (PR 2) runs on slab arenas, intrusive liveness tags and a
+/// deferred-reclamation contract ("stale pointers still read as dead until
+/// the next top-level append"). That is exactly the raw-pointer territory
+/// where a latent use-after-free or a broken grammar invariant silently
+/// corrupts the OMSG. This layer makes those failures *detected*:
+///
+///   ORP_CHECK_LEVEL 0  checks compiled out entirely (benchmark builds);
+///   ORP_CHECK_LEVEL 1  cheap O(1) assertions stay on in release builds
+///                      (liveness tags, double-release, size sanity);
+///   ORP_CHECK_LEVEL 2  deep validators run periodically on the hot path
+///                      (GrammarValidator / OmcValidator, src/check/).
+///
+/// The level is a compile-time constant (set via -DORP_CHECK_LEVEL=N or
+/// the ORP_CHECK_LEVEL CMake cache variable) so disabled checks cost
+/// nothing — not even a branch.
+///
+/// Under AddressSanitizer the arenas additionally poison reclaimed nodes
+/// (see poisonRegion/unpoisonRegion below), turning any read of a
+/// recycled slab slot into an ASan report. Nodes on the *pending* lists —
+/// freed during the current append cascade — stay unpoisoned: reading
+/// their liveness tag is the sanctioned mid-cascade dead-check the
+/// deferred-reclamation contract exists for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_CHECK_CHECK_H
+#define ORP_CHECK_CHECK_H
+
+#include <cstddef>
+
+#ifndef ORP_CHECK_LEVEL
+/// Default to the cheap always-on tier; benchmark builds pass 0.
+#define ORP_CHECK_LEVEL 1
+#endif
+
+// Detect AddressSanitizer under both GCC (__SANITIZE_ADDRESS__) and
+// Clang (__has_feature).
+#if defined(__SANITIZE_ADDRESS__)
+#define ORP_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ORP_HAS_ASAN 1
+#endif
+#endif
+#ifndef ORP_HAS_ASAN
+#define ORP_HAS_ASAN 0
+#endif
+
+#if ORP_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace orp {
+namespace check {
+
+/// Compile-time check level, for code that wants a constant instead of
+/// the preprocessor symbol.
+inline constexpr int Level = ORP_CHECK_LEVEL;
+
+/// Reports a failed ORP_CHECK* condition and aborts. Like
+/// reportFatalError, but prefixed so CI logs can grep for check
+/// failures specifically.
+[[noreturn]] void checkFailed(const char *Cond, const char *Msg,
+                              const char *File, unsigned Line);
+
+/// \name ASan poisoning
+/// Manual poisoning of arena-owned memory. No-ops without ASan. A
+/// poisoned byte makes any load/store through it an immediate ASan
+/// report ("use-after-poison"), which is how the arenas turn a stale
+/// read of a reclaimed node into a detected violation.
+/// @{
+
+/// True when the build carries AddressSanitizer (and the helpers below
+/// actually poison).
+inline constexpr bool asanActive() { return ORP_HAS_ASAN != 0; }
+
+inline void poisonRegion(const volatile void *Ptr, size_t Size) {
+#if ORP_HAS_ASAN
+  __asan_poison_memory_region(Ptr, Size);
+#else
+  (void)Ptr;
+  (void)Size;
+#endif
+}
+
+inline void unpoisonRegion(const volatile void *Ptr, size_t Size) {
+#if ORP_HAS_ASAN
+  __asan_unpoison_memory_region(Ptr, Size);
+#else
+  (void)Ptr;
+  (void)Size;
+#endif
+}
+
+/// Returns true when \p Ptr is poisoned. Always false without ASan.
+inline bool isPoisoned(const volatile void *Ptr) {
+#if ORP_HAS_ASAN
+  return __asan_address_is_poisoned(const_cast<const void *>(
+             static_cast<const volatile void *>(Ptr))) != 0;
+#else
+  (void)Ptr;
+  return false;
+#endif
+}
+
+/// RAII unpoison window: unpoisons [Ptr, Ptr+Size) on construction and
+/// re-poisons on destruction. Used by code that must legitimately read
+/// a reclaimed node — the arena allocators popping a free list, and the
+/// validators auditing it.
+class ScopedUnpoison {
+public:
+  ScopedUnpoison(const volatile void *Ptr, size_t Size)
+      : Ptr(Ptr), Size(Size), WasPoisoned(isPoisoned(Ptr)) {
+    if (WasPoisoned)
+      unpoisonRegion(Ptr, Size);
+  }
+  ~ScopedUnpoison() {
+    if (WasPoisoned)
+      poisonRegion(Ptr, Size);
+  }
+  ScopedUnpoison(const ScopedUnpoison &) = delete;
+  ScopedUnpoison &operator=(const ScopedUnpoison &) = delete;
+
+private:
+  const volatile void *Ptr;
+  size_t Size;
+  bool WasPoisoned;
+};
+
+/// @}
+
+} // namespace check
+} // namespace orp
+
+/// ORP_CHECK1(cond, msg): O(1) invariant assertion that stays on in
+/// release builds at check level >= 1. Use for cheap tag/size sanity on
+/// the hot path; deep structural walks belong in the validators.
+#if ORP_CHECK_LEVEL >= 1
+#define ORP_CHECK1(COND, MSG)                                                \
+  do {                                                                       \
+    if (!(COND))                                                             \
+      ::orp::check::checkFailed(#COND, MSG, __FILE__, __LINE__);             \
+  } while (false)
+#else
+#define ORP_CHECK1(COND, MSG)                                                \
+  do {                                                                       \
+    (void)sizeof(COND);                                                      \
+  } while (false)
+#endif
+
+/// ORP_CHECK2(cond, msg): assertion compiled only into deep-checked
+/// builds (level >= 2); may guard expensive validation.
+#if ORP_CHECK_LEVEL >= 2
+#define ORP_CHECK2(COND, MSG)                                                \
+  do {                                                                       \
+    if (!(COND))                                                             \
+      ::orp::check::checkFailed(#COND, MSG, __FILE__, __LINE__);             \
+  } while (false)
+#else
+#define ORP_CHECK2(COND, MSG)                                                \
+  do {                                                                       \
+    (void)sizeof(COND);                                                      \
+  } while (false)
+#endif
+
+#endif // ORP_CHECK_CHECK_H

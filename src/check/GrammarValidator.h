@@ -1,0 +1,88 @@
+//===- check/GrammarValidator.h - Deep Sequitur validation -----*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep structural validator for SequiturGrammar — the level-2 half of
+/// the invariant framework (see check/Check.h). As a friend of the
+/// grammar it audits what the public interface cannot see:
+///
+///   * digram index <-> linked-list coherence (soundness: every index
+///     entry points at a live occurrence of its key; completeness:
+///     every adjacency is findable in the index);
+///   * digram uniqueness across all rule bodies;
+///   * rule utility >= 2 and use-list/use-count agreement;
+///   * intrusive live-list membership == liveness tags == reachability
+///     from the start rule;
+///   * arena discipline: free-list/pending-list nodes are dead and
+///     never reachable from live rules, and (under ASan) free-list
+///     nodes are poisoned while pending-list nodes — the sanctioned
+///     mid-cascade dead-check window — are not;
+///   * the memoized expansion length of the start rule equals the
+///     number of appended terminals.
+///
+/// The validator never aborts: violations accumulate in a CheckReport.
+/// It also ships fault injectors (injectForTest) so the negative tests
+/// can prove that a corruption of each class is actually caught.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_CHECK_GRAMMARVALIDATOR_H
+#define ORP_CHECK_GRAMMARVALIDATOR_H
+
+#include "check/CheckReport.h"
+#include "sequitur/Sequitur.h"
+
+#include <cstddef>
+
+namespace orp {
+namespace check {
+
+/// Friend-of-SequiturGrammar deep checker. Stateless; every entry point
+/// is a static function.
+class GrammarValidator {
+public:
+  /// Runs every structural check and returns the collected violations.
+  static CheckReport validate(const sequitur::SequiturGrammar &G);
+
+  /// What auditArenaPoisoning() saw on the arena lists.
+  struct ArenaAudit {
+    bool AsanActive = false;     ///< Whether poisoning is real here.
+    size_t FreeSymbols = 0;      ///< Nodes on the symbol free list.
+    size_t PoisonedFreeSymbols = 0;
+    size_t FreeRules = 0;
+    size_t PoisonedFreeRules = 0;
+    size_t PendingSymbols = 0;   ///< Nodes still in the sanctioned window.
+    size_t PoisonedPendingSymbols = 0; ///< Must stay 0: window is readable.
+    size_t PendingRules = 0;
+    size_t PoisonedPendingRules = 0;
+  };
+
+  /// Walks the arena free and pending lists and reports how many nodes
+  /// are ASan-poisoned. Under ASan, every free-list node must be
+  /// poisoned (a stale read is a detected use-after-free) and no
+  /// pending-list node may be (the deferred-reclamation contract keeps
+  /// them readable until the next append).
+  static ArenaAudit auditArenaPoisoning(const sequitur::SequiturGrammar &G);
+
+  /// Classes of deliberate corruption for negative tests.
+  enum class Corruption {
+    DigramIndexDrop,     ///< Remove an index entry (completeness desync).
+    DigramIndexRetarget, ///< Repoint an entry at a wrong occurrence.
+    UseCountSkew,        ///< Bump a rule's UseCount with no matching use.
+    LivenessTagClear,    ///< Clear the Live tag of an in-body symbol.
+  };
+
+  /// Injects \p K into \p G. Returns false when the grammar is too small
+  /// to host that corruption (caller should grow it first). The grammar
+  /// is unusable for further appends afterwards — validation only.
+  static bool injectForTest(sequitur::SequiturGrammar &G, Corruption K);
+};
+
+} // namespace check
+} // namespace orp
+
+#endif // ORP_CHECK_GRAMMARVALIDATOR_H

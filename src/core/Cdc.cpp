@@ -2,7 +2,11 @@
 
 #include "core/Cdc.h"
 
+#include "check/Check.h"
+#include "check/OmcValidator.h"
+
 #include <cassert>
+#include <string>
 
 using namespace orp;
 using namespace orp::core;
@@ -32,8 +36,28 @@ const char *orp::core::dimensionName(Dimension D) {
   return "?";
 }
 
+namespace {
+
+/// Level-2 checked builds deep-validate the OMC every this many
+/// alloc/free events (the operations that mutate the live index and
+/// serial counters; cache lines are cross-checked on the same cadence).
+constexpr uint64_t OmcValidateIntervalMutations = 1024;
+
+} // namespace
+
 Cdc::Cdc(omc::ObjectManager &Omc, UnknownAddressPolicy Policy)
-    : Omc(Omc), Policy(Policy) {}
+    : Omc(Omc), Policy(Policy),
+      NextOmcValidateAt(OmcValidateIntervalMutations) {}
+
+void Cdc::validateOmc(const char *When) const {
+  check::CheckReport Report = check::OmcValidator::validate(Omc);
+  if (!Report.ok()) {
+    std::string Msg =
+        std::string("CDC ") + When + " OMC validation:\n" + Report.str();
+    check::checkFailed("OmcValidator::validate(Omc).ok()", Msg.c_str(),
+                       __FILE__, __LINE__);
+  }
+}
 
 void Cdc::addConsumer(OrTupleConsumer *Consumer) {
   assert(Consumer && "null consumer");
@@ -85,11 +109,27 @@ void Cdc::onAccessBatch(std::span<const trace::AccessEvent> Events) {
     Consumer->consumeBatch(Tuples);
 }
 
-void Cdc::onAlloc(const trace::AllocEvent &Event) { Omc.onAlloc(Event); }
+void Cdc::onAlloc(const trace::AllocEvent &Event) {
+  Omc.onAlloc(Event);
+  if constexpr (check::Level >= 2)
+    if (++OmcMutations >= NextOmcValidateAt) {
+      NextOmcValidateAt = OmcMutations + OmcValidateIntervalMutations;
+      validateOmc("periodic");
+    }
+}
 
-void Cdc::onFree(const trace::FreeEvent &Event) { Omc.onFree(Event); }
+void Cdc::onFree(const trace::FreeEvent &Event) {
+  Omc.onFree(Event);
+  if constexpr (check::Level >= 2)
+    if (++OmcMutations >= NextOmcValidateAt) {
+      NextOmcValidateAt = OmcMutations + OmcValidateIntervalMutations;
+      validateOmc("periodic");
+    }
+}
 
 void Cdc::onFinish() {
   for (OrTupleConsumer *Consumer : Consumers)
     Consumer->finish();
+  if constexpr (check::Level >= 2)
+    validateOmc("finish");
 }

@@ -72,12 +72,21 @@ private:
   /// is unknown and the policy says to drop the access.
   bool translateEvent(const trace::AccessEvent &Event, OrTuple &Tuple);
 
+  /// Level-2 checked builds only: runs OmcValidator over the object
+  /// manager and aborts (checkFailed) on any violation. \p When labels
+  /// the report ("periodic" / "finish").
+  void validateOmc(const char *When) const;
+
   omc::ObjectManager &Omc;
   UnknownAddressPolicy Policy;
   std::vector<OrTupleConsumer *> Consumers;
   CdcStats Stats;
   /// Scratch buffer reused by onAccessBatch().
   std::vector<OrTuple> TupleBatch;
+  /// Alloc/free events seen; drives the periodic level-2 validation.
+  uint64_t OmcMutations = 0;
+  /// Mutation count at which the next periodic validation fires.
+  uint64_t NextOmcValidateAt;
 };
 
 } // namespace core

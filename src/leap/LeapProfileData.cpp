@@ -30,6 +30,7 @@ bool LeapProfileData::operator==(const LeapProfileData &O) const {
   if (Substreams.size() != O.Substreams.size() ||
       Instrs.size() != O.Instrs.size())
     return false;
+  // orp-lint: allow(unordered-serial): order-independent comparison.
   for (const auto &[Instr, Summary] : Instrs) {
     auto It = O.Instrs.find(Instr);
     if (It == O.Instrs.end() ||
@@ -101,6 +102,7 @@ std::vector<uint8_t> LeapProfileData::serialize() const {
   std::vector<const std::pair<const trace::InstrId, InstrSummary> *>
       SortedInstrs;
   SortedInstrs.reserve(Instrs.size());
+  // orp-lint: allow(unordered-serial): feeds the sort below.
   for (const auto &Entry : Instrs)
     SortedInstrs.push_back(&Entry);
   std::sort(SortedInstrs.begin(), SortedInstrs.end(),

@@ -2,6 +2,8 @@
 
 #include "omc/IntervalBTree.h"
 
+#include "check/Check.h"
+#include "omc/IntervalBTreeNode.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -17,47 +19,99 @@ constexpr size_t MaxFanout = 32;
 
 } // namespace
 
-/// B+-tree node. Leaves hold interval entries and chain links; inner
-/// nodes hold separator keys and child pointers (Children.size() ==
-/// Keys.size() + 1).
-struct IntervalBTree::Node {
-  bool IsLeaf;
-  std::vector<uint64_t> Keys;
-  std::vector<Node *> Children;
-  std::vector<Entry> Entries;
-  Node *Prev = nullptr;
-  Node *Next = nullptr;
-
-  explicit Node(bool IsLeaf) : IsLeaf(IsLeaf) {
-    if (IsLeaf)
-      Entries.reserve(MaxFanout + 1);
-    else {
-      Keys.reserve(MaxFanout);
-      Children.reserve(MaxFanout + 1);
-    }
+IntervalBTree::Node::Node(bool IsLeaf) : IsLeaf(IsLeaf) {
+  if (IsLeaf)
+    Entries.reserve(MaxFanout + 1);
+  else {
+    Keys.reserve(MaxFanout);
+    Children.reserve(MaxFanout + 1);
   }
-};
+}
 
-IntervalBTree::IntervalBTree() : Root(new Node(/*IsLeaf=*/true)) {}
+IntervalBTree::IntervalBTree() : Root(nullptr) {
+  Root = allocNode(/*IsLeaf=*/true);
+}
 
-IntervalBTree::~IntervalBTree() { destroy(Root); }
+IntervalBTree::~IntervalBTree() {
+  destroy(Root);
+  // Drain the recycling list; nodes are poisoned, so lift the poison
+  // before handing them back to the heap.
+  while (FreeNodes) {
+    check::unpoisonRegion(FreeNodes, sizeof(Node));
+    Node *N = FreeNodes;
+    FreeNodes = N->Next;
+    if (N->Entries.capacity())
+      check::unpoisonRegion(N->Entries.data(),
+                            N->Entries.capacity() * sizeof(Entry));
+    if (N->Keys.capacity())
+      check::unpoisonRegion(N->Keys.data(),
+                            N->Keys.capacity() * sizeof(uint64_t));
+    if (N->Children.capacity())
+      check::unpoisonRegion(N->Children.data(),
+                            N->Children.capacity() * sizeof(Node *));
+    delete N; // NOLINT(cppcoreguidelines-owning-memory)
+  }
+}
 
 void IntervalBTree::destroy(Node *N) {
   if (!N->IsLeaf)
     for (Node *Child : N->Children)
       destroy(Child);
-  delete N;
+  delete N; // NOLINT(cppcoreguidelines-owning-memory)
+}
+
+IntervalBTree::Node *IntervalBTree::allocNode(bool IsLeaf) {
+  if (!FreeNodes)
+    return new Node(IsLeaf); // NOLINT(cppcoreguidelines-owning-memory)
+  check::unpoisonRegion(FreeNodes, sizeof(Node));
+  Node *N = FreeNodes;
+  FreeNodes = N->Next;
+  if (N->Entries.capacity())
+    check::unpoisonRegion(N->Entries.data(),
+                          N->Entries.capacity() * sizeof(Entry));
+  if (N->Keys.capacity())
+    check::unpoisonRegion(N->Keys.data(),
+                          N->Keys.capacity() * sizeof(uint64_t));
+  if (N->Children.capacity())
+    check::unpoisonRegion(N->Children.data(),
+                          N->Children.capacity() * sizeof(Node *));
+  N->IsLeaf = IsLeaf;
+  N->Prev = nullptr;
+  N->Next = nullptr;
+  return N;
+}
+
+void IntervalBTree::freeNode(Node *N) {
+  // Contents are dead but the buffers stay allocated (capacity is kept
+  // warm for reuse); Entry/Keys/Children elements are trivial, so
+  // clear() never touches the soon-to-be-poisoned storage.
+  N->Keys.clear();
+  N->Children.clear();
+  N->Entries.clear();
+  N->Prev = nullptr;
+  N->Next = FreeNodes;
+  FreeNodes = N;
+  if (N->Entries.capacity())
+    check::poisonRegion(N->Entries.data(),
+                        N->Entries.capacity() * sizeof(Entry));
+  if (N->Keys.capacity())
+    check::poisonRegion(N->Keys.data(),
+                        N->Keys.capacity() * sizeof(uint64_t));
+  if (N->Children.capacity())
+    check::poisonRegion(N->Children.data(),
+                        N->Children.capacity() * sizeof(Node *));
+  check::poisonRegion(N, sizeof(Node));
 }
 
 void IntervalBTree::insert(uint64_t Start, uint64_t End, uint64_t Value) {
-  assert(Start < End && "empty interval");
-  assert(!overlapsRange(Start, End) && "overlapping interval inserted");
+  ORP_CHECK1(Start < End, "btree: empty interval inserted");
+  ORP_CHECK1(!overlapsRange(Start, End), "btree: overlapping interval inserted");
   SplitResult Split = insertInto(Root, Entry{Start, End, Value});
   ++Count;
   if (!Split.NewRight)
     return;
   // The root split: grow the tree by one level.
-  Node *NewRoot = new Node(/*IsLeaf=*/false);
+  Node *NewRoot = allocNode(/*IsLeaf=*/false);
   NewRoot->Keys.push_back(Split.SeparatorKey);
   NewRoot->Children.push_back(Root);
   NewRoot->Children.push_back(Split.NewRight);
@@ -77,7 +131,7 @@ IntervalBTree::SplitResult IntervalBTree::insertInto(Node *N,
     if (N->Entries.size() <= MaxFanout)
       return {};
     // Split the leaf in half; the right half's first start is promoted.
-    Node *Right = new Node(/*IsLeaf=*/true);
+    Node *Right = allocNode(/*IsLeaf=*/true);
     size_t Mid = N->Entries.size() / 2;
     Right->Entries.assign(N->Entries.begin() + Mid, N->Entries.end());
     N->Entries.resize(Mid);
@@ -100,7 +154,7 @@ IntervalBTree::SplitResult IntervalBTree::insertInto(Node *N,
   if (N->Children.size() <= MaxFanout)
     return {};
   // Split the inner node; the middle key moves up.
-  Node *Right = new Node(/*IsLeaf=*/false);
+  Node *Right = allocNode(/*IsLeaf=*/false);
   size_t MidKey = N->Keys.size() / 2;
   uint64_t Promoted = N->Keys[MidKey];
   Right->Keys.assign(N->Keys.begin() + MidKey + 1, N->Keys.end());
@@ -118,14 +172,15 @@ bool IntervalBTree::erase(uint64_t Start) {
   // Collapse a single-child inner root to keep the height tight; if the
   // last leaf vanished entirely, reset to an empty leaf root.
   while (!Root->IsLeaf && Root->Children.size() == 1) {
-    Node *Child = Root->Children.front();
-    delete Root;
-    Root = Child;
+    Node *Old = Root;
+    Root = Old->Children.front();
+    freeNode(Old);
     --Height;
   }
   if (!Root->IsLeaf && Root->Children.empty()) {
-    delete Root;
-    Root = new Node(/*IsLeaf=*/true);
+    Node *Old = Root;
+    Root = allocNode(/*IsLeaf=*/true);
+    freeNode(Old);
     Height = 1;
   }
   return true;
@@ -159,7 +214,7 @@ bool IntervalBTree::eraseFrom(Node *N, uint64_t Start) {
       if (Child->Next)
         Child->Next->Prev = Child->Prev;
     }
-    delete Child;
+    freeNode(Child);
     N->Children.erase(N->Children.begin() + Slot);
     if (!N->Keys.empty())
       N->Keys.erase(N->Keys.begin() + (Slot == 0 ? 0 : Slot - 1));

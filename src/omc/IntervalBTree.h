@@ -20,6 +20,14 @@
 /// interval lookup relies on: the answer is in the located leaf or is the
 /// last entry of its predecessor.
 ///
+/// Nodes emptied by deletion are recycled on a tree-owned free list
+/// (keeping their vector capacity warm) rather than returned to the
+/// heap. Under AddressSanitizer a free-listed node — struct and entry
+/// storage both — is poisoned until reuse, so a stale Entry pointer
+/// obtained from lookup() before the deletion becomes a detected
+/// use-after-poison instead of a silent read of dead data (see
+/// check/Check.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ORP_OMC_INTERVALBTREE_H
@@ -31,6 +39,11 @@
 #include <vector>
 
 namespace orp {
+
+namespace check {
+class OmcValidator;
+} // namespace check
+
 namespace omc {
 
 /// B+-tree mapping non-overlapping half-open intervals [Start, End) to a
@@ -79,6 +92,10 @@ public:
   bool checkInvariants() const;
 
 private:
+  /// The deep invariant checker (src/check/OmcValidator.h) audits the
+  /// node free list and its ASan poisoning.
+  friend class ::orp::check::OmcValidator;
+
   struct Node;
 
   /// Result of an insertion that split a child.
@@ -86,6 +103,11 @@ private:
     uint64_t SeparatorKey = 0;
     Node *NewRight = nullptr;
   };
+
+  /// Pops a recycled node (unpoisoning it) or allocates a fresh one.
+  Node *allocNode(bool IsLeaf);
+  /// Pushes \p N onto the free list and poisons it.
+  void freeNode(Node *N);
 
   SplitResult insertInto(Node *N, const Entry &E);
   bool eraseFrom(Node *N, uint64_t Start);
@@ -97,6 +119,8 @@ private:
   Node *Root;
   size_t Count = 0;
   size_t Height = 1;
+  /// Recycled nodes, chained through Node::Next; poisoned under ASan.
+  Node *FreeNodes = nullptr;
 };
 
 } // namespace omc

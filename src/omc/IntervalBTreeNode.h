@@ -1,0 +1,41 @@
+//===- omc/IntervalBTreeNode.h - B+-tree node layout -----------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line definition of IntervalBTree's private Node struct. Only
+/// IntervalBTree.cpp and the deep checker in src/check/ may include this
+/// header; everything else must stay behind the IntervalBTree interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_OMC_INTERVALBTREENODE_H
+#define ORP_OMC_INTERVALBTREENODE_H
+
+#include "omc/IntervalBTree.h"
+
+namespace orp {
+namespace omc {
+
+/// B+-tree node. Leaves hold interval entries and chain links; inner
+/// nodes hold separator keys and child pointers (Children.size() ==
+/// Keys.size() + 1). Free-listed nodes chain through Next and are
+/// ASan-poisoned (see IntervalBTree::freeNode).
+struct IntervalBTree::Node {
+  bool IsLeaf;
+  std::vector<uint64_t> Keys;
+  std::vector<Node *> Children;
+  std::vector<Entry> Entries;
+  Node *Prev = nullptr;
+  Node *Next = nullptr;
+
+  explicit Node(bool IsLeaf);
+};
+
+} // namespace omc
+} // namespace orp
+
+#endif // ORP_OMC_INTERVALBTREENODE_H

@@ -2,6 +2,7 @@
 
 #include "omc/ObjectManager.h"
 
+#include "check/Check.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -28,20 +29,20 @@ ObjectManager::lookupGroupForSite(trace::AllocSiteId Site) const {
 }
 
 trace::AllocSiteId ObjectManager::siteForGroup(GroupId Group) const {
-  assert(Group < GroupSites.size() && "unknown group");
+  ORP_CHECK1(Group < GroupSites.size(), "omc: unknown group");
   return GroupSites[Group];
 }
 
 void ObjectManager::splitPoolSite(trace::AllocSiteId Site,
                                   uint64_t ElementSize) {
-  assert(ElementSize > 0 && "zero element size");
-  assert(!lookupGroupForSite(Site) &&
-         "pool policy must be set before the site's first allocation");
+  ORP_CHECK1(ElementSize > 0, "omc: zero pool element size");
+  ORP_CHECK1(!lookupGroupForSite(Site),
+             "omc: pool policy set after the site's first allocation");
   PoolElementSize[Site] = ElementSize;
 }
 
 void ObjectManager::onAlloc(const trace::AllocEvent &Event) {
-  assert(Event.Size > 0 && "zero-sized object");
+  ORP_CHECK1(Event.Size > 0, "omc: zero-sized object allocated");
   GroupId Group = groupForSite(Event.Site);
   uint64_t ObjectId = Records.size();
 

@@ -129,6 +129,11 @@ public:
   const IntervalBTree &liveIndex() const { return LiveIndex; }
 
 private:
+  /// The deep invariant checker (src/check/OmcValidator.h) cross-checks
+  /// the caches, serial counters, and site/group maps against the
+  /// authoritative records.
+  friend class ::orp::check::OmcValidator;
+
   /// Completes a translation for the object \p ObjectId containing
   /// \p Addr, applying the pool-splitting policy when configured.
   Translation translateWithin(uint64_t ObjectId, uint64_t Addr);

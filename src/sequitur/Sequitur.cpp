@@ -2,6 +2,8 @@
 
 #include "sequitur/Sequitur.h"
 
+#include "check/Check.h"
+#include "sequitur/SequiturNodes.h"
 #include "support/Error.h"
 #include "support/VarInt.h"
 
@@ -13,38 +15,6 @@
 using namespace orp;
 using namespace orp::sequitur;
 
-//===----------------------------------------------------------------------===//
-// Internal node types
-//===----------------------------------------------------------------------===//
-
-/// One symbol node. A symbol is exactly one of: a terminal, a use of a
-/// rule (nonterminal), or the guard sentinel of a rule. Guards close each
-/// rule body into a ring: Guard->Next is the first body symbol and
-/// Guard->Prev the last. Nodes live in grammar-owned slabs; Live is the
-/// intrusive liveness tag that replaced the LiveSymbols pointer set.
-struct SequiturGrammar::Symbol {
-  Symbol *Next = nullptr;
-  Symbol *Prev = nullptr;
-  uint64_t Terminal = 0;
-  Rule *RuleRef = nullptr; ///< Non-null iff this is a nonterminal.
-  Rule *GuardOf = nullptr; ///< Non-null iff this is a guard.
-  Symbol *UseNext = nullptr; ///< Next use of RuleRef (intrusive list).
-  Symbol *UsePrev = nullptr;
-  bool Live = false;
-};
-
-/// One grammar rule. LivePrev/LiveNext thread the live-rule list while
-/// the rule is live and the arena free list once it is released.
-struct SequiturGrammar::Rule {
-  uint64_t Id = 0;
-  Symbol *Guard = nullptr;
-  Symbol *UseHead = nullptr; ///< Intrusive list of nonterminal uses.
-  size_t UseCount = 0;
-  Rule *LivePrev = nullptr;
-  Rule *LiveNext = nullptr;
-  bool Live = false;
-};
-
 bool SequiturGrammar::isLive(const Symbol *S) const { return S->Live; }
 bool SequiturGrammar::isLiveRule(const Rule *R) const { return R->Live; }
 
@@ -55,14 +25,23 @@ bool SequiturGrammar::isLiveRule(const Rule *R) const { return R->Live; }
 SequiturGrammar::Symbol *SequiturGrammar::allocSymbol() {
   Symbol *S;
   if (SymbolFreeList) {
+    // Free-list nodes are ASan-poisoned; reopen this one before touching
+    // its chain pointer.
+    check::unpoisonRegion(SymbolFreeList, sizeof(Symbol));
     S = SymbolFreeList;
     SymbolFreeList = S->Next;
   } else {
     if (SymbolSlabUsed == SymbolsPerSlab) {
-      SymbolSlabs.push_back(new Symbol[SymbolsPerSlab]);
+      // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): slab arena owner.
+      Symbol *Slab = new Symbol[SymbolsPerSlab];
+      // A fresh slab is born poisoned past the bump cursor: reads ahead
+      // of allocation are as illegal as reads after reclamation.
+      check::poisonRegion(Slab, sizeof(Symbol) * SymbolsPerSlab);
+      SymbolSlabs.push_back(Slab);
       SymbolSlabUsed = 0;
     }
     S = &SymbolSlabs.back()[SymbolSlabUsed++];
+    check::unpoisonRegion(S, sizeof(Symbol));
   }
   *S = Symbol{};
   S->Live = true;
@@ -70,7 +49,7 @@ SequiturGrammar::Symbol *SequiturGrammar::allocSymbol() {
 }
 
 void SequiturGrammar::releaseSymbol(Symbol *S) {
-  assert(S->Live && "double release");
+  ORP_CHECK1(S->Live, "sequitur arena: symbol double release");
   S->Live = false;
   S->Next = SymbolPendingList;
   SymbolPendingList = S;
@@ -79,14 +58,19 @@ void SequiturGrammar::releaseSymbol(Symbol *S) {
 SequiturGrammar::Rule *SequiturGrammar::allocRule() {
   Rule *R;
   if (RuleFreeList) {
+    check::unpoisonRegion(RuleFreeList, sizeof(Rule));
     R = RuleFreeList;
     RuleFreeList = R->LiveNext;
   } else {
     if (RuleSlabUsed == RulesPerSlab) {
-      RuleSlabs.push_back(new Rule[RulesPerSlab]);
+      // NOLINTNEXTLINE(cppcoreguidelines-owning-memory): slab arena owner.
+      Rule *Slab = new Rule[RulesPerSlab];
+      check::poisonRegion(Slab, sizeof(Rule) * RulesPerSlab);
+      RuleSlabs.push_back(Slab);
       RuleSlabUsed = 0;
     }
     R = &RuleSlabs.back()[RuleSlabUsed++];
+    check::unpoisonRegion(R, sizeof(Rule));
   }
   *R = Rule{};
   R->Live = true;
@@ -94,24 +78,29 @@ SequiturGrammar::Rule *SequiturGrammar::allocRule() {
 }
 
 void SequiturGrammar::releaseRule(Rule *R) {
-  assert(R->Live && "double release");
+  ORP_CHECK1(R->Live, "sequitur arena: rule double release");
   R->Live = false;
   R->LiveNext = RulePendingList;
   RulePendingList = R;
 }
 
 void SequiturGrammar::reclaimPending() {
+  // Pending nodes were readable for the duration of the last append
+  // cascade (the sanctioned stale-pointer dead-check window). Moving to
+  // the free list ends that window, so poison them now.
   while (SymbolPendingList) {
     Symbol *S = SymbolPendingList;
     SymbolPendingList = S->Next;
     S->Next = SymbolFreeList;
     SymbolFreeList = S;
+    check::poisonRegion(S, sizeof(Symbol));
   }
   while (RulePendingList) {
     Rule *R = RulePendingList;
     RulePendingList = R->LiveNext;
     R->LiveNext = RuleFreeList;
     RuleFreeList = R;
+    check::poisonRegion(R, sizeof(Rule));
   }
 }
 
@@ -123,11 +112,16 @@ SequiturGrammar::SequiturGrammar() { Start = newRule(); }
 
 SequiturGrammar::~SequiturGrammar() {
   // Nodes are trivially destructible; dropping the slabs releases
-  // everything (live, pending and free alike).
-  for (Symbol *Slab : SymbolSlabs)
-    delete[] Slab;
-  for (Rule *Slab : RuleSlabs)
-    delete[] Slab;
+  // everything (live, pending and free alike). Unpoison each slab first
+  // so the allocator may touch the memory while recycling it.
+  for (Symbol *Slab : SymbolSlabs) {
+    check::unpoisonRegion(Slab, sizeof(Symbol) * SymbolsPerSlab);
+    delete[] Slab; // NOLINT(cppcoreguidelines-owning-memory)
+  }
+  for (Rule *Slab : RuleSlabs) {
+    check::unpoisonRegion(Slab, sizeof(Rule) * RulesPerSlab);
+    delete[] Slab; // NOLINT(cppcoreguidelines-owning-memory)
+  }
 }
 
 SequiturGrammar::Symbol *SequiturGrammar::newTerminal(uint64_t Value) {
@@ -148,7 +142,7 @@ SequiturGrammar::Symbol *SequiturGrammar::newNonTerminal(Rule *R) {
 }
 
 void SequiturGrammar::destroySymbol(Symbol *S) {
-  assert(!S->GuardOf && "guards are destroyed with their rule");
+  ORP_CHECK1(!S->GuardOf, "guards are destroyed with their rule");
   if (Rule *R = S->RuleRef) {
     if (S->UsePrev)
       S->UsePrev->UseNext = S->UseNext;
@@ -179,8 +173,8 @@ SequiturGrammar::Rule *SequiturGrammar::newRule() {
 }
 
 void SequiturGrammar::destroyRule(Rule *R) {
-  assert(R != Start && "cannot destroy the start rule");
-  assert(R->UseCount == 0 && !R->UseHead && "destroying a rule in use");
+  ORP_CHECK1(R != Start, "cannot destroy the start rule");
+  ORP_CHECK1(R->UseCount == 0 && !R->UseHead, "destroying a rule in use");
   if (R->LivePrev)
     R->LivePrev->LiveNext = R->LiveNext;
   else
@@ -316,7 +310,7 @@ void SequiturGrammar::processMatch(Symbol *A, Symbol *M) {
 
 void SequiturGrammar::substituteDigram(Symbol *First, Rule *R) {
   Symbol *Second = First->Next;
-  assert(!First->GuardOf && !Second->GuardOf && "substituting a guard");
+  ORP_CHECK1(!First->GuardOf && !Second->GuardOf, "substituting a guard");
   Symbol *Prev = First->Prev;
   Symbol *Next = Second->Next;
   Symbol *PrevPrev = Prev->GuardOf ? nullptr : Prev->Prev;
@@ -353,7 +347,7 @@ void SequiturGrammar::substituteDigram(Symbol *First, Rule *R) {
 }
 
 void SequiturGrammar::expandSingleUse(Rule *R) {
-  assert(R->UseCount == 1 && R->UseHead && "not a single-use rule");
+  ORP_CHECK1(R->UseCount == 1 && R->UseHead, "not a single-use rule");
   Symbol *Use = R->UseHead;
   Symbol *Prev = Use->Prev;
   Symbol *Next = Use->Next;
@@ -492,9 +486,15 @@ SequiturGrammar::deserializeAndExpand(const std::vector<uint8_t> &Bytes) {
     for (uint64_t I = 0; I != BodyLen; ++I)
       Bodies[R].push_back(decodeULEB128(Bytes, Pos));
   }
+  if (NumRules == 0)
+    ORP_FATAL_ERROR("sequitur image: no rules");
   std::vector<uint64_t> Out;
   Out.reserve(ExpectLen);
-  // Iterative expansion over (rule, position) frames.
+  // Iterative expansion over (rule, position) frames. The input may be a
+  // corrupted image, so every structural assumption is checked: rule
+  // references must be in range, nesting deeper than the rule count
+  // means a reference cycle, and the expansion must match the declared
+  // length exactly.
   std::vector<std::pair<uint64_t, size_t>> Stack;
   Stack.emplace_back(0, 0);
   while (!Stack.empty()) {
@@ -504,12 +504,21 @@ SequiturGrammar::deserializeAndExpand(const std::vector<uint8_t> &Bytes) {
       continue;
     }
     uint64_t Code = Bodies[RuleIdx][At++];
-    if (Code & 1)
-      Stack.emplace_back(Code >> 1, 0);
-    else
+    if (Code & 1) {
+      uint64_t Ref = Code >> 1;
+      if (Ref >= NumRules)
+        ORP_FATAL_ERROR("sequitur image: rule reference out of range");
+      if (Stack.size() >= NumRules)
+        ORP_FATAL_ERROR("sequitur image: cyclic rule references");
+      Stack.emplace_back(Ref, 0);
+    } else {
+      if (Out.size() == ExpectLen)
+        ORP_FATAL_ERROR("sequitur image: expansion exceeds declared length");
       Out.push_back(Code >> 1);
+    }
   }
-  assert(Out.size() == ExpectLen && "deserialized length mismatch");
+  if (Out.size() != ExpectLen)
+    ORP_FATAL_ERROR("sequitur image: deserialized length mismatch");
   return Out;
 }
 

@@ -41,6 +41,11 @@
 #include <vector>
 
 namespace orp {
+
+namespace check {
+class GrammarValidator;
+} // namespace check
+
 namespace sequitur {
 
 /// Incremental Sequitur grammar over uint64 terminal symbols.
@@ -109,6 +114,11 @@ public:
   bool checkInvariants() const;
 
 private:
+  /// The deep invariant checker (src/check/GrammarValidator.h) walks
+  /// rule bodies, use lists and the arena free lists directly, and
+  /// injects corruptions for its own negative tests.
+  friend class ::orp::check::GrammarValidator;
+
   struct Rule;
   struct Symbol;
 
@@ -135,6 +145,13 @@ private:
   /// first and only become reusable at the next top-level append() —
   /// within one append cascade a stale pointer therefore still reads as
   /// dead, exactly matching the pointer-set semantics this replaced.
+  ///
+  /// Under AddressSanitizer this contract is enforced, not just relied
+  /// on: reclaimPending() poisons nodes as they move to the free lists
+  /// (and fresh slabs are born poisoned past the bump cursor), so any
+  /// read outside the sanctioned pending-list window is an immediate
+  /// use-after-poison report. alloc* unpoison a node before reuse. See
+  /// check/Check.h.
   /// @{
   Symbol *allocSymbol();
   void releaseSymbol(Symbol *S);

@@ -2,6 +2,8 @@
 
 #include "support/VarInt.h"
 
+#include "support/Error.h"
+
 #include <cassert>
 
 using namespace orp;
@@ -34,13 +36,15 @@ uint64_t orp::decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos) {
   uint64_t Result = 0;
   unsigned Shift = 0;
   for (;;) {
-    assert(Pos < Data.size() && "truncated ULEB128");
+    if (Pos >= Data.size())
+      ORP_FATAL_ERROR("truncated ULEB128 in trusted buffer");
     uint8_t Byte = Data[Pos++];
     Result |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
     if ((Byte & 0x80) == 0)
       return Result;
     Shift += 7;
-    assert(Shift < 64 && "ULEB128 value too wide");
+    if (Shift >= 64)
+      ORP_FATAL_ERROR("ULEB128 value too wide in trusted buffer");
   }
 }
 
@@ -49,60 +53,96 @@ int64_t orp::decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos) {
   unsigned Shift = 0;
   uint8_t Byte;
   do {
-    assert(Pos < Data.size() && "truncated SLEB128");
+    if (Pos >= Data.size())
+      ORP_FATAL_ERROR("truncated SLEB128 in trusted buffer");
+    if (Shift >= 64)
+      ORP_FATAL_ERROR("SLEB128 value too wide in trusted buffer");
     Byte = Data[Pos++];
     Result |= static_cast<int64_t>(static_cast<uint64_t>(Byte & 0x7f) << Shift);
     Shift += 7;
   } while (Byte & 0x80);
+  // Negate in unsigned space: at Shift == 63 the signed form would
+  // overflow (UBSan: negation of INT64_MIN).
   if (Shift < 64 && (Byte & 0x40))
-    Result |= -(static_cast<int64_t>(1) << Shift);
+    Result |= static_cast<int64_t>(-(static_cast<uint64_t>(1) << Shift));
   return Result;
 }
 
-bool orp::tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
-                           uint64_t &Value) {
+const char *orp::varIntStatusName(VarIntStatus Status) {
+  switch (Status) {
+  case VarIntStatus::Ok:
+    return "ok";
+  case VarIntStatus::Truncated:
+    return "truncated";
+  case VarIntStatus::Overflow:
+    return "overflow";
+  case VarIntStatus::Overlong:
+    return "overlong";
+  }
+  return "?";
+}
+
+VarIntStatus orp::decodeULEB128Checked(const uint8_t *Data, size_t Size,
+                                       size_t &Pos, uint64_t &Value) {
   uint64_t Result = 0;
   unsigned Shift = 0;
   for (size_t At = Pos; At != Size; ++At) {
     uint8_t Byte = Data[At];
     // The 10th byte holds bit 63 only; anything above it overflows.
     if (Shift == 63 && (Byte & 0x7E))
-      return false;
+      return VarIntStatus::Overflow;
     Result |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
     if ((Byte & 0x80) == 0) {
+      // Canonical encodings are minimal: a longer-than-necessary one
+      // (a continuation byte followed by zero payload) is rejected.
+      if (At + 1 - Pos > sizeULEB128(Result))
+        return VarIntStatus::Overlong;
       Value = Result;
       Pos = At + 1;
-      return true;
+      return VarIntStatus::Ok;
     }
     Shift += 7;
     if (Shift > 63)
-      return false;
+      return VarIntStatus::Overflow;
   }
-  return false;
+  return VarIntStatus::Truncated;
 }
 
-bool orp::tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
-                           int64_t &Value) {
+VarIntStatus orp::decodeSLEB128Checked(const uint8_t *Data, size_t Size,
+                                       size_t &Pos, int64_t &Value) {
   int64_t Result = 0;
   unsigned Shift = 0;
   for (size_t At = Pos; At != Size; ++At) {
     uint8_t Byte = Data[At];
     if (Shift == 63 && (Byte & 0x7F) != 0 && (Byte & 0x7F) != 0x7F)
-      return false;
+      return VarIntStatus::Overflow;
     Result |=
         static_cast<int64_t>(static_cast<uint64_t>(Byte & 0x7f) << Shift);
     Shift += 7;
     if ((Byte & 0x80) == 0) {
       if (Shift < 64 && (Byte & 0x40))
-        Result |= -(static_cast<int64_t>(1) << Shift);
+        Result |=
+            static_cast<int64_t>(-(static_cast<uint64_t>(1) << Shift));
+      if (At + 1 - Pos > sizeSLEB128(Result))
+        return VarIntStatus::Overlong;
       Value = Result;
       Pos = At + 1;
-      return true;
+      return VarIntStatus::Ok;
     }
     if (Shift > 63)
-      return false;
+      return VarIntStatus::Overflow;
   }
-  return false;
+  return VarIntStatus::Truncated;
+}
+
+bool orp::tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+                           uint64_t &Value) {
+  return decodeULEB128Checked(Data, Size, Pos, Value) == VarIntStatus::Ok;
+}
+
+bool orp::tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+                           int64_t &Value) {
+  return decodeSLEB128Checked(Data, Size, Pos, Value) == VarIntStatus::Ok;
 }
 
 size_t orp::sizeULEB128(uint64_t Value) {

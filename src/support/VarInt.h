@@ -28,23 +28,49 @@ void encodeULEB128(uint64_t Value, std::vector<uint8_t> &Out);
 /// Appends the SLEB128 encoding of \p Value to \p Out.
 void encodeSLEB128(int64_t Value, std::vector<uint8_t> &Out);
 
-/// Decodes a ULEB128 value from \p Data starting at \p Pos, advancing \p Pos.
-/// Returns 0 and leaves \p Pos unchanged on malformed input shorter than a
-/// terminator; asserts on truncated input in debug builds.
+/// Decodes a ULEB128 value from \p Data starting at \p Pos, advancing
+/// \p Pos. The buffer is trusted (produced by encodeULEB128 in this
+/// process); truncated or over-wide input is a fatal error in every
+/// build mode, never undefined behavior.
 uint64_t decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos);
 
 /// Decodes an SLEB128 value from \p Data starting at \p Pos, advancing
-/// \p Pos.
+/// \p Pos. Same trust/failure contract as decodeULEB128.
 int64_t decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos);
 
+/// How a checked LEB128 decode ended.
+enum class VarIntStatus {
+  Ok,        ///< A canonical value was decoded.
+  Truncated, ///< The buffer ended before the terminator byte.
+  Overflow,  ///< The encoding carries payload beyond 64 bits.
+  Overlong,  ///< Decodable, but wider than the canonical encoding.
+};
+
+/// Returns a stable lowercase name for \p Status ("ok", "truncated",
+/// "overflow", "overlong") for error messages.
+const char *varIntStatusName(VarIntStatus Status);
+
 /// Bounds-checked ULEB128 decode for untrusted input (file parsers).
-/// On success stores the value in \p Value, advances \p Pos past the
-/// encoding and returns true. Returns false — leaving \p Pos unchanged —
-/// on truncated input or an encoding wider than 64 bits.
+/// On Ok stores the value in \p Value and advances \p Pos past the
+/// encoding; any other status leaves \p Pos and \p Value unchanged.
+/// Non-canonical (overlong) encodings are rejected: every writer in
+/// this repository emits minimal encodings, so an overlong varint in an
+/// image is corruption, and accepting it would make byte-size accounting
+/// ambiguous.
+VarIntStatus decodeULEB128Checked(const uint8_t *Data, size_t Size,
+                                  size_t &Pos, uint64_t &Value);
+
+/// Bounds-checked SLEB128 decode for untrusted input; same contract as
+/// decodeULEB128Checked.
+VarIntStatus decodeSLEB128Checked(const uint8_t *Data, size_t Size,
+                                  size_t &Pos, int64_t &Value);
+
+/// Convenience wrapper over decodeULEB128Checked: true exactly when the
+/// status is Ok.
 bool tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
                       uint64_t &Value);
 
-/// Bounds-checked SLEB128 decode for untrusted input; same contract as
+/// Convenience wrapper over decodeSLEB128Checked; same contract as
 /// tryDecodeULEB128.
 bool tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
                       int64_t &Value);

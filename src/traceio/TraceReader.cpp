@@ -184,6 +184,23 @@ bool TraceReader::decodeBlock(
   const size_t End = PayloadPos + PayloadLen;
   size_t Pos = PayloadPos;
   uint64_t PrevAddr = 0, PrevTime = 0;
+  // Field readers that fold the decode status (truncated / overflow /
+  // overlong) into the diagnostic, so a fuzzer-found corruption is
+  // distinguishable from a short read.
+  auto ReadU = [&](uint64_t &Out, const char *Record) {
+    VarIntStatus St = decodeULEB128Checked(Data, End, Pos, Out);
+    if (St == VarIntStatus::Ok)
+      return true;
+    return failed(Where() + ": malformed " + Record + " record (" +
+                  varIntStatusName(St) + " varint)");
+  };
+  auto ReadS = [&](int64_t &Out, const char *Record) {
+    VarIntStatus St = decodeSLEB128Checked(Data, End, Pos, Out);
+    if (St == VarIntStatus::Ok)
+      return true;
+    return failed(Where() + ": malformed " + Record + " record (" +
+                  varIntStatusName(St) + " varint)");
+  };
   for (uint64_t I = 0; I != Count; ++I) {
     if (Pos >= End)
       return failed(Where() + ": truncated event payload");
@@ -195,19 +212,19 @@ bool TraceReader::decodeBlock(
     case kOpAccess:
       Event.K = TraceEvent::Kind::Access;
       Event.IsStore = (Tag & kTagStore) != 0;
-      if (!tryDecodeULEB128(Data, End, Pos, U))
-        return failed(Where() + ": malformed access record");
+      if (!ReadU(U, "access"))
+        return false;
       Event.InstrOrSite = static_cast<uint32_t>(U);
-      if (!tryDecodeSLEB128(Data, End, Pos, S))
-        return failed(Where() + ": malformed access record");
+      if (!ReadS(S, "access"))
+        return false;
       Event.Addr = PrevAddr + static_cast<uint64_t>(S);
-      if (!tryDecodeSLEB128(Data, End, Pos, S))
-        return failed(Where() + ": malformed access record");
+      if (!ReadS(S, "access"))
+        return false;
       Event.Time = PrevTime + static_cast<uint64_t>(S);
       if (Tag & kTagSize8) {
         Event.Size = 8;
-      } else if (!tryDecodeULEB128(Data, End, Pos, U)) {
-        return failed(Where() + ": malformed access record");
+      } else if (!ReadU(U, "access")) {
+        return false;
       } else {
         Event.Size = U;
       }
@@ -215,26 +232,26 @@ bool TraceReader::decodeBlock(
     case kOpAlloc:
       Event.K = TraceEvent::Kind::Alloc;
       Event.IsStatic = (Tag & kTagStatic) != 0;
-      if (!tryDecodeULEB128(Data, End, Pos, U))
-        return failed(Where() + ": malformed alloc record");
+      if (!ReadU(U, "alloc"))
+        return false;
       Event.InstrOrSite = static_cast<uint32_t>(U);
-      if (!tryDecodeSLEB128(Data, End, Pos, S))
-        return failed(Where() + ": malformed alloc record");
+      if (!ReadS(S, "alloc"))
+        return false;
       Event.Addr = PrevAddr + static_cast<uint64_t>(S);
-      if (!tryDecodeULEB128(Data, End, Pos, U))
-        return failed(Where() + ": malformed alloc record");
+      if (!ReadU(U, "alloc"))
+        return false;
       Event.Size = U;
-      if (!tryDecodeSLEB128(Data, End, Pos, S))
-        return failed(Where() + ": malformed alloc record");
+      if (!ReadS(S, "alloc"))
+        return false;
       Event.Time = PrevTime + static_cast<uint64_t>(S);
       break;
     case kOpFree:
       Event.K = TraceEvent::Kind::Free;
-      if (!tryDecodeSLEB128(Data, End, Pos, S))
-        return failed(Where() + ": malformed free record");
+      if (!ReadS(S, "free"))
+        return false;
       Event.Addr = PrevAddr + static_cast<uint64_t>(S);
-      if (!tryDecodeSLEB128(Data, End, Pos, S))
-        return failed(Where() + ": malformed free record");
+      if (!ReadS(S, "free"))
+        return false;
       Event.Time = PrevTime + static_cast<uint64_t>(S);
       break;
     default:

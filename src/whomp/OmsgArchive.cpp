@@ -43,6 +43,9 @@ constexpr size_t kArchiveHeaderSize = 9;
 
 std::vector<uint8_t> OmsgArchive::serialize() const {
   std::vector<uint8_t> Out;
+  // Seed capacity past the header. Also keeps GCC 12's stringop-overflow
+  // tracking from misreading the first tiny growth as an overflow.
+  Out.reserve(64);
   Out.insert(Out.end(), kMagic, kMagic + 4);
   Out.push_back(kFormatVersion);
   appendLE32(0, Out); // payload checksum, patched below

@@ -2,26 +2,71 @@
 
 #include "whomp/Whomp.h"
 
+#include "check/Check.h"
+#include "check/GrammarValidator.h"
+
+#include <string>
+
 using namespace orp;
 using namespace orp::whomp;
+
+namespace {
+
+/// Level-2 checked builds deep-validate the four grammars every this
+/// many tuples: frequent enough to localize a corruption to a stream
+/// window, rare enough that checked runs stay usable.
+constexpr uint64_t ValidateIntervalTuples = 1 << 16;
+
+} // namespace
 
 WhompProfiler::WhompProfiler()
     : Decomposer(
           {core::Dimension::Instruction, core::Dimension::Group,
            core::Dimension::Object, core::Dimension::Offset},
-          [] { return std::make_unique<SequiturStreamCompressor>(); }) {}
+          [] { return std::make_unique<SequiturStreamCompressor>(); }),
+      NextValidateAt(ValidateIntervalTuples) {}
+
+void WhompProfiler::validateGrammars(const char *When) const {
+  for (core::Dimension D :
+       {core::Dimension::Instruction, core::Dimension::Group,
+        core::Dimension::Object, core::Dimension::Offset}) {
+    check::CheckReport Report =
+        check::GrammarValidator::validate(grammarFor(D));
+    if (!Report.ok()) {
+      std::string Msg = std::string("WHOMP ") + When +
+                        " grammar validation, dimension " +
+                        core::dimensionName(D) + ":\n" + Report.str();
+      check::checkFailed("GrammarValidator::validate(grammarFor(D)).ok()",
+                         Msg.c_str(), __FILE__, __LINE__);
+    }
+  }
+}
 
 void WhompProfiler::consume(const core::OrTuple &Tuple) {
   Decomposer.consume(Tuple);
   ++Tuples;
+  if constexpr (check::Level >= 2)
+    if (Tuples >= NextValidateAt) {
+      NextValidateAt = Tuples + ValidateIntervalTuples;
+      validateGrammars("periodic");
+    }
 }
 
 void WhompProfiler::consumeBatch(std::span<const core::OrTuple> Batch) {
   Decomposer.consumeBatch(Batch);
   Tuples += Batch.size();
+  if constexpr (check::Level >= 2)
+    if (Tuples >= NextValidateAt) {
+      NextValidateAt = Tuples + ValidateIntervalTuples;
+      validateGrammars("periodic");
+    }
 }
 
-void WhompProfiler::finish() { Decomposer.finish(); }
+void WhompProfiler::finish() {
+  Decomposer.finish();
+  if constexpr (check::Level >= 2)
+    validateGrammars("finish");
+}
 
 const sequitur::SequiturGrammar &
 WhompProfiler::grammarFor(core::Dimension D) const {

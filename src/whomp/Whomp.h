@@ -83,8 +83,15 @@ public:
   OmsgSizes sizes() const;
 
 private:
+  /// Level-2 checked builds only: runs GrammarValidator over all four
+  /// dimension grammars and aborts (checkFailed) on any violation.
+  /// \p When labels the report ("periodic" / "finish").
+  void validateGrammars(const char *When) const;
+
   core::HorizontalDecomposer Decomposer;
   uint64_t Tuples = 0;
+  /// Tuple count at which the next periodic level-2 validation fires.
+  uint64_t NextValidateAt;
 };
 
 } // namespace whomp

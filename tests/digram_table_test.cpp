@@ -59,8 +59,9 @@ TEST(DigramHashTest, OrderAndTagSensitivity) {
   for (int Sample = 0; Sample != 256; ++Sample) {
     uint64_t A = R.nextBelow(1024);
     uint64_t B = R.nextBelow(1024);
-    if (A != B)
+    if (A != B) {
       EXPECT_NE(hashDigram(A, B, 0), hashDigram(B, A, 0));
+    }
     for (uint8_t T1 = 0; T1 != 4; ++T1)
       for (uint8_t T2 = static_cast<uint8_t>(T1 + 1); T2 != 4; ++T2)
         EXPECT_NE(hashDigram(A, B, T1), hashDigram(A, B, T2));

@@ -144,8 +144,9 @@ TEST(RuleStatsTest, ExpansionIdentityHolds) {
     if (RS.Id == 0)
       Total = RS.ExpandedLength;
     EXPECT_GE(RS.ExpandedLength, 1u);
-    if (RS.Id != 0)
+    if (RS.Id != 0) {
       EXPECT_GE(RS.Occurrences, 2u) << "rule utility implies >= 2 uses";
+    }
   }
   EXPECT_EQ(Total, 3000u);
 }

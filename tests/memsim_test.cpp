@@ -89,8 +89,9 @@ TEST_P(AllocatorPolicyTest, NoOverlapAmongLiveBlocks) {
     ASSERT_NE(Addr, 0u);
     // Check against neighbors in address order.
     auto Next = Live.lower_bound(Addr);
-    if (Next != Live.end())
+    if (Next != Live.end()) {
       ASSERT_LE(Addr + Size, Next->first) << "overlap with next block";
+    }
     if (Next != Live.begin()) {
       auto Prev = std::prev(Next);
       ASSERT_LE(Prev->first + Prev->second, Addr)
@@ -187,9 +188,10 @@ TEST(FreeListAllocatorTest, InvariantsHoldUnderChurn) {
       } else {
         Live.push_back(A.allocate(1 + R.nextBelow(500), 16));
       }
-      if (I % 100 == 0)
+      if (I % 100 == 0) {
         ASSERT_TRUE(A.checkInvariants()) << "policy " << int(P)
                                          << " iter " << I;
+      }
     }
     EXPECT_TRUE(A.checkInvariants());
     EXPECT_EQ(A.liveBlockCount(), Live.size());

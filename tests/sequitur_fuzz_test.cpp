@@ -65,8 +65,9 @@ TEST(SequiturFuzzTest, InvariantsHoldMidStream) {
     SequiturGrammar G;
     for (size_t I = 0; I != Input.size(); ++I) {
       G.append(Input[I]);
-      if ((I & (I + 1)) == 0) // Check at lengths 2^k - 1.
+      if ((I & (I + 1)) == 0) { // Check at lengths 2^k - 1.
         ASSERT_TRUE(G.checkInvariants()) << Case.Name << " @ " << I;
+      }
     }
     ASSERT_TRUE(G.checkInvariants()) << Case.Name;
   }

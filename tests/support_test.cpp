@@ -414,6 +414,143 @@ TEST(VarIntTest, SizeFunctionsMatchEncodedLength) {
   }
 }
 
+TEST(VarIntTest, StatusNamesAreStable) {
+  EXPECT_STREQ(varIntStatusName(VarIntStatus::Ok), "ok");
+  EXPECT_STREQ(varIntStatusName(VarIntStatus::Truncated), "truncated");
+  EXPECT_STREQ(varIntStatusName(VarIntStatus::Overflow), "overflow");
+  EXPECT_STREQ(varIntStatusName(VarIntStatus::Overlong), "overlong");
+}
+
+TEST(VarIntTest, CheckedDecodeReportsTruncationOnEveryPrefix) {
+  Rng R(53);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t U = R.next() >> R.nextBelow(64);
+    std::vector<uint8_t> Buf;
+    encodeULEB128(U, Buf);
+    // Every strict prefix is truncated, and the cursor must not move.
+    for (size_t Cut = 0; Cut != Buf.size(); ++Cut) {
+      size_t Pos = 0;
+      uint64_t Value = 0xA5A5;
+      EXPECT_EQ(decodeULEB128Checked(Buf.data(), Cut, Pos, Value),
+                VarIntStatus::Truncated);
+      EXPECT_EQ(Pos, 0u);
+      EXPECT_EQ(Value, 0xA5A5u);
+    }
+    int64_t S = static_cast<int64_t>(R.next()) >> R.nextBelow(64);
+    Buf.clear();
+    encodeSLEB128(S, Buf);
+    for (size_t Cut = 0; Cut != Buf.size(); ++Cut) {
+      size_t Pos = 0;
+      int64_t Value = -77;
+      EXPECT_EQ(decodeSLEB128Checked(Buf.data(), Cut, Pos, Value),
+                VarIntStatus::Truncated);
+      EXPECT_EQ(Pos, 0u);
+      EXPECT_EQ(Value, -77);
+    }
+  }
+}
+
+TEST(VarIntTest, CheckedDecodeReportsOverflow) {
+  // Eleven continuation-heavy bytes carry payload past bit 63.
+  std::vector<uint8_t> Wide{0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                            0x80, 0x80, 0x80, 0x80, 0x01};
+  size_t Pos = 0;
+  uint64_t U = 0;
+  EXPECT_EQ(decodeULEB128Checked(Wide.data(), Wide.size(), Pos, U),
+            VarIntStatus::Overflow);
+  EXPECT_EQ(Pos, 0u);
+
+  // Ten bytes whose final byte spills payload beyond the 64th bit.
+  std::vector<uint8_t> Spill{0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                             0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  Pos = 0;
+  EXPECT_EQ(decodeULEB128Checked(Spill.data(), Spill.size(), Pos, U),
+            VarIntStatus::Overflow);
+  EXPECT_EQ(Pos, 0u);
+
+  int64_t S = 0;
+  Pos = 0;
+  EXPECT_EQ(decodeSLEB128Checked(Wide.data(), Wide.size(), Pos, S),
+            VarIntStatus::Overflow);
+  EXPECT_EQ(Pos, 0u);
+}
+
+TEST(VarIntTest, CheckedDecodeRejectsOverlongEncodings) {
+  // 0x80 0x00 decodes to zero but is wider than the canonical one byte.
+  std::vector<uint8_t> OverlongZero{0x80, 0x00};
+  size_t Pos = 0;
+  uint64_t U = 0;
+  EXPECT_EQ(decodeULEB128Checked(OverlongZero.data(), OverlongZero.size(),
+                                 Pos, U),
+            VarIntStatus::Overlong);
+  EXPECT_EQ(Pos, 0u);
+
+  // Pad canonical encodings with a redundant trailing 0x00 payload byte:
+  // value unchanged, width + 1, must be rejected.
+  Rng R(59);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t Value = R.next() >> R.nextBelow(64);
+    std::vector<uint8_t> Buf;
+    encodeULEB128(Value, Buf);
+    // A padded max-width (10-byte) encoding trips the overflow check
+    // instead; only sub-maximal widths exercise the overlong path.
+    if (Buf.size() >= 10)
+      continue;
+    Buf.back() |= 0x80;
+    Buf.push_back(0x00);
+    Pos = 0;
+    EXPECT_EQ(decodeULEB128Checked(Buf.data(), Buf.size(), Pos, U),
+              VarIntStatus::Overlong);
+    EXPECT_EQ(Pos, 0u);
+    bool Tried = tryDecodeULEB128(Buf.data(), Buf.size(), Pos, U);
+    EXPECT_FALSE(Tried);
+  }
+
+  // SLEB128 overlong: pad with a sign-extension byte (0x00 for
+  // non-negative, 0x7F for negative) so the value survives widening.
+  for (int I = 0; I != 100; ++I) {
+    int64_t Value = static_cast<int64_t>(R.next()) >> R.nextBelow(64);
+    std::vector<uint8_t> Buf;
+    encodeSLEB128(Value, Buf);
+    if (Buf.size() >= 10)
+      continue;
+    Buf.back() |= 0x80;
+    Buf.push_back(Value < 0 ? 0x7F : 0x00);
+    Pos = 0;
+    int64_t S = 0;
+    EXPECT_EQ(decodeSLEB128Checked(Buf.data(), Buf.size(), Pos, S),
+              VarIntStatus::Overlong);
+    EXPECT_EQ(Pos, 0u);
+  }
+}
+
+TEST(VarIntTest, CheckedDecodeAcceptsCanonicalStreams) {
+  Rng R(61);
+  std::vector<uint64_t> UValues;
+  std::vector<int64_t> SValues;
+  std::vector<uint8_t> Buf;
+  for (int I = 0; I != 200; ++I) {
+    uint64_t U = R.next() >> R.nextBelow(64);
+    UValues.push_back(U);
+    encodeULEB128(U, Buf);
+    int64_t S = static_cast<int64_t>(R.next()) >> R.nextBelow(64);
+    SValues.push_back(S);
+    encodeSLEB128(S, Buf);
+  }
+  size_t Pos = 0;
+  for (int I = 0; I != 200; ++I) {
+    uint64_t U = 0;
+    ASSERT_EQ(decodeULEB128Checked(Buf.data(), Buf.size(), Pos, U),
+              VarIntStatus::Ok);
+    EXPECT_EQ(U, UValues[I]);
+    int64_t S = 0;
+    ASSERT_EQ(decodeSLEB128Checked(Buf.data(), Buf.size(), Pos, S),
+              VarIntStatus::Ok);
+    EXPECT_EQ(S, SValues[I]);
+  }
+  EXPECT_EQ(Pos, Buf.size());
+}
+
 //===----------------------------------------------------------------------===//
 // TablePrinter
 //===----------------------------------------------------------------------===//

@@ -12,6 +12,7 @@
 #include "leap/LeapProfileData.h"
 #include "support/Checksum.h"
 #include "support/Endian.h"
+#include "support/VarInt.h"
 #include "traceio/TraceReader.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
@@ -355,6 +356,62 @@ TEST_F(TraceIoCorruptionTest, UnfinalizedTraceIsRejected) {
   for (unsigned I = 0; I != 4; ++I)
     Bad[32 + I] = static_cast<uint8_t>(Crc >> (8 * I));
   expectRejected(std::move(Bad), "unfinalized trace");
+}
+
+TEST_F(TraceIoCorruptionTest, OverlongVarIntInEventPayloadIsRejected) {
+  // Re-encode the first event's leading varint as a non-minimal
+  // (overlong) form — same value, one byte wider — and re-seal the
+  // block framing and header so only the varint hardening can fire.
+  size_t Pos = traceio::kHeaderSize;
+  ASSERT_EQ(Good[Pos], traceio::kBlockEvents);
+  ++Pos;
+  uint64_t PayloadLen = decodeULEB128(Good, Pos);
+  uint64_t EventCount = decodeULEB128(Good, Pos);
+  Pos += 4; // block CRC
+  const size_t PayloadPos = Pos;
+  const size_t BlockEnd = PayloadPos + PayloadLen;
+  ASSERT_LE(BlockEnd, Good.size());
+
+  // First record: tag byte, then a ULEB field (instr for access, site
+  // for alloc; a free would start with an SLEB — not what recordRun's
+  // streams open with).
+  uint8_t Tag = Good[PayloadPos];
+  ASSERT_NE(Tag & traceio::kOpMask, traceio::kOpFree);
+  size_t FieldPos = PayloadPos + 1;
+  uint64_t FieldValue = 0;
+  ASSERT_TRUE(
+      tryDecodeULEB128(Good.data(), BlockEnd, FieldPos, FieldValue));
+
+  std::vector<uint8_t> Overlong;
+  encodeULEB128(FieldValue, Overlong);
+  Overlong.back() |= 0x80;
+  Overlong.push_back(0x00);
+
+  std::vector<uint8_t> Payload(Good.begin() + PayloadPos,
+                               Good.begin() + BlockEnd);
+  Payload.erase(Payload.begin() + 1,
+                Payload.begin() + (FieldPos - PayloadPos));
+  Payload.insert(Payload.begin() + 1, Overlong.begin(), Overlong.end());
+
+  std::vector<uint8_t> Bad(Good.begin(), Good.begin() + traceio::kHeaderSize);
+  Bad.push_back(traceio::kBlockEvents);
+  encodeULEB128(Payload.size(), Bad);
+  encodeULEB128(EventCount, Bad);
+  appendLE32(crc32(Payload.data(), Payload.size()), Bad);
+  Bad.insert(Bad.end(), Payload.begin(), Payload.end());
+  const size_t NewBlockEnd = Bad.size();
+  Bad.insert(Bad.end(), Good.begin() + BlockEnd, Good.end());
+
+  // Shift the registry offset by the growth and re-seal the header CRC.
+  const uint64_t Delta = NewBlockEnd - BlockEnd;
+  uint64_t RegistryOffset = readLE64(Bad.data() + 16) + Delta;
+  for (unsigned I = 0; I != 8; ++I)
+    Bad[16 + I] = static_cast<uint8_t>(RegistryOffset >> (8 * I));
+  uint32_t Crc = crc32(Bad.data(), 32);
+  for (unsigned I = 0; I != 4; ++I)
+    Bad[32 + I] = static_cast<uint8_t>(Crc >> (8 * I));
+
+  expectRejected(std::move(Bad), "overlong");
 }
 
 TEST_F(TraceIoCorruptionTest, TrailingGarbageIsRejected) {

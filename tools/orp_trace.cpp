@@ -216,6 +216,8 @@ int cmdReplay(int Argc, char **Argv) {
     if (!DumpOmsg.empty()) {
       auto Bytes =
           whomp::OmsgArchive::build(Whomp, &Session->omc()).serialize();
+      // orp-lint: allow(endian-io): writes an opaque, already-serialized
+      // byte image; all field encoding happened inside serialize().
       std::FILE *Out = std::fopen(DumpOmsg.c_str(), "wb");
       if (!Out || std::fwrite(Bytes.data(), 1, Bytes.size(), Out) !=
                       Bytes.size()) {
