@@ -14,6 +14,9 @@
 #include "omc/ObjectManager.h"
 #include "sequitur/Sequitur.h"
 #include "support/Random.h"
+#include "traceio/TraceReader.h"
+#include "traceio/TraceReplayer.h"
+#include "traceio/TraceWriter.h"
 #include "whomp/Whomp.h"
 #include "workloads/Workload.h"
 
@@ -216,6 +219,58 @@ void BM_PipelineWhompWorkload(benchmark::State &State) {
   State.SetItemsProcessed(static_cast<int64_t>(Accesses));
 }
 BENCHMARK(BM_PipelineWhompWorkload)->Unit(benchmark::kMillisecond);
+
+/// Thread-scaling sweep over the full replay pipeline (the --threads
+/// flag of orp-trace replay): record one vpr-a trace up front, then
+/// per iteration replay it with double-buffered decode plus threaded
+/// WHOMP and LEAP. Arg is the thread count; Arg(1) is the serial
+/// baseline, and every arg produces byte-identical profiles. Items =
+/// replayed events.
+void BM_PipelineReplayThreads(benchmark::State &State) {
+  static const std::string TracePath = [] {
+    std::string Path = "perf_replay_threads.orpt";
+    core::ProfilingSession S;
+    traceio::TraceWriter Writer(Path, S.registry(),
+                                memsim::AllocPolicy::FirstFit, /*Seed=*/0);
+    S.addRawSink(&Writer);
+    workloads::WorkloadConfig Config;
+    Config.Scale = 2;
+    workloads::createVprA()->run(S.memory(), S.registry(), Config);
+    S.finish();
+    Writer.close();
+    return Path;
+  }();
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  traceio::TraceReader Reader;
+  if (!Reader.open(TracePath)) {
+    State.SkipWithError("cannot open replay trace");
+    return;
+  }
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    traceio::TraceReplayer Replayer(Reader);
+    Replayer.setThreads(Threads);
+    auto Session = Replayer.makeSession();
+    whomp::WhompProfiler Whomp(Threads);
+    leap::LeapProfiler Leap(lmad::LmadCompressor::DefaultMaxLmads,
+                            Threads);
+    Session->addConsumer(&Whomp);
+    Session->addConsumer(&Leap);
+    Replayer.replayInto(*Session);
+    Events += Replayer.eventsReplayed();
+    benchmark::DoNotOptimize(Whomp.sizes().total());
+    benchmark::DoNotOptimize(Leap.serializedSizeBytes());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_PipelineReplayThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

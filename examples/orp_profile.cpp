@@ -11,6 +11,8 @@
 //     --seed=N           input seed          (default 42)
 //     --env=N            environment seed    (default 0)
 //     --scale=N          workload scale      (default 1)
+//     --threads=N        profiler worker threads (default 1; results
+//                        are byte-identical for any N)
 //     --whomp            collect the lossless OMSG
 //     --leap             collect the LEAP profile (default)
 //     --lmads=N          LEAP descriptor budget (default 30)
@@ -29,6 +31,7 @@
 #include "analysis/Stride.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
+#include "support/ParseNumber.h"
 #include "support/TablePrinter.h"
 #include "traceio/TraceWriter.h"
 #include "whomp/Whomp.h"
@@ -50,6 +53,7 @@ struct Options {
   uint64_t EnvSeed = 0;
   uint64_t Scale = 1;
   unsigned MaxLmads = 30;
+  unsigned Threads = 1;
   bool RunWhomp = false;
   bool RunLeap = true;
   bool Phases = false;
@@ -81,13 +85,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       else
         return false;
     } else if (const char *V = Value("--seed=")) {
-      Opt.Seed = std::strtoull(V, nullptr, 10);
+      if (!support::parseUint64(V, Opt.Seed))
+        return false;
     } else if (const char *V = Value("--env=")) {
-      Opt.EnvSeed = std::strtoull(V, nullptr, 10);
+      if (!support::parseUint64(V, Opt.EnvSeed))
+        return false;
     } else if (const char *V = Value("--scale=")) {
-      Opt.Scale = std::strtoull(V, nullptr, 10);
+      if (!support::parseUint64(V, Opt.Scale))
+        return false;
     } else if (const char *V = Value("--lmads=")) {
-      Opt.MaxLmads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!support::parseUnsigned(V, Opt.MaxLmads))
+        return false;
+    } else if (const char *V = Value("--threads=")) {
+      if (!support::parseUnsigned(V, Opt.Threads) || Opt.Threads == 0)
+        return false;
     } else if (Arg == "--whomp") {
       Opt.RunWhomp = true;
     } else if (Arg == "--leap") {
@@ -115,9 +126,10 @@ int main(int Argc, char **Argv) {
   Options Opt;
   if (!parseArgs(Argc, Argv, Opt)) {
     std::fprintf(stderr, "usage: %s <workload> [--alloc=POLICY] "
-                         "[--seed=N] [--env=N] [--scale=N] [--whomp] "
-                         "[--leap] [--lmads=N] [--phases] [--hot-streams] "
-                         "[--mdf] [--strides] [--record=FILE]\n",
+                         "[--seed=N] [--env=N] [--scale=N] [--threads=N] "
+                         "[--whomp] [--leap] [--lmads=N] [--phases] "
+                         "[--hot-streams] [--mdf] [--strides] "
+                         "[--record=FILE]\n",
                  Argv[0]);
     return 1;
   }
@@ -133,8 +145,8 @@ int main(int Argc, char **Argv) {
   }
 
   core::ProfilingSession Session(Opt.Policy, Opt.EnvSeed);
-  whomp::WhompProfiler Whomp;
-  leap::LeapProfiler Leap(Opt.MaxLmads);
+  whomp::WhompProfiler Whomp(Opt.Threads);
+  leap::LeapProfiler Leap(Opt.MaxLmads, Opt.Threads);
   analysis::PhaseDetector Phases;
   trace::CountingSink Counter;
   Session.addRawSink(&Counter);

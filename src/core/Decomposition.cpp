@@ -21,31 +21,91 @@ void StreamCompressor::finish() {}
 SubstreamConsumer::~SubstreamConsumer() = default;
 
 HorizontalDecomposer::HorizontalDecomposer(std::vector<Dimension> Dims,
-                                           const CompressorFactory &Factory)
+                                           const CompressorFactory &Factory,
+                                           unsigned Threads)
     : Dims(std::move(Dims)) {
   assert(!this->Dims.empty() && "no dimensions selected");
   Compressors.reserve(this->Dims.size());
   for (size_t I = 0; I != this->Dims.size(); ++I)
     Compressors.push_back(Factory());
-}
-
-void HorizontalDecomposer::consume(const OrTuple &Tuple) {
-  for (size_t I = 0; I != Dims.size(); ++I)
-    Compressors[I]->append(dimensionValue(Tuple, Dims[I]));
-}
-
-void HorizontalDecomposer::consumeBatch(std::span<const OrTuple> Tuples) {
-  SymbolBatch.resize(Tuples.size());
-  for (size_t I = 0; I != Dims.size(); ++I) {
-    Dimension D = Dims[I];
-    for (size_t J = 0; J != Tuples.size(); ++J)
-      SymbolBatch[J] = dimensionValue(Tuples[J], D);
-    Compressors[I]->appendBatch(
-        std::span<const uint64_t>(SymbolBatch.data(), SymbolBatch.size()));
+  if (Threads > 1) {
+    // One worker per dimension; each exclusively owns its compressor
+    // until finish(). Chunks are appended via appendBatch so the
+    // grammar state stays hot across the whole chunk.
+    Pending.resize(this->Dims.size());
+    Workers.reserve(this->Dims.size());
+    for (size_t I = 0; I != this->Dims.size(); ++I) {
+      Pending[I].reserve(ThreadChunkSymbols);
+      StreamCompressor *Compressor = Compressors[I].get();
+      Workers.push_back(
+          std::make_unique<support::QueueWorker<std::vector<uint64_t>>>(
+              ThreadQueueDepth, [Compressor](std::vector<uint64_t> &Chunk) {
+                Compressor->appendBatch(std::span<const uint64_t>(
+                    Chunk.data(), Chunk.size()));
+              }));
+    }
   }
 }
 
+HorizontalDecomposer::~HorizontalDecomposer() {
+  // Deliver what the producer buffered even when the stream is dropped
+  // without finish(); QueueWorker's destructor then drains and joins.
+  if (threaded())
+    flushPending();
+}
+
+void HorizontalDecomposer::flushPending() {
+  for (size_t I = 0; I != Workers.size(); ++I) {
+    if (Pending[I].empty())
+      continue;
+    std::vector<uint64_t> Chunk;
+    Chunk.reserve(ThreadChunkSymbols);
+    Chunk.swap(Pending[I]);
+    Workers[I]->submit(std::move(Chunk));
+  }
+}
+
+void HorizontalDecomposer::consume(const OrTuple &Tuple) {
+  if (!threaded()) {
+    for (size_t I = 0; I != Dims.size(); ++I)
+      Compressors[I]->append(dimensionValue(Tuple, Dims[I]));
+    return;
+  }
+  for (size_t I = 0; I != Dims.size(); ++I)
+    Pending[I].push_back(dimensionValue(Tuple, Dims[I]));
+  // All dimensions fill in lock step, so checking one suffices.
+  if (Pending[0].size() >= ThreadChunkSymbols)
+    flushPending();
+}
+
+void HorizontalDecomposer::consumeBatch(std::span<const OrTuple> Tuples) {
+  if (!threaded()) {
+    SymbolBatch.resize(Tuples.size());
+    for (size_t I = 0; I != Dims.size(); ++I) {
+      Dimension D = Dims[I];
+      for (size_t J = 0; J != Tuples.size(); ++J)
+        SymbolBatch[J] = dimensionValue(Tuples[J], D);
+      Compressors[I]->appendBatch(
+          std::span<const uint64_t>(SymbolBatch.data(), SymbolBatch.size()));
+    }
+    return;
+  }
+  for (size_t I = 0; I != Dims.size(); ++I) {
+    Dimension D = Dims[I];
+    for (const OrTuple &Tuple : Tuples)
+      Pending[I].push_back(dimensionValue(Tuple, D));
+  }
+  if (Pending[0].size() >= ThreadChunkSymbols)
+    flushPending();
+}
+
 void HorizontalDecomposer::finish() {
+  if (threaded()) {
+    flushPending();
+    for (auto &Worker : Workers)
+      Worker->finish(); // Drains the queue and joins.
+    Workers.clear();    // Compressors are ours again (threaded() false).
+  }
   for (auto &Compressor : Compressors)
     Compressor->finish();
 }
@@ -65,15 +125,78 @@ size_t HorizontalDecomposer::totalSerializedSizeBytes() const {
   return Total;
 }
 
-VerticalDecomposer::VerticalDecomposer(Factory MakeSubstream)
-    : MakeSubstream(std::move(MakeSubstream)) {}
+VerticalDecomposer::VerticalDecomposer(Factory MakeSubstream,
+                                       unsigned Threads)
+    : MakeSubstream(std::move(MakeSubstream)) {
+  if (Threads <= 1)
+    return;
+  // One worker per shard. A key always hashes to the same shard, so a
+  // worker exclusively owns every substream it ever creates and each
+  // substream sees its tuples in exactly the serial (FIFO) order.
+  Shards.resize(Threads);
+  PendingTuples.resize(Threads);
+  Workers.reserve(Threads);
+  for (unsigned S = 0; S != Threads; ++S) {
+    PendingTuples[S].reserve(ThreadChunkTuples);
+    SubstreamMap *Shard = &Shards[S];
+    Factory *Make = &this->MakeSubstream;
+    Workers.push_back(
+        std::make_unique<support::QueueWorker<std::vector<OrTuple>>>(
+            ThreadQueueDepth, [Shard, Make](std::vector<OrTuple> &Chunk) {
+              for (const OrTuple &Tuple : Chunk) {
+                VerticalKey Key{Tuple.Instr, Tuple.Group};
+                auto It = Shard->find(Key);
+                if (It == Shard->end())
+                  It = Shard->emplace(Key, (*Make)(Key)).first;
+                It->second->append(Tuple);
+              }
+            }));
+  }
+}
+
+VerticalDecomposer::~VerticalDecomposer() {
+  // Joining without merging is fine: the shards just get destroyed.
+  if (threaded())
+    for (size_t S = 0; S != Workers.size(); ++S)
+      if (!PendingTuples[S].empty())
+        Workers[S]->submit(std::move(PendingTuples[S]));
+}
 
 void VerticalDecomposer::consume(const OrTuple &Tuple) {
+  if (threaded()) {
+    size_t S = VerticalKeyHash{}(VerticalKey{Tuple.Instr, Tuple.Group}) %
+               Workers.size();
+    PendingTuples[S].push_back(Tuple);
+    if (PendingTuples[S].size() >= ThreadChunkTuples) {
+      std::vector<OrTuple> Chunk;
+      Chunk.reserve(ThreadChunkTuples);
+      Chunk.swap(PendingTuples[S]);
+      Workers[S]->submit(std::move(Chunk));
+    }
+    return;
+  }
   VerticalKey Key{Tuple.Instr, Tuple.Group};
   auto It = Substreams.find(Key);
   if (It == Substreams.end())
     It = Substreams.emplace(Key, MakeSubstream(Key)).first;
   It->second->append(Tuple);
+}
+
+void VerticalDecomposer::finish() {
+  if (!threaded())
+    return;
+  for (size_t S = 0; S != Workers.size(); ++S)
+    if (!PendingTuples[S].empty())
+      Workers[S]->submit(std::move(PendingTuples[S]));
+  for (auto &Worker : Workers)
+    Worker->finish(); // Drains the queue and joins.
+  Workers.clear();
+  PendingTuples.clear();
+  // Hash routing makes the shard key sets disjoint, so merging into the
+  // ordered map yields the same Substreams for any worker count.
+  for (SubstreamMap &Shard : Shards)
+    Substreams.merge(Shard);
+  Shards.clear();
 }
 
 void VerticalDecomposer::forEach(

@@ -14,6 +14,14 @@
 ///   in one dimension" — e.g. one substream per instruction-id, which can
 ///   be decomposed further (by group) into simpler sub-substreams.
 ///
+/// Both decomposers optionally run their compressors on worker threads
+/// (the deterministic parallel pipeline, DESIGN.md section 10). The
+/// decomposition itself is what makes this safe: every substream is an
+/// independent sequence, so handing each one to a dedicated worker that
+/// exclusively owns its compressor preserves per-substream order exactly
+/// — the parallel output is byte-identical to the serial one, only the
+/// thread that appends changes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ORP_CORE_DECOMPOSITION_H
@@ -21,6 +29,7 @@
 
 #include "core/ObjectRelative.h"
 #include "core/StreamCompressor.h"
+#include "support/WorkerPool.h"
 
 #include <functional>
 #include <map>
@@ -35,9 +44,22 @@ namespace core {
 /// into its own compressor.
 class HorizontalDecomposer : public OrTupleConsumer {
 public:
+  /// Symbols accumulated per dimension before a chunk is handed to that
+  /// dimension's worker (threaded mode only).
+  static constexpr size_t ThreadChunkSymbols = 4096;
+  /// Chunks each dimension worker may buffer before the producer blocks.
+  static constexpr size_t ThreadQueueDepth = 4;
+
   /// Creates one compressor (via \p Factory) per dimension in \p Dims.
+  /// With \p Threads > 1, each dimension's compressor runs on its own
+  /// worker thread, fed chunks of its symbol stream through a bounded
+  /// SPSC ring; the workers exclusively own their compressors until
+  /// finish(), so the append path takes no locks and each compressor
+  /// sees exactly the symbol order the serial path would produce.
   HorizontalDecomposer(std::vector<Dimension> Dims,
-                       const CompressorFactory &Factory);
+                       const CompressorFactory &Factory,
+                       unsigned Threads = 1);
+  ~HorizontalDecomposer();
 
   void consume(const OrTuple &Tuple) override;
   /// Processes the batch one dimension at a time (dimension outer, tuple
@@ -45,10 +67,17 @@ public:
   /// own grammar state hot in cache, instead of being revisited once per
   /// tuple.
   void consumeBatch(std::span<const OrTuple> Tuples) override;
+  /// Flushes pending chunks, joins the workers (threaded mode) and
+  /// finish()es every compressor.
   void finish() override;
 
   /// Returns the decomposed dimensions, in construction order.
   const std::vector<Dimension> &dimensions() const { return Dims; }
+
+  /// True when compressors run on worker threads. While threaded and
+  /// not yet finish()ed, the compressor accessors below must not be
+  /// called: the workers still own the compressors.
+  bool threaded() const { return !Workers.empty(); }
 
   /// Returns the compressor for \p D; must be one of dimensions().
   const StreamCompressor &compressorFor(Dimension D) const;
@@ -57,10 +86,19 @@ public:
   size_t totalSerializedSizeBytes() const;
 
 private:
+  /// Hands every dimension's pending chunk to its worker.
+  void flushPending();
+
   std::vector<Dimension> Dims;
   std::vector<std::unique_ptr<StreamCompressor>> Compressors;
   /// Scratch symbol buffer reused by consumeBatch().
   std::vector<uint64_t> SymbolBatch;
+  /// One worker per dimension (empty in serial mode), parallel to
+  /// Compressors. Workers are joined by finish() and the destructor.
+  std::vector<std::unique_ptr<support::QueueWorker<std::vector<uint64_t>>>>
+      Workers;
+  /// Per-dimension symbol chunks being filled by the producer.
+  std::vector<std::vector<uint64_t>> Pending;
 };
 
 /// Key of one vertical substream. The paper decomposes by instruction,
@@ -108,9 +146,33 @@ public:
   using Factory =
       std::function<std::unique_ptr<SubstreamConsumer>(VerticalKey)>;
 
-  explicit VerticalDecomposer(Factory MakeSubstream);
+  /// Tuples accumulated per shard before a chunk is handed to that
+  /// shard's worker (threaded mode only).
+  static constexpr size_t ThreadChunkTuples = 1024;
+  /// Chunks each shard worker may buffer before the producer blocks.
+  static constexpr size_t ThreadQueueDepth = 4;
+
+  /// With \p Threads > 1, substreams are sharded across that many
+  /// worker threads by VerticalKeyHash: one key always routes to the
+  /// same worker, each worker exclusively owns the substreams of its
+  /// shard (no locks on the append path), and SPSC FIFO order means
+  /// every substream sees its tuples in exactly the serial order.
+  /// finish() joins the workers and merges the shards into one key-
+  /// sorted map, so results are independent of the thread count.
+  /// \p MakeSubstream must be callable from multiple threads when
+  /// Threads > 1 (the bundled factories are pure).
+  explicit VerticalDecomposer(Factory MakeSubstream, unsigned Threads = 1);
+  ~VerticalDecomposer();
 
   void consume(const OrTuple &Tuple) override;
+  /// Flushes pending chunks, joins the workers and merges the shards
+  /// (threaded mode; a no-op in serial mode).
+  void finish() override;
+
+  /// True when substreams are sharded across worker threads. While
+  /// threaded and not yet finish()ed, the accessors below must not be
+  /// called: the workers still own their shards.
+  bool threaded() const { return !Workers.empty(); }
 
   /// Returns the number of distinct substreams seen.
   size_t numSubstreams() const { return Substreams.size(); }
@@ -124,8 +186,21 @@ public:
   const SubstreamConsumer *lookup(const VerticalKey &Key) const;
 
 private:
+  using SubstreamMap =
+      std::map<VerticalKey, std::unique_ptr<SubstreamConsumer>>;
+
   Factory MakeSubstream;
-  std::map<VerticalKey, std::unique_ptr<SubstreamConsumer>> Substreams;
+  SubstreamMap Substreams;
+  /// One worker per shard (empty in serial mode). Shards[I] is owned by
+  /// Workers[I]'s thread until finish() merges it into Substreams; the
+  /// key sets are disjoint (hash routing), so the merged map — and
+  /// therefore every key-ordered traversal — is identical for any
+  /// worker count.
+  std::vector<std::unique_ptr<support::QueueWorker<std::vector<OrTuple>>>>
+      Workers;
+  std::vector<SubstreamMap> Shards;
+  /// Per-shard tuple chunks being filled by the producer.
+  std::vector<std::vector<OrTuple>> PendingTuples;
 };
 
 } // namespace core

@@ -10,10 +10,13 @@
 using namespace orp;
 using namespace orp::leap;
 
-LeapProfiler::LeapProfiler(unsigned MaxLmads)
-    : MaxLmads(MaxLmads), Decomposer([MaxLmads](core::VerticalKey) {
-        return std::make_unique<LeapSubstream>(MaxLmads);
-      }) {}
+LeapProfiler::LeapProfiler(unsigned MaxLmads, unsigned Threads)
+    : MaxLmads(MaxLmads),
+      Decomposer(
+          [MaxLmads](core::VerticalKey) {
+            return std::make_unique<LeapSubstream>(MaxLmads);
+          },
+          Threads) {}
 
 void LeapProfiler::consume(const core::OrTuple &Tuple) {
   ++Tuples;

@@ -67,10 +67,16 @@ struct InstrSummary {
 /// The LEAP profiler: attach as an OrTupleConsumer to a Cdc.
 class LeapProfiler : public core::OrTupleConsumer {
 public:
+  /// With \p Threads > 1, the (instruction, group) substreams are
+  /// sharded by hash across that many worker threads (DESIGN.md
+  /// section 10); the profile is identical either way. The accessors
+  /// below must not be called before finish() in threaded mode.
   explicit LeapProfiler(
-      unsigned MaxLmads = lmad::LmadCompressor::DefaultMaxLmads);
+      unsigned MaxLmads = lmad::LmadCompressor::DefaultMaxLmads,
+      unsigned Threads = 1);
 
   void consume(const core::OrTuple &Tuple) override;
+  void finish() override { Decomposer.finish(); }
 
   /// Returns the number of tuples profiled.
   uint64_t tuplesSeen() const { return Tuples; }

@@ -1,0 +1,34 @@
+//===- support/ParseNumber.cpp - Strict numeric CLI parsing --------------===//
+
+#include "support/ParseNumber.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+using namespace orp;
+
+bool support::parseUint64(const char *Text, uint64_t &Out) {
+  if (!Text || *Text == '\0')
+    return false;
+  // strtoull skips leading whitespace and accepts '+'/'-' (negative
+  // values wrap); require the string to start with a digit instead.
+  if (*Text < '0' || *Text > '9')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text, &End, 10);
+  if (errno == ERANGE || End == Text || *End != '\0')
+    return false;
+  Out = static_cast<uint64_t>(Value);
+  return true;
+}
+
+bool support::parseUnsigned(const char *Text, unsigned &Out) {
+  uint64_t Wide = 0;
+  if (!parseUint64(Text, Wide) ||
+      Wide > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(Wide);
+  return true;
+}

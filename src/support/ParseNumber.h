@@ -1,0 +1,36 @@
+//===- support/ParseNumber.h - Strict numeric CLI parsing ------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked decimal parsing for command-line flag values. Bare
+/// std::strtoull silently accepts "12abc", "", "-1" and saturates on
+/// overflow; these helpers reject all of that, so the CLIs can turn a
+/// mistyped flag into a usage error instead of a quietly wrong run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_PARSENUMBER_H
+#define ORP_SUPPORT_PARSENUMBER_H
+
+#include <cstdint>
+
+namespace orp {
+namespace support {
+
+/// Parses \p Text as a base-10 uint64_t into \p Out. Returns false —
+/// leaving \p Out untouched — unless the *entire* string is a valid
+/// in-range non-negative decimal number: empty strings, leading
+/// whitespace or signs, trailing junk ("12abc") and overflow all fail.
+bool parseUint64(const char *Text, uint64_t &Out);
+
+/// Like parseUint64 but additionally range-checks into unsigned.
+bool parseUnsigned(const char *Text, unsigned &Out);
+
+} // namespace support
+} // namespace orp
+
+#endif // ORP_SUPPORT_PARSENUMBER_H

@@ -1,0 +1,137 @@
+//===- support/SpscQueue.h - Bounded SPSC batch ring -----------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer ring used to hand batches
+/// of work between pipeline stages (the HorizontalDecomposer's dimension
+/// workers, the VerticalDecomposer's substream shards, and the
+/// TraceReplayer's decode-ahead buffer).
+///
+/// Elements are whole batches (vectors of symbols, tuples or events),
+/// so queue operations happen at batch granularity — hundreds per
+/// second, not millions — and a mutex-protected ring is both fast
+/// enough and trivially ThreadSanitizer-clean. The bounded capacity is
+/// the pipeline's backpressure: a producer that outruns its consumer
+/// blocks instead of ballooning memory.
+///
+/// Determinism note: the queue is strictly FIFO. Whatever order the
+/// producer pushes is the order the consumer pops, so moving a stage
+/// onto a worker thread never reorders the substream it owns.
+///
+/// This header (with WorkerPool.h) is the only place in the repository
+/// allowed to use std::mutex / std::condition_variable directly; see
+/// tools/orp-lint rule R5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_SPSCQUEUE_H
+#define ORP_SUPPORT_SPSCQUEUE_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace orp {
+namespace support {
+
+/// Bounded FIFO ring between one producer and one consumer thread.
+template <typename T> class SpscQueue {
+public:
+  /// Creates a queue holding at most \p Capacity elements (>= 1).
+  explicit SpscQueue(size_t Capacity)
+      : Ring(Capacity ? Capacity : 1) {}
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  /// Enqueues \p Value, blocking while the ring is full. Must not be
+  /// called after close().
+  void push(T &&Value) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotFull.wait(Lock, [&] { return Count < Ring.size() || Closed; });
+    assert(!Closed && "push after close");
+    Ring[(Head + Count) % Ring.size()] = std::move(Value);
+    ++Count;
+    Lock.unlock();
+    NotEmpty.notify_one();
+  }
+
+  /// Enqueues \p Value if the ring has room; returns false when full.
+  bool tryPush(T &&Value) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      assert(!Closed && "push after close");
+      if (Count == Ring.size())
+        return false;
+      Ring[(Head + Count) % Ring.size()] = std::move(Value);
+      ++Count;
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues into \p Out, blocking while the ring is empty. Returns
+  /// false once the queue is closed and fully drained.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return Count > 0 || Closed; });
+    if (Count == 0)
+      return false; // Closed and drained.
+    Out = std::move(Ring[Head]);
+    Head = (Head + 1) % Ring.size();
+    --Count;
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Dequeues into \p Out if an element is ready; returns false when
+  /// the ring is currently empty (closed or not).
+  bool tryPop(T &Out) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Count == 0)
+        return false;
+      Out = std::move(Ring[Head]);
+      Head = (Head + 1) % Ring.size();
+      --Count;
+    }
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Declares the producer side done: pending elements still drain, and
+  /// pop() returns false once they have.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  /// Maximum number of buffered elements.
+  size_t capacity() const { return Ring.size(); }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::vector<T> Ring;
+  size_t Head = 0;
+  size_t Count = 0;
+  bool Closed = false;
+};
+
+} // namespace support
+} // namespace orp
+
+#endif // ORP_SUPPORT_SPSCQUEUE_H

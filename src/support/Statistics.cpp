@@ -10,6 +10,25 @@
 
 using namespace orp;
 
+// support sits below src/check in the layering, so the empty-input
+// contract is enforced with the same compile-time level switch the
+// check layer uses, but through support's own fatal-error reporter.
+// Plain assert() was the old "enforcement" — compiled out of the
+// default RelWithDebInfo build, which is exactly how empty-set calls
+// went undiagnosed.
+#if ORP_CHECK_LEVEL >= 1
+#define ORP_STAT_REQUIRE(COND, MSG)                                          \
+  do {                                                                       \
+    if (!(COND))                                                             \
+      ORP_FATAL_ERROR(MSG);                                                  \
+  } while (false)
+#else
+#define ORP_STAT_REQUIRE(COND, MSG)                                          \
+  do {                                                                       \
+    (void)sizeof(COND);                                                      \
+  } while (false)
+#endif
+
 void RunningStat::add(double X) {
   if (N == 0) {
     Lo = Hi = X;
@@ -31,18 +50,19 @@ double RunningStat::variance() const {
 }
 
 double RunningStat::min() const {
-  assert(N > 0 && "min() of empty accumulator");
-  return Lo;
+  ORP_STAT_REQUIRE(N > 0, "RunningStat::min() of an empty accumulator");
+  return N ? Lo : 0.0;
 }
 
 double RunningStat::max() const {
-  assert(N > 0 && "max() of empty accumulator");
-  return Hi;
+  ORP_STAT_REQUIRE(N > 0, "RunningStat::max() of an empty accumulator");
+  return N ? Hi : 0.0;
 }
 
 double orp::quantile(std::vector<double> Values, double Q) {
+  ORP_STAT_REQUIRE(!Values.empty(), "quantile of an empty sample");
   if (Values.empty())
-    ORP_FATAL_ERROR("quantile of an empty sample");
+    return 0.0;
   assert(Q >= 0.0 && Q <= 1.0 && "quantile outside [0, 1]");
   std::sort(Values.begin(), Values.end());
   if (Values.size() == 1)
@@ -55,8 +75,9 @@ double orp::quantile(std::vector<double> Values, double Q) {
 }
 
 double orp::geometricMean(const std::vector<double> &Values) {
+  ORP_STAT_REQUIRE(!Values.empty(), "geometricMean of an empty sample");
   if (Values.empty())
-    ORP_FATAL_ERROR("geometricMean of an empty sample");
+    return 0.0;
   double LogSum = 0.0;
   for (double V : Values) {
     assert(V > 0.0 && "geometricMean requires positive values");

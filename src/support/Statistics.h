@@ -35,10 +35,12 @@ public:
   /// Returns the population variance, or 0 for fewer than two samples.
   double variance() const;
 
-  /// Returns the smallest observation; requires at least one sample.
+  /// Returns the smallest observation. An empty accumulator is a fatal
+  /// check failure at ORP_CHECK_LEVEL >= 1 (the default); at level 0 it
+  /// returns the sentinel 0.0 (matching mean()'s empty-set convention).
   double min() const;
 
-  /// Returns the largest observation; requires at least one sample.
+  /// Returns the largest observation; same empty-set contract as min().
   double max() const;
 
   /// Returns the sum of all observations.
@@ -54,10 +56,13 @@ private:
 };
 
 /// Returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
-/// interpolation; \p Values is copied and sorted. Requires a non-empty input.
+/// interpolation; \p Values is copied and sorted. An empty input is a
+/// fatal check failure at ORP_CHECK_LEVEL >= 1; at level 0 it returns
+/// the sentinel 0.0.
 double quantile(std::vector<double> Values, double Q);
 
-/// Returns the geometric mean of \p Values; every element must be positive.
+/// Returns the geometric mean of \p Values; every element must be
+/// positive. Same empty-set contract as quantile().
 double geometricMean(const std::vector<double> &Values);
 
 /// Returns 100.0 * Part / Whole, or 0 when Whole is zero.

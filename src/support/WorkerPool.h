@@ -1,0 +1,110 @@
+//===- support/WorkerPool.h - Pipeline worker threads ----------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The repository's threading layer. Two tiny primitives cover every
+/// parallel stage of the profiling pipeline:
+///
+///   * QueueWorker<Item>: a thread draining a bounded SpscQueue through
+///     a handler. The owner submit()s batches; the worker processes them
+///     strictly in submission order and finish() drains + joins. Used
+///     for WHOMP's per-dimension grammar workers and LEAP's substream
+///     shards, where the worker *exclusively owns* the state its
+///     handler mutates — no locks on the append path.
+///
+///   * ScopedThread: a join-on-destruction thread for producer-side
+///     stages (the TraceReplayer's decode-ahead thread).
+///
+/// This header (with SpscQueue.h) is the only place in the repository
+/// allowed to use std::thread directly; everything else goes through
+/// these wrappers so lifecycle (drain, close, join) stays centralized
+/// and auditable. Enforced by tools/orp-lint rule R5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SUPPORT_WORKERPOOL_H
+#define ORP_SUPPORT_WORKERPOOL_H
+
+#include "support/SpscQueue.h"
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace orp {
+namespace support {
+
+/// One worker thread fed by a bounded SPSC queue of work items.
+///
+/// The handler runs on the worker thread only, over items in exactly
+/// the order they were submit()ted. Whatever state the handler touches
+/// must be owned by this worker (or be immutable) until finish()
+/// returns — that ownership rule is what keeps the parallel pipeline
+/// lock-free on the append path and byte-identical to the serial one.
+template <typename Item> class QueueWorker {
+public:
+  using Handler = std::function<void(Item &)>;
+
+  /// Spawns the worker. \p QueueCapacity bounds the number of buffered
+  /// items (backpressure); \p Work processes one item.
+  QueueWorker(size_t QueueCapacity, Handler Work)
+      : Queue(QueueCapacity), Work(std::move(Work)),
+        Thread([this] { run(); }) {}
+
+  QueueWorker(const QueueWorker &) = delete;
+  QueueWorker &operator=(const QueueWorker &) = delete;
+
+  ~QueueWorker() { finish(); }
+
+  /// Hands \p I to the worker; blocks while the queue is full.
+  void submit(Item &&I) { Queue.push(std::move(I)); }
+
+  /// Closes the queue, waits for every submitted item to be processed
+  /// and joins the thread. Idempotent; after finish() the state the
+  /// handler mutated is safely visible to the caller.
+  void finish() {
+    Queue.close();
+    if (Thread.joinable())
+      Thread.join();
+  }
+
+private:
+  void run() {
+    Item I;
+    while (Queue.pop(I))
+      Work(I);
+  }
+
+  SpscQueue<Item> Queue;
+  Handler Work;
+  std::thread Thread;
+};
+
+/// A thread that joins on destruction (for producer-side stages).
+class ScopedThread {
+public:
+  explicit ScopedThread(std::function<void()> Fn) : Thread(std::move(Fn)) {}
+
+  ScopedThread(const ScopedThread &) = delete;
+  ScopedThread &operator=(const ScopedThread &) = delete;
+
+  ~ScopedThread() { join(); }
+
+  /// Waits for the thread to finish. Idempotent.
+  void join() {
+    if (Thread.joinable())
+      Thread.join();
+  }
+
+private:
+  std::thread Thread;
+};
+
+} // namespace support
+} // namespace orp
+
+#endif // ORP_SUPPORT_WORKERPOOL_H

@@ -63,6 +63,13 @@ uint64_t MemoryInterface::heapAlloc(AllocSiteId Site, uint64_t Size,
 
 void MemoryInterface::heapFree(uint64_t Addr) {
   assert(!Finished && "free after finish()");
+  // Unknown address (stray pointer, double free, static): diagnose and
+  // ignore — see the header contract. The allocator itself treats an
+  // unknown deallocate as fatal, so the liveness probe must come first.
+  if (Heap->liveBlockSize(Addr) == 0) {
+    ++UnknownFrees;
+    return;
+  }
   Heap->deallocate(Addr);
   if (!Sinks.empty()) {
     flushAccesses(); // Keep access/free order at the sinks.

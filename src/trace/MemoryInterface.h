@@ -84,7 +84,21 @@ public:
   uint64_t heapAlloc(AllocSiteId Site, uint64_t Size, uint64_t Align = 16);
 
   /// Object probe: frees the heap object at \p Addr.
+  ///
+  /// Freeing an address that is not a live heap payload — a stray
+  /// pointer, a static, or a second free of the same object — is a
+  /// diagnosed, counted no-op: the allocator is left untouched, no
+  /// event reaches the sinks, and unknownFrees() is incremented. Real
+  /// instrumented programs contain such frees, so the runtime must
+  /// survive them; the counter keeps them visible. If accesses are
+  /// batched when a (valid) free arrives, the batch is flushed first,
+  /// so sinks always observe accesses before the free that follows
+  /// them.
   void heapFree(uint64_t Addr);
+
+  /// Returns the number of heapFree() calls ignored because their
+  /// address was not a live heap payload (including double frees).
+  uint64_t unknownFrees() const { return UnknownFrees; }
 
   /// Object probe for statics: places a global of \p Size bytes in the
   /// static segment and reports it allocated at program start. The paper
@@ -103,6 +117,11 @@ public:
   /// the event's recorded timestamp is forwarded unchanged and the
   /// clock is advanced so now() stays consistent with the recording.
   /// @{
+  /// injectFree forwards the recorded free verbatim even when its
+  /// address is unknown to the (untouched) simulated heap: the trace is
+  /// the authority on what happened, and the OMC already diagnoses
+  /// unknown frees downstream (OmcStats::UnknownFrees). Contrast with
+  /// heapFree(), which filters unknown frees at the probe.
   void injectAccess(const AccessEvent &Event);
   void injectAlloc(const AllocEvent &Event);
   void injectFree(const FreeEvent &Event);
@@ -144,6 +163,8 @@ private:
   uint64_t StaticCursor;
   /// Live static objects, freed at finish().
   std::vector<uint64_t> StaticObjects;
+  /// heapFree() calls ignored because the address was not live.
+  uint64_t UnknownFrees = 0;
   bool Finished = false;
 };
 

@@ -280,6 +280,18 @@ bool TraceReader::forEachEvent(
   return true;
 }
 
+bool TraceReader::decodeBlockEvents(size_t Index,
+                                    std::vector<TraceEvent> &Out) {
+  Out.clear();
+  const BlockRef &Ref = Blocks[Index];
+  if (crc32(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen) != Ref.Crc)
+    return failed("block " + std::to_string(Index) +
+                  ": checksum mismatch (corrupted file)");
+  Out.reserve(Ref.EventCount);
+  return decodeBlock(Ref.PayloadPos, Ref.PayloadLen, Ref.EventCount, Index,
+                     [&](const TraceEvent &E) { Out.push_back(E); });
+}
+
 bool TraceReader::readAllEvents(std::vector<TraceEvent> &Out) {
   Out.clear();
   Out.reserve(Info.TotalEvents);

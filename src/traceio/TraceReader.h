@@ -57,6 +57,17 @@ public:
   /// before the corrupt block stand. Restartable (stateless).
   bool forEachEvent(const std::function<void(const TraceEvent &)> &Fn);
 
+  /// Number of indexed event blocks; valid after open().
+  size_t numEventBlocks() const { return Blocks.size(); }
+
+  /// Decodes block \p Index (CRC-checked first, like forEachEvent) into
+  /// \p Out, replacing its contents. Blocks are independently decodable
+  /// — the writer restarts the address/time delta chains per block —
+  /// which is what lets TraceReplayer decode block N+1 on a worker
+  /// while block N is being consumed. \p Index must be in range.
+  /// Returns false with error() set on corruption.
+  bool decodeBlockEvents(size_t Index, std::vector<TraceEvent> &Out);
+
   /// Convenience: decodes the whole stream into a vector.
   bool readAllEvents(std::vector<TraceEvent> &Out);
 

@@ -2,6 +2,11 @@
 
 #include "traceio/TraceReplayer.h"
 
+#include "support/SpscQueue.h"
+#include "support/WorkerPool.h"
+
+#include <atomic>
+
 using namespace orp;
 using namespace orp::traceio;
 
@@ -23,7 +28,7 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
 
   trace::MemoryInterface &Memory = Session.memory();
   Replayed = 0;
-  bool Ok = Reader.forEachEvent([&](const TraceEvent &E) {
+  auto Inject = [&](const TraceEvent &E) {
     switch (E.K) {
     case TraceEvent::Kind::Access:
       Memory.injectAccess(trace::AccessEvent{
@@ -40,7 +45,39 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
       break;
     }
     ++Replayed;
-  });
+  };
+
+  bool Ok;
+  if (Threads <= 1 || Reader.numEventBlocks() < 2) {
+    Ok = Reader.forEachEvent(Inject);
+  } else {
+    // Double-buffered replay: a worker decodes blocks ahead through a
+    // bounded queue while this thread injects. Block order is queue
+    // order, so event delivery order — and every downstream profile —
+    // is identical to the serial path. The sinks are not thread-safe;
+    // they are only ever touched from this thread.
+    support::SpscQueue<std::vector<TraceEvent>> Decoded(DecodeQueueDepth);
+    std::atomic<bool> DecodeOk{true};
+    support::ScopedThread Decoder([this, &Decoded, &DecodeOk] {
+      std::vector<TraceEvent> Events;
+      for (size_t B = 0, N = Reader.numEventBlocks(); B != N; ++B) {
+        if (!Reader.decodeBlockEvents(B, Events)) {
+          DecodeOk.store(false, std::memory_order_release);
+          break;
+        }
+        Decoded.push(std::move(Events));
+        Events = std::vector<TraceEvent>();
+      }
+      // Like forEachEvent: blocks decoded before a corrupt one stand.
+      Decoded.close();
+    });
+    std::vector<TraceEvent> Block;
+    while (Decoded.pop(Block))
+      for (const TraceEvent &E : Block)
+        Inject(E);
+    Decoder.join();
+    Ok = DecodeOk.load(std::memory_order_acquire);
+  }
   if (Ok && CallFinish)
     Session.finish();
   return Ok;

@@ -31,9 +31,19 @@ namespace traceio {
 /// Replays an opened TraceReader into profiling sessions.
 class TraceReplayer {
 public:
+  /// Blocks a decode worker may buffer ahead of the injecting thread.
+  static constexpr size_t DecodeQueueDepth = 2;
+
   /// \p Reader must have been open()ed successfully and must outlive
   /// the replayer.
   explicit TraceReplayer(TraceReader &Reader) : Reader(Reader) {}
+
+  /// With \p N > 1, replayInto() double-buffers: a worker thread
+  /// decodes the next .orpt blocks while this thread injects the
+  /// current one. Event delivery order — and therefore every profile
+  /// built from the replay — is unchanged; the session's sinks are
+  /// only ever touched from the calling thread.
+  void setThreads(unsigned N) { Threads = N; }
 
   /// Creates a session configured exactly like the recorded run (same
   /// allocator policy and environment seed, though replay never touches
@@ -58,6 +68,7 @@ public:
 private:
   TraceReader &Reader;
   uint64_t Replayed = 0;
+  unsigned Threads = 1;
 };
 
 } // namespace traceio

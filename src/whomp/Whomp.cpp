@@ -19,11 +19,12 @@ constexpr uint64_t ValidateIntervalTuples = 1 << 16;
 
 } // namespace
 
-WhompProfiler::WhompProfiler()
+WhompProfiler::WhompProfiler(unsigned Threads)
     : Decomposer(
           {core::Dimension::Instruction, core::Dimension::Group,
            core::Dimension::Object, core::Dimension::Offset},
-          [] { return std::make_unique<SequiturStreamCompressor>(); }),
+          [] { return std::make_unique<SequiturStreamCompressor>(); },
+          Threads),
       NextValidateAt(ValidateIntervalTuples) {}
 
 void WhompProfiler::validateGrammars(const char *When) const {
@@ -48,7 +49,10 @@ void WhompProfiler::consume(const core::OrTuple &Tuple) {
   if constexpr (check::Level >= 2)
     if (Tuples >= NextValidateAt) {
       NextValidateAt = Tuples + ValidateIntervalTuples;
-      validateGrammars("periodic");
+      // Threaded mode: the workers own the grammars until finish(), so
+      // periodic validation would race; finish() still validates.
+      if (!Decomposer.threaded())
+        validateGrammars("periodic");
     }
 }
 
@@ -58,7 +62,8 @@ void WhompProfiler::consumeBatch(std::span<const core::OrTuple> Batch) {
   if constexpr (check::Level >= 2)
     if (Tuples >= NextValidateAt) {
       NextValidateAt = Tuples + ValidateIntervalTuples;
-      validateGrammars("periodic");
+      if (!Decomposer.threaded())
+        validateGrammars("periodic");
     }
 }
 

@@ -66,7 +66,13 @@ struct OmsgSizes {
 /// OMSG. Attach to a Cdc (see core::ProfilingSession).
 class WhompProfiler : public core::OrTupleConsumer {
 public:
-  WhompProfiler();
+  /// With \p Threads > 1, each of the four dimension grammars runs on
+  /// its own worker thread (DESIGN.md section 10). The OMSG is
+  /// byte-identical either way; at most four workers are ever used,
+  /// larger values are equivalent to 4. Periodic level-2 grammar
+  /// validation is deferred to finish() in threaded mode — the workers
+  /// own the grammars until then.
+  explicit WhompProfiler(unsigned Threads = 1);
 
   void consume(const core::OrTuple &Tuple) override;
   void consumeBatch(std::span<const core::OrTuple> Tuples) override;

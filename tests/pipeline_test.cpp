@@ -1,0 +1,341 @@
+//===- tests/pipeline_test.cpp - Deterministic parallel pipeline tests ---===//
+//
+// The contract under test (DESIGN.md section 10): threading only moves
+// work between threads, never reorders any substream — so profiles
+// built with --threads N are byte-identical to --threads 1 for every N.
+// Plus unit tests for the support threading primitives themselves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Decomposition.h"
+#include "core/ProfilingSession.h"
+#include "leap/LeapProfileData.h"
+#include "leap/Leap.h"
+#include "support/SpscQueue.h"
+#include "support/WorkerPool.h"
+#include "traceio/TraceReader.h"
+#include "traceio/TraceReplayer.h"
+#include "traceio/TraceWriter.h"
+#include "whomp/OmsgArchive.h"
+#include "whomp/Whomp.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace orp;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "orp_pipeline_" + Name;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SpscQueue
+//===----------------------------------------------------------------------===//
+
+TEST(SpscQueueTest, FifoAcrossThreads) {
+  constexpr int N = 10000;
+  support::SpscQueue<int> Q(/*Capacity=*/8);
+  std::vector<int> Got;
+  support::ScopedThread Consumer([&] {
+    int V;
+    while (Q.pop(V))
+      Got.push_back(V);
+  });
+  for (int I = 0; I != N; ++I)
+    Q.push(int(I));
+  Q.close();
+  Consumer.join();
+  ASSERT_EQ(Got.size(), static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    EXPECT_EQ(Got[I], I);
+}
+
+TEST(SpscQueueTest, TryPushRespectsCapacity) {
+  support::SpscQueue<int> Q(2);
+  EXPECT_EQ(Q.capacity(), 2u);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3)) << "queue is full";
+  int V = 0;
+  EXPECT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 1);
+  EXPECT_TRUE(Q.tryPush(3)) << "slot freed by pop";
+}
+
+TEST(SpscQueueTest, CloseDrainsThenStops) {
+  support::SpscQueue<int> Q(4);
+  Q.push(10);
+  Q.push(20);
+  Q.close();
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 10);
+  EXPECT_TRUE(Q.pop(V)) << "items queued before close() are delivered";
+  EXPECT_EQ(V, 20);
+  EXPECT_FALSE(Q.pop(V)) << "closed and drained";
+  EXPECT_FALSE(Q.tryPop(V));
+}
+
+TEST(SpscQueueTest, TryPopOnEmptyOpenQueue) {
+  support::SpscQueue<int> Q(4);
+  int V = 0;
+  EXPECT_FALSE(Q.tryPop(V)) << "empty but not closed";
+}
+
+//===----------------------------------------------------------------------===//
+// QueueWorker
+//===----------------------------------------------------------------------===//
+
+TEST(QueueWorkerTest, ProcessesSubmissionsInOrder) {
+  std::vector<int> Seen;
+  {
+    support::QueueWorker<int> W(/*QueueCapacity=*/4,
+                                [&](int &V) { Seen.push_back(V); });
+    for (int I = 0; I != 1000; ++I)
+      W.submit(int(I));
+    W.finish();
+    W.finish(); // Idempotent.
+  }
+  ASSERT_EQ(Seen.size(), 1000u);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(Seen[I], I);
+}
+
+TEST(QueueWorkerTest, DestructorDrainsWithoutExplicitFinish) {
+  int Sum = 0;
+  {
+    support::QueueWorker<int> W(2, [&](int &V) { Sum += V; });
+    for (int I = 1; I <= 100; ++I)
+      W.submit(int(I));
+  }
+  EXPECT_EQ(Sum, 5050) << "all submitted work ran before join";
+}
+
+//===----------------------------------------------------------------------===//
+// Decomposers: threaded == serial
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compressor that just records the symbols it was fed.
+class RecordingCompressor : public core::StreamCompressor {
+public:
+  void append(uint64_t Symbol) override { Symbols.push_back(Symbol); }
+  size_t serializedSizeBytes() const override { return Symbols.size(); }
+  std::vector<uint64_t> Symbols;
+};
+
+/// Substream that records its tuples' times.
+class RecordingSubstream : public core::SubstreamConsumer {
+public:
+  void append(const core::OrTuple &Tuple) override {
+    Times.push_back(Tuple.Time);
+  }
+  std::vector<uint64_t> Times;
+};
+
+core::OrTuple makeTuple(uint32_t Instr, uint32_t Group, uint64_t Time) {
+  core::OrTuple T;
+  T.Instr = Instr;
+  T.Group = Group;
+  T.Object = Time % 7;
+  T.Offset = Time % 13;
+  T.Time = Time;
+  T.IsStore = false;
+  T.Size = 8;
+  return T;
+}
+
+} // namespace
+
+TEST(DecompositionThreadedTest, HorizontalMatchesSerial) {
+  auto Run = [](unsigned Threads) {
+    core::HorizontalDecomposer D(
+        {core::Dimension::Instruction, core::Dimension::Offset},
+        [] { return std::make_unique<RecordingCompressor>(); }, Threads);
+    EXPECT_EQ(D.threaded(), Threads > 1);
+    // More tuples than ThreadChunkSymbols so chunking kicks in.
+    for (uint64_t I = 0; I != 3 * D.ThreadChunkSymbols + 17; ++I)
+      D.consume(makeTuple(I % 5, 0, I));
+    D.finish();
+    EXPECT_FALSE(D.threaded()) << "workers joined at finish()";
+    auto Sym = [&](core::Dimension Dim) {
+      return static_cast<const RecordingCompressor &>(D.compressorFor(Dim))
+          .Symbols;
+    };
+    return std::make_pair(Sym(core::Dimension::Instruction),
+                          Sym(core::Dimension::Offset));
+  };
+  auto Serial = Run(1);
+  auto Threaded = Run(4);
+  EXPECT_EQ(Serial.first, Threaded.first);
+  EXPECT_EQ(Serial.second, Threaded.second);
+}
+
+TEST(DecompositionThreadedTest, VerticalMatchesSerialAcrossThreadCounts) {
+  auto Run = [](unsigned Threads) {
+    core::VerticalDecomposer D(
+        [](core::VerticalKey) {
+          return std::make_unique<RecordingSubstream>();
+        },
+        Threads);
+    for (uint64_t I = 0; I != 3 * D.ThreadChunkTuples + 5; ++I)
+      D.consume(makeTuple(I % 11, I % 3, I));
+    D.finish();
+    // Key-ordered (key, times) pairs; must be identical for every
+    // thread count.
+    std::vector<std::pair<std::pair<uint32_t, uint32_t>,
+                          std::vector<uint64_t>>> Result;
+    D.forEach([&](const core::VerticalKey &Key,
+                  const core::SubstreamConsumer &Sub) {
+      Result.push_back(
+          {{Key.Instr, Key.Group},
+           static_cast<const RecordingSubstream &>(Sub).Times});
+    });
+    return Result;
+  };
+  auto Serial = Run(1);
+  EXPECT_EQ(Serial, Run(2));
+  EXPECT_EQ(Serial, Run(8));
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-thread determinism goldens (ISSUE satellite 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Records \p WorkloadName to \p Path with live WHOMP+LEAP attached.
+void recordWithProfilers(const std::string &WorkloadName,
+                         const std::string &Path,
+                         std::vector<uint8_t> &LiveOmsg,
+                         std::vector<uint8_t> &LiveLeap) {
+  core::ProfilingSession Session(memsim::AllocPolicy::FirstFit, /*Seed=*/7);
+  traceio::TraceWriter Writer(Path, Session.registry(),
+                              memsim::AllocPolicy::FirstFit, /*Seed=*/7);
+  ASSERT_TRUE(Writer.ok()) << Writer.error();
+  Session.addRawSink(&Writer);
+  whomp::WhompProfiler Whomp;
+  leap::LeapProfiler Leap;
+  Session.addConsumer(&Whomp);
+  Session.addConsumer(&Leap);
+  auto W = workloads::createWorkloadByName(WorkloadName);
+  ASSERT_TRUE(W);
+  workloads::WorkloadConfig Config;
+  W->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+  ASSERT_TRUE(Writer.close()) << Writer.error();
+  LiveOmsg = whomp::OmsgArchive::build(Whomp, &Session.omc()).serialize();
+  LiveLeap = leap::LeapProfileData::fromProfiler(Leap).serialize();
+}
+
+/// Replays \p Path at \p Threads and serializes both profiles.
+void replayAt(const std::string &Path, unsigned Threads,
+              std::vector<uint8_t> &Omsg, std::vector<uint8_t> &LeapBytes,
+              uint64_t &EventsReplayed) {
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  traceio::TraceReplayer Replayer(Reader);
+  Replayer.setThreads(Threads);
+  auto Session = Replayer.makeSession();
+  whomp::WhompProfiler Whomp(Threads);
+  leap::LeapProfiler Leap(lmad::LmadCompressor::DefaultMaxLmads, Threads);
+  Session->addConsumer(&Whomp);
+  Session->addConsumer(&Leap);
+  ASSERT_TRUE(Replayer.replayInto(*Session)) << Replayer.error();
+  EventsReplayed = Replayer.eventsReplayed();
+  Omsg = whomp::OmsgArchive::build(Whomp, &Session->omc()).serialize();
+  LeapBytes = leap::LeapProfileData::fromProfiler(Leap).serialize();
+}
+
+} // namespace
+
+TEST(PipelineDeterminismTest, ReplayIsByteIdenticalForAnyThreadCount) {
+  std::string Path = tempPath("vpr.orpt");
+  std::vector<uint8_t> LiveOmsg, LiveLeap;
+  recordWithProfilers("175.vpr-a", Path, LiveOmsg, LiveLeap);
+  ASSERT_FALSE(LiveOmsg.empty());
+  ASSERT_FALSE(LiveLeap.empty());
+
+  std::vector<uint8_t> Omsg1, Leap1;
+  uint64_t Events1 = 0;
+  replayAt(Path, 1, Omsg1, Leap1, Events1);
+  // Replay at 1 thread matches the live run (existing traceio
+  // contract); threaded replays must then match the serial replay.
+  EXPECT_EQ(Omsg1, LiveOmsg);
+  EXPECT_EQ(Leap1, LiveLeap);
+
+  for (unsigned Threads : {2u, 8u}) {
+    std::vector<uint8_t> Omsg, Leap;
+    uint64_t Events = 0;
+    replayAt(Path, Threads, Omsg, Leap, Events);
+    EXPECT_EQ(Events, Events1) << Threads << " threads";
+    EXPECT_EQ(Omsg, Omsg1) << Threads << " threads";
+    EXPECT_EQ(Leap, Leap1) << Threads << " threads";
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(PipelineDeterminismTest, ThreadedReplayRejectsCorruptTrace) {
+  std::string Path = tempPath("corrupt.orpt");
+  std::vector<uint8_t> LiveOmsg, LiveLeap;
+  recordWithProfilers("164.gzip-a", Path, LiveOmsg, LiveLeap);
+
+  // Flip one byte in the middle of the event area; either a block CRC
+  // or a payload decode must catch it — also through the decode-ahead
+  // worker path.
+  std::FILE *F = std::fopen(Path.c_str(), "rb+");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fseek(F, 2048, SEEK_SET), 0);
+  int C = std::fgetc(F);
+  ASSERT_NE(C, EOF);
+  ASSERT_EQ(std::fseek(F, 2048, SEEK_SET), 0);
+  std::fputc(C ^ 0xFF, F);
+  std::fclose(F);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  traceio::TraceReplayer Replayer(Reader);
+  Replayer.setThreads(4);
+  auto Session = Replayer.makeSession();
+  EXPECT_FALSE(Replayer.replayInto(*Session));
+  EXPECT_FALSE(Replayer.error().empty());
+  std::remove(Path.c_str());
+}
+
+TEST(PipelineDeterminismTest, LiveProfilersMatchAcrossThreadCounts) {
+  // Same contract without traces: a live session with threaded
+  // profilers equals the serial live session.
+  auto Run = [](unsigned Threads, std::vector<uint8_t> &Omsg,
+                std::vector<uint8_t> &LeapBytes) {
+    core::ProfilingSession Session(memsim::AllocPolicy::BestFit,
+                                   /*Seed=*/3);
+    whomp::WhompProfiler Whomp(Threads);
+    leap::LeapProfiler Leap(lmad::LmadCompressor::DefaultMaxLmads,
+                            Threads);
+    Session.addConsumer(&Whomp);
+    Session.addConsumer(&Leap);
+    auto W = workloads::createWorkloadByName("181.mcf-a");
+    ASSERT_TRUE(W);
+    workloads::WorkloadConfig Config;
+    W->run(Session.memory(), Session.registry(), Config);
+    Session.finish();
+    Omsg = whomp::OmsgArchive::build(Whomp, &Session.omc()).serialize();
+    LeapBytes = leap::LeapProfileData::fromProfiler(Leap).serialize();
+  };
+  std::vector<uint8_t> Omsg1, Leap1, Omsg4, Leap4;
+  Run(1, Omsg1, Leap1);
+  Run(4, Omsg4, Leap4);
+  EXPECT_EQ(Omsg1, Omsg4);
+  EXPECT_EQ(Leap1, Leap4);
+}

@@ -3,6 +3,7 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/Histogram.h"
+#include "support/ParseNumber.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
@@ -629,4 +630,81 @@ TEST(EndianTest, RoundTripsExtremeValues) {
     appendLE64(V, Out);
     EXPECT_EQ(readLE64(Out.data()), V);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// ParseNumber
+//===----------------------------------------------------------------------===//
+
+TEST(ParseNumberTest, AcceptsPlainDecimals) {
+  uint64_t V = 99;
+  EXPECT_TRUE(support::parseUint64("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(support::parseUint64("42", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_TRUE(support::parseUint64("18446744073709551615", V));
+  EXPECT_EQ(V, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseNumberTest, RejectsTrailingGarbage) {
+  uint64_t V = 0;
+  EXPECT_FALSE(support::parseUint64("12abc", V));
+  EXPECT_FALSE(support::parseUint64("12 ", V));
+  EXPECT_FALSE(support::parseUint64("1.5", V));
+}
+
+TEST(ParseNumberTest, RejectsEmptyAndNonDigitPrefixes) {
+  uint64_t V = 0;
+  EXPECT_FALSE(support::parseUint64("", V));
+  EXPECT_FALSE(support::parseUint64(nullptr, V));
+  EXPECT_FALSE(support::parseUint64(" 7", V));
+  EXPECT_FALSE(support::parseUint64("-1", V)) << "strtoull would wrap";
+  EXPECT_FALSE(support::parseUint64("+1", V));
+  EXPECT_FALSE(support::parseUint64("abc", V));
+}
+
+TEST(ParseNumberTest, RejectsOverflow) {
+  uint64_t V = 0;
+  EXPECT_FALSE(support::parseUint64("18446744073709551616", V));
+  EXPECT_FALSE(support::parseUint64("99999999999999999999999", V));
+}
+
+TEST(ParseNumberTest, UnsignedRangeChecks) {
+  unsigned V = 0;
+  EXPECT_TRUE(support::parseUnsigned("4294967295", V));
+  EXPECT_EQ(V, std::numeric_limits<unsigned>::max());
+  EXPECT_FALSE(support::parseUnsigned("4294967296", V));
+  EXPECT_FALSE(support::parseUnsigned("12abc", V));
+  EXPECT_FALSE(support::parseUnsigned("", V));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics: empty-set contracts
+//===----------------------------------------------------------------------===//
+
+#if ORP_CHECK_LEVEL >= 1
+TEST(StatisticsEmptyDeathTest, EmptyAccessorsAreFatal) {
+  RunningStat Empty;
+  EXPECT_DEATH(Empty.min(), "empty accumulator");
+  EXPECT_DEATH(Empty.max(), "empty accumulator");
+  EXPECT_DEATH(quantile({}, 0.5), "empty sample");
+  EXPECT_DEATH(geometricMean({}), "empty sample");
+}
+#else
+TEST(StatisticsEmptyTest, EmptyAccessorsReturnSentinelAtLevel0) {
+  RunningStat Empty;
+  EXPECT_EQ(Empty.min(), 0.0);
+  EXPECT_EQ(Empty.max(), 0.0);
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_EQ(geometricMean({}), 0.0);
+}
+#endif
+
+TEST(StatisticsTest, NonEmptyAccessorsUnaffectedByContract) {
+  RunningStat S;
+  S.add(3.0);
+  EXPECT_EQ(S.min(), 3.0);
+  EXPECT_EQ(S.max(), 3.0);
+  EXPECT_EQ(quantile({3.0}, 0.5), 3.0);
+  EXPECT_EQ(geometricMean({2.0, 8.0}), 4.0);
 }

@@ -185,3 +185,88 @@ TEST(BufferSinkTest, ReplayEqualsOriginalStream) {
   EXPECT_EQ(Copy.allocs().size(), B.allocs().size());
   EXPECT_EQ(Copy.frees().size(), B.frees().size());
 }
+
+//===----------------------------------------------------------------------===//
+// Free-path hardening: the contracts pinned in MemoryInterface.h
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryInterfaceTest, UnknownHeapFreeIsCountedNoOp) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  uint64_t Live = M.heapAlloc(0, 64);
+  ASSERT_NE(Live, 0u);
+  uint64_t HeapUsed = M.allocator().stats().LiveBytes;
+
+  M.heapFree(0xDEAD0000); // Never allocated.
+  EXPECT_EQ(M.unknownFrees(), 1u);
+  EXPECT_EQ(B.frees().size(), 0u) << "no sink event for an unknown free";
+  EXPECT_EQ(M.allocator().stats().LiveBytes, HeapUsed)
+      << "allocator untouched by an unknown free";
+  EXPECT_EQ(M.allocator().liveBlockSize(Live), 64u);
+}
+
+TEST(MemoryInterfaceTest, DoubleFreeIsCountedNoOp) {
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  uint64_t Addr = M.heapAlloc(0, 32);
+  ASSERT_NE(Addr, 0u);
+  M.heapFree(Addr); // Valid.
+  EXPECT_EQ(B.frees().size(), 1u);
+  EXPECT_EQ(M.unknownFrees(), 0u);
+  M.heapFree(Addr); // Double free: address is no longer live.
+  EXPECT_EQ(M.unknownFrees(), 1u);
+  EXPECT_EQ(B.frees().size(), 1u) << "double free reaches no sink";
+}
+
+TEST(MemoryInterfaceTest, FreeMidBatchFlushesAccessesFirst) {
+  // A free arriving while accesses are batched must not overtake them:
+  // sinks see the accesses, then the free, exactly in execution order.
+  struct OrderSink : TraceSink {
+    std::vector<char> Seen;
+    void onAccess(const AccessEvent &) override { Seen.push_back('a'); }
+    void onAccessBatch(std::span<const AccessEvent> Events) override {
+      for (size_t I = 0; I != Events.size(); ++I)
+        Seen.push_back('a');
+    }
+    void onAlloc(const AllocEvent &) override { Seen.push_back('A'); }
+    void onFree(const FreeEvent &) override { Seen.push_back('F'); }
+  } S;
+  MemoryInterface M;
+  M.attachSink(&S);
+  uint64_t Addr = M.heapAlloc(0, 64);
+  M.load(0, Addr);
+  M.store(1, Addr + 8);
+  // Batch capacity (default 128) not reached: both accesses pending.
+  M.heapFree(Addr);
+  EXPECT_EQ(S.Seen, (std::vector<char>{'A', 'a', 'a', 'F'}));
+}
+
+TEST(MemoryInterfaceTest, UnknownFreeDoesNotFlushBatch) {
+  // An ignored free is a true no-op: the access batch stays pending, so
+  // the unknown-free filter cannot perturb batching behavior.
+  MemoryInterface M;
+  CountingSink C;
+  M.attachSink(&C);
+  M.load(0, 0x1000);
+  M.heapFree(0xDEAD0000);
+  EXPECT_EQ(M.unknownFrees(), 1u);
+  EXPECT_EQ(C.accesses(), 0u) << "batch not flushed by the no-op";
+  M.flushAccesses();
+  EXPECT_EQ(C.accesses(), 1u);
+}
+
+TEST(MemoryInterfaceTest, InjectFreeForwardsUnknownAddressVerbatim) {
+  // Replay hook contract: the trace is the authority — an inject of a
+  // free the simulated heap never saw still reaches the sinks (the OMC
+  // diagnoses it downstream as OmcStats::UnknownFrees).
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  M.injectFree(FreeEvent{0xDEAD0000, 5});
+  ASSERT_EQ(B.frees().size(), 1u);
+  EXPECT_EQ(B.frees()[0].Addr, 0xDEAD0000u);
+  EXPECT_EQ(B.frees()[0].Time, 5u);
+  EXPECT_EQ(M.unknownFrees(), 0u) << "inject path does not filter";
+}

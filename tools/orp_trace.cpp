@@ -17,6 +17,7 @@
 #include "baseline/RasgProfiler.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
+#include "support/ParseNumber.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
 #include "whomp/OmsgArchive.h"
@@ -42,9 +43,11 @@ int usage(const char *Argv0) {
       "         [--seed=N] [--env=N] [--scale=N]     capture a run "
       "(default FILE: <workload>.orpt)\n"
       "  replay <file> [--profiler=whomp|leap|rasg] [--lmads=N] "
-      "[--dump-omsg=FILE]\n"
-      "                                              re-drive profilers "
+      "[--threads=N]\n"
+      "         [--dump-omsg=FILE]                   re-drive profilers "
       "from a trace\n"
+      "                                              (--threads output is "
+      "byte-identical)\n"
       "  info <file>                                 print header and "
       "stream statistics\n"
       "  verify <file>                               validate structure "
@@ -56,6 +59,29 @@ int usage(const char *Argv0) {
 const char *flagValue(const std::string &Arg, const char *Prefix) {
   size_t Len = std::strlen(Prefix);
   return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+}
+
+/// Parses the numeric value of \p Flag strictly (whole string, no
+/// overflow; see support::parseUint64), reporting a usage error on
+/// stderr when it is malformed.
+bool numericFlag(const char *Cmd, const char *Flag, const char *Text,
+                 uint64_t &Out) {
+  if (support::parseUint64(Text, Out))
+    return true;
+  std::fprintf(stderr, "orp-trace %s: %s expects an unsigned integer, "
+                       "got '%s'\n",
+               Cmd, Flag, Text);
+  return false;
+}
+
+bool numericFlag(const char *Cmd, const char *Flag, const char *Text,
+                 unsigned &Out) {
+  if (support::parseUnsigned(Text, Out))
+    return true;
+  std::fprintf(stderr, "orp-trace %s: %s expects an unsigned integer, "
+                       "got '%s'\n",
+               Cmd, Flag, Text);
+  return false;
 }
 
 bool parseAllocPolicy(const char *Name, memsim::AllocPolicy &Policy) {
@@ -88,11 +114,14 @@ int cmdRecord(int Argc, char **Argv) {
         return 1;
       }
     } else if (const char *V = flagValue(Arg, "--seed=")) {
-      Seed = std::strtoull(V, nullptr, 10);
+      if (!numericFlag("record", "--seed", V, Seed))
+        return 1;
     } else if (const char *V = flagValue(Arg, "--env=")) {
-      EnvSeed = std::strtoull(V, nullptr, 10);
+      if (!numericFlag("record", "--env", V, EnvSeed))
+        return 1;
     } else if (const char *V = flagValue(Arg, "--scale=")) {
-      Scale = std::strtoull(V, nullptr, 10);
+      if (!numericFlag("record", "--scale", V, Scale))
+        return 1;
     } else if (Arg[0] != '-' && WorkloadName.empty()) {
       WorkloadName = Arg;
     } else {
@@ -151,13 +180,22 @@ int cmdRecord(int Argc, char **Argv) {
 
 int cmdReplay(int Argc, char **Argv) {
   std::string Path, Profiler = "whomp", DumpOmsg;
-  unsigned MaxLmads = 30;
+  unsigned MaxLmads = 30, Threads = 1;
   for (int I = 0; I != Argc; ++I) {
     std::string Arg = Argv[I];
     if (const char *V = flagValue(Arg, "--profiler=")) {
       Profiler = V;
     } else if (const char *V = flagValue(Arg, "--lmads=")) {
-      MaxLmads = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!numericFlag("replay", "--lmads", V, MaxLmads))
+        return 1;
+    } else if (const char *V = flagValue(Arg, "--threads=")) {
+      if (!numericFlag("replay", "--threads", V, Threads))
+        return 1;
+      if (Threads == 0) {
+        std::fprintf(stderr,
+                     "orp-trace replay: --threads must be at least 1\n");
+        return 1;
+      }
     } else if (const char *V = flagValue(Arg, "--dump-omsg=")) {
       DumpOmsg = V;
     } else if (Arg[0] != '-' && Path.empty()) {
@@ -181,10 +219,11 @@ int cmdReplay(int Argc, char **Argv) {
     return 1;
   }
   traceio::TraceReplayer Replayer(Reader);
+  Replayer.setThreads(Threads);
   auto Session = Replayer.makeSession();
 
-  whomp::WhompProfiler Whomp;
-  leap::LeapProfiler Leap(MaxLmads);
+  whomp::WhompProfiler Whomp(Threads);
+  leap::LeapProfiler Leap(MaxLmads, Threads);
   baseline::RasgProfiler Rasg;
   if (Profiler == "whomp")
     Session->addConsumer(&Whomp);
