@@ -49,9 +49,15 @@ HorizontalDecomposer::HorizontalDecomposer(std::vector<Dimension> Dims,
 
 HorizontalDecomposer::~HorizontalDecomposer() {
   // Deliver what the producer buffered even when the stream is dropped
-  // without finish(); QueueWorker's destructor then drains and joins.
-  if (threaded())
-    flushPending();
+  // without finish(), then join the workers while every member their
+  // handlers reference (the Compressors) is still alive — never rely on
+  // member destruction order to sequence the join.
+  if (!threaded())
+    return;
+  flushPending();
+  for (auto &Worker : Workers)
+    Worker->finish();
+  Workers.clear();
 }
 
 void HorizontalDecomposer::flushPending() {
@@ -155,11 +161,18 @@ VerticalDecomposer::VerticalDecomposer(Factory MakeSubstream,
 }
 
 VerticalDecomposer::~VerticalDecomposer() {
-  // Joining without merging is fine: the shards just get destroyed.
-  if (threaded())
-    for (size_t S = 0; S != Workers.size(); ++S)
-      if (!PendingTuples[S].empty())
-        Workers[S]->submit(std::move(PendingTuples[S]));
+  // Joining without merging is fine: the shards just get destroyed. But
+  // the join must happen *here*, before member destruction starts: the
+  // worker handlers append into Shards, which would otherwise be torn
+  // down while worker threads still run (use-after-free).
+  if (!threaded())
+    return;
+  for (size_t S = 0; S != Workers.size(); ++S)
+    if (!PendingTuples[S].empty())
+      Workers[S]->submit(std::move(PendingTuples[S]));
+  for (auto &Worker : Workers)
+    Worker->finish();
+  Workers.clear();
 }
 
 void VerticalDecomposer::consume(const OrTuple &Tuple) {

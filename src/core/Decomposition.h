@@ -191,16 +191,20 @@ private:
 
   Factory MakeSubstream;
   SubstreamMap Substreams;
-  /// One worker per shard (empty in serial mode). Shards[I] is owned by
-  /// Workers[I]'s thread until finish() merges it into Substreams; the
-  /// key sets are disjoint (hash routing), so the merged map — and
-  /// therefore every key-ordered traversal — is identical for any
-  /// worker count.
-  std::vector<std::unique_ptr<support::QueueWorker<std::vector<OrTuple>>>>
-      Workers;
+  /// Shards[I] is owned by Workers[I]'s thread until finish() merges it
+  /// into Substreams; the key sets are disjoint (hash routing), so the
+  /// merged map — and therefore every key-ordered traversal — is
+  /// identical for any worker count. Declared before Workers so that
+  /// even during member destruction the shards outlive the worker
+  /// threads that append into them (the destructor additionally joins
+  /// the workers explicitly before any member is torn down).
   std::vector<SubstreamMap> Shards;
   /// Per-shard tuple chunks being filled by the producer.
   std::vector<std::vector<OrTuple>> PendingTuples;
+  /// One worker per shard (empty in serial mode). Joined by finish()
+  /// and the destructor.
+  std::vector<std::unique_ptr<support::QueueWorker<std::vector<OrTuple>>>>
+      Workers;
 };
 
 } // namespace core

@@ -31,7 +31,6 @@
 #ifndef ORP_SUPPORT_SPSCQUEUE_H
 #define ORP_SUPPORT_SPSCQUEUE_H
 
-#include <cassert>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -51,24 +50,29 @@ public:
   SpscQueue(const SpscQueue &) = delete;
   SpscQueue &operator=(const SpscQueue &) = delete;
 
-  /// Enqueues \p Value, blocking while the ring is full. Must not be
-  /// called after close().
-  void push(T &&Value) {
+  /// Enqueues \p Value, blocking while the ring is full. Returns false
+  /// — dropping \p Value — if the queue was close()d, whether before
+  /// the call or while blocked waiting for room. Never writes into a
+  /// closed ring: waking on close with a full ring must not overwrite
+  /// unconsumed elements or push Count past capacity.
+  bool push(T &&Value) {
     std::unique_lock<std::mutex> Lock(M);
     NotFull.wait(Lock, [&] { return Count < Ring.size() || Closed; });
-    assert(!Closed && "push after close");
+    if (Closed)
+      return false;
     Ring[(Head + Count) % Ring.size()] = std::move(Value);
     ++Count;
     Lock.unlock();
     NotEmpty.notify_one();
+    return true;
   }
 
-  /// Enqueues \p Value if the ring has room; returns false when full.
+  /// Enqueues \p Value if the ring has room; returns false when full
+  /// or closed.
   bool tryPush(T &&Value) {
     {
       std::lock_guard<std::mutex> Lock(M);
-      assert(!Closed && "push after close");
-      if (Count == Ring.size())
+      if (Closed || Count == Ring.size())
         return false;
       Ring[(Head + Count) % Ring.size()] = std::move(Value);
       ++Count;

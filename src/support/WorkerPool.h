@@ -60,7 +60,8 @@ public:
 
   ~QueueWorker() { finish(); }
 
-  /// Hands \p I to the worker; blocks while the queue is full.
+  /// Hands \p I to the worker; blocks while the queue is full. Items
+  /// submitted after finish() are dropped (push on a closed queue).
   void submit(Item &&I) { Queue.push(std::move(I)); }
 
   /// Closes the queue, waits for every submitted item to be processed

@@ -92,6 +92,39 @@ TEST(SpscQueueTest, TryPopOnEmptyOpenQueue) {
   EXPECT_FALSE(Q.tryPop(V)) << "empty but not closed";
 }
 
+TEST(SpscQueueTest, PushAfterCloseReturnsFalse) {
+  support::SpscQueue<int> Q(4);
+  EXPECT_TRUE(Q.push(1));
+  Q.close();
+  EXPECT_FALSE(Q.push(2)) << "closed queue rejects the value";
+  EXPECT_FALSE(Q.tryPush(3)) << "closed queue rejects the value";
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V)) << "pre-close items still drain";
+  EXPECT_EQ(V, 1);
+  EXPECT_FALSE(Q.pop(V));
+}
+
+TEST(SpscQueueTest, CloseWakesBlockedProducerWithoutCorruption) {
+  // Regression: a close() racing a producer blocked on a full ring must
+  // make that push fail cleanly — not overwrite an unconsumed slot or
+  // push Count past capacity.
+  support::SpscQueue<int> Q(2);
+  ASSERT_TRUE(Q.push(1));
+  ASSERT_TRUE(Q.push(2));
+  bool Pushed = true;
+  {
+    support::ScopedThread Producer([&] { Pushed = Q.push(3); });
+    Q.close(); // Before or during the blocked push: both must reject.
+  }
+  EXPECT_FALSE(Pushed);
+  int V = 0;
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 1) << "oldest element survived the close";
+  EXPECT_TRUE(Q.pop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_FALSE(Q.pop(V)) << "exactly the two pre-close items drained";
+}
+
 //===----------------------------------------------------------------------===//
 // QueueWorker
 //===----------------------------------------------------------------------===//
@@ -209,6 +242,27 @@ TEST(DecompositionThreadedTest, VerticalMatchesSerialAcrossThreadCounts) {
   EXPECT_EQ(Serial, Run(8));
 }
 
+TEST(DecompositionThreadedTest, VerticalDestroyWithoutFinishJoinsWorkers) {
+  // Regression (use-after-free): destroying a threaded decomposer with
+  // chunks still in flight must join the workers before the shard maps
+  // are torn down. Detected under ASan/TSan; no finish() on purpose.
+  core::VerticalDecomposer D(
+      [](core::VerticalKey) { return std::make_unique<RecordingSubstream>(); },
+      /*Threads=*/4);
+  for (uint64_t I = 0; I != 8 * D.ThreadChunkTuples + 3; ++I)
+    D.consume(makeTuple(I % 11, I % 3, I));
+}
+
+TEST(DecompositionThreadedTest, HorizontalDestroyWithoutFinishJoinsWorkers) {
+  // Same contract for the dimension workers: destruction with buffered
+  // symbols and no finish() must flush, join, then tear down.
+  core::HorizontalDecomposer D(
+      {core::Dimension::Instruction, core::Dimension::Offset},
+      [] { return std::make_unique<RecordingCompressor>(); }, /*Threads=*/4);
+  for (uint64_t I = 0; I != 8 * D.ThreadChunkSymbols + 3; ++I)
+    D.consume(makeTuple(I % 5, 0, I));
+}
+
 //===----------------------------------------------------------------------===//
 // Cross-thread determinism goldens (ISSUE satellite 4)
 //===----------------------------------------------------------------------===//
@@ -308,6 +362,15 @@ TEST(PipelineDeterminismTest, ThreadedReplayRejectsCorruptTrace) {
   traceio::TraceReplayer Replayer(Reader);
   Replayer.setThreads(4);
   auto Session = Replayer.makeSession();
+  // Attach threaded consumers: a failed replay returns without calling
+  // Session.finish(), so the profilers are destroyed with chunks still
+  // in flight — the decomposer destructors must join their workers
+  // (regression: use-after-free on the shard maps, caught by ASan/TSan).
+  whomp::WhompProfiler Whomp(/*Threads=*/4);
+  leap::LeapProfiler Leap(lmad::LmadCompressor::DefaultMaxLmads,
+                          /*Threads=*/4);
+  Session->addConsumer(&Whomp);
+  Session->addConsumer(&Leap);
   EXPECT_FALSE(Replayer.replayInto(*Session));
   EXPECT_FALSE(Replayer.error().empty());
   std::remove(Path.c_str());
