@@ -14,6 +14,7 @@
 #include "omc/ObjectManager.h"
 #include "sequitur/Sequitur.h"
 #include "support/Random.h"
+#include "telemetry/Metric.h"
 #include "traceio/TraceReader.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
@@ -223,9 +224,11 @@ BENCHMARK(BM_PipelineWhompWorkload)->Unit(benchmark::kMillisecond);
 /// Thread-scaling sweep over the full replay pipeline (the --threads
 /// flag of orp-trace replay): record one vpr-a trace up front, then
 /// per iteration replay it with double-buffered decode plus threaded
-/// WHOMP and LEAP. Arg is the thread count; Arg(1) is the serial
-/// baseline, and every arg produces byte-identical profiles. Items =
-/// replayed events.
+/// WHOMP and LEAP. Args are {thread count, telemetry on/off}; {1, on}
+/// is the serial baseline, and every arg produces byte-identical
+/// profiles. The on/off pairs at equal thread counts measure the
+/// telemetry subsystem's overhead (EXPERIMENTS.md gates it at 3%).
+/// Items = replayed events.
 void BM_PipelineReplayThreads(benchmark::State &State) {
   static const std::string TracePath = [] {
     std::string Path = "perf_replay_threads.orpt";
@@ -241,11 +244,13 @@ void BM_PipelineReplayThreads(benchmark::State &State) {
     return Path;
   }();
   unsigned Threads = static_cast<unsigned>(State.range(0));
+  bool Telemetry = State.range(1) != 0;
   traceio::TraceReader Reader;
   if (!Reader.open(TracePath)) {
     State.SkipWithError("cannot open replay trace");
     return;
   }
+  telemetry::setEnabled(Telemetry);
   uint64_t Events = 0;
   for (auto _ : State) {
     traceio::TraceReplayer Replayer(Reader);
@@ -261,13 +266,18 @@ void BM_PipelineReplayThreads(benchmark::State &State) {
     benchmark::DoNotOptimize(Whomp.sizes().total());
     benchmark::DoNotOptimize(Leap.serializedSizeBytes());
   }
+  telemetry::setEnabled(true);
   State.SetItemsProcessed(static_cast<int64_t>(Events));
 }
 BENCHMARK(BM_PipelineReplayThreads)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

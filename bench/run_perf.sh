@@ -4,10 +4,16 @@
 # throughput record referenced by EXPERIMENTS.md and uploaded by the CI
 # perf-smoke job.
 #
+# Alongside the benchmark record it replays the same trace through
+# `orp-trace stats` and writes the telemetry snapshot (counter/gauge/
+# histogram state of the whole pipeline) next to it, so every perf
+# record ships with the introspection data explaining it.
+#
 # Usage: bench/run_perf.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  CMake build tree containing bench/perf_components
 #              (default: build)
-#   OUT_JSON   output path (default: BENCH_pipeline.json in the cwd)
+#   OUT_JSON   output path (default: BENCH_pipeline.json in the cwd);
+#              the telemetry snapshot lands at ${OUT_JSON%.json}_metrics.json
 #
 # Environment:
 #   ORP_BENCH_MIN_TIME  per-benchmark min running time in seconds
@@ -37,3 +43,18 @@ fi
   --benchmark_out_format=json
 
 echo "wrote $OUT_JSON"
+
+# Telemetry snapshot of the pipeline the benchmarks exercised: replay
+# the same vpr-a trace the thread-scaling sweep records (left in the
+# cwd by BM_PipelineReplayThreads) through `orp-trace stats`. Skipped
+# when the filter excluded the pipeline family.
+TRACE="perf_replay_threads.orpt"
+METRICS_JSON="${OUT_JSON%.json}_metrics.json"
+ORP_TRACE="$BUILD_DIR/tools/orp-trace"
+if [ -x "$ORP_TRACE" ] && [ -f "$TRACE" ]; then
+  "$ORP_TRACE" stats "$TRACE" --threads=2 \
+    --metrics="$METRICS_JSON" >/dev/null
+  echo "wrote $METRICS_JSON"
+else
+  echo "note: $TRACE or $ORP_TRACE missing; skipping telemetry snapshot"
+fi

@@ -16,6 +16,7 @@
 #include "analysis/Dependence.h"
 #include "core/ProfilingSession.h"
 #include "leap/Leap.h"
+#include "support/LogSink.h"
 #include "support/TablePrinter.h"
 #include "workloads/Workload.h"
 
@@ -35,7 +36,8 @@ int main(int Argc, char **Argv) {
 
   auto Workload = workloads::createWorkloadByName(Name);
   if (!Workload) {
-    std::fprintf(stderr, "unknown workload '%s'\n", Name);
+    orp::support::logMessage(orp::support::LogLevel::Error,
+                             "unknown workload '%s'", Name);
     return 1;
   }
   workloads::WorkloadConfig Config;

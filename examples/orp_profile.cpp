@@ -22,6 +22,9 @@
 //     --strides          strongly-strided instruction report
 //     --record=FILE      also record the probe stream to a .orpt trace
 //                        (replayable with tools/orp-trace)
+//     --metrics=PATH     write the final telemetry snapshot ("-" = stdout)
+//     --metrics-interval=N  also snapshot every N probe events (JSONL)
+//     --metrics-format=json|json-lines|prometheus
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,8 +34,11 @@
 #include "analysis/Stride.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
+#include "support/LogSink.h"
 #include "support/ParseNumber.h"
 #include "support/TablePrinter.h"
+#include "telemetry/Registry.h"
+#include "trace/MetricsTicker.h"
 #include "traceio/TraceWriter.h"
 #include "whomp/Whomp.h"
 #include "workloads/Workload.h"
@@ -40,9 +46,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace orp;
+using support::LogLevel;
+using support::logMessage;
 
 namespace {
 
@@ -61,6 +70,9 @@ struct Options {
   bool Mdf = false;
   bool Strides = false;
   std::string RecordPath;
+  std::string MetricsPath;
+  uint64_t MetricsInterval = 0;
+  telemetry::SnapshotFormat MetricsFormat = telemetry::SnapshotFormat::Json;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opt) {
@@ -113,6 +125,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.Strides = Opt.RunLeap = true;
     } else if (const char *V = Value("--record=")) {
       Opt.RecordPath = V;
+    } else if (const char *V = Value("--metrics=")) {
+      Opt.MetricsPath = V;
+    } else if (const char *V = Value("--metrics-interval=")) {
+      if (!support::parseUint64(V, Opt.MetricsInterval))
+        return false;
+    } else if (const char *V = Value("--metrics-format=")) {
+      if (!std::strcmp(V, "json"))
+        Opt.MetricsFormat = telemetry::SnapshotFormat::Json;
+      else if (!std::strcmp(V, "json-lines"))
+        Opt.MetricsFormat = telemetry::SnapshotFormat::JsonCompact;
+      else if (!std::strcmp(V, "prometheus"))
+        Opt.MetricsFormat = telemetry::SnapshotFormat::Prometheus;
+      else
+        return false;
     } else {
       return false;
     }
@@ -120,27 +146,37 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
   return true;
 }
 
+/// Periodic snapshots force one-object-per-line so interval mode emits
+/// a valid JSONL stream; Prometheus text is already line-oriented.
+telemetry::SnapshotFormat periodicFormat(const Options &Opt) {
+  return Opt.MetricsFormat == telemetry::SnapshotFormat::Prometheus
+             ? telemetry::SnapshotFormat::Prometheus
+             : telemetry::SnapshotFormat::JsonCompact;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options Opt;
   if (!parseArgs(Argc, Argv, Opt)) {
-    std::fprintf(stderr, "usage: %s <workload> [--alloc=POLICY] "
-                         "[--seed=N] [--env=N] [--scale=N] [--threads=N] "
-                         "[--whomp] [--leap] [--lmads=N] [--phases] "
-                         "[--hot-streams] [--mdf] [--strides] "
-                         "[--record=FILE]\n",
-                 Argv[0]);
+    logMessage(LogLevel::Error,
+               "usage: %s <workload> [--alloc=POLICY] "
+               "[--seed=N] [--env=N] [--scale=N] [--threads=N] "
+               "[--whomp] [--leap] [--lmads=N] [--phases] "
+               "[--hot-streams] [--mdf] [--strides] "
+               "[--record=FILE] [--metrics=PATH|-] "
+               "[--metrics-interval=N] [--metrics-format=FMT]",
+               Argv[0]);
     return 1;
   }
 
   auto Workload = workloads::createWorkloadByName(Opt.Workload);
   if (!Workload) {
-    std::fprintf(stderr,
-                 "unknown workload '%s'; available: 164.gzip-a 175.vpr-a "
-                 "181.mcf-a 186.crafty-a 197.parser-a 256.bzip2-a "
-                 "300.twolf-a list-traversal\n",
-                 Opt.Workload.c_str());
+    logMessage(LogLevel::Error,
+               "unknown workload '%s'; available: 164.gzip-a 175.vpr-a "
+               "181.mcf-a 186.crafty-a 197.parser-a 256.bzip2-a "
+               "300.twolf-a list-traversal",
+               Opt.Workload.c_str());
     return 1;
   }
 
@@ -155,10 +191,32 @@ int main(int Argc, char **Argv) {
     Recorder = std::make_unique<traceio::TraceWriter>(
         Opt.RecordPath, Session.registry(), Opt.Policy, Opt.EnvSeed);
     if (!Recorder->ok()) {
-      std::fprintf(stderr, "%s\n", Recorder->error().c_str());
+      logMessage(LogLevel::Error, "%s", Recorder->error().c_str());
       return 1;
     }
     Session.addRawSink(Recorder.get());
+  }
+  std::unique_ptr<trace::MetricsTicker> Ticker;
+  if (Opt.MetricsInterval && !Opt.MetricsPath.empty()) {
+    if (Opt.MetricsPath != "-") {
+      // Truncate up front so the periodic appends start clean.
+      std::FILE *Out = std::fopen(Opt.MetricsPath.c_str(), "wb");
+      if (!Out) {
+        logMessage(LogLevel::Error, "cannot open '%s' for writing",
+                   Opt.MetricsPath.c_str());
+        return 1;
+      }
+      std::fclose(Out);
+    }
+    Ticker = std::make_unique<trace::MetricsTicker>(
+        Opt.MetricsInterval, [&Opt](const telemetry::MetricsSnapshot &S) {
+          std::string Err;
+          if (!telemetry::writeSnapshot(S, Opt.MetricsPath,
+                                        periodicFormat(Opt),
+                                        /*Append=*/true, Err))
+            logMessage(LogLevel::Warn, "%s", Err.c_str());
+        });
+    Session.addRawSink(Ticker.get());
   }
   if (Opt.RunWhomp)
     Session.addConsumer(&Whomp);
@@ -173,9 +231,20 @@ int main(int Argc, char **Argv) {
   uint64_t Checksum =
       Workload->run(Session.memory(), Session.registry(), Config);
   Session.finish();
+  if (!Opt.MetricsPath.empty()) {
+    telemetry::MetricsSnapshot S = telemetry::Registry::global().snapshot();
+    telemetry::SnapshotFormat F =
+        Opt.MetricsInterval ? periodicFormat(Opt) : Opt.MetricsFormat;
+    std::string Err;
+    if (!telemetry::writeSnapshot(S, Opt.MetricsPath, F,
+                                  /*Append=*/Opt.MetricsInterval != 0, Err)) {
+      logMessage(LogLevel::Error, "%s", Err.c_str());
+      return 1;
+    }
+  }
   if (Recorder) {
     if (!Recorder->close()) {
-      std::fprintf(stderr, "%s\n", Recorder->error().c_str());
+      logMessage(LogLevel::Error, "%s", Recorder->error().c_str());
       return 1;
     }
     std::printf("recorded %llu events to %s (%llu bytes)\n",

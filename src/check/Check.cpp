@@ -2,15 +2,17 @@
 
 #include "check/Check.h"
 
-#include <cstdio>
+#include "support/LogSink.h"
+
 #include <cstdlib>
 
 using namespace orp;
 
 void check::checkFailed(const char *Cond, const char *Msg, const char *File,
                         unsigned Line) {
-  std::fprintf(stderr, "orp check failure: %s\n  condition: %s\n  at %s:%u\n",
-               Msg, Cond, File, Line);
-  std::fflush(stderr);
+  support::logMessage(support::LogLevel::Fatal,
+                      "orp check failure: %s\n  condition: %s\n  at %s:%u",
+                      Msg, Cond, File, Line);
+  std::fflush(support::logStream());
   std::abort();
 }

@@ -47,7 +47,27 @@ constexpr uint64_t OmcValidateIntervalMutations = 1024;
 
 Cdc::Cdc(omc::ObjectManager &Omc, UnknownAddressPolicy Policy)
     : Omc(Omc), Policy(Policy),
-      NextOmcValidateAt(OmcValidateIntervalMutations) {}
+      NextOmcValidateAt(OmcValidateIntervalMutations),
+      BatchCounter(telemetry::Registry::global().counter("cdc.batches")),
+      Collector(telemetry::Registry::global().addCollector(
+          [this](telemetry::Registry &R) {
+            R.gauge("cdc.translated")
+                .set(static_cast<int64_t>(Stats.Translated));
+            R.gauge("cdc.unknown").set(static_cast<int64_t>(Stats.Unknown));
+            const omc::OmcStats &S = this->Omc.stats();
+            R.gauge("omc.translations")
+                .set(static_cast<int64_t>(S.Translations));
+            R.gauge("omc.misses").set(static_cast<int64_t>(S.Misses));
+            R.gauge("omc.mru_hits").set(static_cast<int64_t>(S.MruHits));
+            R.gauge("omc.shared_cache_hits")
+                .set(static_cast<int64_t>(S.SharedCacheHits));
+            R.gauge("omc.unknown_frees")
+                .set(static_cast<int64_t>(S.UnknownFrees));
+            R.gauge("omc.groups")
+                .set(static_cast<int64_t>(this->Omc.numGroups()));
+            R.gauge("omc.live_objects")
+                .set(static_cast<int64_t>(this->Omc.numLiveObjects()));
+          })) {}
 
 void Cdc::validateOmc(const char *When) const {
   check::CheckReport Report = check::OmcValidator::validate(Omc);
@@ -95,6 +115,7 @@ void Cdc::onAccess(const trace::AccessEvent &Event) {
 }
 
 void Cdc::onAccessBatch(std::span<const trace::AccessEvent> Events) {
+  BatchCounter.add();
   TupleBatch.clear();
   TupleBatch.reserve(Events.size());
   for (const trace::AccessEvent &Event : Events) {

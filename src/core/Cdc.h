@@ -18,6 +18,7 @@
 
 #include "core/ObjectRelative.h"
 #include "omc/ObjectManager.h"
+#include "telemetry/Registry.h"
 #include "trace/Events.h"
 
 #include <vector>
@@ -81,6 +82,12 @@ private:
   UnknownAddressPolicy Policy;
   std::vector<OrTupleConsumer *> Consumers;
   CdcStats Stats;
+  /// Batch-granularity counter (one bump per onAccessBatch — cold
+  /// relative to the per-access path). Cached registry reference.
+  telemetry::Counter &BatchCounter;
+  /// Publishes Stats and the OMC's counters into cdc.* / omc.* gauges
+  /// at snapshot time; keeps the per-access path at a plain increment.
+  telemetry::CollectorHandle Collector;
   /// Scratch buffer reused by onAccessBatch().
   std::vector<OrTuple> TupleBatch;
   /// Alloc/free events seen; drives the periodic level-2 validation.

@@ -110,10 +110,29 @@ void HorizontalDecomposer::finish() {
     flushPending();
     for (auto &Worker : Workers)
       Worker->finish(); // Drains the queue and joins.
+    captureWorkerStats();
     Workers.clear();    // Compressors are ours again (threaded() false).
   }
   for (auto &Compressor : Compressors)
     Compressor->finish();
+}
+
+void HorizontalDecomposer::captureWorkerStats() {
+  FinalWorkerStats.clear();
+  FinalWorkerStats.reserve(Workers.size());
+  for (const auto &Worker : Workers)
+    FinalWorkerStats.push_back(Worker->telemetry());
+}
+
+std::vector<support::WorkerTelemetry>
+HorizontalDecomposer::workerTelemetry() const {
+  if (!threaded())
+    return FinalWorkerStats;
+  std::vector<support::WorkerTelemetry> Stats;
+  Stats.reserve(Workers.size());
+  for (const auto &Worker : Workers)
+    Stats.push_back(Worker->telemetry());
+  return Stats;
 }
 
 const StreamCompressor &
@@ -203,6 +222,7 @@ void VerticalDecomposer::finish() {
       Workers[S]->submit(std::move(PendingTuples[S]));
   for (auto &Worker : Workers)
     Worker->finish(); // Drains the queue and joins.
+  captureWorkerStats();
   Workers.clear();
   PendingTuples.clear();
   // Hash routing makes the shard key sets disjoint, so merging into the
@@ -223,4 +243,22 @@ const SubstreamConsumer *
 VerticalDecomposer::lookup(const VerticalKey &Key) const {
   auto It = Substreams.find(Key);
   return It == Substreams.end() ? nullptr : It->second.get();
+}
+
+void VerticalDecomposer::captureWorkerStats() {
+  FinalWorkerStats.clear();
+  FinalWorkerStats.reserve(Workers.size());
+  for (const auto &Worker : Workers)
+    FinalWorkerStats.push_back(Worker->telemetry());
+}
+
+std::vector<support::WorkerTelemetry>
+VerticalDecomposer::workerTelemetry() const {
+  if (!threaded())
+    return FinalWorkerStats;
+  std::vector<support::WorkerTelemetry> Stats;
+  Stats.reserve(Workers.size());
+  for (const auto &Worker : Workers)
+    Stats.push_back(Worker->telemetry());
+  return Stats;
 }

@@ -85,9 +85,19 @@ public:
   /// Returns the summed serialized size of all dimension streams.
   size_t totalSerializedSizeBytes() const;
 
+  /// Returns per-dimension worker counters (queue traffic + busy time),
+  /// parallel to dimensions(). Live workers are sampled in place; after
+  /// finish() the final values captured at join time are returned.
+  /// Empty in serial mode.
+  std::vector<support::WorkerTelemetry> workerTelemetry() const;
+
 private:
   /// Hands every dimension's pending chunk to its worker.
   void flushPending();
+
+  /// Captures every worker's final counters; call just before
+  /// Workers.clear() so the numbers survive the join.
+  void captureWorkerStats();
 
   std::vector<Dimension> Dims;
   std::vector<std::unique_ptr<StreamCompressor>> Compressors;
@@ -99,6 +109,9 @@ private:
       Workers;
   /// Per-dimension symbol chunks being filled by the producer.
   std::vector<std::vector<uint64_t>> Pending;
+  /// Worker counters captured at join time (workerTelemetry() serves
+  /// these once Workers is cleared).
+  std::vector<support::WorkerTelemetry> FinalWorkerStats;
 };
 
 /// Key of one vertical substream. The paper decomposes by instruction,
@@ -185,7 +198,15 @@ public:
   /// Returns the substream for \p Key, or nullptr.
   const SubstreamConsumer *lookup(const VerticalKey &Key) const;
 
+  /// Returns per-shard worker counters (queue traffic + busy time).
+  /// Live workers are sampled in place; after finish() the final values
+  /// captured at join time are returned. Empty in serial mode.
+  std::vector<support::WorkerTelemetry> workerTelemetry() const;
+
 private:
+  /// Captures every worker's final counters; call just before
+  /// Workers.clear() so the numbers survive the join.
+  void captureWorkerStats();
   using SubstreamMap =
       std::map<VerticalKey, std::unique_ptr<SubstreamConsumer>>;
 
@@ -205,6 +226,9 @@ private:
   /// and the destructor.
   std::vector<std::unique_ptr<support::QueueWorker<std::vector<OrTuple>>>>
       Workers;
+  /// Worker counters captured at join time (workerTelemetry() serves
+  /// these once Workers is cleared).
+  std::vector<support::WorkerTelemetry> FinalWorkerStats;
 };
 
 } // namespace core

@@ -6,6 +6,7 @@
 #include "support/VarInt.h"
 
 #include <set>
+#include <string>
 
 using namespace orp;
 using namespace orp::leap;
@@ -16,7 +17,34 @@ LeapProfiler::LeapProfiler(unsigned MaxLmads, unsigned Threads)
           [MaxLmads](core::VerticalKey) {
             return std::make_unique<LeapSubstream>(MaxLmads);
           },
-          Threads) {}
+          Threads),
+      Collector(telemetry::Registry::global().addCollector(
+          [this](telemetry::Registry &R) {
+            R.gauge("leap.tuples").set(static_cast<int64_t>(Tuples));
+            R.gauge("leap.instructions")
+                .set(static_cast<int64_t>(Instrs.size()));
+            // numSubstreams() reads the merged map, which is only valid
+            // once this thread owns the substreams again.
+            if (!Decomposer.threaded())
+              R.gauge("leap.substreams")
+                  .set(static_cast<int64_t>(Decomposer.numSubstreams()));
+            std::vector<support::WorkerTelemetry> WT =
+                Decomposer.workerTelemetry();
+            for (size_t I = 0; I != WT.size(); ++I) {
+              std::string P =
+                  "leap.worker." + std::to_string(I) + ".";
+              R.gauge(P + "queue_depth")
+                  .set(static_cast<int64_t>(WT[I].Queue.Depth));
+              R.gauge(P + "queue_high_watermark")
+                  .set(static_cast<int64_t>(WT[I].Queue.HighWatermark));
+              R.gauge(P + "queue_pushes")
+                  .set(static_cast<int64_t>(WT[I].Queue.Pushes));
+              R.gauge(P + "queue_push_stalls")
+                  .set(static_cast<int64_t>(WT[I].Queue.PushStalls));
+              R.gauge(P + "busy_ns")
+                  .set(static_cast<int64_t>(WT[I].BusyNanos));
+            }
+          })) {}
 
 void LeapProfiler::consume(const core::OrTuple &Tuple) {
   ++Tuples;

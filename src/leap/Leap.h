@@ -26,6 +26,7 @@
 #include "core/Decomposition.h"
 #include "core/ObjectRelative.h"
 #include "lmad/LmadCompressor.h"
+#include "telemetry/Registry.h"
 
 #include <cstdint>
 #include <functional>
@@ -113,6 +114,10 @@ private:
   core::VerticalDecomposer Decomposer;
   std::unordered_map<trace::InstrId, InstrSummary> Instrs;
   uint64_t Tuples = 0;
+  /// Publishes tuple/substream/instruction counts (substreams only once
+  /// this thread owns them — serial mode or after finish()) and shard-
+  /// worker queue counters into leap.* gauges at snapshot time.
+  telemetry::CollectorHandle Collector;
 };
 
 } // namespace leap

@@ -84,6 +84,7 @@ void ObjectManager::onFree(const trace::FreeEvent &Event) {
 std::optional<Translation> ObjectManager::translate(uint64_t Addr) {
   if (Addr >= CachedBase && Addr < CachedEnd) {
     ++Stats.Translations;
+    ++Stats.SharedCacheHits;
     return translateWithin(CachedObjectId, Addr);
   }
   const IntervalBTree::Entry *Entry = LiveIndex.lookup(Addr);
@@ -103,6 +104,7 @@ std::optional<Translation> ObjectManager::translate(uint64_t Addr,
   CacheLine &Line = InstrCache[Instr & (InstrCacheLines - 1)];
   if (Addr >= Line.Base && Addr < Line.End) {
     ++Stats.Translations;
+    ++Stats.MruHits;
     return translateWithin(Line.ObjectId, Addr);
   }
   std::optional<Translation> Result = translate(Addr);

@@ -63,11 +63,15 @@ struct ObjectRecord {
   bool IsStatic;
 };
 
-/// OMC counters.
+/// OMC counters. Plain members bumped on the thread driving the OMC —
+/// the telemetry layer publishes them via a snapshot-time collector,
+/// so the per-access path stays a single increment.
 struct OmcStats {
   uint64_t Translations = 0; ///< translate() calls that hit an object.
   uint64_t Misses = 0;       ///< translate() calls on unmapped addresses.
   uint64_t UnknownFrees = 0; ///< Frees of addresses with no live object.
+  uint64_t MruHits = 0;      ///< Hits in the per-instruction MRU cache.
+  uint64_t SharedCacheHits = 0; ///< Hits in the one-entry shared cache.
 };
 
 /// The object-management component.

@@ -113,6 +113,15 @@ public:
   /// index consistency. For tests; returns true when healthy.
   bool checkInvariants() const;
 
+  /// \name Introspection for the telemetry layer
+  /// Arena and index occupancy, read from the owning thread (or after
+  /// the owning worker finished).
+  /// @{
+  size_t numSymbolSlabs() const { return SymbolSlabs.size(); }
+  size_t numRuleSlabs() const { return RuleSlabs.size(); }
+  size_t numDigrams() const { return Index.size(); }
+  /// @}
+
 private:
   /// The deep invariant checker (src/check/GrammarValidator.h) walks
   /// rule bodies, use lists and the arena free lists directly, and

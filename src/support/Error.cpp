@@ -2,16 +2,19 @@
 
 #include "support/Error.h"
 
-#include <cstdio>
+#include "support/LogSink.h"
+
 #include <cstdlib>
 
 void orp::reportFatalError(const char *Msg, const char *File, unsigned Line) {
-  std::fprintf(stderr, "%s:%u: fatal error: %s\n", File, Line, Msg);
+  support::logMessage(support::LogLevel::Fatal, "%s:%u: fatal error: %s",
+                      File, Line, Msg);
   std::abort();
 }
 
 void orp::unreachableInternal(const char *Msg, const char *File,
                               unsigned Line) {
-  std::fprintf(stderr, "%s:%u: unreachable executed: %s\n", File, Line, Msg);
+  support::logMessage(support::LogLevel::Fatal,
+                      "%s:%u: unreachable executed: %s", File, Line, Msg);
   std::abort();
 }

@@ -1,0 +1,76 @@
+//===- support/LogSink.cpp - Process-wide diagnostic output sink ---------===//
+
+#include "support/LogSink.h"
+
+#include <atomic>
+
+using namespace orp;
+using namespace orp::support;
+
+namespace {
+
+/// Active streams; nullptr means "the default" (stderr / stdout), kept
+/// as a sentinel so the defaults need no static initialization order.
+std::FILE *DiagStream = nullptr;
+std::FILE *RepStream = nullptr;
+
+/// Per-severity message counters (telemetry folds these into every
+/// snapshot; see telemetry::Registry::snapshot).
+std::atomic<uint64_t> MessageCounts[kNumLogLevels];
+
+} // namespace
+
+const char *support::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Fatal:
+    return "fatal";
+  }
+  return "unknown";
+}
+
+void support::logMessageV(LogLevel Level, const char *Fmt,
+                          std::va_list Args) {
+  MessageCounts[static_cast<unsigned>(Level)].fetch_add(
+      1, std::memory_order_relaxed);
+  std::FILE *Stream = logStream();
+  std::vfprintf(Stream, Fmt, Args);
+  std::fputc('\n', Stream);
+}
+
+void support::logMessage(LogLevel Level, const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  logMessageV(Level, Fmt, Args);
+  va_end(Args);
+}
+
+std::FILE *support::setLogStream(std::FILE *Stream) {
+  std::FILE *Prev = logStream();
+  DiagStream = Stream;
+  return Prev;
+}
+
+std::FILE *support::logStream() {
+  return DiagStream ? DiagStream : stderr;
+}
+
+std::FILE *support::setReportStream(std::FILE *Stream) {
+  std::FILE *Prev = reportStream();
+  RepStream = Stream;
+  return Prev;
+}
+
+std::FILE *support::reportStream() {
+  return RepStream ? RepStream : stdout;
+}
+
+uint64_t support::logMessageCount(LogLevel Level) {
+  return MessageCounts[static_cast<unsigned>(Level)].load(
+      std::memory_order_relaxed);
+}

@@ -40,6 +40,18 @@
 namespace orp {
 namespace support {
 
+/// Point-in-time counters of one queue, for the telemetry layer. All
+/// values are maintained under the queue mutex, so a read is a
+/// consistent cut (not a torn mixture of before/after states).
+struct QueueTelemetry {
+  size_t Capacity = 0;      ///< Ring size.
+  size_t Depth = 0;         ///< Elements buffered right now.
+  size_t HighWatermark = 0; ///< Largest Depth ever observed.
+  uint64_t Pushes = 0;      ///< Successful push()/tryPush() calls.
+  uint64_t Pops = 0;        ///< Successful pop()/tryPop() calls.
+  uint64_t PushStalls = 0;  ///< push() calls that blocked on a full ring.
+};
+
 /// Bounded FIFO ring between one producer and one consumer thread.
 template <typename T> class SpscQueue {
 public:
@@ -57,11 +69,14 @@ public:
   /// unconsumed elements or push Count past capacity.
   bool push(T &&Value) {
     std::unique_lock<std::mutex> Lock(M);
+    if (Count == Ring.size() && !Closed)
+      ++Telemetry.PushStalls; // Backpressure: producer outran consumer.
     NotFull.wait(Lock, [&] { return Count < Ring.size() || Closed; });
     if (Closed)
       return false;
     Ring[(Head + Count) % Ring.size()] = std::move(Value);
     ++Count;
+    noteDepthLocked();
     Lock.unlock();
     NotEmpty.notify_one();
     return true;
@@ -76,6 +91,7 @@ public:
         return false;
       Ring[(Head + Count) % Ring.size()] = std::move(Value);
       ++Count;
+      noteDepthLocked();
     }
     NotEmpty.notify_one();
     return true;
@@ -91,6 +107,7 @@ public:
     Out = std::move(Ring[Head]);
     Head = (Head + 1) % Ring.size();
     --Count;
+    ++Telemetry.Pops;
     Lock.unlock();
     NotFull.notify_one();
     return true;
@@ -106,6 +123,7 @@ public:
       Out = std::move(Ring[Head]);
       Head = (Head + 1) % Ring.size();
       --Count;
+      ++Telemetry.Pops;
     }
     NotFull.notify_one();
     return true;
@@ -125,7 +143,24 @@ public:
   /// Maximum number of buffered elements.
   size_t capacity() const { return Ring.size(); }
 
+  /// Returns a consistent snapshot of the queue counters. Callable from
+  /// any thread at any time (takes the queue mutex briefly).
+  QueueTelemetry telemetry() const {
+    std::lock_guard<std::mutex> Lock(M);
+    QueueTelemetry Snap = Telemetry;
+    Snap.Capacity = Ring.size();
+    Snap.Depth = Count;
+    return Snap;
+  }
+
 private:
+  /// Records a completed push; call with the mutex held.
+  void noteDepthLocked() {
+    ++Telemetry.Pushes;
+    if (Count > Telemetry.HighWatermark)
+      Telemetry.HighWatermark = Count;
+  }
+
   mutable std::mutex M;
   std::condition_variable NotEmpty;
   std::condition_variable NotFull;
@@ -133,6 +168,9 @@ private:
   size_t Head = 0;
   size_t Count = 0;
   bool Closed = false;
+  /// Capacity/Depth are filled in by telemetry(); the rest accumulate
+  /// here under the mutex.
+  QueueTelemetry Telemetry;
 };
 
 } // namespace support

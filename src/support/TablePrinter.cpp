@@ -2,6 +2,8 @@
 
 #include "support/TablePrinter.h"
 
+#include "support/LogSink.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -18,6 +20,8 @@ void TablePrinter::addRow(std::vector<std::string> Cells) {
 }
 
 void TablePrinter::print(std::FILE *Stream) const {
+  if (!Stream)
+    Stream = support::reportStream();
   std::vector<size_t> Widths(Headers.size());
   for (size_t C = 0; C != Headers.size(); ++C)
     Widths[C] = Headers[C].size();

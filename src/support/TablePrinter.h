@@ -31,8 +31,10 @@ public:
   /// Appends one row; must have exactly as many cells as there are headers.
   void addRow(std::vector<std::string> Cells);
 
-  /// Formats and prints the whole table to \p Stream (default stdout).
-  void print(std::FILE *Stream = stdout) const;
+  /// Formats and prints the whole table to \p Stream; nullptr (the
+  /// default) means the process-wide report stream
+  /// (support::reportStream(), stdout unless redirected).
+  void print(std::FILE *Stream = nullptr) const;
 
   /// Helper: formats a double with \p Decimals fraction digits.
   static std::string fmt(double Value, unsigned Decimals = 2);

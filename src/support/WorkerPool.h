@@ -31,12 +31,21 @@
 
 #include "support/SpscQueue.h"
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <thread>
 #include <utility>
 
 namespace orp {
 namespace support {
+
+/// Point-in-time counters of one QueueWorker: its feed queue plus how
+/// much wall time the worker thread has spent inside the handler.
+struct WorkerTelemetry {
+  QueueTelemetry Queue;   ///< Feed-queue counters.
+  uint64_t BusyNanos = 0; ///< Wall time spent running the handler.
+};
 
 /// One worker thread fed by a bounded SPSC queue of work items.
 ///
@@ -73,15 +82,34 @@ public:
       Thread.join();
   }
 
+  /// Returns the worker's counters. Callable from any thread; BusyNanos
+  /// is read with relaxed ordering, so a mid-run read may lag the
+  /// handler currently executing (exact after finish()).
+  WorkerTelemetry telemetry() const {
+    WorkerTelemetry T;
+    T.Queue = Queue.telemetry();
+    T.BusyNanos = BusyNs.load(std::memory_order_relaxed);
+    return T;
+  }
+
 private:
   void run() {
+    using Clock = std::chrono::steady_clock;
     Item I;
-    while (Queue.pop(I))
+    while (Queue.pop(I)) {
+      Clock::time_point Start = Clock::now();
       Work(I);
+      BusyNs.fetch_add(static_cast<uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               Clock::now() - Start)
+                               .count()),
+                       std::memory_order_relaxed);
+    }
   }
 
   SpscQueue<Item> Queue;
   Handler Work;
+  std::atomic<uint64_t> BusyNs{0};
   std::thread Thread;
 };
 

@@ -1,0 +1,331 @@
+//===- telemetry/Metric.h - Sharded lock-free metric cells -----*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metric primitives behind the telemetry registry: monotonic
+/// counters, gauges, fixed-bucket histograms and phase timers.
+///
+/// Hot-path cost model: an increment is one relaxed atomic RMW on a
+/// per-thread shard (no locks, no shared cache line between threads in
+/// the common case). Aggregation happens only at snapshot time, which
+/// walks every shard and sums. Nothing here allocates after
+/// construction.
+///
+/// Sharding: each metric owns kShards cache-line-aligned cells. A
+/// thread picks its shard once (thread-local round-robin assignment)
+/// and keeps hitting it, so two pipeline threads bump different cache
+/// lines. Eight shards cover the pipeline's worst case (1 driver + 4
+/// WHOMP dimension workers + LEAP shards); collisions beyond that are
+/// correct, just slower.
+///
+/// The global enabled() switch gates recording, not registration:
+/// metrics exist either way, and with telemetry off an increment is a
+/// relaxed load + branch. Profiled output never depends on any of
+/// these values — they are observation only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TELEMETRY_METRIC_H
+#define ORP_TELEMETRY_METRIC_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace orp {
+namespace telemetry {
+
+/// Process-wide switch gating metric recording. Defaults to on; the
+/// benchmark harness flips it off to measure the disabled-path cost.
+/// Reads are relaxed — flipping mid-run is safe but takes effect on
+/// each thread "soon", not instantaneously.
+bool enabled();
+
+/// Turns metric recording on or off.
+void setEnabled(bool On);
+
+namespace detail {
+/// Shard count per metric. Power of two so the modulo folds to a mask.
+constexpr size_t kShards = 8;
+
+/// Cache-line size used for shard alignment (true for every target we
+/// build on; over-aligning merely wastes a little space).
+constexpr size_t kCacheLine = 64;
+
+/// Returns this thread's shard index in [0, kShards). Assigned
+/// round-robin on first use per thread.
+size_t threadShard();
+
+/// One padded counter cell. The padding keeps neighbouring shards on
+/// distinct cache lines so concurrent increments don't false-share.
+struct alignas(kCacheLine) Cell {
+  std::atomic<uint64_t> V{0};
+};
+} // namespace detail
+
+/// Monotonic counter. add() is a single relaxed fetch_add on the
+/// calling thread's shard; value() sums all shards.
+class Counter {
+public:
+  Counter() = default;
+  Counter(const Counter &) = delete;
+  Counter &operator=(const Counter &) = delete;
+
+  /// Adds \p N (hot path). No-op while telemetry is disabled.
+  void add(uint64_t N = 1) {
+    if (!enabled())
+      return;
+    Cells[detail::threadShard()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Sums the shards. Exact when the writers are quiescent; otherwise a
+  /// consistent-enough monotone reading (never observes a decrease).
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const detail::Cell &C : Cells)
+      Sum += C.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  /// Zeroes every shard (test/bench support; not thread-safe against
+  /// concurrent add()).
+  void reset() {
+    for (detail::Cell &C : Cells)
+      C.V.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  detail::Cell Cells[detail::kShards];
+};
+
+/// Point-in-time signed value (queue depth, live objects, utilization
+/// per mille). Writers race by design: set() is last-writer-wins,
+/// updateMax() keeps the largest value ever offered.
+class Gauge {
+public:
+  Gauge() = default;
+  Gauge(const Gauge &) = delete;
+  Gauge &operator=(const Gauge &) = delete;
+
+  /// Stores \p V (gated on enabled() like every recording op).
+  void set(int64_t V) {
+    if (!enabled())
+      return;
+    Value.store(V, std::memory_order_relaxed);
+  }
+
+  /// Adds \p Delta to the current value.
+  void add(int64_t Delta) {
+    if (!enabled())
+      return;
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to \p V if it is currently lower.
+  void updateMax(int64_t V) {
+    if (!enabled())
+      return;
+    int64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < V && !Value.compare_exchange_weak(
+                          Cur, V, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// Histogram over power-of-two buckets: bucket i counts samples whose
+/// value needs i significand bits, i.e. upper bounds 0, 1, 3, 7, ...,
+/// 2^30-1, +inf. Fixed 32 buckets — wide enough for nanosecond
+/// latencies and byte sizes alike without configuration.
+class Histogram {
+public:
+  static constexpr size_t kBuckets = 32;
+
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  /// Maps \p V to its bucket: 0 -> 0, otherwise 1 + floor(log2(V)),
+  /// clamped to the last (overflow) bucket.
+  static size_t bucketOf(uint64_t V) {
+    size_t B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B < kBuckets ? B : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket \p I (2^I - 1); the last bucket is
+  /// unbounded and reported as +inf by the exporters.
+  static uint64_t bucketBound(size_t I) {
+    return (I + 1 >= 64) ? ~uint64_t(0) : ((uint64_t(1) << I) - 1);
+  }
+
+  /// Records one sample (hot path): two relaxed fetch_adds on this
+  /// thread's shard row.
+  void record(uint64_t V) {
+    if (!enabled())
+      return;
+    size_t S = detail::threadShard();
+    Rows[S].B[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    Sums[S].V.fetch_add(V, std::memory_order_relaxed);
+  }
+
+  /// Sums bucket \p I across shards.
+  uint64_t bucketCount(size_t I) const {
+    uint64_t Sum = 0;
+    for (const Row &R : Rows)
+      Sum += R.B[I].load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  /// Total number of recorded samples.
+  uint64_t count() const {
+    uint64_t Sum = 0;
+    for (size_t I = 0; I != kBuckets; ++I)
+      Sum += bucketCount(I);
+    return Sum;
+  }
+
+  /// Sum of all recorded sample values.
+  uint64_t sum() const {
+    uint64_t Total = 0;
+    for (const detail::Cell &C : Sums)
+      Total += C.V.load(std::memory_order_relaxed);
+    return Total;
+  }
+
+  void reset() {
+    for (Row &R : Rows)
+      for (std::atomic<uint64_t> &B : R.B)
+        B.store(0, std::memory_order_relaxed);
+    for (detail::Cell &C : Sums)
+      C.V.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  /// One shard's bucket row, padded out to its own cache lines.
+  struct alignas(detail::kCacheLine) Row {
+    std::atomic<uint64_t> B[kBuckets]{};
+  };
+
+  Row Rows[detail::kShards];
+  detail::Cell Sums[detail::kShards];
+};
+
+/// Accumulates (invocation count, total wall nanoseconds) for a named
+/// pipeline phase. Use ScopedTimer to time a scope.
+class PhaseTimer {
+public:
+  PhaseTimer() = default;
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  /// Records one completed phase run of \p Nanos wall time.
+  void record(uint64_t Nanos) {
+    if (!enabled())
+      return;
+    size_t S = detail::threadShard();
+    Counts[S].V.fetch_add(1, std::memory_order_relaxed);
+    Totals[S].V.fetch_add(Nanos, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t Sum = 0;
+    for (const detail::Cell &C : Counts)
+      Sum += C.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  uint64_t totalNanos() const {
+    uint64_t Sum = 0;
+    for (const detail::Cell &C : Totals)
+      Sum += C.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  void reset() {
+    for (detail::Cell &C : Counts)
+      C.V.store(0, std::memory_order_relaxed);
+    for (detail::Cell &C : Totals)
+      C.V.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  detail::Cell Counts[detail::kShards];
+  detail::Cell Totals[detail::kShards];
+};
+
+/// RAII timer: records the enclosing scope's wall time into a
+/// PhaseTimer on destruction. Skips the clock reads entirely while
+/// telemetry is disabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(PhaseTimer &T)
+      : Timer(&T), Armed(enabled()),
+        Start(Armed ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point()) {}
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() {
+    if (!Armed)
+      return;
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    Timer->record(static_cast<uint64_t>(Ns));
+  }
+
+private:
+  PhaseTimer *Timer;
+  bool Armed;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// RAII timer recording the enclosing scope's wall nanoseconds as one
+/// Histogram sample — use when the latency *distribution* matters
+/// (e.g. per-block decode times), not just the total.
+class ScopedHistogramTimer {
+public:
+  explicit ScopedHistogramTimer(Histogram &H)
+      : Hist(&H), Armed(enabled()),
+        Start(Armed ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point()) {}
+
+  ScopedHistogramTimer(const ScopedHistogramTimer &) = delete;
+  ScopedHistogramTimer &operator=(const ScopedHistogramTimer &) = delete;
+
+  ~ScopedHistogramTimer() {
+    if (!Armed)
+      return;
+    auto Ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+    Hist->record(static_cast<uint64_t>(Ns));
+  }
+
+private:
+  Histogram *Hist;
+  bool Armed;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace telemetry
+} // namespace orp
+
+#endif // ORP_TELEMETRY_METRIC_H

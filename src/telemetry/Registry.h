@@ -1,0 +1,143 @@
+//===- telemetry/Registry.h - Named metric registry ------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide metric registry. Modules obtain metrics by name
+/// once (cold: registration takes a spinlock) and then record through
+/// the returned reference lock-free forever — metrics are never
+/// destroyed until the registry is.
+///
+/// Two ways to get data in:
+///
+///   * Direct metrics (counter()/gauge()/histogram()/timer()): for
+///     events recorded where they happen — per-batch, per-block,
+///     per-phase. The hot path is the sharded relaxed atomic in
+///     Metric.h.
+///
+///   * Collectors (addCollector()): for modules that already keep
+///     their own plain counters on the thread that owns them (OMC
+///     stats, Sequitur slab counts, queue telemetry). A collector is a
+///     callback run at snapshot() time that publishes those aggregates
+///     into gauges. This keeps per-access paths at a plain member
+///     increment — cheaper than any atomic — at the price of a
+///     snapshot discipline:
+///
+/// Snapshot discipline: snapshot() runs the collectors on the calling
+/// thread. Call it from the thread driving the pipeline (between
+/// batches, or after finish()), or while the pipeline is quiescent.
+/// Collectors read module state that is only guaranteed coherent from
+/// that thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TELEMETRY_REGISTRY_H
+#define ORP_TELEMETRY_REGISTRY_H
+
+#include "telemetry/Metric.h"
+#include "telemetry/Snapshot.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace orp {
+namespace telemetry {
+
+class Registry;
+
+/// RAII registration of a snapshot-time collector callback. The
+/// callback stays installed until the handle is destroyed or
+/// release()d; handles are movable so modules can hold them as
+/// members.
+class CollectorHandle {
+public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle &&O) noexcept
+      : Owner(O.Owner), Id(O.Id) {
+    O.Owner = nullptr;
+  }
+  CollectorHandle &operator=(CollectorHandle &&O) noexcept {
+    if (this != &O) {
+      release();
+      Owner = O.Owner;
+      Id = O.Id;
+      O.Owner = nullptr;
+    }
+    return *this;
+  }
+  CollectorHandle(const CollectorHandle &) = delete;
+  CollectorHandle &operator=(const CollectorHandle &) = delete;
+  ~CollectorHandle() { release(); }
+
+  /// Unregisters the collector now (idempotent).
+  void release();
+
+private:
+  friend class Registry;
+  CollectorHandle(Registry *Owner, uint64_t Id) : Owner(Owner), Id(Id) {}
+
+  Registry *Owner = nullptr;
+  uint64_t Id = 0;
+};
+
+/// Named registry of counters, gauges, histograms and phase timers.
+///
+/// Lookup-or-create is the cold path (spinlock + map); the returned
+/// references are stable for the registry's lifetime, so callers cache
+/// them and the hot path never touches the registry again.
+class Registry {
+public:
+  Registry();
+  ~Registry();
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+  /// The process-wide registry used by the pipeline instrumentation.
+  static Registry &global();
+
+  /// Returns the counter named \p Name, creating it on first use.
+  Counter &counter(const std::string &Name);
+
+  /// Returns the gauge named \p Name, creating it on first use.
+  Gauge &gauge(const std::string &Name);
+
+  /// Returns the histogram named \p Name, creating it on first use.
+  Histogram &histogram(const std::string &Name);
+
+  /// Returns the phase timer named \p Name, creating it on first use.
+  PhaseTimer &timer(const std::string &Name);
+
+  /// Installs \p Fn to run at the start of every snapshot(); use it to
+  /// publish module-local aggregates into gauges. The registration
+  /// lives until the returned handle dies. Collectors run in
+  /// registration order; two collectors writing the same gauge are
+  /// last-writer-wins.
+  CollectorHandle addCollector(std::function<void(Registry &)> Fn);
+
+  /// Runs the collectors, then aggregates every metric into a plain
+  /// snapshot. See the snapshot discipline in the file comment. Also
+  /// folds the support log sink's per-level message counts in as
+  /// log.{info,warn,error,fatal} counters.
+  MetricsSnapshot snapshot();
+
+  /// Zeroes every metric's value (names and registrations survive).
+  /// Test/bench support; call only while recording threads are
+  /// quiescent.
+  void resetValues();
+
+private:
+  friend class CollectorHandle;
+  void removeCollector(uint64_t Id);
+
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace telemetry
+} // namespace orp
+
+#endif // ORP_TELEMETRY_REGISTRY_H

@@ -1,0 +1,104 @@
+//===- telemetry/Snapshot.h - Aggregated metrics snapshot ------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MetricsSnapshot: the aggregated, plain-data view of every registered
+/// metric at one point in time, with JSON and Prometheus text
+/// exporters. Snapshots are value types — take one, then format or
+/// diff it without holding anything in the registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TELEMETRY_SNAPSHOT_H
+#define ORP_TELEMETRY_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace telemetry {
+
+/// Aggregated state of every metric in a registry at snapshot time.
+/// Each section is sorted by name, so two snapshots of the same
+/// registry serialize identically modulo values.
+struct MetricsSnapshot {
+  /// Exporter format version, bumped on breaking layout changes.
+  static constexpr unsigned kVersion = 1;
+
+  struct CounterValue {
+    std::string Name;
+    uint64_t Value = 0;
+  };
+
+  struct GaugeValue {
+    std::string Name;
+    int64_t Value = 0;
+  };
+
+  struct HistogramValue {
+    std::string Name;
+    /// Per-bucket counts; Bounds[i] is the inclusive upper bound of
+    /// Buckets[i], the final bucket being unbounded.
+    std::vector<uint64_t> Bounds;
+    std::vector<uint64_t> Buckets;
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+  };
+
+  struct TimerValue {
+    std::string Name;
+    uint64_t Count = 0;
+    uint64_t TotalNanos = 0;
+  };
+
+  std::vector<CounterValue> Counters;
+  std::vector<GaugeValue> Gauges;
+  std::vector<HistogramValue> Histograms;
+  std::vector<TimerValue> Timers;
+
+  /// Serializes to a JSON object:
+  ///   {"version":1,
+  ///    "counters":{name:value,...},
+  ///    "gauges":{name:value,...},
+  ///    "histograms":{name:{"count":..,"sum":..,
+  ///                        "buckets":[{"le":bound,"count":n},...]},...},
+  ///    "timers":{name:{"count":..,"total_ns":..},...}}
+  /// Deterministic: keys appear in sorted order. \p Pretty adds
+  /// newlines and two-space indentation.
+  std::string toJson(bool Pretty = true) const;
+
+  /// Serializes to the Prometheus text exposition format. Metric names
+  /// are prefixed "orp_" and dots become underscores; histograms emit
+  /// cumulative _bucket{le=...} series plus _count and _sum, timers
+  /// emit name_count and name_ns_total.
+  std::string toPrometheus() const;
+
+  /// Looks up a counter by exact name; returns 0 when absent.
+  uint64_t counter(const std::string &Name) const;
+
+  /// Looks up a gauge by exact name; returns 0 when absent.
+  int64_t gauge(const std::string &Name) const;
+};
+
+/// Serialization applied by writeSnapshot().
+enum class SnapshotFormat {
+  Json,        ///< Pretty-printed JSON object (toJson(true)).
+  JsonCompact, ///< One-line JSON (toJson(false)) — interval/JSONL mode.
+  Prometheus,  ///< Prometheus text exposition (toPrometheus()).
+};
+
+/// Writes \p S to \p Path in \p Format; "-" means stdout. \p Append
+/// appends to an existing file (the --metrics-interval JSONL stream)
+/// instead of truncating. Returns false with \p Err set on I/O errors.
+bool writeSnapshot(const MetricsSnapshot &S, const std::string &Path,
+                   SnapshotFormat Format, bool Append, std::string &Err);
+
+} // namespace telemetry
+} // namespace orp
+
+#endif // ORP_TELEMETRY_SNAPSHOT_H

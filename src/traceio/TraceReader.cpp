@@ -5,6 +5,7 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/VarInt.h"
+#include "telemetry/Registry.h"
 
 #include <cstdio>
 
@@ -179,6 +180,20 @@ bool TraceReader::parseRegistry(uint64_t Offset) {
 bool TraceReader::decodeBlock(
     size_t PayloadPos, size_t PayloadLen, uint64_t Count,
     uint64_t BlockIndex, const std::function<void(const TraceEvent &)> &Fn) {
+  // Block-granularity instrumentation (one histogram sample + two
+  // counter bumps per block, not per event). Safe from the decode-ahead
+  // worker: the metrics are shard-atomic. The references are resolved
+  // once per process.
+  static telemetry::Histogram &DecodeNs =
+      telemetry::Registry::global().histogram("traceio.block_decode_ns");
+  static telemetry::Counter &BlocksDecoded =
+      telemetry::Registry::global().counter("traceio.blocks_decoded");
+  static telemetry::Counter &EventsDecoded =
+      telemetry::Registry::global().counter("traceio.events_decoded");
+  telemetry::ScopedHistogramTimer Timing(DecodeNs);
+  BlocksDecoded.add();
+  EventsDecoded.add(Count);
+
   auto Where = [&] { return "block " + std::to_string(BlockIndex); };
   const uint8_t *Data = Bytes.data();
   const size_t End = PayloadPos + PayloadLen;
@@ -290,6 +305,14 @@ bool TraceReader::decodeBlockEvents(size_t Index,
   Out.reserve(Ref.EventCount);
   return decodeBlock(Ref.PayloadPos, Ref.PayloadLen, Ref.EventCount, Index,
                      [&](const TraceEvent &E) { Out.push_back(E); });
+}
+
+std::vector<TraceReader::BlockStats> TraceReader::blockStats() const {
+  std::vector<BlockStats> Stats;
+  Stats.reserve(Blocks.size());
+  for (const BlockRef &Ref : Blocks)
+    Stats.push_back(BlockStats{Ref.EventCount, Ref.PayloadLen});
+  return Stats;
 }
 
 bool TraceReader::readAllEvents(std::vector<TraceEvent> &Out) {

@@ -60,6 +60,16 @@ public:
   /// Number of indexed event blocks; valid after open().
   size_t numEventBlocks() const { return Blocks.size(); }
 
+  /// Index-level statistics of one event block (no payload decode).
+  struct BlockStats {
+    uint64_t EventCount;  ///< Events declared by the block header.
+    size_t PayloadBytes;  ///< Compressed payload size on disk.
+  };
+
+  /// Per-block statistics straight from the block index; valid after
+  /// open(). Feeds `orp-trace info` without touching the payloads.
+  std::vector<BlockStats> blockStats() const;
+
   /// Decodes block \p Index (CRC-checked first, like forEachEvent) into
   /// \p Out, replacing its contents. Blocks are independently decodable
   /// — the writer restarts the address/time delta chains per block —

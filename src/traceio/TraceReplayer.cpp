@@ -4,6 +4,7 @@
 
 #include "support/SpscQueue.h"
 #include "support/WorkerPool.h"
+#include "telemetry/Registry.h"
 
 #include <atomic>
 
@@ -27,6 +28,8 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
     Registry.addAllocSite(Info.Name, Info.TypeName);
 
   trace::MemoryInterface &Memory = Session.memory();
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  telemetry::ScopedTimer ReplayTiming(Reg.timer("replay.total"));
   Replayed = 0;
   auto Inject = [&](const TraceEvent &E) {
     switch (E.K) {
@@ -76,8 +79,21 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
       for (const TraceEvent &E : Block)
         Inject(E);
     Decoder.join();
+    // Publish the decode-ahead queue's final counters: its high
+    // watermark vs capacity says whether the decoder kept ahead of the
+    // injection loop, and PushStalls counts the times it outran us.
+    support::QueueTelemetry QT = Decoded.telemetry();
+    Reg.gauge("replay.decode_queue.capacity")
+        .set(static_cast<int64_t>(QT.Capacity));
+    Reg.gauge("replay.decode_queue.high_watermark")
+        .set(static_cast<int64_t>(QT.HighWatermark));
+    Reg.gauge("replay.decode_queue.pushes")
+        .set(static_cast<int64_t>(QT.Pushes));
+    Reg.gauge("replay.decode_queue.push_stalls")
+        .set(static_cast<int64_t>(QT.PushStalls));
     Ok = DecodeOk.load(std::memory_order_acquire);
   }
+  Reg.counter("replay.events").add(Replayed);
   if (Ok && CallFinish)
     Session.finish();
   return Ok;

@@ -25,7 +25,49 @@ WhompProfiler::WhompProfiler(unsigned Threads)
            core::Dimension::Object, core::Dimension::Offset},
           [] { return std::make_unique<SequiturStreamCompressor>(); },
           Threads),
-      NextValidateAt(ValidateIntervalTuples) {}
+      NextValidateAt(ValidateIntervalTuples),
+      Collector(telemetry::Registry::global().addCollector(
+          [this](telemetry::Registry &R) {
+            R.gauge("whomp.tuples").set(static_cast<int64_t>(Tuples));
+            // Grammar internals may only be read while this thread owns
+            // them (serial mode, or after finish() joined the workers).
+            if (!Decomposer.threaded()) {
+              for (core::Dimension D : Decomposer.dimensions()) {
+                const sequitur::SequiturGrammar &G = grammarFor(D);
+                std::string P =
+                    std::string("whomp.") + core::dimensionName(D) + ".";
+                R.gauge(P + "rules").set(static_cast<int64_t>(G.numRules()));
+                R.gauge(P + "input_symbols")
+                    .set(static_cast<int64_t>(G.inputLength()));
+                R.gauge(P + "body_symbols")
+                    .set(static_cast<int64_t>(G.totalBodySymbols()));
+                R.gauge(P + "digrams")
+                    .set(static_cast<int64_t>(G.numDigrams()));
+                R.gauge(P + "symbol_slabs")
+                    .set(static_cast<int64_t>(G.numSymbolSlabs()));
+                R.gauge(P + "rule_slabs")
+                    .set(static_cast<int64_t>(G.numRuleSlabs()));
+              }
+            }
+            std::vector<support::WorkerTelemetry> WT =
+                Decomposer.workerTelemetry();
+            const std::vector<core::Dimension> &Dims =
+                Decomposer.dimensions();
+            for (size_t I = 0; I != WT.size() && I != Dims.size(); ++I) {
+              std::string P = std::string("whomp.worker.") +
+                              core::dimensionName(Dims[I]) + ".";
+              R.gauge(P + "queue_depth")
+                  .set(static_cast<int64_t>(WT[I].Queue.Depth));
+              R.gauge(P + "queue_high_watermark")
+                  .set(static_cast<int64_t>(WT[I].Queue.HighWatermark));
+              R.gauge(P + "queue_pushes")
+                  .set(static_cast<int64_t>(WT[I].Queue.Pushes));
+              R.gauge(P + "queue_push_stalls")
+                  .set(static_cast<int64_t>(WT[I].Queue.PushStalls));
+              R.gauge(P + "busy_ns")
+                  .set(static_cast<int64_t>(WT[I].BusyNanos));
+            }
+          })) {}
 
 void WhompProfiler::validateGrammars(const char *When) const {
   for (core::Dimension D :

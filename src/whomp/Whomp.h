@@ -22,6 +22,7 @@
 #include "core/Decomposition.h"
 #include "core/ObjectRelative.h"
 #include "sequitur/Sequitur.h"
+#include "telemetry/Registry.h"
 
 #include <array>
 #include <cstddef>
@@ -98,6 +99,11 @@ private:
   uint64_t Tuples = 0;
   /// Tuple count at which the next periodic level-2 validation fires.
   uint64_t NextValidateAt;
+  /// Publishes grammar occupancy (serial mode / after finish) and
+  /// dimension-worker queue counters into whomp.* gauges at snapshot
+  /// time. While the workers own the grammars, only the worker/queue
+  /// numbers — which are safe to sample from any thread — are emitted.
+  telemetry::CollectorHandle Collector;
 };
 
 } // namespace whomp

@@ -13,6 +13,7 @@
 #include "leap/Leap.h"
 #include "support/SpscQueue.h"
 #include "support/WorkerPool.h"
+#include "telemetry/Metric.h"
 #include "traceio/TraceReader.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
@@ -128,6 +129,70 @@ TEST(SpscQueueTest, CloseWakesBlockedProducerWithoutCorruption) {
 //===----------------------------------------------------------------------===//
 // QueueWorker
 //===----------------------------------------------------------------------===//
+
+TEST(SpscQueueTest, TelemetryTracksDepthWatermarkAndStalls) {
+  support::SpscQueue<int> Q(/*Capacity=*/4);
+  support::QueueTelemetry T0 = Q.telemetry();
+  EXPECT_EQ(T0.Capacity, 4u);
+  EXPECT_EQ(T0.Depth, 0u);
+  EXPECT_EQ(T0.Pushes, 0u);
+
+  Q.push(1);
+  Q.push(2);
+  Q.push(3);
+  support::QueueTelemetry T1 = Q.telemetry();
+  EXPECT_EQ(T1.Depth, 3u);
+  EXPECT_EQ(T1.HighWatermark, 3u);
+  EXPECT_EQ(T1.Pushes, 3u);
+  EXPECT_EQ(T1.PushStalls, 0u);
+
+  int V;
+  ASSERT_TRUE(Q.tryPop(V));
+  ASSERT_TRUE(Q.tryPop(V));
+  support::QueueTelemetry T2 = Q.telemetry();
+  EXPECT_EQ(T2.Depth, 1u);
+  EXPECT_EQ(T2.HighWatermark, 3u) << "watermark never decreases";
+  EXPECT_EQ(T2.Pops, 2u);
+
+  // Fill the queue, then have a consumer drain while a blocked push
+  // waits: the stall must be counted exactly once.
+  Q.push(4);
+  Q.push(5);
+  Q.push(6);
+  support::ScopedThread Consumer([&] {
+    int X;
+    for (int I = 0; I != 5; ++I)
+      Q.pop(X);
+  });
+  Q.push(7); // blocks until the consumer makes room
+  Consumer.join();
+  support::QueueTelemetry T3 = Q.telemetry();
+  EXPECT_EQ(T3.PushStalls, 1u);
+  EXPECT_EQ(T3.Pushes, 7u);
+  EXPECT_EQ(T3.HighWatermark, 4u);
+  EXPECT_EQ(T3.Depth, 0u);
+}
+
+TEST(QueueWorkerTest, TelemetryReportsQueueAndBusyTime) {
+  support::WorkerTelemetry T;
+  {
+    support::QueueWorker<int> Worker(
+        /*QueueCapacity=*/16, [](int &) {
+          // Enough work that steady_clock registers nonzero busy time.
+          volatile int Spin = 0;
+          for (int I = 0; I != 100000; ++I)
+            Spin = Spin + I;
+        });
+    for (int I = 0; I != 10; ++I)
+      Worker.submit(int(I));
+    Worker.finish();
+    T = Worker.telemetry();
+  }
+  EXPECT_EQ(T.Queue.Pushes, 10u);
+  EXPECT_EQ(T.Queue.Depth, 0u);
+  EXPECT_GE(T.Queue.HighWatermark, 1u);
+  EXPECT_GT(T.BusyNanos, 0u);
+}
 
 TEST(QueueWorkerTest, ProcessesSubmissionsInOrder) {
   std::vector<int> Seen;
@@ -336,6 +401,32 @@ TEST(PipelineDeterminismTest, ReplayIsByteIdenticalForAnyThreadCount) {
     EXPECT_EQ(Events, Events1) << Threads << " threads";
     EXPECT_EQ(Omsg, Omsg1) << Threads << " threads";
     EXPECT_EQ(Leap, Leap1) << Threads << " threads";
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(PipelineDeterminismTest, ProfilesAreByteIdenticalWithTelemetryOnOrOff) {
+  // The telemetry subsystem is observation-only: OMSG archives and LEAP
+  // profiles must not change by a single byte when metrics recording is
+  // toggled, at any thread count (ISSUE 5 acceptance criterion).
+  std::string Path = tempPath("telemetry_golden.orpt");
+  std::vector<uint8_t> LiveOmsg, LiveLeap;
+  recordWithProfilers("175.vpr-a", Path, LiveOmsg, LiveLeap);
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    std::vector<uint8_t> OmsgOn, LeapOn, OmsgOff, LeapOff;
+    uint64_t EventsOn = 0, EventsOff = 0;
+    telemetry::setEnabled(true);
+    replayAt(Path, Threads, OmsgOn, LeapOn, EventsOn);
+    telemetry::setEnabled(false);
+    replayAt(Path, Threads, OmsgOff, LeapOff, EventsOff);
+    telemetry::setEnabled(true);
+    EXPECT_EQ(EventsOn, EventsOff) << Threads << " threads";
+    EXPECT_EQ(OmsgOn, OmsgOff) << Threads << " threads";
+    EXPECT_EQ(LeapOn, LeapOff) << Threads << " threads";
+    // And both match the live (telemetry-on) profile.
+    EXPECT_EQ(OmsgOn, LiveOmsg) << Threads << " threads";
+    EXPECT_EQ(LeapOn, LiveLeap) << Threads << " threads";
   }
   std::remove(Path.c_str());
 }

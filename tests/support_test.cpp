@@ -3,6 +3,7 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/Histogram.h"
+#include "support/LogSink.h"
 #include "support/ParseNumber.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -707,4 +708,73 @@ TEST(StatisticsTest, NonEmptyAccessorsUnaffectedByContract) {
   EXPECT_EQ(S.max(), 3.0);
   EXPECT_EQ(quantile({3.0}, 0.5), 3.0);
   EXPECT_EQ(geometricMean({2.0, 8.0}), 4.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Log sink
+//===----------------------------------------------------------------------===//
+
+TEST(LogSinkTest, MessagesGoToRedirectedStreamWithNewline) {
+  std::FILE *Capture = std::tmpfile();
+  ASSERT_NE(Capture, nullptr);
+  std::FILE *Prev = support::setLogStream(Capture);
+  support::logMessage(support::LogLevel::Warn, "value is %d", 42);
+  support::setLogStream(Prev);
+
+  std::rewind(Capture);
+  char Buf[128] = {0};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, Capture);
+  std::fclose(Capture);
+  EXPECT_EQ(std::string(Buf, N), "value is 42\n");
+}
+
+TEST(LogSinkTest, PerLevelCountersAreMonotonic) {
+  // Counters are process-global: assert on deltas, silencing the
+  // stream so the test output stays clean.
+  std::FILE *Devnull = std::tmpfile();
+  ASSERT_NE(Devnull, nullptr);
+  std::FILE *Prev = support::setLogStream(Devnull);
+  uint64_t Warn0 = support::logMessageCount(support::LogLevel::Warn);
+  uint64_t Error0 = support::logMessageCount(support::LogLevel::Error);
+  support::logMessage(support::LogLevel::Warn, "w");
+  support::logMessage(support::LogLevel::Error, "e");
+  support::logMessage(support::LogLevel::Error, "e2");
+  support::setLogStream(Prev);
+  std::fclose(Devnull);
+  EXPECT_EQ(support::logMessageCount(support::LogLevel::Warn), Warn0 + 1);
+  EXPECT_EQ(support::logMessageCount(support::LogLevel::Error), Error0 + 2);
+}
+
+TEST(LogSinkTest, NullRestoresDefaultStreams) {
+  std::FILE *Prev = support::setLogStream(nullptr);
+  EXPECT_EQ(support::logStream(), stderr);
+  support::setLogStream(Prev == stderr ? nullptr : Prev);
+  std::FILE *PrevReport = support::setReportStream(nullptr);
+  EXPECT_EQ(support::reportStream(), stdout);
+  support::setReportStream(PrevReport == stdout ? nullptr : PrevReport);
+}
+
+TEST(LogSinkTest, LevelNamesAreStable) {
+  EXPECT_STREQ(support::logLevelName(support::LogLevel::Info), "info");
+  EXPECT_STREQ(support::logLevelName(support::LogLevel::Warn), "warn");
+  EXPECT_STREQ(support::logLevelName(support::LogLevel::Error), "error");
+  EXPECT_STREQ(support::logLevelName(support::LogLevel::Fatal), "fatal");
+}
+
+TEST(TablePrinterTest, PrintUsesReportStreamByDefault) {
+  std::FILE *Capture = std::tmpfile();
+  ASSERT_NE(Capture, nullptr);
+  std::FILE *Prev = support::setReportStream(Capture);
+  TablePrinter T({"k", "v"});
+  T.addRow({"a", "1"});
+  T.print();
+  support::setReportStream(Prev);
+
+  std::rewind(Capture);
+  char Buf[256] = {0};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, Capture);
+  std::fclose(Capture);
+  std::string Out(Buf, N);
+  EXPECT_NE(Out.find("k  v"), std::string::npos);
+  EXPECT_NE(Out.find("a  1"), std::string::npos);
 }

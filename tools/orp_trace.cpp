@@ -8,8 +8,11 @@
 //   orp-trace record <workload> [-o FILE] [--alloc=POLICY] [--seed=N]
 //                    [--env=N] [--scale=N]
 //   orp-trace replay <file> [--profiler=whomp|leap|rasg] [--lmads=N]
-//                    [--dump-omsg=FILE]
-//   orp-trace info <file>
+//                    [--dump-omsg=FILE] [--metrics=PATH|-]
+//                    [--metrics-interval=N] [--metrics-format=FMT]
+//   orp-trace stats <file> [--threads=N] [--lmads=N] [--metrics=PATH|-]
+//                    [--metrics-format=FMT]
+//   orp-trace info <file> [--blocks]
 //   orp-trace verify <file>
 //
 //===----------------------------------------------------------------------===//
@@ -17,7 +20,11 @@
 #include "baseline/RasgProfiler.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
+#include "support/LogSink.h"
 #include "support/ParseNumber.h"
+#include "support/TablePrinter.h"
+#include "telemetry/Registry.h"
+#include "trace/MetricsTicker.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
 #include "whomp/OmsgArchive.h"
@@ -27,16 +34,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 using namespace orp;
+using support::LogLevel;
+using support::logMessage;
 
 namespace {
 
 int usage(const char *Argv0) {
-  std::fprintf(
-      stderr,
+  logMessage(
+      LogLevel::Error,
       "usage: %s <command> ...\n"
       "  record <workload> [-o FILE] [--alloc=first-fit|best-fit|"
       "next-fit|segregated]\n"
@@ -48,10 +58,16 @@ int usage(const char *Argv0) {
       "from a trace\n"
       "                                              (--threads output is "
       "byte-identical)\n"
-      "  info <file>                                 print header and "
-      "stream statistics\n"
+      "         [--metrics=PATH|-] [--metrics-interval=N] "
+      "[--metrics-format=json|json-lines|prometheus]\n"
+      "  stats <file> [--threads=N] [--lmads=N]      replay through "
+      "WHOMP+LEAP and print\n"
+      "         [--metrics=PATH|-] [--metrics-format=FMT]   the telemetry "
+      "snapshot\n"
+      "  info <file> [--blocks]                      print header, stream "
+      "and per-block statistics\n"
       "  verify <file>                               validate structure "
-      "and checksums\n",
+      "and checksums",
       Argv0);
   return 1;
 }
@@ -62,15 +78,15 @@ const char *flagValue(const std::string &Arg, const char *Prefix) {
 }
 
 /// Parses the numeric value of \p Flag strictly (whole string, no
-/// overflow; see support::parseUint64), reporting a usage error on
-/// stderr when it is malformed.
+/// overflow; see support::parseUint64), reporting a usage error via the
+/// log sink when it is malformed.
 bool numericFlag(const char *Cmd, const char *Flag, const char *Text,
                  uint64_t &Out) {
   if (support::parseUint64(Text, Out))
     return true;
-  std::fprintf(stderr, "orp-trace %s: %s expects an unsigned integer, "
-                       "got '%s'\n",
-               Cmd, Flag, Text);
+  logMessage(LogLevel::Error,
+             "orp-trace %s: %s expects an unsigned integer, got '%s'", Cmd,
+             Flag, Text);
   return false;
 }
 
@@ -78,9 +94,9 @@ bool numericFlag(const char *Cmd, const char *Flag, const char *Text,
                  unsigned &Out) {
   if (support::parseUnsigned(Text, Out))
     return true;
-  std::fprintf(stderr, "orp-trace %s: %s expects an unsigned integer, "
-                       "got '%s'\n",
-               Cmd, Flag, Text);
+  logMessage(LogLevel::Error,
+             "orp-trace %s: %s expects an unsigned integer, got '%s'", Cmd,
+             Flag, Text);
   return false;
 }
 
@@ -98,6 +114,98 @@ bool parseAllocPolicy(const char *Name, memsim::AllocPolicy &Policy) {
   return true;
 }
 
+/// Shared --metrics* option state of the replay-driving verbs.
+struct MetricsOptions {
+  std::string Path;      ///< Output target; empty = no final snapshot.
+  uint64_t Interval = 0; ///< Events between periodic snapshots; 0 = off.
+  telemetry::SnapshotFormat Format = telemetry::SnapshotFormat::Json;
+  bool FormatSet = false;
+
+  /// Handles one command-line argument; returns true when consumed,
+  /// false with \p Failed set when it was a malformed metrics flag.
+  bool consume(const char *Cmd, const std::string &Arg, bool &Failed) {
+    Failed = false;
+    if (const char *V = flagValue(Arg, "--metrics=")) {
+      Path = V;
+      return true;
+    }
+    if (const char *V = flagValue(Arg, "--metrics-interval=")) {
+      if (!numericFlag(Cmd, "--metrics-interval", V, Interval))
+        Failed = true;
+      return true;
+    }
+    if (const char *V = flagValue(Arg, "--metrics-format=")) {
+      FormatSet = true;
+      if (!std::strcmp(V, "json"))
+        Format = telemetry::SnapshotFormat::Json;
+      else if (!std::strcmp(V, "json-lines"))
+        Format = telemetry::SnapshotFormat::JsonCompact;
+      else if (!std::strcmp(V, "prometheus"))
+        Format = telemetry::SnapshotFormat::Prometheus;
+      else {
+        logMessage(LogLevel::Error,
+                   "orp-trace %s: --metrics-format expects "
+                   "json|json-lines|prometheus, got '%s'",
+                   Cmd, V);
+        Failed = true;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Periodic snapshots force the one-object-per-line form so the
+  /// output file is a valid JSONL stream.
+  telemetry::SnapshotFormat periodicFormat() const {
+    return Format == telemetry::SnapshotFormat::Prometheus
+               ? telemetry::SnapshotFormat::Prometheus
+               : telemetry::SnapshotFormat::JsonCompact;
+  }
+};
+
+/// Builds the MetricsTicker for \p Opts (nullptr when no periodic
+/// emission was requested) and truncates the target file so the
+/// periodic appends start clean.
+std::unique_ptr<trace::MetricsTicker>
+makeTicker(const MetricsOptions &Opts, bool &TickerOk) {
+  TickerOk = true;
+  if (!Opts.Interval || Opts.Path.empty())
+    return nullptr;
+  if (Opts.Path != "-") {
+    std::FILE *Out = std::fopen(Opts.Path.c_str(), "wb");
+    if (!Out) {
+      logMessage(LogLevel::Error, "orp-trace: cannot open '%s' for writing",
+                 Opts.Path.c_str());
+      TickerOk = false;
+      return nullptr;
+    }
+    std::fclose(Out);
+  }
+  return std::make_unique<trace::MetricsTicker>(
+      Opts.Interval, [&Opts](const telemetry::MetricsSnapshot &S) {
+        std::string Err;
+        if (!telemetry::writeSnapshot(S, Opts.Path, Opts.periodicFormat(),
+                                      /*Append=*/true, Err))
+          logMessage(LogLevel::Warn, "orp-trace: %s", Err.c_str());
+      });
+}
+
+/// Writes the final snapshot per \p Opts; returns false on I/O failure.
+bool emitFinalSnapshot(const MetricsOptions &Opts) {
+  if (Opts.Path.empty())
+    return true;
+  telemetry::MetricsSnapshot S = telemetry::Registry::global().snapshot();
+  telemetry::SnapshotFormat F =
+      Opts.Interval ? Opts.periodicFormat() : Opts.Format;
+  std::string Err;
+  if (!telemetry::writeSnapshot(S, Opts.Path, F, /*Append=*/Opts.Interval != 0,
+                                Err)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Err.c_str());
+    return false;
+  }
+  return true;
+}
+
 int cmdRecord(int Argc, char **Argv) {
   std::string WorkloadName, OutPath;
   memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
@@ -110,7 +218,8 @@ int cmdRecord(int Argc, char **Argv) {
       OutPath = V;
     } else if (const char *V = flagValue(Arg, "--alloc=")) {
       if (!parseAllocPolicy(V, Policy)) {
-        std::fprintf(stderr, "orp-trace: unknown alloc policy '%s'\n", V);
+        logMessage(LogLevel::Error, "orp-trace: unknown alloc policy '%s'",
+                   V);
         return 1;
       }
     } else if (const char *V = flagValue(Arg, "--seed=")) {
@@ -125,22 +234,22 @@ int cmdRecord(int Argc, char **Argv) {
     } else if (Arg[0] != '-' && WorkloadName.empty()) {
       WorkloadName = Arg;
     } else {
-      std::fprintf(stderr, "orp-trace record: bad argument '%s'\n",
-                   Arg.c_str());
+      logMessage(LogLevel::Error, "orp-trace record: bad argument '%s'",
+                 Arg.c_str());
       return 1;
     }
   }
   if (WorkloadName.empty()) {
-    std::fprintf(stderr, "orp-trace record: missing workload name\n");
+    logMessage(LogLevel::Error, "orp-trace record: missing workload name");
     return 1;
   }
   auto Workload = workloads::createWorkloadByName(WorkloadName);
   if (!Workload) {
-    std::fprintf(stderr,
-                 "orp-trace: unknown workload '%s'; available: 164.gzip-a "
-                 "175.vpr-a 181.mcf-a 186.crafty-a 197.parser-a "
-                 "256.bzip2-a 300.twolf-a list-traversal\n",
-                 WorkloadName.c_str());
+    logMessage(LogLevel::Error,
+               "orp-trace: unknown workload '%s'; available: 164.gzip-a "
+               "175.vpr-a 181.mcf-a 186.crafty-a 197.parser-a "
+               "256.bzip2-a 300.twolf-a list-traversal",
+               WorkloadName.c_str());
     return 1;
   }
   if (OutPath.empty())
@@ -149,7 +258,7 @@ int cmdRecord(int Argc, char **Argv) {
   core::ProfilingSession Session(Policy, EnvSeed);
   traceio::TraceWriter Writer(OutPath, Session.registry(), Policy, EnvSeed);
   if (!Writer.ok()) {
-    std::fprintf(stderr, "orp-trace: %s\n", Writer.error().c_str());
+    logMessage(LogLevel::Error, "orp-trace: %s", Writer.error().c_str());
     return 1;
   }
   Session.addRawSink(&Writer);
@@ -161,7 +270,7 @@ int cmdRecord(int Argc, char **Argv) {
       Workload->run(Session.memory(), Session.registry(), Config);
   Session.finish();
   if (!Writer.close()) {
-    std::fprintf(stderr, "orp-trace: %s\n", Writer.error().c_str());
+    logMessage(LogLevel::Error, "orp-trace: %s", Writer.error().c_str());
     return 1;
   }
   std::printf("%s: recorded %llu events to %s (%llu bytes, %.2f "
@@ -181,8 +290,10 @@ int cmdRecord(int Argc, char **Argv) {
 int cmdReplay(int Argc, char **Argv) {
   std::string Path, Profiler = "whomp", DumpOmsg;
   unsigned MaxLmads = 30, Threads = 1;
+  MetricsOptions Metrics;
   for (int I = 0; I != Argc; ++I) {
     std::string Arg = Argv[I];
+    bool MetricsFailed = false;
     if (const char *V = flagValue(Arg, "--profiler=")) {
       Profiler = V;
     } else if (const char *V = flagValue(Arg, "--lmads=")) {
@@ -192,30 +303,33 @@ int cmdReplay(int Argc, char **Argv) {
       if (!numericFlag("replay", "--threads", V, Threads))
         return 1;
       if (Threads == 0) {
-        std::fprintf(stderr,
-                     "orp-trace replay: --threads must be at least 1\n");
+        logMessage(LogLevel::Error,
+                   "orp-trace replay: --threads must be at least 1");
         return 1;
       }
     } else if (const char *V = flagValue(Arg, "--dump-omsg=")) {
       DumpOmsg = V;
+    } else if (Metrics.consume("replay", Arg, MetricsFailed)) {
+      if (MetricsFailed)
+        return 1;
     } else if (Arg[0] != '-' && Path.empty()) {
       Path = Arg;
     } else {
-      std::fprintf(stderr, "orp-trace replay: bad argument '%s'\n",
-                   Arg.c_str());
+      logMessage(LogLevel::Error, "orp-trace replay: bad argument '%s'",
+                 Arg.c_str());
       return 1;
     }
   }
   if (Path.empty() ||
       (Profiler != "whomp" && Profiler != "leap" && Profiler != "rasg")) {
-    std::fprintf(stderr, "orp-trace replay: need <file> and "
-                         "--profiler=whomp|leap|rasg\n");
+    logMessage(LogLevel::Error, "orp-trace replay: need <file> and "
+                                "--profiler=whomp|leap|rasg");
     return 1;
   }
 
   traceio::TraceReader Reader;
   if (!Reader.open(Path)) {
-    std::fprintf(stderr, "orp-trace: %s\n", Reader.error().c_str());
+    logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
     return 1;
   }
   traceio::TraceReplayer Replayer(Reader);
@@ -232,8 +346,16 @@ int cmdReplay(int Argc, char **Argv) {
   else
     Session->addRawSink(&Rasg);
 
+  bool TickerOk = true;
+  std::unique_ptr<trace::MetricsTicker> Ticker =
+      makeTicker(Metrics, TickerOk);
+  if (!TickerOk)
+    return 1;
+  if (Ticker)
+    Session->addRawSink(Ticker.get());
+
   if (!Replayer.replayInto(*Session)) {
-    std::fprintf(stderr, "orp-trace: %s\n", Replayer.error().c_str());
+    logMessage(LogLevel::Error, "orp-trace: %s", Replayer.error().c_str());
     return 1;
   }
   std::printf("%s: replayed %llu events (%llu instr sites, %llu alloc "
@@ -260,8 +382,8 @@ int cmdReplay(int Argc, char **Argv) {
       std::FILE *Out = std::fopen(DumpOmsg.c_str(), "wb");
       if (!Out || std::fwrite(Bytes.data(), 1, Bytes.size(), Out) !=
                       Bytes.size()) {
-        std::fprintf(stderr, "orp-trace: cannot write '%s'\n",
-                     DumpOmsg.c_str());
+        logMessage(LogLevel::Error, "orp-trace: cannot write '%s'",
+                   DumpOmsg.c_str());
         if (Out)
           std::fclose(Out);
         return 1;
@@ -282,34 +404,181 @@ int cmdReplay(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Rasg.accessesSeen()),
                 Rasg.serializedSizeBytes());
   }
+  return emitFinalSnapshot(Metrics) ? 0 : 1;
+}
+
+/// Renders \p S as aligned tables on stdout (the `stats` verb).
+void printSnapshotTables(const telemetry::MetricsSnapshot &S) {
+  if (!S.Counters.empty()) {
+    TablePrinter T({"counter", "value"});
+    for (const auto &C : S.Counters)
+      T.addRow({C.Name, TablePrinter::fmt(C.Value)});
+    std::printf("\n");
+    T.print();
+  }
+  if (!S.Gauges.empty()) {
+    TablePrinter T({"gauge", "value"});
+    for (const auto &G : S.Gauges) {
+      char Buf[24];
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(G.Value));
+      T.addRow({G.Name, Buf});
+    }
+    std::printf("\n");
+    T.print();
+  }
+  if (!S.Timers.empty()) {
+    TablePrinter T({"timer", "count", "total ms"});
+    for (const auto &Tm : S.Timers)
+      T.addRow({Tm.Name, TablePrinter::fmt(Tm.Count),
+                TablePrinter::fmt(
+                    static_cast<double>(Tm.TotalNanos) / 1e6, 2)});
+    std::printf("\n");
+    T.print();
+  }
+  if (!S.Histograms.empty()) {
+    TablePrinter T({"histogram", "count", "sum", "mean"});
+    for (const auto &H : S.Histograms)
+      T.addRow({H.Name, TablePrinter::fmt(H.Count), TablePrinter::fmt(H.Sum),
+                TablePrinter::fmt(H.Count ? static_cast<double>(H.Sum) /
+                                                static_cast<double>(H.Count)
+                                          : 0.0,
+                                  1)});
+    std::printf("\n");
+    T.print();
+  }
+}
+
+int cmdStats(int Argc, char **Argv) {
+  std::string Path;
+  unsigned MaxLmads = 30, Threads = 1;
+  MetricsOptions Metrics;
+  for (int I = 0; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    bool MetricsFailed = false;
+    if (const char *V = flagValue(Arg, "--lmads=")) {
+      if (!numericFlag("stats", "--lmads", V, MaxLmads))
+        return 1;
+    } else if (const char *V = flagValue(Arg, "--threads=")) {
+      if (!numericFlag("stats", "--threads", V, Threads))
+        return 1;
+      if (Threads == 0) {
+        logMessage(LogLevel::Error,
+                   "orp-trace stats: --threads must be at least 1");
+        return 1;
+      }
+    } else if (Metrics.consume("stats", Arg, MetricsFailed)) {
+      if (MetricsFailed)
+        return 1;
+    } else if (Arg[0] != '-' && Path.empty()) {
+      Path = Arg;
+    } else {
+      logMessage(LogLevel::Error, "orp-trace stats: bad argument '%s'",
+                 Arg.c_str());
+      return 1;
+    }
+  }
+  if (Path.empty()) {
+    logMessage(LogLevel::Error, "orp-trace stats: missing trace file");
+    return 1;
+  }
+
+  traceio::TraceReader Reader;
+  if (!Reader.open(Path)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
+    return 1;
+  }
+  traceio::TraceReplayer Replayer(Reader);
+  Replayer.setThreads(Threads);
+  auto Session = Replayer.makeSession();
+
+  // Both profilers at once: the snapshot then covers the whole pipeline
+  // — OMC, CDC, WHOMP grammars and LEAP substreams in one table.
+  whomp::WhompProfiler Whomp(Threads);
+  leap::LeapProfiler Leap(MaxLmads, Threads);
+  Session->addConsumer(&Whomp);
+  Session->addConsumer(&Leap);
+
+  if (!Replayer.replayInto(*Session)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Replayer.error().c_str());
+    return 1;
+  }
+
+  std::printf("%s: %llu events, %u thread(s)\n", Path.c_str(),
+              static_cast<unsigned long long>(Replayer.eventsReplayed()),
+              Threads);
+  telemetry::MetricsSnapshot S = telemetry::Registry::global().snapshot();
+  printSnapshotTables(S);
+  if (!Metrics.Path.empty()) {
+    std::string Err;
+    if (!telemetry::writeSnapshot(S, Metrics.Path, Metrics.Format,
+                                  /*Append=*/false, Err)) {
+      logMessage(LogLevel::Error, "orp-trace: %s", Err.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
-int cmdInfo(const char *Path) {
+int cmdInfo(int Argc, char **Argv) {
+  std::string Path;
+  bool PerBlock = false;
+  for (int I = 0; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--blocks") {
+      PerBlock = true;
+    } else if (Arg[0] != '-' && Path.empty()) {
+      Path = Arg;
+    } else {
+      logMessage(LogLevel::Error, "orp-trace info: bad argument '%s'",
+                 Arg.c_str());
+      return 1;
+    }
+  }
+  if (Path.empty()) {
+    logMessage(LogLevel::Error, "orp-trace info: missing trace file");
+    return 1;
+  }
+
   traceio::TraceReader Reader;
   if (!Reader.open(Path)) {
-    std::fprintf(stderr, "orp-trace: %s\n", Reader.error().c_str());
+    logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
     return 1;
   }
   const traceio::TraceInfo &I = Reader.info();
+
+  // Per-block kind counts, gathered block by block so the table and the
+  // stream totals come from one decode pass.
+  struct BlockKinds {
+    uint64_t Accesses = 0, Allocs = 0, Frees = 0;
+  };
+  std::vector<traceio::TraceReader::BlockStats> Blocks = Reader.blockStats();
+  std::vector<BlockKinds> Kinds(Blocks.size());
   uint64_t Accesses = 0, Allocs = 0, Frees = 0;
-  if (!Reader.forEachEvent([&](const traceio::TraceEvent &E) {
-        switch (E.K) {
-        case traceio::TraceEvent::Kind::Access:
-          ++Accesses;
-          break;
-        case traceio::TraceEvent::Kind::Alloc:
-          ++Allocs;
-          break;
-        case traceio::TraceEvent::Kind::Free:
-          ++Frees;
-          break;
-        }
-      })) {
-    std::fprintf(stderr, "orp-trace: %s\n", Reader.error().c_str());
-    return 1;
+  std::vector<traceio::TraceEvent> Events;
+  for (size_t B = 0; B != Blocks.size(); ++B) {
+    if (!Reader.decodeBlockEvents(B, Events)) {
+      logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
+      return 1;
+    }
+    for (const traceio::TraceEvent &E : Events)
+      switch (E.K) {
+      case traceio::TraceEvent::Kind::Access:
+        ++Kinds[B].Accesses;
+        break;
+      case traceio::TraceEvent::Kind::Alloc:
+        ++Kinds[B].Allocs;
+        break;
+      case traceio::TraceEvent::Kind::Free:
+        ++Kinds[B].Frees;
+        break;
+      }
+    Accesses += Kinds[B].Accesses;
+    Allocs += Kinds[B].Allocs;
+    Frees += Kinds[B].Frees;
   }
-  std::printf("%s:\n", Path);
+
+  std::printf("%s:\n", Path.c_str());
   std::printf("  format version  %u\n", I.Version);
   std::printf("  alloc policy    %s\n",
               memsim::allocPolicyName(
@@ -332,6 +601,29 @@ int cmdInfo(const char *Path) {
   std::printf("  probe sites     %llu instructions, %llu alloc sites\n",
               static_cast<unsigned long long>(I.NumInstructions),
               static_cast<unsigned long long>(I.NumAllocSites));
+
+  if (PerBlock && !Blocks.size())
+    std::printf("  (no event blocks)\n");
+  if (PerBlock && Blocks.size()) {
+    TablePrinter T({"block", "events", "accesses", "allocs", "frees",
+                    "payload B", "B/event"});
+    for (size_t B = 0; B != Blocks.size(); ++B)
+      T.addRow({TablePrinter::fmt(static_cast<uint64_t>(B)),
+                TablePrinter::fmt(Blocks[B].EventCount),
+                TablePrinter::fmt(Kinds[B].Accesses),
+                TablePrinter::fmt(Kinds[B].Allocs),
+                TablePrinter::fmt(Kinds[B].Frees),
+                TablePrinter::fmt(
+                    static_cast<uint64_t>(Blocks[B].PayloadBytes)),
+                TablePrinter::fmt(
+                    Blocks[B].EventCount
+                        ? static_cast<double>(Blocks[B].PayloadBytes) /
+                              static_cast<double>(Blocks[B].EventCount)
+                        : 0.0,
+                    2)});
+    std::printf("\n");
+    T.print();
+  }
   return 0;
 }
 
@@ -340,8 +632,8 @@ int cmdVerify(const char *Path) {
   uint64_t Events = 0;
   if (!Reader.open(Path) ||
       !Reader.forEachEvent([&](const traceio::TraceEvent &) { ++Events; })) {
-    std::fprintf(stderr, "orp-trace: verify FAILED: %s\n",
-                 Reader.error().c_str());
+    logMessage(LogLevel::Error, "orp-trace: verify FAILED: %s",
+               Reader.error().c_str());
     return 1;
   }
   std::printf("%s: OK (%llu events, %llu blocks, all checksums valid)\n",
@@ -360,8 +652,10 @@ int main(int Argc, char **Argv) {
     return cmdRecord(Argc - 2, Argv + 2);
   if (Cmd == "replay")
     return cmdReplay(Argc - 2, Argv + 2);
-  if (Cmd == "info" && Argc == 3)
-    return cmdInfo(Argv[2]);
+  if (Cmd == "stats")
+    return cmdStats(Argc - 2, Argv + 2);
+  if (Cmd == "info" && Argc >= 3)
+    return cmdInfo(Argc - 2, Argv + 2);
   if (Cmd == "verify" && Argc == 3)
     return cmdVerify(Argv[2]);
   return usage(Argv[0]);
