@@ -25,6 +25,11 @@
 //     --metrics=PATH     write the final telemetry snapshot ("-" = stdout)
 //     --metrics-interval=N  also snapshot every N probe events (JSONL)
 //     --metrics-format=json|json-lines|prometheus
+//     --version          print version and build flags
+//
+// The profiling pipeline itself is one session::ProfileSession — the
+// same engine `orp-trace replay` and the orp-traced daemon run — fed
+// live by the workload instead of by a trace.
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,9 +39,11 @@
 #include "analysis/Stride.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
+#include "session/ProfileSession.h"
 #include "support/LogSink.h"
 #include "support/ParseNumber.h"
 #include "support/TablePrinter.h"
+#include "support/Version.h"
 #include "telemetry/Registry.h"
 #include "trace/MetricsTicker.h"
 #include "traceio/TraceWriter.h"
@@ -73,6 +80,7 @@ struct Options {
   std::string MetricsPath;
   uint64_t MetricsInterval = 0;
   telemetry::SnapshotFormat MetricsFormat = telemetry::SnapshotFormat::Json;
+  bool Version = false;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opt) {
@@ -111,6 +119,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
     } else if (const char *V = Value("--threads=")) {
       if (!support::parseUnsigned(V, Opt.Threads) || Opt.Threads == 0)
         return false;
+    } else if (Arg == "--version") {
+      Opt.Version = true;
     } else if (Arg == "--whomp") {
       Opt.RunWhomp = true;
     } else if (Arg == "--leap") {
@@ -165,9 +175,14 @@ int main(int Argc, char **Argv) {
                "[--whomp] [--leap] [--lmads=N] [--phases] "
                "[--hot-streams] [--mdf] [--strides] "
                "[--record=FILE] [--metrics=PATH|-] "
-               "[--metrics-interval=N] [--metrics-format=FMT]",
+               "[--metrics-interval=N] [--metrics-format=FMT] "
+               "[--version]",
                Argv[0]);
     return 1;
+  }
+  if (Opt.Version) {
+    support::printVersion("orp_profile");
+    return 0;
   }
 
   auto Workload = workloads::createWorkloadByName(Opt.Workload);
@@ -180,9 +195,18 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  core::ProfilingSession Session(Opt.Policy, Opt.EnvSeed);
-  whomp::WhompProfiler Whomp(Opt.Threads);
-  leap::LeapProfiler Leap(Opt.MaxLmads, Opt.Threads);
+  // The pipeline is one ProfileSession — the same engine the trace
+  // replay CLI and the orp-traced daemon run — fed live here.
+  session::SessionConfig SessionCfg;
+  SessionCfg.Policy = Opt.Policy;
+  SessionCfg.Seed = Opt.EnvSeed;
+  SessionCfg.EnableWhomp = Opt.RunWhomp;
+  SessionCfg.EnableLeap = Opt.RunLeap;
+  SessionCfg.MaxLmads = Opt.MaxLmads;
+  SessionCfg.ProfilerThreads = Opt.Threads;
+  session::ProfileSession Profile(Opt.Workload, SessionCfg);
+  core::ProfilingSession &Session = Profile.core();
+
   analysis::PhaseDetector Phases;
   trace::CountingSink Counter;
   Session.addRawSink(&Counter);
@@ -218,10 +242,6 @@ int main(int Argc, char **Argv) {
         });
     Session.addRawSink(Ticker.get());
   }
-  if (Opt.RunWhomp)
-    Session.addConsumer(&Whomp);
-  if (Opt.RunLeap)
-    Session.addConsumer(&Leap);
   if (Opt.Phases)
     Session.addConsumer(&Phases);
 
@@ -230,7 +250,7 @@ int main(int Argc, char **Argv) {
   Config.Scale = Opt.Scale;
   uint64_t Checksum =
       Workload->run(Session.memory(), Session.registry(), Config);
-  Session.finish();
+  Profile.finalize();
   if (!Opt.MetricsPath.empty()) {
     telemetry::MetricsSnapshot S = telemetry::Registry::global().snapshot();
     telemetry::SnapshotFormat F =
@@ -264,6 +284,7 @@ int main(int Argc, char **Argv) {
               memsim::allocPolicyName(Opt.Policy));
 
   if (Opt.RunLeap) {
+    leap::LeapProfiler &Leap = *Profile.leap();
     auto Data = leap::LeapProfileData::fromProfiler(Leap);
     std::printf("LEAP: %zu substreams, %zu profile bytes "
                 "(trace %llu bytes, %.0fx), %.1f%% accesses / %.1f%% "
@@ -276,7 +297,7 @@ int main(int Argc, char **Argv) {
                 Leap.instructionsCapturedPercent());
   }
   if (Opt.RunWhomp) {
-    whomp::OmsgSizes S = Whomp.sizes();
+    whomp::OmsgSizes S = Profile.whomp()->sizes();
     std::printf("WHOMP OMSG: %zu bytes (instr %zu, group %zu, object "
                 "%zu, offset %zu)\n",
                 S.total(), S.Instr, S.Group, S.Object, S.Offset);
@@ -286,7 +307,7 @@ int main(int Argc, char **Argv) {
     std::printf("\ndependence frequencies (LEAP estimate):\n");
     TablePrinter T({"store", "load", "MDF"});
     for (const auto &[Pair, Freq] :
-         analysis::LeapDependenceAnalyzer(Leap).computeMdf())
+         analysis::LeapDependenceAnalyzer(*Profile.leap()).computeMdf())
       T.addRow({Session.registry().instruction(Pair.first).Name,
                 Session.registry().instruction(Pair.second).Name,
                 TablePrinter::fmtPercent(Freq * 100.0, 1)});
@@ -296,7 +317,8 @@ int main(int Argc, char **Argv) {
   if (Opt.Strides) {
     std::printf("\nstrongly-strided instructions (>= 70%% one stride):\n");
     TablePrinter T({"instruction", "stride", "share"});
-    for (const auto &[Instr, Info] : analysis::findStronglyStrided(Leap))
+    for (const auto &[Instr, Info] :
+         analysis::findStronglyStrided(*Profile.leap()))
       T.addRow({Session.registry().instruction(Instr).Name,
                 std::to_string(Info.Stride),
                 TablePrinter::fmtPercent(Info.Share * 100.0, 1)});
@@ -322,7 +344,7 @@ int main(int Argc, char **Argv) {
   if (Opt.HotStreams) {
     std::printf("\nhot data streams (object dimension of the OMSG):\n");
     auto Streams = analysis::extractHotStreams(
-        Whomp.grammarFor(core::Dimension::Object));
+        Profile.whomp()->grammarFor(core::Dimension::Object));
     TablePrinter T({"rule", "length", "repeats", "heat"});
     unsigned Shown = 0;
     for (const auto &H : Streams) {

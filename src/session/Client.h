@@ -1,0 +1,83 @@
+//===- session/Client.h - orp-traced client ---------------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client of the orp-traced wire protocol (Wire.h), used by
+/// `orp-trace submit` and the session tests. One Client is one
+/// connection; sessions opened through it live until closeSession() or
+/// disconnect (the daemon aborts a disconnected client's leftovers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SESSION_CLIENT_H
+#define ORP_SESSION_CLIENT_H
+
+#include "session/Wire.h"
+#include "traceio/TraceReader.h"
+
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace session {
+
+/// Connects to an orp-traced socket and speaks the framed protocol.
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. False with \p Err set on
+  /// failure.
+  bool connect(const std::string &SocketPath, std::string &Err);
+
+  bool connected() const { return Fd >= 0; }
+  void disconnect();
+
+  /// Opens a session on the daemon. On success fills \p IdOut.
+  bool openSession(const OpenRequest &Req, uint64_t &IdOut,
+                   std::string &Err);
+
+  /// Streams every event block of \p Reader into session \p Id,
+  /// forwarding the still-encoded payloads verbatim. Keeps a small
+  /// window of unacknowledged EVENTS frames in flight so the daemon's
+  /// per-session backpressure (it stops reading when the ingest queue
+  /// is full) throttles this call instead of deadlocking it.
+  bool submitTrace(uint64_t Id, traceio::TraceReader &Reader,
+                   std::string &Err);
+
+  /// Submits one raw block (a test-sized building brick).
+  bool submitBlock(uint64_t Id, const traceio::TraceReader::RawBlock &B,
+                   std::string &Err);
+
+  /// Fetches a telemetry snapshot. \p Format mirrors
+  /// telemetry::SnapshotFormat (0 JSON, 1 compact JSON, 2 Prometheus);
+  /// \p SessionName empty = whole registry.
+  bool snapshot(uint8_t Format, const std::string &SessionName,
+                std::string &TextOut, std::string &Err);
+
+  /// Closes session \p Id, receiving its summary and artifacts.
+  bool closeSession(uint64_t Id, CloseSummary &Out, std::string &Err);
+
+private:
+  bool sendFrame(FrameType Type, const std::vector<uint8_t> &Payload,
+                 std::string &Err);
+  bool recvFrame(Frame &Out, std::string &Err);
+  /// Receives one frame and maps ReplyErr to failure with its message.
+  bool recvReply(FrameType Expected, Frame &Out, std::string &Err);
+
+  int Fd = -1;
+  FrameParser Parser;
+};
+
+} // namespace session
+} // namespace orp
+
+#endif // ORP_SESSION_CLIENT_H

@@ -1,0 +1,143 @@
+//===- session/ProfileSession.cpp - One profiling session ----------------===//
+
+#include "session/ProfileSession.h"
+
+#include "leap/LeapProfileData.h"
+#include "traceio/BlockCodec.h"
+#include "traceio/TraceReplayer.h"
+#include "whomp/OmsgArchive.h"
+
+using namespace orp;
+using namespace orp::session;
+
+ProfileSession::ProfileSession(std::string Name, const SessionConfig &Config)
+    : Name(std::move(Name)), Config(Config),
+      Core(std::make_unique<core::ProfilingSession>(Config.Policy,
+                                                    Config.Seed)) {
+  if (Config.EnableWhomp) {
+    Whomp = std::make_unique<whomp::WhompProfiler>(Config.ProfilerThreads);
+    Core->addConsumer(Whomp.get());
+  }
+  if (Config.EnableLeap) {
+    Leap = std::make_unique<leap::LeapProfiler>(Config.MaxLmads,
+                                                Config.ProfilerThreads);
+    Core->addConsumer(Leap.get());
+  }
+}
+
+ProfileSession::~ProfileSession() {
+  // Threaded profilers own their grammars/substreams until finish();
+  // make destruction safe for sessions that were never finalized.
+  if (!Finished)
+    Core->finish();
+}
+
+void ProfileSession::registerProbeTables(
+    const std::vector<trace::InstrInfo> &Instrs,
+    const std::vector<trace::AllocSiteInfo> &Sites) {
+  trace::InstructionRegistry &Registry = Core->registry();
+  for (const trace::InstrInfo &Info : Instrs)
+    Registry.addInstruction(Info.Name, Info.Kind);
+  for (const trace::AllocSiteInfo &Info : Sites)
+    Registry.addAllocSite(Info.Name, Info.TypeName);
+}
+
+bool ProfileSession::injectBlock(const uint8_t *Payload, size_t Len,
+                                 uint64_t EventCount, uint32_t Crc,
+                                 uint64_t BlockIndex) {
+  if (Failed)
+    return false;
+  trace::MemoryInterface &Memory = Core->memory();
+  auto Inject = [&](const traceio::TraceEvent &E) {
+    switch (E.K) {
+    case traceio::TraceEvent::Kind::Access:
+      Memory.injectAccess(trace::AccessEvent{E.InstrOrSite, E.Addr,
+                                             static_cast<uint32_t>(E.Size),
+                                             E.IsStore, E.Time});
+      break;
+    case traceio::TraceEvent::Kind::Alloc:
+      Memory.injectAlloc(trace::AllocEvent{E.InstrOrSite, E.Addr, E.Size,
+                                           E.Time, E.IsStatic});
+      break;
+    case traceio::TraceEvent::Kind::Free:
+      Memory.injectFree(trace::FreeEvent{E.Addr, E.Time});
+      break;
+    }
+    ++Events;
+  };
+  if (!traceio::verifyBlockChecksum(Payload, Len, Crc, BlockIndex,
+                                    /*BaseOffset=*/0, Err) ||
+      !traceio::decodeEventBlock(Payload, Len, EventCount, Inject, Err,
+                                 BlockIndex, /*BaseOffset=*/0)) {
+    Failed = true;
+    return false;
+  }
+  return true;
+}
+
+bool ProfileSession::replayFrom(traceio::TraceReader &Reader,
+                                unsigned DecodeThreads) {
+  traceio::TraceReplayer Replayer(Reader);
+  Replayer.setThreads(DecodeThreads);
+  // finalize() finishes the pipeline exactly once, whichever path fed
+  // it; the replayer must not finish it early.
+  if (!Replayer.replayInto(*Core, /*CallFinish=*/false)) {
+    Events += Replayer.eventsReplayed();
+    Failed = true;
+    Err = Reader.error();
+    return false;
+  }
+  Events += Replayer.eventsReplayed();
+  return true;
+}
+
+SessionArtifacts ProfileSession::finalize() {
+  if (!Finished) {
+    Core->finish();
+    Finished = true;
+  }
+  SessionArtifacts A;
+  A.Name = Name;
+  A.Events = Events;
+  A.Failed = Failed;
+  A.Error = Err;
+  if (Whomp)
+    A.Omsg = whomp::OmsgArchive::build(*Whomp, &Core->omc()).serialize();
+  if (Leap)
+    A.Leap = leap::LeapProfileData::fromProfiler(*Leap).serialize();
+  return A;
+}
+
+size_t ProfileSession::memoryEstimateBytes() {
+  // Nominal per-structure byte weights. The absolute numbers only need
+  // to rank sessions and grow with real usage; the budget they are
+  // compared against is configured in the same units.
+  constexpr size_t kSymbolSlabBytes = 2048 * 32;
+  constexpr size_t kRuleSlabBytes = 256 * 48;
+  constexpr size_t kDigramBytes = 64;
+  constexpr size_t kLiveObjectBytes = 96;
+  constexpr size_t kGroupBytes = 64;
+
+  size_t Est = sizeof(ProfileSession);
+  const omc::ObjectManager &Omc = Core->omc();
+  Est += Omc.numLiveObjects() * kLiveObjectBytes;
+  Est += Omc.numGroups() * kGroupBytes;
+  // Grammar/substream accessors are only coherent from the owning
+  // thread while profiler workers run; with ProfilerThreads == 1 (the
+  // SessionManager configuration) this thread is the owner.
+  if (Config.ProfilerThreads <= 1) {
+    if (Whomp) {
+      for (core::Dimension D :
+           {core::Dimension::Instruction, core::Dimension::Group,
+            core::Dimension::Object, core::Dimension::Offset}) {
+        const sequitur::SequiturGrammar &G = Whomp->grammarFor(D);
+        Est += G.numSymbolSlabs() * kSymbolSlabBytes +
+               G.numRuleSlabs() * kRuleSlabBytes +
+               G.numDigrams() * kDigramBytes;
+      }
+    }
+    if (Leap)
+      Est += Leap->serializedSizeBytes();
+  }
+  return Est;
+}

@@ -1,0 +1,136 @@
+//===- session/ProfileSession.h - One profiling session --------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-session profiling engine: one wired pipeline (OMC + CDC +
+/// the enabled profilers) fed by still-encoded .orpt event blocks, a
+/// whole trace file, or a live workload, and finalized into detached
+/// profile artifacts. Every front end — `orp-trace replay`, the
+/// orp-traced daemon, `orp_profile` — drives this same class, which is
+/// what makes their profiles byte-identical: the pipeline never learns
+/// where its events came from.
+///
+/// A ProfileSession is strictly single-threaded: whoever owns it (the
+/// CLI main thread, or exactly one SessionManager shard worker) calls
+/// every method. Cross-thread scheduling is SessionManager's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SESSION_PROFILESESSION_H
+#define ORP_SESSION_PROFILESESSION_H
+
+#include "core/ProfilingSession.h"
+#include "leap/Leap.h"
+#include "traceio/TraceReader.h"
+#include "whomp/Whomp.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace session {
+
+/// Configuration of one profiling session.
+struct SessionConfig {
+  memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
+  uint64_t Seed = 0;
+  bool EnableWhomp = true;
+  bool EnableLeap = true;
+  unsigned MaxLmads = 30;
+  /// Worker threads inside each enabled profiler (CLI --threads). The
+  /// artifacts are byte-identical at any value (DESIGN.md section 10);
+  /// SessionManager keeps this at 1 and parallelizes across sessions
+  /// instead.
+  unsigned ProfilerThreads = 1;
+};
+
+/// The finished products of one session.
+struct SessionArtifacts {
+  std::string Name;
+  std::vector<uint8_t> Omsg; ///< OmsgArchive bytes; empty when disabled.
+  std::vector<uint8_t> Leap; ///< LeapProfileData bytes; empty if disabled.
+  uint64_t Events = 0;       ///< Events injected over the session's life.
+  bool Failed = false;       ///< A block failed to decode (see Error).
+  std::string Error;
+};
+
+/// One profiling session: pipeline, profilers, artifacts.
+class ProfileSession {
+public:
+  ProfileSession(std::string Name, const SessionConfig &Config);
+  ~ProfileSession();
+
+  ProfileSession(const ProfileSession &) = delete;
+  ProfileSession &operator=(const ProfileSession &) = delete;
+
+  const std::string &name() const { return Name; }
+  const SessionConfig &config() const { return Config; }
+
+  /// The underlying pipeline, for front ends that attach extra sinks
+  /// (RASG baseline, metrics tickers) or run a live workload against
+  /// memory()/registry().
+  core::ProfilingSession &core() { return *Core; }
+
+  /// The enabled profilers (nullptr when disabled), for front ends that
+  /// print summary statistics. With ProfilerThreads > 1 their accessors
+  /// are only valid after finalize().
+  whomp::WhompProfiler *whomp() { return Whomp.get(); }
+  leap::LeapProfiler *leap() { return Leap.get(); }
+
+  /// Registers recorded probe-site tables (an OPEN frame's payload or a
+  /// TraceReader's tables) into the session registry. Call once, before
+  /// any injection.
+  void
+  registerProbeTables(const std::vector<trace::InstrInfo> &Instrs,
+                      const std::vector<trace::AllocSiteInfo> &Sites);
+
+  /// Verifies and decodes one still-encoded .orpt event block payload
+  /// and injects its events into the pipeline. \p BlockIndex labels
+  /// diagnostics (the sender's running block count). Returns false —
+  /// latching failed()/error() — on a corrupt block; the session then
+  /// rejects further injection but can still be finalized.
+  bool injectBlock(const uint8_t *Payload, size_t Len, uint64_t EventCount,
+                   uint32_t Crc, uint64_t BlockIndex);
+
+  /// Registers \p Reader's probe tables and replays its whole event
+  /// stream (decode-ahead with \p DecodeThreads > 1; delivery order and
+  /// artifacts are identical either way). Returns false on corruption.
+  bool replayFrom(traceio::TraceReader &Reader, unsigned DecodeThreads = 1);
+
+  /// Finishes the pipeline (once) and builds the detached artifacts.
+  /// Idempotent in effect but rebuilds the artifact bytes each call —
+  /// call once at end of life.
+  SessionArtifacts finalize();
+
+  bool failed() const { return Failed; }
+  const std::string &error() const { return Err; }
+  uint64_t eventsInjected() const { return Events; }
+
+  /// Rough resident-footprint estimate of the session's pipeline state,
+  /// derived from the existing structure gauges (Sequitur slab counts,
+  /// OMC group/live-object counts, LEAP profile size). Monotone in the
+  /// real footprint — the quantity SessionManager's memory budget and
+  /// LRU eviction operate on — not an allocator-accurate byte count.
+  size_t memoryEstimateBytes();
+
+private:
+  std::string Name;
+  SessionConfig Config;
+  std::unique_ptr<core::ProfilingSession> Core;
+  std::unique_ptr<whomp::WhompProfiler> Whomp;
+  std::unique_ptr<leap::LeapProfiler> Leap;
+  uint64_t Events = 0;
+  bool Failed = false;
+  bool Finished = false;
+  std::string Err;
+};
+
+} // namespace session
+} // namespace orp
+
+#endif // ORP_SESSION_PROFILESESSION_H

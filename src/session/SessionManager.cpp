@@ -1,0 +1,264 @@
+//===- session/SessionManager.cpp - Many sessions, few threads -----------===//
+
+#include "session/SessionManager.h"
+
+#include "support/LogSink.h"
+
+using namespace orp;
+using namespace orp::session;
+
+SessionManager::SessionManager(const ManagerConfig &Config)
+    : Config(Config) {
+  unsigned Threads = Config.Threads ? Config.Threads : 1;
+  this->Config.Threads = Threads;
+  if (!this->Config.IngestQueueCapacity)
+    this->Config.IngestQueueCapacity = 1;
+  Shards.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Shards.push_back(std::make_unique<support::QueueWorker<Token>>(
+        /*QueueCapacity=*/64, [this](Token &T) { processToken(T); }));
+  Collector = telemetry::Registry::global().addCollector(
+      [this](telemetry::Registry &Reg) { publishMetrics(Reg); });
+}
+
+SessionManager::~SessionManager() {
+  while (!Sessions.empty())
+    abort(Sessions.begin()->first);
+  // Release the collector before the shards: a snapshot taken while
+  // workers still run must not walk dying session state.
+  Collector.release();
+  for (auto &Shard : Shards)
+    Shard->finish();
+}
+
+SessionId SessionManager::open(
+    const std::string &Name, const SessionConfig &SessionCfg,
+    const std::vector<trace::InstrInfo> &Instrs,
+    const std::vector<trace::AllocSiteInfo> &Sites) {
+  SessionId Id = NextId++;
+  unsigned Shard = NextShard++ % static_cast<unsigned>(Shards.size());
+  auto S = std::make_unique<Managed>(Id, Shard,
+                                     Config.IngestQueueCapacity);
+  std::string SessionName = Name.empty() ? "s" + std::to_string(Id) : Name;
+  // Built on the control thread; the queue handoff of the first token
+  // publishes it to the shard worker.
+  S->Engine = std::make_unique<ProfileSession>(SessionName, SessionCfg);
+  S->Engine->registerProbeTables(Instrs, Sites);
+  S->MemEstimate.store(S->Engine->memoryEstimateBytes(),
+                       std::memory_order_relaxed);
+  S->LastUsed = ++UseClock;
+  Sessions.emplace(Id, std::move(S));
+  telemetry::Registry::global().counter("session.opened").add();
+  enforceBudget();
+  return Id;
+}
+
+SubmitStatus SessionManager::submitBlock(SessionId Id,
+                                         const uint8_t *Payload,
+                                         size_t PayloadLen,
+                                         uint64_t EventCount, uint32_t Crc) {
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return SubmitStatus::NotFound;
+  Managed &S = *It->second;
+  if (S.Failed.load(std::memory_order_acquire))
+    return SubmitStatus::Failed;
+  IngestItem Item;
+  Item.K = IngestItem::Kind::Block;
+  Item.Payload.assign(Payload, Payload + PayloadLen);
+  Item.EventCount = EventCount;
+  Item.Crc = Crc;
+  Item.BlockIndex = S.NextBlockIndex;
+  if (!S.Ingest.tryPush(std::move(Item))) {
+    telemetry::Registry::global()
+        .counter("session.submit_backpressure")
+        .add();
+    return SubmitStatus::WouldBlock;
+  }
+  ++S.NextBlockIndex;
+  S.Pending.fetch_add(1, std::memory_order_relaxed);
+  S.LastUsed = ++UseClock;
+  Shards[S.Shard]->submit(Token{&S, /*Finalize=*/false});
+  enforceBudget();
+  return SubmitStatus::Ok;
+}
+
+SubmitStatus SessionManager::submitGate(SessionId Id,
+                                        support::SpscQueue<int> *Gate) {
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return SubmitStatus::NotFound;
+  Managed &S = *It->second;
+  IngestItem Item;
+  Item.K = IngestItem::Kind::Gate;
+  Item.Gate = Gate;
+  if (!S.Ingest.tryPush(std::move(Item)))
+    return SubmitStatus::WouldBlock;
+  S.Pending.fetch_add(1, std::memory_order_relaxed);
+  S.LastUsed = ++UseClock;
+  Shards[S.Shard]->submit(Token{&S, /*Finalize=*/false});
+  return SubmitStatus::Ok;
+}
+
+void SessionManager::processToken(Token &T) {
+  Managed &S = *T.S;
+  if (T.Finalize) {
+    S.Result.push(S.Engine->finalize());
+    S.FinalizeDone.store(true, std::memory_order_release);
+    return;
+  }
+  IngestItem Item;
+  if (!S.Ingest.tryPop(Item))
+    return; // Unreachable: exactly one token per pushed item.
+  if (Item.K == IngestItem::Kind::Gate) {
+    int Unused;
+    Item.Gate->pop(Unused); // Parks this shard until the test releases.
+  } else if (!S.Failed.load(std::memory_order_relaxed)) {
+    if (S.Engine->injectBlock(Item.Payload.data(), Item.Payload.size(),
+                              Item.EventCount, Item.Crc, Item.BlockIndex)) {
+      S.Events.store(S.Engine->eventsInjected(),
+                     std::memory_order_relaxed);
+      S.Blocks.fetch_add(1, std::memory_order_relaxed);
+      S.MemEstimate.store(S.Engine->memoryEstimateBytes(),
+                          std::memory_order_relaxed);
+    } else {
+      // error() is written before this release store and never again;
+      // the control thread reads it only after an acquire load.
+      S.Failed.store(true, std::memory_order_release);
+    }
+  }
+  S.Pending.fetch_sub(1, std::memory_order_release);
+}
+
+SessionArtifacts SessionManager::closeInternal(Managed &S) {
+  // The shard queue is FIFO: the finalize token runs after every
+  // pending ingest token of this session.
+  Shards[S.Shard]->submit(Token{&S, /*Finalize=*/true});
+  SessionArtifacts A;
+  S.Result.pop(A);
+  // The worker is at most a few instructions from done (the pop can
+  // overtake the push's notify tail); spin out that window before the
+  // caller frees the session.
+  while (!S.FinalizeDone.load(std::memory_order_acquire)) {
+  }
+  return A;
+}
+
+SessionArtifacts SessionManager::close(SessionId Id) {
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end()) {
+    SessionArtifacts A;
+    A.Failed = true;
+    A.Error = "unknown session id " + std::to_string(Id);
+    return A;
+  }
+  SessionArtifacts A = closeInternal(*It->second);
+  Sessions.erase(It);
+  telemetry::Registry::global().counter("session.closed").add();
+  return A;
+}
+
+bool SessionManager::abort(SessionId Id) {
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return false;
+  closeInternal(*It->second);
+  Sessions.erase(It);
+  telemetry::Registry::global().counter("session.aborted").add();
+  return true;
+}
+
+bool SessionManager::stats(SessionId Id, SessionStats &Out) const {
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return false;
+  const Managed &S = *It->second;
+  Out.Name = S.Engine->name();
+  Out.Events = S.Events.load(std::memory_order_relaxed);
+  Out.Blocks = S.Blocks.load(std::memory_order_relaxed);
+  Out.Pending = S.Pending.load(std::memory_order_relaxed);
+  Out.MemEstimateBytes = S.MemEstimate.load(std::memory_order_relaxed);
+  Out.Failed = S.Failed.load(std::memory_order_acquire);
+  Out.Error = Out.Failed ? S.Engine->error() : std::string();
+  return true;
+}
+
+std::vector<SessionId> SessionManager::liveSessions() const {
+  std::vector<SessionId> Ids;
+  Ids.reserve(Sessions.size());
+  for (const auto &Entry : Sessions)
+    Ids.push_back(Entry.first);
+  return Ids;
+}
+
+size_t SessionManager::totalMemoryEstimateBytes() const {
+  size_t Total = 0;
+  for (const auto &Entry : Sessions)
+    Total += Entry.second->MemEstimate.load(std::memory_order_relaxed);
+  return Total;
+}
+
+size_t SessionManager::enforceBudget() {
+  if (!Config.MemoryBudgetBytes)
+    return 0;
+  size_t Evicted = 0;
+  while (Sessions.size() > 1 &&
+         totalMemoryEstimateBytes() > Config.MemoryBudgetBytes) {
+    // LRU among *idle* sessions only: a session with blocks in flight
+    // is mid-stream and exempt. With no idle victim the budget yields
+    // — the busy sessions will drain and a later submit re-checks.
+    Managed *Victim = nullptr;
+    for (const auto &Entry : Sessions) {
+      Managed &S = *Entry.second;
+      if (S.Pending.load(std::memory_order_acquire) != 0)
+        continue;
+      if (!Victim || S.LastUsed < Victim->LastUsed)
+        Victim = &S;
+    }
+    if (!Victim)
+      break;
+    SessionId Id = Victim->Id;
+    SessionArtifacts A = closeInternal(*Victim);
+    Sessions.erase(Id);
+    telemetry::Registry::global().counter("session.evicted").add();
+    support::logMessage(support::LogLevel::Info,
+                        "session: evicted '%s' under memory budget",
+                        A.Name.c_str());
+    if (OnEvict)
+      OnEvict(Id, std::move(A));
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+void SessionManager::publishMetrics(telemetry::Registry &Reg) {
+  // Runs at snapshot() time on the control thread (the registry's
+  // snapshot discipline), so control-side state is safe to read here.
+  Reg.gauge("session.live").set(static_cast<int64_t>(Sessions.size()));
+  Reg.gauge("session.mem_estimate_bytes")
+      .set(static_cast<int64_t>(totalMemoryEstimateBytes()));
+  Reg.gauge("session.shards")
+      .set(static_cast<int64_t>(Shards.size()));
+  for (const auto &Entry : Sessions) {
+    const Managed &S = *Entry.second;
+    const std::string Prefix = "session." + S.Engine->name() + ".";
+    Reg.gauge(Prefix + "events")
+        .set(static_cast<int64_t>(S.Events.load(std::memory_order_relaxed)));
+    Reg.gauge(Prefix + "blocks")
+        .set(static_cast<int64_t>(S.Blocks.load(std::memory_order_relaxed)));
+    Reg.gauge(Prefix + "pending")
+        .set(static_cast<int64_t>(S.Pending.load(std::memory_order_relaxed)));
+    Reg.gauge(Prefix + "mem_estimate_bytes")
+        .set(static_cast<int64_t>(
+            S.MemEstimate.load(std::memory_order_relaxed)));
+    Reg.gauge(Prefix + "failed")
+        .set(S.Failed.load(std::memory_order_relaxed) ? 1 : 0);
+    support::QueueTelemetry QT = S.Ingest.telemetry();
+    Reg.gauge(Prefix + "ingest_depth")
+        .set(static_cast<int64_t>(QT.Depth));
+    Reg.gauge(Prefix + "ingest_capacity")
+        .set(static_cast<int64_t>(QT.Capacity));
+    Reg.gauge(Prefix + "ingest_high_watermark")
+        .set(static_cast<int64_t>(QT.HighWatermark));
+  }
+}

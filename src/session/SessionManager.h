@@ -1,0 +1,205 @@
+//===- session/SessionManager.h - Many sessions, few threads ---*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multiplexes N independent ProfileSessions over a small pool of
+/// scheduler shards (support::QueueWorker). Each session is pinned to
+/// one shard at open() — every block of a session is processed by that
+/// one worker, in submission order, so a session's pipeline state has a
+/// single owner and its profile is byte-identical at any shard count
+/// and under any interleaving with other sessions (the determinism
+/// contract of DESIGN.md section 10, lifted from threads to sessions).
+///
+/// Flow control is per session: each session has a bounded ingest queue
+/// and submitBlock() returns WouldBlock instead of blocking when it is
+/// full — the daemon translates that into a stalled client connection
+/// rather than a stalled control loop. A configurable memory budget is
+/// enforced by LRU-evicting *idle* sessions (no blocks in flight):
+/// eviction finalizes the victim like a normal close and hands its
+/// artifacts to the eviction handler.
+///
+/// Threading discipline: every public method is called from ONE control
+/// thread (the daemon's poll loop, or a test's main thread). The shards
+/// are the only other threads, and all control<->shard traffic flows
+/// through SpscQueues; counters the control thread may read mid-flight
+/// are atomics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_SESSION_SESSIONMANAGER_H
+#define ORP_SESSION_SESSIONMANAGER_H
+
+#include "session/ProfileSession.h"
+#include "support/WorkerPool.h"
+#include "telemetry/Registry.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace orp {
+namespace session {
+
+/// Scheduler/limit configuration of one SessionManager.
+struct ManagerConfig {
+  unsigned Threads = 1;           ///< Scheduler shard count (>= 1).
+  size_t IngestQueueCapacity = 8; ///< Per-session bounded ingest queue.
+  size_t MemoryBudgetBytes = 0;   ///< LRU-evict over this; 0 = unlimited.
+};
+
+/// Result of a submit call.
+enum class SubmitStatus {
+  Ok,         ///< Enqueued.
+  WouldBlock, ///< Ingest queue full — retry later (backpressure).
+  NotFound,   ///< No such session id.
+  Failed,     ///< Session already failed on a corrupt block.
+};
+
+using SessionId = uint64_t;
+
+/// Point-in-time view of one managed session (control thread only).
+struct SessionStats {
+  std::string Name;
+  uint64_t Events = 0;       ///< Events injected so far.
+  uint64_t Blocks = 0;       ///< Blocks fully processed.
+  uint64_t Pending = 0;      ///< Blocks submitted but not yet processed.
+  size_t MemEstimateBytes = 0;
+  bool Failed = false;
+  std::string Error;         ///< Meaningful once Failed.
+};
+
+/// Owns and schedules the live sessions.
+class SessionManager {
+public:
+  /// Called for each session evicted by the memory budget, on the
+  /// control thread, with the victim's finalized artifacts.
+  using EvictionHandler =
+      std::function<void(SessionId, SessionArtifacts)>;
+
+  explicit SessionManager(const ManagerConfig &Config);
+
+  /// Closes (and discards) every remaining session.
+  ~SessionManager();
+
+  SessionManager(const SessionManager &) = delete;
+  SessionManager &operator=(const SessionManager &) = delete;
+
+  void setEvictionHandler(EvictionHandler Handler) {
+    OnEvict = std::move(Handler);
+  }
+
+  /// Opens a session: builds its pipeline, registers \p Instrs /
+  /// \p Sites, pins it to a shard (round-robin). Returns its id.
+  SessionId open(const std::string &Name, const SessionConfig &Config,
+                 const std::vector<trace::InstrInfo> &Instrs,
+                 const std::vector<trace::AllocSiteInfo> &Sites);
+
+  /// Hands one still-encoded event-block payload (copied) to the
+  /// session's shard. Never blocks: a full ingest queue returns
+  /// WouldBlock and the caller retries the same block later.
+  SubmitStatus submitBlock(SessionId Id, const uint8_t *Payload,
+                           size_t PayloadLen, uint64_t EventCount,
+                           uint32_t Crc);
+
+  /// Test hook: occupies one ingest slot (and the session's shard) until
+  /// an element is pushed into \p Gate. Makes queue-full backpressure
+  /// and busy/idle eviction states deterministic to construct.
+  SubmitStatus submitGate(SessionId Id, support::SpscQueue<int> *Gate);
+
+  /// Drains the session's pending blocks, finalizes its profile on the
+  /// owning shard, removes it and returns the artifacts. Blocks the
+  /// control thread until the shard has caught up.
+  SessionArtifacts close(SessionId Id);
+
+  /// close() with the artifacts discarded (a disconnected client's
+  /// orphans). Returns false when \p Id is unknown.
+  bool abort(SessionId Id);
+
+  /// Point-in-time stats of one session; false when unknown.
+  bool stats(SessionId Id, SessionStats &Out) const;
+
+  size_t numLiveSessions() const { return Sessions.size(); }
+  std::vector<SessionId> liveSessions() const;
+
+  /// Sum of the live sessions' memory estimates.
+  size_t totalMemoryEstimateBytes() const;
+
+  /// Evicts LRU idle sessions while over budget. Runs automatically
+  /// after open() and every accepted submit; exposed for tests and for
+  /// callers that mutated the budget's inputs out of band. Returns the
+  /// number of sessions evicted.
+  size_t enforceBudget();
+
+  const ManagerConfig &config() const { return Config; }
+
+private:
+  /// One block (or test gate) travelling control -> shard.
+  struct IngestItem {
+    enum class Kind : uint8_t { Block, Gate } K = Kind::Block;
+    std::vector<uint8_t> Payload;
+    uint64_t EventCount = 0;
+    uint32_t Crc = 0;
+    uint64_t BlockIndex = 0;
+    support::SpscQueue<int> *Gate = nullptr;
+  };
+
+  /// A live session plus its scheduling state.
+  struct Managed {
+    Managed(SessionId Id, unsigned Shard, size_t QueueCapacity)
+        : Id(Id), Shard(Shard), Ingest(QueueCapacity), Result(1) {}
+
+    SessionId Id;
+    unsigned Shard;
+    /// Touched only by the owning shard worker between open() and the
+    /// Result handshake of close().
+    std::unique_ptr<ProfileSession> Engine;
+    support::SpscQueue<IngestItem> Ingest;
+    support::SpscQueue<SessionArtifacts> Result;
+    /// Set by the shard worker *after* the Result push: the worker's
+    /// very last touch of this struct. close() waits for it before
+    /// destroying the session, so the Result queue is never torn down
+    /// under the worker's still-returning push.
+    std::atomic<bool> FinalizeDone{false};
+    std::atomic<uint64_t> Pending{0};
+    std::atomic<uint64_t> Events{0};
+    std::atomic<uint64_t> Blocks{0};
+    std::atomic<size_t> MemEstimate{0};
+    std::atomic<bool> Failed{false};
+    /// Control-side LRU stamp (bumped on every accepted submit).
+    uint64_t LastUsed = 0;
+    /// Control-side running block count, labelling diagnostics.
+    uint64_t NextBlockIndex = 0;
+  };
+
+  /// One unit of shard work: process one ingest item of S, or finalize.
+  struct Token {
+    Managed *S = nullptr;
+    bool Finalize = false;
+  };
+
+  void processToken(Token &T);
+  SessionArtifacts closeInternal(Managed &S);
+  void publishMetrics(telemetry::Registry &Reg);
+
+  ManagerConfig Config;
+  std::vector<std::unique_ptr<support::QueueWorker<Token>>> Shards;
+  std::map<SessionId, std::unique_ptr<Managed>> Sessions;
+  SessionId NextId = 1;
+  unsigned NextShard = 0;
+  uint64_t UseClock = 0;
+  EvictionHandler OnEvict;
+  telemetry::CollectorHandle Collector;
+};
+
+} // namespace session
+} // namespace orp
+
+#endif // ORP_SESSION_SESSIONMANAGER_H

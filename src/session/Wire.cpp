@@ -1,0 +1,192 @@
+//===- session/Wire.cpp - orp-traced framed protocol ---------------------===//
+
+#include "session/Wire.h"
+
+#include "support/Endian.h"
+#include "support/VarInt.h"
+#include "traceio/RegistryCodec.h"
+
+#include <cstring>
+
+using namespace orp;
+using namespace orp::session;
+
+void session::appendFrame(FrameType Type,
+                          const std::vector<uint8_t> &Payload,
+                          std::vector<uint8_t> &Out) {
+  appendLE32(static_cast<uint32_t>(Payload.size() + 1), Out);
+  Out.push_back(static_cast<uint8_t>(Type));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+}
+
+void FrameParser::feed(const uint8_t *Data, size_t Len) {
+  Buf.insert(Buf.end(), Data, Data + Len);
+}
+
+bool FrameParser::next(Frame &Out) {
+  if (!Err.empty())
+    return false;
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (Pos > 4096 && Pos * 2 > Buf.size()) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+  if (Buf.size() - Pos < 4)
+    return false;
+  uint32_t Length = readLE32(Buf.data() + Pos);
+  if (Length == 0 || Length > kMaxFrameLength) {
+    Err = "bad frame length " + std::to_string(Length);
+    return false;
+  }
+  if (Buf.size() - Pos < 4u + Length)
+    return false;
+  Out.Type = static_cast<FrameType>(Buf[Pos + 4]);
+  Out.Payload.assign(Buf.begin() + static_cast<ptrdiff_t>(Pos + 5),
+                     Buf.begin() + static_cast<ptrdiff_t>(Pos + 4 + Length));
+  Pos += 4u + Length;
+  return true;
+}
+
+namespace {
+
+void appendString(const std::string &S, std::vector<uint8_t> &Out) {
+  encodeULEB128(S.size(), Out);
+  Out.insert(Out.end(), S.begin(), S.end());
+}
+
+bool readString(const uint8_t *Data, size_t Len, size_t &Pos,
+                std::string &Out) {
+  uint64_t StrLen;
+  if (!tryDecodeULEB128(Data, Len, Pos, StrLen) || StrLen > Len - Pos)
+    return false;
+  Out.assign(Data + Pos, Data + Pos + StrLen);
+  Pos += StrLen;
+  return true;
+}
+
+void appendBytes(const std::vector<uint8_t> &B, std::vector<uint8_t> &Out) {
+  encodeULEB128(B.size(), Out);
+  Out.insert(Out.end(), B.begin(), B.end());
+}
+
+bool readBytes(const uint8_t *Data, size_t Len, size_t &Pos,
+               std::vector<uint8_t> &Out) {
+  uint64_t BytesLen;
+  if (!tryDecodeULEB128(Data, Len, Pos, BytesLen) || BytesLen > Len - Pos)
+    return false;
+  Out.assign(Data + Pos, Data + Pos + BytesLen);
+  Pos += BytesLen;
+  return true;
+}
+
+constexpr uint8_t kProfilerWhomp = 1;
+constexpr uint8_t kProfilerLeap = 2;
+
+} // namespace
+
+void session::encodeOpen(const OpenRequest &Req, std::vector<uint8_t> &Out) {
+  appendString(Req.Name, Out);
+  Out.push_back(static_cast<uint8_t>(Req.Config.Policy));
+  appendLE64(Req.Config.Seed, Out);
+  uint8_t Mask = (Req.Config.EnableWhomp ? kProfilerWhomp : 0) |
+                 (Req.Config.EnableLeap ? kProfilerLeap : 0);
+  Out.push_back(Mask);
+  encodeULEB128(Req.Config.MaxLmads, Out);
+  traceio::appendRegistryPayload(Req.Instrs, Req.Sites, Out);
+}
+
+bool session::decodeOpen(const uint8_t *Data, size_t Len, OpenRequest &Out,
+                         std::string &Err) {
+  size_t Pos = 0;
+  if (!readString(Data, Len, Pos, Out.Name) || Len - Pos < 10) {
+    Err = "OPEN frame: truncated header";
+    return false;
+  }
+  Out.Config.Policy = static_cast<memsim::AllocPolicy>(Data[Pos++]);
+  Out.Config.Seed = readLE64(Data + Pos);
+  Pos += 8;
+  uint8_t Mask = Data[Pos++];
+  Out.Config.EnableWhomp = (Mask & kProfilerWhomp) != 0;
+  Out.Config.EnableLeap = (Mask & kProfilerLeap) != 0;
+  uint64_t MaxLmads;
+  if (!tryDecodeULEB128(Data, Len, Pos, MaxLmads)) {
+    Err = "OPEN frame: truncated header";
+    return false;
+  }
+  Out.Config.MaxLmads = static_cast<unsigned>(MaxLmads);
+  std::string PayloadErr;
+  if (!traceio::parseRegistryPayload(Data + Pos, Len - Pos, Out.Instrs,
+                                     Out.Sites, PayloadErr)) {
+    Err = "OPEN frame: " + PayloadErr;
+    return false;
+  }
+  return true;
+}
+
+void session::encodeEventsHeader(uint64_t SessionId, uint64_t EventCount,
+                                 uint32_t Crc, std::vector<uint8_t> &Out) {
+  encodeULEB128(SessionId, Out);
+  encodeULEB128(EventCount, Out);
+  appendLE32(Crc, Out);
+}
+
+bool session::decodeEventsHeader(const uint8_t *Data, size_t Len,
+                                 EventsHeader &Out, std::string &Err) {
+  size_t Pos = 0;
+  if (!tryDecodeULEB128(Data, Len, Pos, Out.SessionId) ||
+      !tryDecodeULEB128(Data, Len, Pos, Out.EventCount) || Len - Pos < 4) {
+    Err = "EVENTS frame: truncated header";
+    return false;
+  }
+  Out.Crc = readLE32(Data + Pos);
+  Out.PayloadOffset = Pos + 4;
+  return true;
+}
+
+void session::encodeSnapshot(const SnapshotRequest &Req,
+                             std::vector<uint8_t> &Out) {
+  Out.push_back(Req.Format);
+  appendString(Req.SessionName, Out);
+}
+
+bool session::decodeSnapshot(const uint8_t *Data, size_t Len,
+                             SnapshotRequest &Out, std::string &Err) {
+  if (Len < 1) {
+    Err = "SNAPSHOT frame: empty payload";
+    return false;
+  }
+  Out.Format = Data[0];
+  size_t Pos = 1;
+  if (!readString(Data, Len, Pos, Out.SessionName) || Pos != Len) {
+    Err = "SNAPSHOT frame: malformed session name";
+    return false;
+  }
+  return true;
+}
+
+void session::encodeCloseSummary(const CloseSummary &Summary,
+                                 std::vector<uint8_t> &Out) {
+  encodeULEB128(Summary.Events, Out);
+  Out.push_back(Summary.Failed ? 1 : 0);
+  appendString(Summary.Error, Out);
+  appendBytes(Summary.Omsg, Out);
+  appendBytes(Summary.Leap, Out);
+}
+
+bool session::decodeCloseSummary(const uint8_t *Data, size_t Len,
+                                 CloseSummary &Out, std::string &Err) {
+  size_t Pos = 0;
+  if (!tryDecodeULEB128(Data, Len, Pos, Out.Events) || Pos >= Len) {
+    Err = "CLOSE reply: truncated";
+    return false;
+  }
+  Out.Failed = Data[Pos++] != 0;
+  if (!readString(Data, Len, Pos, Out.Error) ||
+      !readBytes(Data, Len, Pos, Out.Omsg) ||
+      !readBytes(Data, Len, Pos, Out.Leap) || Pos != Len) {
+    Err = "CLOSE reply: truncated";
+    return false;
+  }
+  return true;
+}

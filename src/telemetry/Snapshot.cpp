@@ -269,6 +269,27 @@ int64_t MetricsSnapshot::gauge(const std::string &Name) const {
   return 0;
 }
 
+MetricsSnapshot
+MetricsSnapshot::filterByPrefix(const std::string &Prefix) const {
+  auto Matches = [&](const std::string &Name) {
+    return Name.compare(0, Prefix.size(), Prefix) == 0;
+  };
+  MetricsSnapshot Out;
+  for (const CounterValue &C : Counters)
+    if (Matches(C.Name))
+      Out.Counters.push_back(C);
+  for (const GaugeValue &G : Gauges)
+    if (Matches(G.Name))
+      Out.Gauges.push_back(G);
+  for (const HistogramValue &H : Histograms)
+    if (Matches(H.Name))
+      Out.Histograms.push_back(H);
+  for (const TimerValue &T : Timers)
+    if (Matches(T.Name))
+      Out.Timers.push_back(T);
+  return Out;
+}
+
 bool telemetry::writeSnapshot(const MetricsSnapshot &S,
                               const std::string &Path, SnapshotFormat Format,
                               bool Append, std::string &Err) {

@@ -83,6 +83,11 @@ struct MetricsSnapshot {
 
   /// Looks up a gauge by exact name; returns 0 when absent.
   int64_t gauge(const std::string &Name) const;
+
+  /// Returns the subset of metrics whose name starts with \p Prefix
+  /// (sections stay sorted). The per-session view served by orp-traced:
+  /// filterByPrefix("session.<name>.").
+  MetricsSnapshot filterByPrefix(const std::string &Prefix) const;
 };
 
 /// Serialization applied by writeSnapshot().

@@ -1,0 +1,57 @@
+//===- traceio/BlockCodec.h - Standalone event-block decode ----*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decoder for one .orpt event block *payload*, usable outside a whole
+/// trace file. Blocks decode independently — the writer resets the
+/// address/time delta chains at every block boundary — so the same
+/// payload bytes can arrive from a .orpt file (TraceReader) or from an
+/// EVENTS frame of the orp-traced wire protocol (src/session) and
+/// produce the identical event sequence.
+///
+/// Every failure carries the block index and the absolute byte offset
+/// of the fault (\p BaseOffset plus the local position), so corruption
+/// reports localize the bad byte, not just the bad file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_TRACEIO_BLOCKCODEC_H
+#define ORP_TRACEIO_BLOCKCODEC_H
+
+#include "traceio/TraceFormat.h"
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace orp {
+namespace traceio {
+
+/// Verifies the CRC-32 of one event-block payload. On mismatch returns
+/// false and sets \p Err to
+/// "block <Index> at byte <BaseOffset>: checksum mismatch ...".
+bool verifyBlockChecksum(const uint8_t *Payload, size_t Len, uint32_t Crc,
+                         uint64_t BlockIndex, uint64_t BaseOffset,
+                         std::string &Err);
+
+/// Decodes the \p EventCount records of one event-block payload into
+/// \p Fn, in delivery order. The delta-decoder state starts at zero
+/// (block boundary contract). Returns false with \p Err set on any
+/// malformed record; events delivered before the fault stand. \p
+/// BlockIndex and \p BaseOffset (the payload's absolute position in
+/// its file or stream, 0 when standalone) only label diagnostics:
+/// "block <Index> at byte <abs>: malformed access record ...".
+bool decodeEventBlock(const uint8_t *Payload, size_t Len,
+                      uint64_t EventCount,
+                      const std::function<void(const TraceEvent &)> &Fn,
+                      std::string &Err, uint64_t BlockIndex = 0,
+                      uint64_t BaseOffset = 0);
+
+} // namespace traceio
+} // namespace orp
+
+#endif // ORP_TRACEIO_BLOCKCODEC_H

@@ -5,7 +5,8 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/VarInt.h"
-#include "telemetry/Registry.h"
+#include "traceio/BlockCodec.h"
+#include "traceio/RegistryCodec.h"
 
 #include <cstdio>
 
@@ -93,7 +94,10 @@ bool TraceReader::indexBlocks(uint64_t RegistryOffset) {
   uint64_t Events = 0;
   while (Pos < RegistryOffset) {
     uint64_t BlockIndex = Blocks.size();
-    auto Where = [&] { return "block " + std::to_string(BlockIndex); };
+    auto Where = [&] {
+      return "block " + std::to_string(BlockIndex) + " at byte " +
+             std::to_string(Pos);
+    };
     if (Bytes[Pos] != kBlockEvents)
       return failed(Where() + ": unexpected section kind " +
                     std::to_string(Bytes[Pos]));
@@ -144,141 +148,11 @@ bool TraceReader::parseRegistry(uint64_t Offset) {
   if (End + 1 != Size)
     return failed("trailing garbage after end marker");
 
-  auto ReadString = [&](std::string &Out) {
-    uint64_t Len;
-    if (!tryDecodeULEB128(Bytes.data(), End, Pos, Len) || Len > End - Pos)
-      return false;
-    Out.assign(Bytes.begin() + Pos, Bytes.begin() + Pos + Len);
-    Pos += Len;
-    return true;
-  };
-
-  uint64_t NumInstrs;
-  if (!tryDecodeULEB128(Bytes.data(), End, Pos, NumInstrs))
-    return failed("registry section: malformed instruction table");
-  for (uint64_t I = 0; I != NumInstrs; ++I) {
-    trace::InstrInfo Instr;
-    if (!ReadString(Instr.Name) || Pos >= End)
-      return failed("registry section: malformed instruction entry");
-    Instr.Kind = static_cast<trace::AccessKind>(Bytes[Pos++]);
-    Instrs.push_back(std::move(Instr));
-  }
-  uint64_t NumSites;
-  if (!tryDecodeULEB128(Bytes.data(), End, Pos, NumSites))
-    return failed("registry section: malformed allocation-site table");
-  for (uint64_t I = 0; I != NumSites; ++I) {
-    trace::AllocSiteInfo Site;
-    if (!ReadString(Site.Name) || !ReadString(Site.TypeName))
-      return failed("registry section: malformed allocation-site entry");
-    Sites.push_back(std::move(Site));
-  }
-  if (Pos != End)
-    return failed("registry section: trailing bytes");
-  return true;
-}
-
-bool TraceReader::decodeBlock(
-    size_t PayloadPos, size_t PayloadLen, uint64_t Count,
-    uint64_t BlockIndex, const std::function<void(const TraceEvent &)> &Fn) {
-  // Block-granularity instrumentation (one histogram sample + two
-  // counter bumps per block, not per event). Safe from the decode-ahead
-  // worker: the metrics are shard-atomic. The references are resolved
-  // once per process.
-  static telemetry::Histogram &DecodeNs =
-      telemetry::Registry::global().histogram("traceio.block_decode_ns");
-  static telemetry::Counter &BlocksDecoded =
-      telemetry::Registry::global().counter("traceio.blocks_decoded");
-  static telemetry::Counter &EventsDecoded =
-      telemetry::Registry::global().counter("traceio.events_decoded");
-  telemetry::ScopedHistogramTimer Timing(DecodeNs);
-  BlocksDecoded.add();
-  EventsDecoded.add(Count);
-
-  auto Where = [&] { return "block " + std::to_string(BlockIndex); };
-  const uint8_t *Data = Bytes.data();
-  const size_t End = PayloadPos + PayloadLen;
-  size_t Pos = PayloadPos;
-  uint64_t PrevAddr = 0, PrevTime = 0;
-  // Field readers that fold the decode status (truncated / overflow /
-  // overlong) into the diagnostic, so a fuzzer-found corruption is
-  // distinguishable from a short read.
-  auto ReadU = [&](uint64_t &Out, const char *Record) {
-    VarIntStatus St = decodeULEB128Checked(Data, End, Pos, Out);
-    if (St == VarIntStatus::Ok)
-      return true;
-    return failed(Where() + ": malformed " + Record + " record (" +
-                  varIntStatusName(St) + " varint)");
-  };
-  auto ReadS = [&](int64_t &Out, const char *Record) {
-    VarIntStatus St = decodeSLEB128Checked(Data, End, Pos, Out);
-    if (St == VarIntStatus::Ok)
-      return true;
-    return failed(Where() + ": malformed " + Record + " record (" +
-                  varIntStatusName(St) + " varint)");
-  };
-  for (uint64_t I = 0; I != Count; ++I) {
-    if (Pos >= End)
-      return failed(Where() + ": truncated event payload");
-    uint8_t Tag = Data[Pos++];
-    TraceEvent Event;
-    uint64_t U;
-    int64_t S;
-    switch (Tag & kOpMask) {
-    case kOpAccess:
-      Event.K = TraceEvent::Kind::Access;
-      Event.IsStore = (Tag & kTagStore) != 0;
-      if (!ReadU(U, "access"))
-        return false;
-      Event.InstrOrSite = static_cast<uint32_t>(U);
-      if (!ReadS(S, "access"))
-        return false;
-      Event.Addr = PrevAddr + static_cast<uint64_t>(S);
-      if (!ReadS(S, "access"))
-        return false;
-      Event.Time = PrevTime + static_cast<uint64_t>(S);
-      if (Tag & kTagSize8) {
-        Event.Size = 8;
-      } else if (!ReadU(U, "access")) {
-        return false;
-      } else {
-        Event.Size = U;
-      }
-      break;
-    case kOpAlloc:
-      Event.K = TraceEvent::Kind::Alloc;
-      Event.IsStatic = (Tag & kTagStatic) != 0;
-      if (!ReadU(U, "alloc"))
-        return false;
-      Event.InstrOrSite = static_cast<uint32_t>(U);
-      if (!ReadS(S, "alloc"))
-        return false;
-      Event.Addr = PrevAddr + static_cast<uint64_t>(S);
-      if (!ReadU(U, "alloc"))
-        return false;
-      Event.Size = U;
-      if (!ReadS(S, "alloc"))
-        return false;
-      Event.Time = PrevTime + static_cast<uint64_t>(S);
-      break;
-    case kOpFree:
-      Event.K = TraceEvent::Kind::Free;
-      if (!ReadS(S, "free"))
-        return false;
-      Event.Addr = PrevAddr + static_cast<uint64_t>(S);
-      if (!ReadS(S, "free"))
-        return false;
-      Event.Time = PrevTime + static_cast<uint64_t>(S);
-      break;
-    default:
-      return failed(Where() + ": unknown event opcode " +
-                    std::to_string(Tag & kOpMask));
-    }
-    PrevAddr = Event.Addr;
-    PrevTime = Event.Time;
-    Fn(Event);
-  }
-  if (Pos != End)
-    return failed(Where() + ": trailing bytes in event payload");
+  std::string PayloadErr;
+  if (!parseRegistryPayload(Bytes.data() + Pos, PayloadLen, Instrs, Sites,
+                            PayloadErr))
+    return failed("registry section at byte " + std::to_string(Pos) + ": " +
+                  PayloadErr);
   return true;
 }
 
@@ -286,11 +160,12 @@ bool TraceReader::forEachEvent(
     const std::function<void(const TraceEvent &)> &Fn) {
   for (size_t B = 0; B != Blocks.size(); ++B) {
     const BlockRef &Ref = Blocks[B];
-    if (crc32(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen) != Ref.Crc)
-      return failed("block " + std::to_string(B) +
-                    ": checksum mismatch (corrupted file)");
-    if (!decodeBlock(Ref.PayloadPos, Ref.PayloadLen, Ref.EventCount, B, Fn))
-      return false;
+    std::string BlockErr;
+    if (!verifyBlockChecksum(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                             Ref.Crc, B, Ref.PayloadPos, BlockErr) ||
+        !decodeEventBlock(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                          Ref.EventCount, Fn, BlockErr, B, Ref.PayloadPos))
+      return failed(BlockErr);
   }
   return true;
 }
@@ -299,12 +174,22 @@ bool TraceReader::decodeBlockEvents(size_t Index,
                                     std::vector<TraceEvent> &Out) {
   Out.clear();
   const BlockRef &Ref = Blocks[Index];
-  if (crc32(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen) != Ref.Crc)
-    return failed("block " + std::to_string(Index) +
-                  ": checksum mismatch (corrupted file)");
   Out.reserve(Ref.EventCount);
-  return decodeBlock(Ref.PayloadPos, Ref.PayloadLen, Ref.EventCount, Index,
-                     [&](const TraceEvent &E) { Out.push_back(E); });
+  std::string BlockErr;
+  if (!verifyBlockChecksum(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                           Ref.Crc, Index, Ref.PayloadPos, BlockErr) ||
+      !decodeEventBlock(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                        Ref.EventCount,
+                        [&](const TraceEvent &E) { Out.push_back(E); },
+                        BlockErr, Index, Ref.PayloadPos))
+    return failed(BlockErr);
+  return true;
+}
+
+TraceReader::RawBlock TraceReader::rawBlock(size_t Index) const {
+  const BlockRef &Ref = Blocks[Index];
+  return RawBlock{Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                  Ref.EventCount, Ref.Crc, Ref.PayloadPos};
 }
 
 std::vector<TraceReader::BlockStats> TraceReader::blockStats() const {

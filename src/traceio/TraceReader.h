@@ -81,6 +81,19 @@ public:
   /// Convenience: decodes the whole stream into a vector.
   bool readAllEvents(std::vector<TraceEvent> &Out);
 
+  /// A still-encoded view of one event block, for forwarding the
+  /// payload verbatim — e.g. as an EVENTS frame of the orp-traced wire
+  /// protocol. The pointer aliases the reader's image and is valid
+  /// until the next open()/openImage(). \p Index must be in range.
+  struct RawBlock {
+    const uint8_t *Payload;
+    size_t PayloadLen;
+    uint64_t EventCount;
+    uint32_t Crc;         ///< CRC-32 declared by the block header.
+    uint64_t FileOffset;  ///< Absolute byte offset of the payload.
+  };
+  RawBlock rawBlock(size_t Index) const;
+
   /// The first error encountered, or empty.
   const std::string &error() const { return Err; }
 
@@ -89,9 +102,6 @@ private:
   bool parseHeader();
   bool parseRegistry(uint64_t Offset);
   bool indexBlocks(uint64_t RegistryOffset);
-  bool decodeBlock(size_t PayloadPos, size_t PayloadLen, uint64_t Count,
-                   uint64_t BlockIndex,
-                   const std::function<void(const TraceEvent &)> &Fn);
 
   std::string Name;
   std::vector<uint8_t> Bytes;

@@ -5,6 +5,7 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/VarInt.h"
+#include "traceio/RegistryCodec.h"
 
 using namespace orp;
 using namespace orp::traceio;
@@ -140,23 +141,7 @@ void TraceWriter::onFinish() { close(); }
 
 std::vector<uint8_t> TraceWriter::encodeRegistry() const {
   std::vector<uint8_t> Out;
-  encodeULEB128(Registry.numInstructions(), Out);
-  for (size_t I = 0; I != Registry.numInstructions(); ++I) {
-    const trace::InstrInfo &Info =
-        Registry.instruction(static_cast<trace::InstrId>(I));
-    encodeULEB128(Info.Name.size(), Out);
-    Out.insert(Out.end(), Info.Name.begin(), Info.Name.end());
-    Out.push_back(static_cast<uint8_t>(Info.Kind));
-  }
-  encodeULEB128(Registry.numAllocSites(), Out);
-  for (size_t I = 0; I != Registry.numAllocSites(); ++I) {
-    const trace::AllocSiteInfo &Info =
-        Registry.allocSite(static_cast<trace::AllocSiteId>(I));
-    encodeULEB128(Info.Name.size(), Out);
-    Out.insert(Out.end(), Info.Name.begin(), Info.Name.end());
-    encodeULEB128(Info.TypeName.size(), Out);
-    Out.insert(Out.end(), Info.TypeName.begin(), Info.TypeName.end());
-  }
+  appendRegistryPayload(Registry, Out);
   return Out;
 }
 

@@ -1,0 +1,730 @@
+//===- tests/session_test.cpp - Session engine tests ---------------------===//
+//
+// The contract under test: the session engine multiplexes N independent
+// trace streams without letting them observe each other. Per-session
+// profiles are byte-identical whether a trace is replayed serially by
+// the CLI path, streamed alone through a SessionManager, or interleaved
+// block-by-block with other sessions over 1, 2 or 8 scheduler threads —
+// and a corrupt stream, a full ingest queue, or an evicted neighbor
+// never perturbs anyone else's bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfilingSession.h"
+#include "session/Client.h"
+#include "session/Daemon.h"
+#include "session/ProfileSession.h"
+#include "session/SessionManager.h"
+#include "session/Wire.h"
+#include "support/Version.h"
+#include "support/WorkerPool.h"
+#include "telemetry/Registry.h"
+#include "traceio/TraceReader.h"
+#include "traceio/TraceWriter.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace orp;
+using session::SessionArtifacts;
+using session::SessionId;
+using session::SubmitStatus;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + "orp_session_" + Name;
+}
+
+/// Records \p WorkloadName (at \p Scale, with a small block size so the
+/// trace has many independently-schedulable blocks) to \p Path.
+void recordTrace(const std::string &WorkloadName, const std::string &Path,
+                 uint64_t Scale = 1, size_t BlockBytes = 2048) {
+  core::ProfilingSession Session(memsim::AllocPolicy::FirstFit, /*Seed=*/7);
+  traceio::TraceWriter Writer(Path, Session.registry(),
+                              memsim::AllocPolicy::FirstFit, /*Seed=*/7,
+                              BlockBytes);
+  ASSERT_TRUE(Writer.ok()) << Writer.error();
+  Session.addRawSink(&Writer);
+  auto W = workloads::createWorkloadByName(WorkloadName);
+  ASSERT_TRUE(W);
+  workloads::WorkloadConfig Config;
+  Config.Scale = Scale;
+  W->run(Session.memory(), Session.registry(), Config);
+  Session.finish();
+  ASSERT_TRUE(Writer.close()) << Writer.error();
+}
+
+/// The session configuration every path in these tests uses, derived
+/// from the trace header the way the daemon's OPEN handler does.
+session::SessionConfig configFor(const traceio::TraceReader &Reader) {
+  session::SessionConfig Config;
+  Config.Policy =
+      static_cast<memsim::AllocPolicy>(Reader.info().AllocPolicy);
+  Config.Seed = Reader.info().Seed;
+  return Config;
+}
+
+/// The serial ground truth: one ProfileSession fed by a whole-trace
+/// replay on this thread (the `orp-trace replay` path).
+SessionArtifacts serialArtifacts(const std::string &TracePath) {
+  traceio::TraceReader Reader;
+  EXPECT_TRUE(Reader.open(TracePath)) << Reader.error();
+  session::ProfileSession Session("serial", configFor(Reader));
+  EXPECT_TRUE(Session.replayFrom(Reader)) << Session.error();
+  return Session.finalize();
+}
+
+/// Opens \p TracePath as a manager session (registering the recorded
+/// probe tables the way an OPEN frame would).
+SessionId openFor(session::SessionManager &Mgr,
+                  traceio::TraceReader &Reader, const std::string &Name) {
+  return Mgr.open(Name, configFor(Reader), Reader.instructions(),
+                  Reader.allocSites());
+}
+
+/// Submits block \p Index of \p Reader, spinning out backpressure.
+void submitBlock(session::SessionManager &Mgr, SessionId Id,
+                 traceio::TraceReader &Reader, size_t Index) {
+  traceio::TraceReader::RawBlock B = Reader.rawBlock(Index);
+  SubmitStatus St;
+  while ((St = Mgr.submitBlock(Id, B.Payload, B.PayloadLen, B.EventCount,
+                               B.Crc)) == SubmitStatus::WouldBlock) {
+  }
+  ASSERT_EQ(St, SubmitStatus::Ok);
+}
+
+void expectSameProfile(const SessionArtifacts &A, const SessionArtifacts &B) {
+  EXPECT_FALSE(A.Failed) << A.Error;
+  EXPECT_FALSE(B.Failed) << B.Error;
+  EXPECT_EQ(A.Events, B.Events);
+  EXPECT_EQ(A.Omsg, B.Omsg);
+  EXPECT_EQ(A.Leap, B.Leap);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(SessionManagerTest, OpenCloseLifecycle) {
+  session::ManagerConfig Config;
+  session::SessionManager Mgr(Config);
+  EXPECT_EQ(Mgr.numLiveSessions(), 0u);
+
+  SessionId A = Mgr.open("a", session::SessionConfig{}, {}, {});
+  SessionId B = Mgr.open("b", session::SessionConfig{}, {}, {});
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Mgr.numLiveSessions(), 2u);
+
+  session::SessionStats Stats;
+  ASSERT_TRUE(Mgr.stats(A, Stats));
+  EXPECT_EQ(Stats.Name, "a");
+  EXPECT_EQ(Stats.Events, 0u);
+  EXPECT_FALSE(Stats.Failed);
+  EXPECT_GT(Stats.MemEstimateBytes, 0u);
+
+  SessionArtifacts ArtA = Mgr.close(A);
+  EXPECT_EQ(ArtA.Name, "a");
+  EXPECT_FALSE(ArtA.Failed);
+  EXPECT_FALSE(ArtA.Omsg.empty()); // Empty profiles still serialize.
+  EXPECT_EQ(Mgr.numLiveSessions(), 1u);
+  EXPECT_FALSE(Mgr.stats(A, Stats));
+
+  // Closing an unknown id reports, not crashes.
+  SessionArtifacts Unknown = Mgr.close(A);
+  EXPECT_TRUE(Unknown.Failed);
+  EXPECT_NE(Unknown.Error.find("unknown session id"), std::string::npos);
+
+  EXPECT_TRUE(Mgr.abort(B));
+  EXPECT_FALSE(Mgr.abort(B));
+  EXPECT_EQ(Mgr.numLiveSessions(), 0u);
+}
+
+TEST(SessionManagerTest, AnonymousSessionsGetGeneratedNames) {
+  session::SessionManager Mgr(session::ManagerConfig{});
+  SessionId Id = Mgr.open("", session::SessionConfig{}, {}, {});
+  session::SessionStats Stats;
+  ASSERT_TRUE(Mgr.stats(Id, Stats));
+  EXPECT_EQ(Stats.Name, "s" + std::to_string(Id));
+  Mgr.abort(Id);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism goldens: interleaving and scheduler width change nothing
+//===----------------------------------------------------------------------===//
+
+TEST(SessionManagerTest, InterleavedSessionsMatchSerialReplay) {
+  std::string PathA = tempPath("ilv_a.orpt");
+  std::string PathB = tempPath("ilv_b.orpt");
+  recordTrace("list-traversal", PathA, /*Scale=*/1);
+  recordTrace("list-traversal", PathB, /*Scale=*/2);
+  SessionArtifacts SerialA = serialArtifacts(PathA);
+  SessionArtifacts SerialB = serialArtifacts(PathB);
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    traceio::TraceReader ReaderA, ReaderB;
+    ASSERT_TRUE(ReaderA.open(PathA)) << ReaderA.error();
+    ASSERT_TRUE(ReaderB.open(PathB)) << ReaderB.error();
+    ASSERT_GT(ReaderA.numEventBlocks(), 4u)
+        << "trace too small to interleave meaningfully";
+
+    session::ManagerConfig Config;
+    Config.Threads = Threads;
+    Config.IngestQueueCapacity = 4;
+    session::SessionManager Mgr(Config);
+    SessionId A = openFor(Mgr, ReaderA, "a");
+    SessionId B = openFor(Mgr, ReaderB, "b");
+
+    // Strict block-by-block interleave: worst case for any scheduler
+    // that accidentally shares state across sessions.
+    size_t NumA = ReaderA.numEventBlocks(), NumB = ReaderB.numEventBlocks();
+    for (size_t I = 0; I != NumA || I != NumB; ++I) {
+      if (I < NumA)
+        submitBlock(Mgr, A, ReaderA, I);
+      if (I < NumB)
+        submitBlock(Mgr, B, ReaderB, I);
+      if (I >= NumA && I >= NumB)
+        break;
+    }
+    SessionArtifacts ArtA = Mgr.close(A);
+    SessionArtifacts ArtB = Mgr.close(B);
+    expectSameProfile(ArtA, SerialA);
+    expectSameProfile(ArtB, SerialB);
+  }
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(SessionManagerTest, FullIngestQueueReportsWouldBlock) {
+  std::string Path = tempPath("bp.orpt");
+  recordTrace("list-traversal", Path);
+  SessionArtifacts Serial = serialArtifacts(Path);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+  ASSERT_GT(Reader.numEventBlocks(), 6u);
+
+  session::ManagerConfig Config;
+  Config.Threads = 1;
+  Config.IngestQueueCapacity = 2;
+  session::SessionManager Mgr(Config);
+  SessionId Id = openFor(Mgr, Reader, "bp");
+
+  // Park the (only) shard worker so nothing drains.
+  support::SpscQueue<int> Gate(1);
+  ASSERT_EQ(Mgr.submitGate(Id, &Gate), SubmitStatus::Ok);
+
+  // With the worker parked, at most capacity + 1 blocks fit (one slot
+  // frees once the worker pops the gate item itself); then WouldBlock.
+  size_t Accepted = 0;
+  while (Accepted < Reader.numEventBlocks()) {
+    traceio::TraceReader::RawBlock B = Reader.rawBlock(Accepted);
+    SubmitStatus St =
+        Mgr.submitBlock(Id, B.Payload, B.PayloadLen, B.EventCount, B.Crc);
+    if (St == SubmitStatus::WouldBlock)
+      break;
+    ASSERT_EQ(St, SubmitStatus::Ok);
+    ++Accepted;
+  }
+  EXPECT_GE(Accepted, Config.IngestQueueCapacity - 1);
+  EXPECT_LE(Accepted, Config.IngestQueueCapacity + 1);
+  uint64_t Stalls = telemetry::Registry::global().snapshot().counter(
+      "session.submit_backpressure");
+  EXPECT_GE(Stalls, 1u);
+
+  // Release the worker; the stalled stream finishes normally and the
+  // profile is unaffected by ever having been backpressured.
+  Gate.push(1);
+  for (size_t I = Accepted; I != Reader.numEventBlocks(); ++I)
+    submitBlock(Mgr, Id, Reader, I);
+  SessionArtifacts Art = Mgr.close(Id);
+  expectSameProfile(Art, Serial);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction under a memory budget
+//===----------------------------------------------------------------------===//
+
+TEST(SessionManagerTest, IdleLruSessionEvictedUnderBudget) {
+  std::string Path = tempPath("evict.orpt");
+  recordTrace("list-traversal", Path);
+  SessionArtifacts Serial = serialArtifacts(Path);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+
+  session::ManagerConfig Config;
+  Config.Threads = 2;
+  Config.MemoryBudgetBytes = 1; // Any two sessions exceed this.
+  session::SessionManager Mgr(Config);
+
+  std::vector<std::pair<SessionId, SessionArtifacts>> Evicted;
+  Mgr.setEvictionHandler([&](SessionId Id, SessionArtifacts A) {
+    Evicted.emplace_back(Id, std::move(A));
+  });
+
+  SessionId A = openFor(Mgr, Reader, "victim");
+  for (size_t I = 0; I != Reader.numEventBlocks(); ++I)
+    submitBlock(Mgr, A, Reader, I);
+  // Wait until A is idle (eviction only takes idle victims).
+  session::SessionStats Stats;
+  do {
+    ASSERT_TRUE(Mgr.stats(A, Stats));
+  } while (Stats.Pending != 0);
+
+  // Opening a second session busts the budget; idle LRU "victim" goes.
+  SessionId B = Mgr.open("fresh", session::SessionConfig{}, {}, {});
+  ASSERT_EQ(Evicted.size(), 1u);
+  EXPECT_EQ(Evicted[0].first, A);
+  EXPECT_EQ(Evicted[0].second.Name, "victim");
+  expectSameProfile(Evicted[0].second, Serial); // Evict == clean close.
+  EXPECT_EQ(Mgr.numLiveSessions(), 1u);
+  EXPECT_FALSE(Mgr.stats(A, Stats));
+
+  // The survivor is never evicted below two live sessions, no matter
+  // how far over budget the manager sits.
+  EXPECT_EQ(Mgr.enforceBudget(), 0u);
+  EXPECT_TRUE(Mgr.stats(B, Stats));
+  Mgr.abort(B);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption isolation
+//===----------------------------------------------------------------------===//
+
+TEST(SessionManagerTest, CorruptBlockFailsOnlyItsOwnSession) {
+  std::string Path = tempPath("corrupt.orpt");
+  recordTrace("list-traversal", Path);
+  SessionArtifacts Serial = serialArtifacts(Path);
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+
+  session::ManagerConfig Config;
+  Config.Threads = 2;
+  session::SessionManager Mgr(Config);
+  SessionId Bad = openFor(Mgr, Reader, "bad");
+  SessionId Good = openFor(Mgr, Reader, "good");
+
+  // Session "bad" gets block 0 with a flipped payload byte.
+  traceio::TraceReader::RawBlock B0 = Reader.rawBlock(0);
+  std::vector<uint8_t> Tampered(B0.Payload, B0.Payload + B0.PayloadLen);
+  Tampered[Tampered.size() / 2] ^= 0x40;
+  SubmitStatus St;
+  while ((St = Mgr.submitBlock(Bad, Tampered.data(), Tampered.size(),
+                               B0.EventCount, B0.Crc)) ==
+         SubmitStatus::WouldBlock) {
+  }
+  ASSERT_EQ(St, SubmitStatus::Ok);
+
+  // Session "good" replays the whole (intact) trace concurrently.
+  for (size_t I = 0; I != Reader.numEventBlocks(); ++I)
+    submitBlock(Mgr, Good, Reader, I);
+
+  // "bad" latches its failure and rejects further blocks.
+  session::SessionStats Stats;
+  do {
+    ASSERT_TRUE(Mgr.stats(Bad, Stats));
+  } while (Stats.Pending != 0);
+  EXPECT_TRUE(Stats.Failed);
+  EXPECT_NE(Stats.Error.find("checksum mismatch"), std::string::npos)
+      << Stats.Error;
+  traceio::TraceReader::RawBlock B1 = Reader.rawBlock(1);
+  EXPECT_EQ(Mgr.submitBlock(Bad, B1.Payload, B1.PayloadLen, B1.EventCount,
+                            B1.Crc),
+            SubmitStatus::Failed);
+
+  SessionArtifacts BadArt = Mgr.close(Bad);
+  EXPECT_TRUE(BadArt.Failed);
+  EXPECT_FALSE(BadArt.Error.empty());
+
+  // The neighbor never notices.
+  SessionArtifacts GoodArt = Mgr.close(Good);
+  expectSameProfile(GoodArt, Serial);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol codecs
+//===----------------------------------------------------------------------===//
+
+TEST(WireTest, FrameParserReassemblesByteByByte) {
+  std::vector<uint8_t> Stream;
+  session::appendFrame(session::FrameType::Open, {1, 2, 3}, Stream);
+  session::appendFrame(session::FrameType::Close, {}, Stream);
+
+  session::FrameParser Parser;
+  std::vector<session::Frame> Got;
+  session::Frame F;
+  for (uint8_t Byte : Stream) {
+    Parser.feed(&Byte, 1);
+    while (Parser.next(F))
+      Got.push_back(F);
+  }
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0].Type, session::FrameType::Open);
+  EXPECT_EQ(Got[0].Payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(Got[1].Type, session::FrameType::Close);
+  EXPECT_TRUE(Got[1].Payload.empty());
+  EXPECT_FALSE(Parser.failed());
+}
+
+TEST(WireTest, FrameParserRejectsOversizedLength) {
+  // Length prefix far over kMaxFrameLength: a desynced client.
+  std::vector<uint8_t> Bad = {0xff, 0xff, 0xff, 0xff, 0x01};
+  session::FrameParser Parser;
+  Parser.feed(Bad.data(), Bad.size());
+  session::Frame F;
+  EXPECT_FALSE(Parser.next(F));
+  EXPECT_TRUE(Parser.failed());
+  EXPECT_NE(Parser.error().find("bad frame length"), std::string::npos);
+}
+
+TEST(WireTest, OpenRequestRoundTrips) {
+  session::OpenRequest Req;
+  Req.Name = "roundtrip";
+  Req.Config.Policy = memsim::AllocPolicy::BestFit;
+  Req.Config.Seed = 1234567;
+  Req.Config.EnableWhomp = true;
+  Req.Config.EnableLeap = false;
+  Req.Config.MaxLmads = 17;
+  Req.Instrs.push_back({"load_a", trace::AccessKind::Load});
+  Req.Sites.push_back({"site_x", "node_t"});
+
+  std::vector<uint8_t> Payload;
+  session::encodeOpen(Req, Payload);
+  session::OpenRequest Out;
+  std::string Err;
+  ASSERT_TRUE(session::decodeOpen(Payload.data(), Payload.size(), Out, Err))
+      << Err;
+  EXPECT_EQ(Out.Name, "roundtrip");
+  EXPECT_EQ(Out.Config.Policy, memsim::AllocPolicy::BestFit);
+  EXPECT_EQ(Out.Config.Seed, 1234567u);
+  EXPECT_TRUE(Out.Config.EnableWhomp);
+  EXPECT_FALSE(Out.Config.EnableLeap);
+  EXPECT_EQ(Out.Config.MaxLmads, 17u);
+  ASSERT_EQ(Out.Instrs.size(), 1u);
+  EXPECT_EQ(Out.Instrs[0].Name, "load_a");
+  ASSERT_EQ(Out.Sites.size(), 1u);
+  EXPECT_EQ(Out.Sites[0].TypeName, "node_t");
+
+  // Truncation is an error, not a crash.
+  ASSERT_GT(Payload.size(), 3u);
+  EXPECT_FALSE(
+      session::decodeOpen(Payload.data(), Payload.size() - 3, Out, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(WireTest, EventsHeaderAndCloseSummaryRoundTrip) {
+  std::vector<uint8_t> Payload;
+  session::encodeEventsHeader(99, 1234, 0xdeadbeef, Payload);
+  Payload.push_back(0x7f); // The block payload follows the header.
+  session::EventsHeader H;
+  std::string Err;
+  ASSERT_TRUE(
+      session::decodeEventsHeader(Payload.data(), Payload.size(), H, Err))
+      << Err;
+  EXPECT_EQ(H.SessionId, 99u);
+  EXPECT_EQ(H.EventCount, 1234u);
+  EXPECT_EQ(H.Crc, 0xdeadbeefu);
+  EXPECT_EQ(Payload[H.PayloadOffset], 0x7f);
+
+  session::CloseSummary S;
+  S.Events = 42;
+  S.Failed = true;
+  S.Error = "boom";
+  S.Omsg = {1, 2};
+  S.Leap = {3};
+  std::vector<uint8_t> Encoded;
+  session::encodeCloseSummary(S, Encoded);
+  session::CloseSummary Out;
+  ASSERT_TRUE(session::decodeCloseSummary(Encoded.data(), Encoded.size(),
+                                          Out, Err))
+      << Err;
+  EXPECT_EQ(Out.Events, 42u);
+  EXPECT_TRUE(Out.Failed);
+  EXPECT_EQ(Out.Error, "boom");
+  EXPECT_EQ(Out.Omsg, S.Omsg);
+  EXPECT_EQ(Out.Leap, S.Leap);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon + client, in process
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a Daemon on a background thread for one test's lifetime.
+class DaemonFixture {
+public:
+  explicit DaemonFixture(const std::string &Tag, unsigned Threads = 2) {
+    Config.SocketPath = tempPath(Tag + ".sock");
+    Config.Manager.Threads = Threads;
+    Daemon = std::make_unique<session::Daemon>(Config);
+    std::string Err;
+    Started = Daemon->start(Err);
+    EXPECT_TRUE(Started) << Err;
+    if (Started)
+      Thread = std::make_unique<support::ScopedThread>(
+          [this] { Daemon->run([this] { return Stop.load(); }); });
+  }
+
+  ~DaemonFixture() {
+    Stop.store(true);
+    if (Thread)
+      Thread->join();
+    Daemon.reset();
+    std::remove(Config.SocketPath.c_str());
+  }
+
+  const std::string &socketPath() const { return Config.SocketPath; }
+  bool started() const { return Started; }
+
+private:
+  session::DaemonConfig Config;
+  std::unique_ptr<session::Daemon> Daemon;
+  std::unique_ptr<support::ScopedThread> Thread;
+  std::atomic<bool> Stop{false};
+  bool Started = false;
+};
+
+/// Opens a session for \p Reader's trace over \p Client.
+bool openOver(session::Client &Client, traceio::TraceReader &Reader,
+              const std::string &Name, uint64_t &Id, std::string &Err) {
+  session::OpenRequest Req;
+  Req.Name = Name;
+  Req.Config = configFor(Reader);
+  Req.Instrs = Reader.instructions();
+  Req.Sites = Reader.allocSites();
+  return Client.openSession(Req, Id, Err);
+}
+
+} // namespace
+
+TEST(DaemonTest, RoundTripMatchesSerialReplay) {
+  std::string Path = tempPath("daemon.orpt");
+  recordTrace("list-traversal", Path);
+  SessionArtifacts Serial = serialArtifacts(Path);
+
+  DaemonFixture Fixture("rt");
+  ASSERT_TRUE(Fixture.started());
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+
+  session::Client Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(Fixture.socketPath(), Err)) << Err;
+
+  uint64_t Id = 0;
+  ASSERT_TRUE(openOver(Client, Reader, "rt", Id, Err)) << Err;
+  ASSERT_TRUE(Client.submitTrace(Id, Reader, Err)) << Err;
+
+  // Live per-session telemetry through the existing exporters.
+  std::string Prom;
+  ASSERT_TRUE(Client.snapshot(/*Format=*/2, "rt", Prom, Err)) << Err;
+  EXPECT_NE(Prom.find("orp_session_rt_events"), std::string::npos) << Prom;
+  std::string Json;
+  ASSERT_TRUE(Client.snapshot(/*Format=*/0, "", Json, Err)) << Err;
+  EXPECT_NE(Json.find("\"session.live\""), std::string::npos);
+
+  session::CloseSummary Summary;
+  ASSERT_TRUE(Client.closeSession(Id, Summary, Err)) << Err;
+  EXPECT_FALSE(Summary.Failed) << Summary.Error;
+  EXPECT_EQ(Summary.Events, Serial.Events);
+  EXPECT_EQ(Summary.Omsg, Serial.Omsg);
+  EXPECT_EQ(Summary.Leap, Serial.Leap);
+  std::remove(Path.c_str());
+}
+
+TEST(DaemonTest, TwoClientsInterleavedMatchSerialReplay) {
+  std::string PathA = tempPath("dual_a.orpt");
+  std::string PathB = tempPath("dual_b.orpt");
+  recordTrace("list-traversal", PathA, /*Scale=*/1);
+  recordTrace("list-traversal", PathB, /*Scale=*/2);
+  SessionArtifacts SerialA = serialArtifacts(PathA);
+  SessionArtifacts SerialB = serialArtifacts(PathB);
+
+  DaemonFixture Fixture("dual");
+  ASSERT_TRUE(Fixture.started());
+
+  traceio::TraceReader ReaderA, ReaderB;
+  ASSERT_TRUE(ReaderA.open(PathA)) << ReaderA.error();
+  ASSERT_TRUE(ReaderB.open(PathB)) << ReaderB.error();
+
+  session::Client ClientA, ClientB;
+  std::string Err;
+  ASSERT_TRUE(ClientA.connect(Fixture.socketPath(), Err)) << Err;
+  ASSERT_TRUE(ClientB.connect(Fixture.socketPath(), Err)) << Err;
+
+  uint64_t IdA = 0, IdB = 0;
+  ASSERT_TRUE(openOver(ClientA, ReaderA, "dual_a", IdA, Err)) << Err;
+  ASSERT_TRUE(openOver(ClientB, ReaderB, "dual_b", IdB, Err)) << Err;
+
+  // Interleave at block granularity across the two connections.
+  size_t NumA = ReaderA.numEventBlocks(), NumB = ReaderB.numEventBlocks();
+  for (size_t I = 0; I < NumA || I < NumB; ++I) {
+    if (I < NumA)
+      ASSERT_TRUE(ClientA.submitBlock(IdA, ReaderA.rawBlock(I), Err)) << Err;
+    if (I < NumB)
+      ASSERT_TRUE(ClientB.submitBlock(IdB, ReaderB.rawBlock(I), Err)) << Err;
+  }
+
+  session::CloseSummary SummaryA, SummaryB;
+  ASSERT_TRUE(ClientA.closeSession(IdA, SummaryA, Err)) << Err;
+  ASSERT_TRUE(ClientB.closeSession(IdB, SummaryB, Err)) << Err;
+  EXPECT_FALSE(SummaryA.Failed) << SummaryA.Error;
+  EXPECT_FALSE(SummaryB.Failed) << SummaryB.Error;
+  EXPECT_EQ(SummaryA.Omsg, SerialA.Omsg);
+  EXPECT_EQ(SummaryA.Leap, SerialA.Leap);
+  EXPECT_EQ(SummaryB.Omsg, SerialB.Omsg);
+  EXPECT_EQ(SummaryB.Leap, SerialB.Leap);
+  std::remove(PathA.c_str());
+  std::remove(PathB.c_str());
+}
+
+TEST(DaemonTest, AbruptDisconnectAbortsOnlyThatClientsSessions) {
+  std::string Path = tempPath("drop.orpt");
+  recordTrace("list-traversal", Path);
+  SessionArtifacts Serial = serialArtifacts(Path);
+
+  DaemonFixture Fixture("drop");
+  ASSERT_TRUE(Fixture.started());
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+
+  uint64_t AbortedBefore = telemetry::Registry::global().snapshot().counter(
+      "session.aborted");
+
+  // Client A opens a session, streams one block, and vanishes.
+  {
+    session::Client Doomed;
+    std::string Err;
+    ASSERT_TRUE(Doomed.connect(Fixture.socketPath(), Err)) << Err;
+    uint64_t Id = 0;
+    ASSERT_TRUE(openOver(Doomed, Reader, "doomed", Id, Err)) << Err;
+    ASSERT_TRUE(Doomed.submitBlock(Id, Reader.rawBlock(0), Err)) << Err;
+  } // Destructor closes the socket mid-stream; no CLOSE frame sent.
+
+  // Client B is unaffected: full stream, byte-identical profile.
+  session::Client Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(Fixture.socketPath(), Err)) << Err;
+  uint64_t Id = 0;
+  ASSERT_TRUE(openOver(Client, Reader, "survivor", Id, Err)) << Err;
+  ASSERT_TRUE(Client.submitTrace(Id, Reader, Err)) << Err;
+
+  // The daemon reaps the dead connection on its poll cadence; wait for
+  // the abort to land before asserting on it.
+  bool Aborted = false;
+  for (int Try = 0; Try != 200 && !Aborted; ++Try) {
+    std::string Text;
+    ASSERT_TRUE(Client.snapshot(/*Format=*/1, "", Text, Err)) << Err;
+    Aborted = telemetry::Registry::global().snapshot().counter(
+                  "session.aborted") > AbortedBefore;
+  }
+  EXPECT_TRUE(Aborted);
+
+  session::CloseSummary Summary;
+  ASSERT_TRUE(Client.closeSession(Id, Summary, Err)) << Err;
+  EXPECT_FALSE(Summary.Failed) << Summary.Error;
+  EXPECT_EQ(Summary.Omsg, Serial.Omsg);
+  EXPECT_EQ(Summary.Leap, Serial.Leap);
+  std::remove(Path.c_str());
+}
+
+TEST(DaemonTest, CorruptStreamGetsErrorReplyOthersUnaffected) {
+  std::string Path = tempPath("derr.orpt");
+  recordTrace("list-traversal", Path);
+  SessionArtifacts Serial = serialArtifacts(Path);
+
+  DaemonFixture Fixture("derr");
+  ASSERT_TRUE(Fixture.started());
+
+  traceio::TraceReader Reader;
+  ASSERT_TRUE(Reader.open(Path)) << Reader.error();
+
+  session::Client Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(Fixture.socketPath(), Err)) << Err;
+  uint64_t BadId = 0, GoodId = 0;
+  ASSERT_TRUE(openOver(Client, Reader, "derr_bad", BadId, Err)) << Err;
+  ASSERT_TRUE(openOver(Client, Reader, "derr_good", GoodId, Err)) << Err;
+
+  // A tampered block: the daemon keeps running and the session reports
+  // its decode error on the next submit (or at close).
+  traceio::TraceReader::RawBlock B0 = Reader.rawBlock(0);
+  traceio::TraceReader::RawBlock Tampered = B0;
+  std::vector<uint8_t> Bytes(B0.Payload, B0.Payload + B0.PayloadLen);
+  Bytes[Bytes.size() / 2] ^= 0x20;
+  Tampered.Payload = Bytes.data();
+  ASSERT_TRUE(Client.submitBlock(BadId, Tampered, Err)) << Err;
+
+  ASSERT_TRUE(Client.submitTrace(GoodId, Reader, Err)) << Err;
+
+  session::CloseSummary BadSummary;
+  ASSERT_TRUE(Client.closeSession(BadId, BadSummary, Err)) << Err;
+  EXPECT_TRUE(BadSummary.Failed);
+  EXPECT_NE(BadSummary.Error.find("checksum mismatch"), std::string::npos)
+      << BadSummary.Error;
+
+  session::CloseSummary GoodSummary;
+  ASSERT_TRUE(Client.closeSession(GoodId, GoodSummary, Err)) << Err;
+  EXPECT_FALSE(GoodSummary.Failed) << GoodSummary.Error;
+  EXPECT_EQ(GoodSummary.Omsg, Serial.Omsg);
+  EXPECT_EQ(GoodSummary.Leap, Serial.Leap);
+  std::remove(Path.c_str());
+}
+
+TEST(DaemonTest, ClosingForeignSessionIsRejected) {
+  DaemonFixture Fixture("foreign");
+  ASSERT_TRUE(Fixture.started());
+
+  session::Client A, B;
+  std::string Err;
+  ASSERT_TRUE(A.connect(Fixture.socketPath(), Err)) << Err;
+  ASSERT_TRUE(B.connect(Fixture.socketPath(), Err)) << Err;
+
+  session::OpenRequest Req;
+  Req.Name = "mine";
+  uint64_t Id = 0;
+  ASSERT_TRUE(A.openSession(Req, Id, Err)) << Err;
+
+  // B never opened Id; the daemon must not let it close A's session.
+  session::CloseSummary Summary;
+  EXPECT_FALSE(B.closeSession(Id, Summary, Err));
+  EXPECT_NE(Err.find("not open on this connection"), std::string::npos)
+      << Err;
+
+  ASSERT_TRUE(A.closeSession(Id, Summary, Err)) << Err;
+  EXPECT_FALSE(Summary.Failed);
+}
+
+//===----------------------------------------------------------------------===//
+// Version / format pinning
+//===----------------------------------------------------------------------===//
+
+TEST(VersionTest, SupportedFormatRangeCoversTheWriterFormat) {
+  // support/Version.h cannot include traceio (layering); this pin keeps
+  // the advertised range honest when the format gains a revision.
+  EXPECT_LE(support::kMinTraceFormatVersion,
+            static_cast<unsigned>(traceio::kFormatVersion));
+  EXPECT_GE(support::kMaxTraceFormatVersion,
+            static_cast<unsigned>(traceio::kFormatVersion));
+}

@@ -338,6 +338,32 @@ TEST_F(TraceIoCorruptionTest, FlippedBlockPayloadByteIsRejected) {
   expectRejected(std::move(Bad), "checksum mismatch");
 }
 
+TEST_F(TraceIoCorruptionTest, BlockErrorsNameBlockIndexAndByteOffset) {
+  // Pins the structured error format "block <index> at byte <offset>"
+  // that tooling (and humans with hexdump) navigate by. Block 0's
+  // payload starts right after the fixed header and its 6-byte block
+  // framing (tag, two single-byte ulebs for a small trace, u32 CRC) —
+  // compute the exact offset from the reader's own accounting instead.
+  traceio::TraceReader Intact;
+  ASSERT_TRUE(Intact.openImage(Good, "good.orpt")) << Intact.error();
+  ASSERT_GT(Intact.numEventBlocks(), 0u);
+  uint64_t Block0Offset = Intact.rawBlock(0).FileOffset;
+
+  std::vector<uint8_t> Bad = Good;
+  Bad[Block0Offset + 8] ^= 0x01;
+  expectRejected(Bad, "block 0 at byte " + std::to_string(Block0Offset) +
+                          ": checksum mismatch");
+
+  // A later block reports its own index and offset, not block 0's.
+  if (Intact.numEventBlocks() > 1) {
+    uint64_t Block1Offset = Intact.rawBlock(1).FileOffset;
+    std::vector<uint8_t> Bad1 = Good;
+    Bad1[Block1Offset + 8] ^= 0x01;
+    expectRejected(std::move(Bad1),
+                   "block 1 at byte " + std::to_string(Block1Offset));
+  }
+}
+
 TEST_F(TraceIoCorruptionTest, UnsupportedVersionIsRejected) {
   std::vector<uint8_t> Bad = Good;
   Bad[4] = traceio::kFormatVersion + 1;

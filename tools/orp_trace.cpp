@@ -12,17 +12,27 @@
 //                    [--metrics-interval=N] [--metrics-format=FMT]
 //   orp-trace stats <file> [--threads=N] [--lmads=N] [--metrics=PATH|-]
 //                    [--metrics-format=FMT]
+//   orp-trace submit <file> --socket=PATH [--name=NAME] [--lmads=N]
+//                    [--print-snapshot=FMT] [--dump-omsg=FILE]
+//                    [--dump-leap=FILE]
 //   orp-trace info <file> [--blocks]
 //   orp-trace verify <file>
+//   orp-trace version
+//
+// replay/stats drive the same single-session engine (src/session) the
+// orp-traced daemon runs many of; submit streams a trace into a running
+// daemon instead. Both paths produce byte-identical profiles.
 //
 //===----------------------------------------------------------------------===//
 
 #include "baseline/RasgProfiler.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
+#include "session/Client.h"
 #include "support/LogSink.h"
 #include "support/ParseNumber.h"
 #include "support/TablePrinter.h"
+#include "support/Version.h"
 #include "telemetry/Registry.h"
 #include "trace/MetricsTicker.h"
 #include "traceio/TraceReplayer.h"
@@ -64,12 +74,37 @@ int usage(const char *Argv0) {
       "WHOMP+LEAP and print\n"
       "         [--metrics=PATH|-] [--metrics-format=FMT]   the telemetry "
       "snapshot\n"
+      "  submit <file> --socket=PATH                 stream a trace into a "
+      "running orp-traced\n"
+      "         [--name=NAME] [--lmads=N] [--print-snapshot=json|"
+      "json-lines|prometheus]\n"
+      "         [--dump-omsg=FILE] [--dump-leap=FILE]\n"
       "  info <file> [--blocks]                      print header, stream "
       "and per-block statistics\n"
       "  verify <file>                               validate structure "
-      "and checksums",
+      "and checksums\n"
+      "  version                                     print version and "
+      "build flags",
       Argv0);
   return 1;
+}
+
+/// Writes opaque, already-serialized artifact bytes to \p Path.
+bool writeArtifactFile(const std::string &Path,
+                       const std::vector<uint8_t> &Bytes) {
+  // orp-lint: allow(endian-io): opaque byte image; all field encoding
+  // happened inside serialize().
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out ||
+      std::fwrite(Bytes.data(), 1, Bytes.size(), Out) != Bytes.size()) {
+    logMessage(LogLevel::Error, "orp-trace: cannot write '%s'",
+               Path.c_str());
+    if (Out)
+      std::fclose(Out);
+    return false;
+  }
+  std::fclose(Out);
+  return true;
 }
 
 const char *flagValue(const std::string &Arg, const char *Prefix) {
@@ -332,19 +367,22 @@ int cmdReplay(int Argc, char **Argv) {
     logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
     return 1;
   }
-  traceio::TraceReplayer Replayer(Reader);
-  Replayer.setThreads(Threads);
-  auto Session = Replayer.makeSession();
 
-  whomp::WhompProfiler Whomp(Threads);
-  leap::LeapProfiler Leap(MaxLmads, Threads);
+  // One ProfileSession — the same engine an orp-traced session runs, so
+  // this path and the daemon path produce byte-identical artifacts.
+  session::SessionConfig Config;
+  Config.Policy =
+      static_cast<memsim::AllocPolicy>(Reader.info().AllocPolicy);
+  Config.Seed = Reader.info().Seed;
+  Config.EnableWhomp = Profiler == "whomp";
+  Config.EnableLeap = Profiler == "leap";
+  Config.MaxLmads = MaxLmads;
+  Config.ProfilerThreads = Threads;
+  session::ProfileSession Session(Path, Config);
+
   baseline::RasgProfiler Rasg;
-  if (Profiler == "whomp")
-    Session->addConsumer(&Whomp);
-  else if (Profiler == "leap")
-    Session->addConsumer(&Leap);
-  else
-    Session->addRawSink(&Rasg);
+  if (Profiler == "rasg")
+    Session.core().addRawSink(&Rasg);
 
   bool TickerOk = true;
   std::unique_ptr<trace::MetricsTicker> Ticker =
@@ -352,16 +390,17 @@ int cmdReplay(int Argc, char **Argv) {
   if (!TickerOk)
     return 1;
   if (Ticker)
-    Session->addRawSink(Ticker.get());
+    Session.core().addRawSink(Ticker.get());
 
-  if (!Replayer.replayInto(*Session)) {
-    logMessage(LogLevel::Error, "orp-trace: %s", Replayer.error().c_str());
+  if (!Session.replayFrom(Reader, Threads)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Session.error().c_str());
     return 1;
   }
+  session::SessionArtifacts Artifacts = Session.finalize();
   std::printf("%s: replayed %llu events (%llu instr sites, %llu alloc "
               "sites, alloc policy %s, env seed %llu)\n",
               Path.c_str(),
-              static_cast<unsigned long long>(Replayer.eventsReplayed()),
+              static_cast<unsigned long long>(Session.eventsInjected()),
               static_cast<unsigned long long>(Reader.info().NumInstructions),
               static_cast<unsigned long long>(Reader.info().NumAllocSites),
               memsim::allocPolicyName(static_cast<memsim::AllocPolicy>(
@@ -369,34 +408,24 @@ int cmdReplay(int Argc, char **Argv) {
               static_cast<unsigned long long>(Reader.info().Seed));
 
   if (Profiler == "whomp") {
+    whomp::WhompProfiler &Whomp = *Session.whomp();
     whomp::OmsgSizes S = Whomp.sizes();
     std::printf("WHOMP OMSG: %zu tuples, %zu bytes (instr %zu, group %zu, "
                 "object %zu, offset %zu)\n",
                 static_cast<size_t>(Whomp.tuplesSeen()), S.total(), S.Instr,
                 S.Group, S.Object, S.Offset);
     if (!DumpOmsg.empty()) {
-      auto Bytes =
-          whomp::OmsgArchive::build(Whomp, &Session->omc()).serialize();
-      // orp-lint: allow(endian-io): writes an opaque, already-serialized
-      // byte image; all field encoding happened inside serialize().
-      std::FILE *Out = std::fopen(DumpOmsg.c_str(), "wb");
-      if (!Out || std::fwrite(Bytes.data(), 1, Bytes.size(), Out) !=
-                      Bytes.size()) {
-        logMessage(LogLevel::Error, "orp-trace: cannot write '%s'",
-                   DumpOmsg.c_str());
-        if (Out)
-          std::fclose(Out);
+      if (!writeArtifactFile(DumpOmsg, Artifacts.Omsg))
         return 1;
-      }
-      std::fclose(Out);
       std::printf("wrote OMSG archive: %s (%zu bytes)\n", DumpOmsg.c_str(),
-                  Bytes.size());
+                  Artifacts.Omsg.size());
     }
   } else if (Profiler == "leap") {
+    leap::LeapProfiler &Leap = *Session.leap();
     auto Data = leap::LeapProfileData::fromProfiler(Leap);
     std::printf("LEAP: %zu substreams, %zu profile bytes, %.1f%% accesses "
                 "/ %.1f%% instructions captured\n",
-                Data.substreams().size(), Data.serialize().size(),
+                Data.substreams().size(), Artifacts.Leap.size(),
                 Leap.accessesCapturedPercent(),
                 Leap.instructionsCapturedPercent());
   } else {
@@ -488,24 +517,25 @@ int cmdStats(int Argc, char **Argv) {
     logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
     return 1;
   }
-  traceio::TraceReplayer Replayer(Reader);
-  Replayer.setThreads(Threads);
-  auto Session = Replayer.makeSession();
 
   // Both profilers at once: the snapshot then covers the whole pipeline
   // — OMC, CDC, WHOMP grammars and LEAP substreams in one table.
-  whomp::WhompProfiler Whomp(Threads);
-  leap::LeapProfiler Leap(MaxLmads, Threads);
-  Session->addConsumer(&Whomp);
-  Session->addConsumer(&Leap);
+  session::SessionConfig Config;
+  Config.Policy =
+      static_cast<memsim::AllocPolicy>(Reader.info().AllocPolicy);
+  Config.Seed = Reader.info().Seed;
+  Config.MaxLmads = MaxLmads;
+  Config.ProfilerThreads = Threads;
+  session::ProfileSession Session(Path, Config);
 
-  if (!Replayer.replayInto(*Session)) {
-    logMessage(LogLevel::Error, "orp-trace: %s", Replayer.error().c_str());
+  if (!Session.replayFrom(Reader, Threads)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Session.error().c_str());
     return 1;
   }
+  Session.finalize();
 
   std::printf("%s: %llu events, %u thread(s)\n", Path.c_str(),
-              static_cast<unsigned long long>(Replayer.eventsReplayed()),
+              static_cast<unsigned long long>(Session.eventsInjected()),
               Threads);
   telemetry::MetricsSnapshot S = telemetry::Registry::global().snapshot();
   printSnapshotTables(S);
@@ -627,6 +657,120 @@ int cmdInfo(int Argc, char **Argv) {
   return 0;
 }
 
+/// Default session name for a submitted trace: the file's base name
+/// without its .orpt suffix.
+std::string defaultSessionName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  if (Base.size() > 5 && Base.compare(Base.size() - 5, 5, ".orpt") == 0)
+    Base.resize(Base.size() - 5);
+  return Base.empty() ? "trace" : Base;
+}
+
+int cmdSubmit(int Argc, char **Argv) {
+  std::string Path, Socket, Name, DumpOmsg, DumpLeap, SnapshotFmt;
+  unsigned MaxLmads = 30;
+  for (int I = 0; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (const char *V = flagValue(Arg, "--socket=")) {
+      Socket = V;
+    } else if (const char *V = flagValue(Arg, "--name=")) {
+      Name = V;
+    } else if (const char *V = flagValue(Arg, "--lmads=")) {
+      if (!numericFlag("submit", "--lmads", V, MaxLmads))
+        return 1;
+    } else if (const char *V = flagValue(Arg, "--dump-omsg=")) {
+      DumpOmsg = V;
+    } else if (const char *V = flagValue(Arg, "--dump-leap=")) {
+      DumpLeap = V;
+    } else if (const char *V = flagValue(Arg, "--print-snapshot=")) {
+      SnapshotFmt = V;
+      if (SnapshotFmt != "json" && SnapshotFmt != "json-lines" &&
+          SnapshotFmt != "prometheus") {
+        logMessage(LogLevel::Error,
+                   "orp-trace submit: --print-snapshot expects "
+                   "json|json-lines|prometheus, got '%s'",
+                   V);
+        return 1;
+      }
+    } else if (Arg[0] != '-' && Path.empty()) {
+      Path = Arg;
+    } else {
+      logMessage(LogLevel::Error, "orp-trace submit: bad argument '%s'",
+                 Arg.c_str());
+      return 1;
+    }
+  }
+  if (Path.empty() || Socket.empty()) {
+    logMessage(LogLevel::Error,
+               "orp-trace submit: need <file> and --socket=PATH");
+    return 1;
+  }
+
+  traceio::TraceReader Reader;
+  if (!Reader.open(Path)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Reader.error().c_str());
+    return 1;
+  }
+
+  session::Client Client;
+  std::string Err;
+  if (!Client.connect(Socket, Err)) {
+    logMessage(LogLevel::Error, "orp-trace: %s", Err.c_str());
+    return 1;
+  }
+
+  session::OpenRequest Req;
+  Req.Name = Name.empty() ? defaultSessionName(Path) : Name;
+  Req.Config.Policy =
+      static_cast<memsim::AllocPolicy>(Reader.info().AllocPolicy);
+  Req.Config.Seed = Reader.info().Seed;
+  Req.Config.MaxLmads = MaxLmads;
+  Req.Instrs = Reader.instructions();
+  Req.Sites = Reader.allocSites();
+
+  uint64_t Id = 0;
+  if (!Client.openSession(Req, Id, Err) ||
+      !Client.submitTrace(Id, Reader, Err)) {
+    logMessage(LogLevel::Error, "orp-trace submit: %s", Err.c_str());
+    return 1;
+  }
+
+  if (!SnapshotFmt.empty()) {
+    uint8_t Format = SnapshotFmt == "json" ? 0
+                     : SnapshotFmt == "json-lines" ? 1
+                                                   : 2;
+    std::string Text;
+    if (!Client.snapshot(Format, Req.Name, Text, Err)) {
+      logMessage(LogLevel::Error, "orp-trace submit: %s", Err.c_str());
+      return 1;
+    }
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+  }
+
+  session::CloseSummary Summary;
+  if (!Client.closeSession(Id, Summary, Err)) {
+    logMessage(LogLevel::Error, "orp-trace submit: %s", Err.c_str());
+    return 1;
+  }
+  if (Summary.Failed) {
+    logMessage(LogLevel::Error, "orp-trace submit: daemon: %s",
+               Summary.Error.c_str());
+    return 1;
+  }
+  std::printf("%s: submitted %llu events as '%s' (omsg %zu bytes, leap "
+              "%zu bytes)\n",
+              Path.c_str(),
+              static_cast<unsigned long long>(Summary.Events),
+              Req.Name.c_str(), Summary.Omsg.size(), Summary.Leap.size());
+  if (!DumpOmsg.empty() && !writeArtifactFile(DumpOmsg, Summary.Omsg))
+    return 1;
+  if (!DumpLeap.empty() && !writeArtifactFile(DumpLeap, Summary.Leap))
+    return 1;
+  return 0;
+}
+
 int cmdVerify(const char *Path) {
   traceio::TraceReader Reader;
   uint64_t Events = 0;
@@ -654,6 +798,12 @@ int main(int Argc, char **Argv) {
     return cmdReplay(Argc - 2, Argv + 2);
   if (Cmd == "stats")
     return cmdStats(Argc - 2, Argv + 2);
+  if (Cmd == "submit")
+    return cmdSubmit(Argc - 2, Argv + 2);
+  if (Cmd == "version" || Cmd == "--version") {
+    support::printVersion("orp-trace");
+    return 0;
+  }
   if (Cmd == "info" && Argc >= 3)
     return cmdInfo(Argc - 2, Argv + 2);
   if (Cmd == "verify" && Argc == 3)

@@ -1,0 +1,132 @@
+//===- tools/orp_traced.cpp - The ORP profiling daemon --------------------===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+//
+// orp-traced: accepts trace streams over a Unix-domain socket and
+// multiplexes them over a session engine (src/session). Clients open
+// sessions, stream still-encoded .orpt event blocks, scrape live
+// telemetry snapshots, and collect the finalized profiles on close —
+// see `orp-trace submit` for the canonical client.
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/Daemon.h"
+#include "support/LogSink.h"
+#include "support/ParseNumber.h"
+#include "support/Version.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace orp;
+using support::LogLevel;
+using support::logMessage;
+
+namespace {
+
+volatile std::sig_atomic_t GStopRequested = 0;
+
+void onSignal(int) { GStopRequested = 1; }
+
+int usage() {
+  logMessage(
+      LogLevel::Error,
+      "usage: orp-traced --socket=PATH [options]\n"
+      "\n"
+      "Serves the orp-trace framed protocol on a Unix-domain socket,\n"
+      "profiling many concurrent trace streams in one process.\n"
+      "\n"
+      "  --socket=PATH       socket path to listen on (required)\n"
+      "  --outdir=DIR        write <session>.omsg/.leap here on close\n"
+      "  --threads=N         scheduler shard threads (default 1)\n"
+      "  --queue-capacity=N  per-session ingest queue slots (default 8)\n"
+      "  --budget-bytes=N    evict idle LRU sessions over this estimate\n"
+      "                      (default 0 = unlimited)\n"
+      "  --version           print version and build flags");
+  return 2;
+}
+
+const char *flagValue(const std::string &Arg, const char *Prefix) {
+  size_t Len = std::strlen(Prefix);
+  return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+}
+
+bool numericFlag(const char *Flag, const char *Text, uint64_t &Out) {
+  if (support::parseUint64(Text, Out))
+    return true;
+  logMessage(LogLevel::Error,
+             "orp-traced: %s expects an unsigned integer, got '%s'", Flag,
+             Text);
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  session::DaemonConfig Config;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    const char *V;
+    uint64_t N;
+    if (Arg == "--version") {
+      support::printVersion("orp-traced");
+      return 0;
+    } else if ((V = flagValue(Arg, "--socket="))) {
+      Config.SocketPath = V;
+    } else if ((V = flagValue(Arg, "--outdir="))) {
+      Config.OutDir = V;
+    } else if ((V = flagValue(Arg, "--threads="))) {
+      if (!numericFlag("--threads", V, N))
+        return usage();
+      if (!N || N > 256) {
+        logMessage(LogLevel::Error,
+                   "orp-traced: --threads must be in [1, 256]");
+        return usage();
+      }
+      Config.Manager.Threads = static_cast<unsigned>(N);
+    } else if ((V = flagValue(Arg, "--queue-capacity="))) {
+      if (!numericFlag("--queue-capacity", V, N))
+        return usage();
+      if (!N) {
+        logMessage(LogLevel::Error,
+                   "orp-traced: --queue-capacity must be >= 1");
+        return usage();
+      }
+      Config.Manager.IngestQueueCapacity = static_cast<size_t>(N);
+    } else if ((V = flagValue(Arg, "--budget-bytes="))) {
+      if (!numericFlag("--budget-bytes", V, N))
+        return usage();
+      Config.Manager.MemoryBudgetBytes = static_cast<size_t>(N);
+    } else {
+      logMessage(LogLevel::Error, "orp-traced: unknown argument '%s'",
+                 Arg.c_str());
+      return usage();
+    }
+  }
+  if (Config.SocketPath.empty()) {
+    logMessage(LogLevel::Error, "orp-traced: --socket is required");
+    return usage();
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  session::Daemon Daemon(Config);
+  std::string Err;
+  if (!Daemon.start(Err)) {
+    logMessage(LogLevel::Error, "orp-traced: %s", Err.c_str());
+    return 1;
+  }
+  std::printf("orp-traced: listening on %s (%u shard%s)\n",
+              Config.SocketPath.c_str(), Config.Manager.Threads,
+              Config.Manager.Threads == 1 ? "" : "s");
+  std::fflush(stdout);
+  Daemon.run([] { return GStopRequested != 0; });
+  std::printf("orp-traced: shut down\n");
+  return 0;
+}
