@@ -14,7 +14,9 @@
 #include "omc/ObjectManager.h"
 #include "sequitur/Sequitur.h"
 #include "support/Random.h"
+#include "support/VarInt.h"
 #include "telemetry/Metric.h"
+#include "traceio/BlockCodec.h"
 #include "traceio/TraceReader.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
@@ -116,6 +118,114 @@ void BM_OmcTranslateAlternating(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * Objects);
 }
 BENCHMARK(BM_OmcTranslateAlternating)->Arg(0)->Arg(1);
+
+//===----------------------------------------------------------------------===//
+// Event-block decode (.orpt v1 interleaved vs v2 columnar)
+//===----------------------------------------------------------------------===//
+
+/// Synthesizes one event block of accesses whose address deltas need
+/// exactly range(1) sleb bytes, encodes it in format version range(0),
+/// and measures raw payload decode throughput — the inner loop of both
+/// file replay and daemon EVENTS-frame ingest. Items = decoded events.
+void BM_BlockDecode(benchmark::State &State) {
+  const unsigned Version = static_cast<unsigned>(State.range(0));
+  const unsigned DeltaBytes = static_cast<unsigned>(State.range(1));
+  constexpr uint64_t NumEvents = 16384;
+
+  // Largest magnitude an sleb of DeltaBytes still holds (6 payload bits
+  // in the final byte, 7 in each before it); deltas draw from the upper
+  // half of that range so every one encodes at the intended width.
+  const uint64_t MaxMag = (1ull << (7 * DeltaBytes - 1)) - 1;
+  Rng R(42);
+  struct Ev {
+    uint32_t Instr;
+    uint64_t Addr, Time, Size;
+    bool IsStore;
+  };
+  std::vector<Ev> Events(NumEvents);
+  uint64_t Addr = 1ull << 60, Time = 0;
+  for (uint64_t I = 0; I != NumEvents; ++I) {
+    uint64_t Mag = MaxMag / 2 + 1 + R.nextBelow(MaxMag / 2);
+    Addr = (I & 1) ? Addr - Mag : Addr + Mag;
+    ++Time;
+    Events[I] = {static_cast<uint32_t>(R.nextBelow(512)), Addr, Time,
+                 (I % 4 == 0) ? 4ull : 8ull, (I & 3) == 0};
+  }
+
+  std::vector<uint8_t> Payload;
+  if (Version == 1) {
+    uint64_t PrevAddr = 0, PrevTime = 0;
+    for (const Ev &E : Events) {
+      uint8_t Tag = traceio::kOpAccess;
+      if (E.IsStore)
+        Tag |= traceio::kTagStore;
+      if (E.Size == 8)
+        Tag |= traceio::kTagSize8;
+      Payload.push_back(Tag);
+      encodeULEB128(E.Instr, Payload);
+      encodeSLEB128(static_cast<int64_t>(E.Addr - PrevAddr), Payload);
+      encodeSLEB128(static_cast<int64_t>(E.Time - PrevTime), Payload);
+      if (E.Size != 8)
+        encodeULEB128(E.Size, Payload);
+      PrevAddr = E.Addr;
+      PrevTime = E.Time;
+    }
+  } else {
+    std::vector<uint8_t> Cols[5];
+    uint64_t PrevAddr = 0, PrevTime = 0;
+    for (const Ev &E : Events) {
+      uint8_t Tag = traceio::kOpAccess;
+      if (E.IsStore)
+        Tag |= traceio::kTagStore;
+      if (E.Size == 8)
+        Tag |= traceio::kTagSize8;
+      Cols[0].push_back(Tag);
+      encodeULEB128(E.Instr, Cols[1]);
+      encodeSLEB128(static_cast<int64_t>(E.Addr - PrevAddr), Cols[2]);
+      encodeSLEB128(static_cast<int64_t>(E.Time - PrevTime), Cols[3]);
+      if (E.Size != 8)
+        encodeULEB128(E.Size, Cols[4]);
+      PrevAddr = E.Addr;
+      PrevTime = E.Time;
+    }
+    for (const std::vector<uint8_t> &Col : Cols) {
+      encodeULEB128(Col.size(), Payload);
+      Payload.insert(Payload.end(), Col.begin(), Col.end());
+    }
+  }
+
+  std::string Err;
+  traceio::DecodedBlock Block;
+  uint64_t Sink = 0;
+  for (auto _ : State) {
+    bool Ok;
+    if (Version == 1) {
+      Ok = traceio::decodeEventBlock(
+          Payload.data(), Payload.size(), NumEvents,
+          [&](const traceio::TraceEvent &E) { Sink += E.Addr; }, Err);
+    } else {
+      Ok = traceio::decodeEventBlockV2(Payload.data(), Payload.size(),
+                                       NumEvents, Block, Err);
+      for (const trace::AccessEvent &E : Block.Accesses)
+        Sink += E.Addr;
+    }
+    if (!Ok) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(NumEvents));
+}
+BENCHMARK(BM_BlockDecode)
+    ->ArgNames({"ver", "delta_bytes"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({1, 8})
+    ->Args({2, 8});
 
 //===----------------------------------------------------------------------===//
 // LMAD compression

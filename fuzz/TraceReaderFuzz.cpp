@@ -38,9 +38,9 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
   return 0;
 }
 
-/// Records a small synthetic probe stream through the real writer and
-/// returns the file's bytes.
-static std::vector<uint8_t> recordSeedTrace() {
+/// Records a small synthetic probe stream through the real writer in
+/// the given .orpt format version and returns the file's bytes.
+static std::vector<uint8_t> recordSeedTrace(uint8_t FormatVersion) {
   std::string Path =
       (std::filesystem::temp_directory_path() / "orp-tracereader-fuzz-seed.orpt")
           .string();
@@ -51,7 +51,8 @@ static std::vector<uint8_t> recordSeedTrace() {
   trace::AllocSiteId Site = Registry.addAllocSite("fuzz: alloc", "struct fz");
   {
     traceio::TraceWriter Writer(Path, Registry, memsim::AllocPolicy::FirstFit,
-                                /*Seed=*/42, /*BlockBytes=*/128);
+                                /*Seed=*/42, /*BlockBytes=*/128,
+                                FormatVersion);
     uint64_t Time = 0;
     Writer.onAlloc({Site, /*Addr=*/0x1000, /*Size=*/64, ++Time,
                     /*IsStatic=*/false});
@@ -72,7 +73,10 @@ static std::vector<uint8_t> recordSeedTrace() {
 
 std::vector<std::vector<uint8_t>> orpFuzzSeedInputs() {
   std::vector<std::vector<uint8_t>> Seeds;
-  Seeds.push_back(recordSeedTrace());
+  // One seed per on-disk encoding, so mutations explore both the v1
+  // interleaved record interior and the v2 column directory.
+  Seeds.push_back(recordSeedTrace(traceio::kFormatVersionV1));
+  Seeds.push_back(recordSeedTrace(traceio::kFormatVersionV2));
   // Degenerate seeds: empty input, bare magic, magic + junk version.
   Seeds.push_back({});
   Seeds.push_back({'O', 'R', 'P', 'T'});

@@ -137,6 +137,29 @@ CheckReport OmcValidator::validate(const ObjectManager &M) {
     CheckCacheRange(M.InstrCache[L].Base, M.InstrCache[L].End,
                     M.InstrCache[L].ObjectId, "omc instr cache");
 
+  // The page table self-validates its hits against the records, so a
+  // stale entry is legal; but every occupied entry must reference an
+  // in-range record, and while that record is live its address range
+  // must intersect the entry's page — entries are only ever inserted
+  // from a successful translation, which makes anything else a desync.
+  Report.require(M.PageTable.empty() ||
+                     M.PageTable.size() == ObjectManager::kPageTableSlots,
+                 "omc page table: unexpected size");
+  for (const ObjectManager::PageEntry &E : M.PageTable) {
+    if (E.Page == ObjectManager::kEmptyPage)
+      continue;
+    if (!Report.require(E.ObjectId < Records.size(),
+                        "omc page table: entry object id out of range"))
+      continue;
+    const ObjectRecord &R = Records[E.ObjectId];
+    if (R.FreeTime != ObjectManager::kLiveForever)
+      continue; // Stale by design; hits re-validate and skip it.
+    uint64_t FirstPage = R.Base >> ObjectManager::kPageShift;
+    uint64_t LastPage = (R.Base + R.Size - 1) >> ObjectManager::kPageShift;
+    Report.require(E.Page >= FirstPage && E.Page <= LastPage,
+                   "omc page table: live entry outside its object");
+  }
+
   return Report;
 }
 
@@ -178,6 +201,29 @@ bool OmcValidator::injectForTest(ObjectManager &M, Corruption K) {
     Line.Base = Entries.empty() ? 0x1000 : Entries.front().Start;
     Line.End = Entries.empty() ? 0x2000 : Entries.front().End;
     Line.ObjectId = M.Records.size();
+    return true;
+  }
+  case Corruption::PageTableStale: {
+    // Map a page no live object covers to a live record (or, with no
+    // records at all, to an out-of-range id); both are inserts the real
+    // code can never perform.
+    if (M.PageTable.empty())
+      M.PageTable.resize(ObjectManager::kPageTableSlots);
+    uint64_t LiveId = ~0ULL;
+    for (size_t I = 0; I != M.Records.size(); ++I)
+      if (M.Records[I].FreeTime == ObjectManager::kLiveForever) {
+        LiveId = I;
+        break;
+      }
+    ObjectManager::PageEntry &E = M.PageTable.front();
+    if (LiveId == ~0ULL) {
+      E.Page = 0x12345;
+      E.ObjectId = M.Records.size();
+    } else {
+      const ObjectRecord &R = M.Records[LiveId];
+      E.Page = ((R.Base + R.Size - 1) >> ObjectManager::kPageShift) + 1024;
+      E.ObjectId = LiveId;
+    }
     return true;
   }
   case Corruption::SerialRegression: {

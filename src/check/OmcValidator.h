@@ -20,6 +20,11 @@
 ///   * the site<->group maps form a bijection;
 ///   * the shared one-entry translation cache and every occupied
 ///     per-instruction MRU line agree with an authoritative tree lookup;
+///   * every occupied flat-hash page-table entry references an in-range
+///     record whose address range, while the record is live, actually
+///     intersects the entry's page (stale entries for freed objects are
+///     legal — the table validates hits against the record instead of
+///     invalidating on free);
 ///   * pool bookkeeping is parallel to the records array.
 ///
 /// The validator never aborts: violations accumulate in a CheckReport.
@@ -74,6 +79,8 @@ public:
     SharedCacheStale, ///< Shared cache serves a range no object covers.
     InstrCacheStale,  ///< An MRU line serves a range no object covers.
     SerialRegression, ///< A later object repeats an earlier serial.
+    PageTableStale,   ///< A page entry maps a page its live record
+                      ///< never covered (an impossible insert).
   };
 
   /// Injects \p K into \p M. Returns false when the manager holds too

@@ -81,11 +81,69 @@ void ObjectManager::onFree(const trace::FreeEvent &Event) {
       Line.End = 0;
 }
 
+uint64_t ObjectManager::lookupPage(uint64_t Addr) const {
+  if (PageTable.empty())
+    return ~0ULL;
+  uint64_t Page = Addr >> kPageShift;
+  size_t Slot = pageSlot(Page);
+  for (size_t P = 0; P != kPageProbeLimit; ++P) {
+    const PageEntry &E = PageTable[(Slot + P) & (kPageTableSlots - 1)];
+    if (E.Page == kEmptyPage)
+      return ~0ULL; // Bounded probe chains never skip an empty slot.
+    if (E.Page != Page)
+      continue;
+    // Self-validating hit: the entry only stands in for the tree while
+    // its record is still live and still covers the address. A stale
+    // entry (its object freed, or a neighbor in the same page) degrades
+    // into a tree descent, never a wrong translation — which is why
+    // onFree() needs no invalidation walk over this table.
+    const ObjectRecord &R = Records[E.ObjectId];
+    if (R.FreeTime == kLiveForever && Addr - R.Base < R.Size)
+      return E.ObjectId;
+    return ~0ULL;
+  }
+  return ~0ULL;
+}
+
+void ObjectManager::rememberPage(uint64_t Addr, uint64_t ObjectId) {
+  if (PageTable.empty())
+    PageTable.resize(kPageTableSlots);
+  uint64_t Page = Addr >> kPageShift;
+  size_t Slot = pageSlot(Page);
+  // Prefer the page's own slot or an empty one; otherwise recycle the
+  // first slot whose object has been freed; otherwise evict the
+  // primary slot (the table is a cache, not an index).
+  size_t Victim = kPageTableSlots;
+  for (size_t P = 0; P != kPageProbeLimit; ++P) {
+    size_t At = (Slot + P) & (kPageTableSlots - 1);
+    PageEntry &E = PageTable[At];
+    if (E.Page == Page || E.Page == kEmptyPage) {
+      E.Page = Page;
+      E.ObjectId = ObjectId;
+      return;
+    }
+    if (Victim == kPageTableSlots &&
+        Records[E.ObjectId].FreeTime != kLiveForever)
+      Victim = At;
+  }
+  PageTable[Victim != kPageTableSlots ? Victim : Slot] =
+      PageEntry{Page, ObjectId};
+}
+
 std::optional<Translation> ObjectManager::translate(uint64_t Addr) {
   if (Addr >= CachedBase && Addr < CachedEnd) {
     ++Stats.Translations;
     ++Stats.SharedCacheHits;
     return translateWithin(CachedObjectId, Addr);
+  }
+  if (uint64_t ObjectId = lookupPage(Addr); ObjectId != ~0ULL) {
+    ++Stats.Translations;
+    ++Stats.PageHits;
+    const ObjectRecord &R = Records[ObjectId];
+    CachedBase = R.Base;
+    CachedEnd = R.Base + R.Size;
+    CachedObjectId = ObjectId;
+    return translateWithin(ObjectId, Addr);
   }
   const IntervalBTree::Entry *Entry = LiveIndex.lookup(Addr);
   if (!Entry) {
@@ -96,6 +154,7 @@ std::optional<Translation> ObjectManager::translate(uint64_t Addr) {
   CachedBase = Entry->Start;
   CachedEnd = Entry->End;
   CachedObjectId = Entry->Value;
+  rememberPage(Addr, Entry->Value);
   return translateWithin(Entry->Value, Addr);
 }
 

@@ -72,6 +72,7 @@ struct OmcStats {
   uint64_t UnknownFrees = 0; ///< Frees of addresses with no live object.
   uint64_t MruHits = 0;      ///< Hits in the per-instruction MRU cache.
   uint64_t SharedCacheHits = 0; ///< Hits in the one-entry shared cache.
+  uint64_t PageHits = 0; ///< Hits in the flat-hash page table.
 };
 
 /// The object-management component.
@@ -170,6 +171,43 @@ private:
   };
   static constexpr size_t InstrCacheLines = 64;
   std::array<CacheLine, InstrCacheLines> InstrCache;
+
+  /// \name Flat-hash page translation tier
+  /// Generalization of the MRU idea: an open-addressing table keyed by
+  /// address page (Addr >> kPageShift) remembering which object last
+  /// covered that page, consulted between the shared one-entry cache
+  /// and the authoritative B+-tree. Unlike the caches above, entries
+  /// are never invalidated on free: a hit is only served after
+  /// re-validating against the object's record (still live, still
+  /// covering the address), so a stale entry degrades into a probe miss
+  /// and a tree descent, never a wrong translation. The table is
+  /// bump-allocated on first insert (sessions that never allocate pay
+  /// nothing) and bounded probing keeps the worst case flat.
+  /// @{
+  static constexpr unsigned kPageShift = 12;
+  static constexpr size_t kPageTableSlots = 4096; ///< Power of two.
+  static constexpr size_t kPageProbeLimit = 4;
+  static constexpr uint64_t kEmptyPage = ~0ULL;
+  struct PageEntry {
+    uint64_t Page = kEmptyPage;
+    uint64_t ObjectId = 0;
+  };
+  std::vector<PageEntry> PageTable; ///< Empty until the first insert.
+
+  static size_t pageSlot(uint64_t Page) {
+    // fmix-style multiplicative spread of the page bits over the table.
+    return static_cast<size_t>((Page * 0x9E3779B97F4A7C15ULL) >> 32) &
+           (kPageTableSlots - 1);
+  }
+
+  /// Page-table lookup for \p Addr; validates candidates against their
+  /// records. Returns the covering live ObjectId or ~0ULL.
+  uint64_t lookupPage(uint64_t Addr) const;
+
+  /// Records that \p ObjectId (a live record covering \p Addr) serves
+  /// \p Addr's page, overwriting a stale or colliding slot if needed.
+  void rememberPage(uint64_t Addr, uint64_t ObjectId);
+  /// @}
 };
 
 } // namespace omc

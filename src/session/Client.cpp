@@ -133,9 +133,9 @@ bool Client::openSession(const OpenRequest &Req, uint64_t &IdOut,
 
 bool Client::submitBlock(uint64_t Id,
                          const traceio::TraceReader::RawBlock &B,
-                         std::string &Err) {
+                         uint8_t FormatVersion, std::string &Err) {
   std::vector<uint8_t> Payload;
-  encodeEventsHeader(Id, B.EventCount, B.Crc, Payload);
+  encodeEventsHeader(Id, B.EventCount, FormatVersion, B.Crc, Payload);
   Payload.insert(Payload.end(), B.Payload, B.Payload + B.PayloadLen);
   if (!sendFrame(FrameType::Events, Payload, Err))
     return false;
@@ -156,7 +156,10 @@ bool Client::submitTrace(uint64_t Id, traceio::TraceReader &Reader,
   for (size_t I = 0; I != Reader.numEventBlocks(); ++I) {
     traceio::TraceReader::RawBlock B = Reader.rawBlock(I);
     std::vector<uint8_t> Payload;
-    encodeEventsHeader(Id, B.EventCount, B.Crc, Payload);
+    // The trace's own format version rides along: the daemon decodes
+    // the forwarded bytes exactly as a local replay would.
+    encodeEventsHeader(Id, B.EventCount, Reader.info().Version, B.Crc,
+                       Payload);
     Payload.insert(Payload.end(), B.Payload, B.Payload + B.PayloadLen);
     if (InFlight == kAckWindow && !AwaitAck())
       return false;

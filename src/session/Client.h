@@ -54,8 +54,10 @@ public:
                    std::string &Err);
 
   /// Submits one raw block (a test-sized building brick).
+  /// \p FormatVersion is the .orpt format the block is encoded in
+  /// (usually the source reader's info().Version).
   bool submitBlock(uint64_t Id, const traceio::TraceReader::RawBlock &B,
-                   std::string &Err);
+                   uint8_t FormatVersion, std::string &Err);
 
   /// Fetches a telemetry snapshot. \p Format mirrors
   /// telemetry::SnapshotFormat (0 JSON, 1 compact JSON, 2 Prometheus);

@@ -248,7 +248,8 @@ bool Daemon::handleEvents(Conn &C, const Frame &F) {
   }
   SubmitStatus St = Manager.submitBlock(
       H.SessionId, F.Payload.data() + H.PayloadOffset,
-      F.Payload.size() - H.PayloadOffset, H.EventCount, H.Crc);
+      F.Payload.size() - H.PayloadOffset, H.EventCount, H.Crc,
+      H.FormatVersion);
   switch (St) {
   case SubmitStatus::Ok:
     reply(C, FrameType::ReplyOk, {});

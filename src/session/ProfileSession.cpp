@@ -44,10 +44,30 @@ void ProfileSession::registerProbeTables(
 
 bool ProfileSession::injectBlock(const uint8_t *Payload, size_t Len,
                                  uint64_t EventCount, uint32_t Crc,
-                                 uint64_t BlockIndex) {
+                                 uint64_t BlockIndex,
+                                 uint8_t FormatVersion) {
   if (Failed)
     return false;
+  if (FormatVersion < traceio::kFormatVersionV1 ||
+      FormatVersion > traceio::kFormatVersionV2) {
+    Err = "block " + std::to_string(BlockIndex) +
+          ": unsupported format version " + std::to_string(FormatVersion);
+    Failed = true;
+    return false;
+  }
   trace::MemoryInterface &Memory = Core->memory();
+  if (FormatVersion >= traceio::kFormatVersionV2) {
+    traceio::DecodedBlock Block;
+    if (!traceio::verifyBlockChecksum(Payload, Len, Crc, BlockIndex,
+                                      /*BaseOffset=*/0, Err) ||
+        !traceio::decodeEventBlockV2(Payload, Len, EventCount, Block, Err,
+                                     BlockIndex, /*BaseOffset=*/0)) {
+      Failed = true;
+      return false;
+    }
+    Events += traceio::injectDecodedBlock(Memory, Block);
+    return true;
+  }
   auto Inject = [&](const traceio::TraceEvent &E) {
     switch (E.K) {
     case traceio::TraceEvent::Kind::Access:

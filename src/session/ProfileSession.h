@@ -90,12 +90,16 @@ public:
                       const std::vector<trace::AllocSiteInfo> &Sites);
 
   /// Verifies and decodes one still-encoded .orpt event block payload
-  /// and injects its events into the pipeline. \p BlockIndex labels
-  /// diagnostics (the sender's running block count). Returns false —
-  /// latching failed()/error() — on a corrupt block; the session then
-  /// rejects further injection but can still be finalized.
+  /// and injects its events into the pipeline. \p FormatVersion is the
+  /// payload's .orpt format version (EVENTS frames carry it; a file
+  /// replay uses the header's): v1 blocks stream per event, v2 blocks
+  /// decode columnar and inject whole access slices. \p BlockIndex
+  /// labels diagnostics (the sender's running block count). Returns
+  /// false — latching failed()/error() — on a corrupt block; the
+  /// session then rejects further injection but can still be finalized.
   bool injectBlock(const uint8_t *Payload, size_t Len, uint64_t EventCount,
-                   uint32_t Crc, uint64_t BlockIndex);
+                   uint32_t Crc, uint64_t BlockIndex,
+                   uint8_t FormatVersion);
 
   /// Registers \p Reader's probe tables and replays its whole event
   /// stream (decode-ahead with \p DecodeThreads > 1; delivery order and

@@ -56,7 +56,8 @@ SessionId SessionManager::open(
 SubmitStatus SessionManager::submitBlock(SessionId Id,
                                          const uint8_t *Payload,
                                          size_t PayloadLen,
-                                         uint64_t EventCount, uint32_t Crc) {
+                                         uint64_t EventCount, uint32_t Crc,
+                                         uint8_t FormatVersion) {
   auto It = Sessions.find(Id);
   if (It == Sessions.end())
     return SubmitStatus::NotFound;
@@ -69,6 +70,7 @@ SubmitStatus SessionManager::submitBlock(SessionId Id,
   Item.EventCount = EventCount;
   Item.Crc = Crc;
   Item.BlockIndex = S.NextBlockIndex;
+  Item.FormatVersion = FormatVersion;
   if (!S.Ingest.tryPush(std::move(Item))) {
     telemetry::Registry::global()
         .counter("session.submit_backpressure")
@@ -115,7 +117,8 @@ void SessionManager::processToken(Token &T) {
     Item.Gate->pop(Unused); // Parks this shard until the test releases.
   } else if (!S.Failed.load(std::memory_order_relaxed)) {
     if (S.Engine->injectBlock(Item.Payload.data(), Item.Payload.size(),
-                              Item.EventCount, Item.Crc, Item.BlockIndex)) {
+                              Item.EventCount, Item.Crc, Item.BlockIndex,
+                              Item.FormatVersion)) {
       S.Events.store(S.Engine->eventsInjected(),
                      std::memory_order_relaxed);
       S.Blocks.fetch_add(1, std::memory_order_relaxed);

@@ -103,11 +103,13 @@ public:
                  const std::vector<trace::AllocSiteInfo> &Sites);
 
   /// Hands one still-encoded event-block payload (copied) to the
-  /// session's shard. Never blocks: a full ingest queue returns
-  /// WouldBlock and the caller retries the same block later.
+  /// session's shard. \p FormatVersion is the .orpt format the payload
+  /// is encoded in (v1 interleaved or v2 columnar). Never blocks: a
+  /// full ingest queue returns WouldBlock and the caller retries the
+  /// same block later.
   SubmitStatus submitBlock(SessionId Id, const uint8_t *Payload,
                            size_t PayloadLen, uint64_t EventCount,
-                           uint32_t Crc);
+                           uint32_t Crc, uint8_t FormatVersion);
 
   /// Test hook: occupies one ingest slot (and the session's shard) until
   /// an element is pushed into \p Gate. Makes queue-full backpressure
@@ -148,6 +150,7 @@ private:
     uint64_t EventCount = 0;
     uint32_t Crc = 0;
     uint64_t BlockIndex = 0;
+    uint8_t FormatVersion = 0;
     support::SpscQueue<int> *Gate = nullptr;
   };
 

@@ -125,9 +125,11 @@ bool session::decodeOpen(const uint8_t *Data, size_t Len, OpenRequest &Out,
 }
 
 void session::encodeEventsHeader(uint64_t SessionId, uint64_t EventCount,
-                                 uint32_t Crc, std::vector<uint8_t> &Out) {
+                                 uint8_t FormatVersion, uint32_t Crc,
+                                 std::vector<uint8_t> &Out) {
   encodeULEB128(SessionId, Out);
   encodeULEB128(EventCount, Out);
+  Out.push_back(FormatVersion);
   appendLE32(Crc, Out);
 }
 
@@ -135,12 +137,13 @@ bool session::decodeEventsHeader(const uint8_t *Data, size_t Len,
                                  EventsHeader &Out, std::string &Err) {
   size_t Pos = 0;
   if (!tryDecodeULEB128(Data, Len, Pos, Out.SessionId) ||
-      !tryDecodeULEB128(Data, Len, Pos, Out.EventCount) || Len - Pos < 4) {
+      !tryDecodeULEB128(Data, Len, Pos, Out.EventCount) || Len - Pos < 5) {
     Err = "EVENTS frame: truncated header";
     return false;
   }
-  Out.Crc = readLE32(Data + Pos);
-  Out.PayloadOffset = Pos + 4;
+  Out.FormatVersion = Data[Pos];
+  Out.Crc = readLE32(Data + Pos + 1);
+  Out.PayloadOffset = Pos + 5;
   return true;
 }
 

@@ -18,11 +18,12 @@
 ///   Open      uleb nameLen, name, u8 alloc policy, u64 LE seed,
 ///             u8 profiler mask (1 = WHOMP, 2 = LEAP), uleb maxLmads,
 ///             registry payload (traceio::RegistryCodec) to end
-///   Events    uleb sessionId, uleb eventCount, u32 LE crc, then the
-///             still-encoded .orpt block payload *verbatim* — blocks
-///             decode independently (delta state resets per block), so
-///             the daemon feeds these bytes to the same BlockCodec a
-///             file replay uses
+///   Events    uleb sessionId, uleb eventCount, u8 format version
+///             (traceio::kFormatVersionV1/V2), u32 LE crc, then the
+///             still-encoded .orpt block payload *verbatim* — v1 or v2
+///             blocks decode independently (delta state resets per
+///             block), so the daemon feeds these bytes to the same
+///             BlockCodec a file replay uses
 ///   Snapshot  u8 format (SnapshotFormat), uleb nameLen, name
 ///             (empty = whole registry, else filtered to that
 ///             session's "session.<name>." metrics)
@@ -112,12 +113,14 @@ bool decodeOpen(const uint8_t *Data, size_t Len, OpenRequest &Out,
 struct EventsHeader {
   uint64_t SessionId = 0;
   uint64_t EventCount = 0;
+  uint8_t FormatVersion = 0; ///< .orpt format of the block payload.
   uint32_t Crc = 0;
   size_t PayloadOffset = 0;
 };
 
 void encodeEventsHeader(uint64_t SessionId, uint64_t EventCount,
-                        uint32_t Crc, std::vector<uint8_t> &Out);
+                        uint8_t FormatVersion, uint32_t Crc,
+                        std::vector<uint8_t> &Out);
 bool decodeEventsHeader(const uint8_t *Data, size_t Len, EventsHeader &Out,
                         std::string &Err);
 

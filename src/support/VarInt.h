@@ -81,6 +81,72 @@ size_t sizeULEB128(uint64_t Value);
 /// Returns the number of bytes encodeSLEB128(\p Value) would emit.
 size_t sizeSLEB128(int64_t Value);
 
+/// \name Unrolled fast-path decoders
+/// Same contract and results as the Checked decoders — every status,
+/// canonicality rule, and \p Pos behavior is identical — but the 1- and
+/// 2-byte encodings (nearly all ids, sizes, and address/time deltas in
+/// a .orpt column) are decoded branch-predictably inline, without the
+/// shift/accumulate loop. Wider or truncated input falls back to the
+/// loop. These are what the columnar block decoder's tight per-column
+/// loops call.
+/// @{
+inline VarIntStatus decodeULEB128Fast(const uint8_t *Data, size_t Size,
+                                      size_t &Pos, uint64_t &Value) {
+  if (Pos < Size) {
+    uint8_t B0 = Data[Pos];
+    if ((B0 & 0x80) == 0) {
+      Value = B0;
+      ++Pos;
+      return VarIntStatus::Ok;
+    }
+    if (Size - Pos >= 2) {
+      uint8_t B1 = Data[Pos + 1];
+      if ((B1 & 0x80) == 0) {
+        // A continuation byte followed by zero payload is the overlong
+        // form of a 1-byte value.
+        if (B1 == 0)
+          return VarIntStatus::Overlong;
+        Value = static_cast<uint64_t>(B0 & 0x7f) |
+                (static_cast<uint64_t>(B1) << 7);
+        Pos += 2;
+        return VarIntStatus::Ok;
+      }
+    }
+  }
+  return decodeULEB128Checked(Data, Size, Pos, Value);
+}
+
+inline VarIntStatus decodeSLEB128Fast(const uint8_t *Data, size_t Size,
+                                      size_t &Pos, int64_t &Value) {
+  if (Pos < Size) {
+    uint8_t B0 = Data[Pos];
+    if ((B0 & 0x80) == 0) {
+      // Sign-extend bit 6 of the single payload byte.
+      Value = static_cast<int8_t>(static_cast<uint8_t>(B0 << 1)) >> 1;
+      ++Pos;
+      return VarIntStatus::Ok;
+    }
+    if (Size - Pos >= 2) {
+      uint8_t B1 = Data[Pos + 1];
+      if ((B1 & 0x80) == 0) {
+        uint32_t Raw = static_cast<uint32_t>(B0 & 0x7f) |
+                       (static_cast<uint32_t>(B1 & 0x7f) << 7);
+        // Sign-extend bit 13 of the two payload bytes.
+        int64_t V = static_cast<int32_t>(Raw << 18) >> 18;
+        // Two bytes are canonical only for values outside the 1-byte
+        // range [-64, 63].
+        if (V >= -64 && V <= 63)
+          return VarIntStatus::Overlong;
+        Value = V;
+        Pos += 2;
+        return VarIntStatus::Ok;
+      }
+    }
+  }
+  return decodeSLEB128Checked(Data, Size, Pos, Value);
+}
+/// @}
+
 } // namespace orp
 
 #endif // ORP_SUPPORT_VARINT_H

@@ -24,13 +24,13 @@ namespace support {
 
 /// The toolkit version. Tracks the PR sequence of this repository, not
 /// any external release scheme.
-constexpr const char *kVersionString = "0.6.0";
+constexpr const char *kVersionString = "0.7.0";
 
-/// Oldest and newest .orpt format versions this build reads. A single
-/// format revision exists so far; widen this range when the format
-/// grows a revision.
+/// Oldest and newest .orpt format versions this build reads: v1
+/// (interleaved records) and v2 (columnar blocks). The writer defaults
+/// to the newest; both decode everywhere.
 constexpr unsigned kMinTraceFormatVersion = 1;
-constexpr unsigned kMaxTraceFormatVersion = 1;
+constexpr unsigned kMaxTraceFormatVersion = 2;
 
 /// True when this build has AddressSanitizer compiled in.
 constexpr bool builtWithAsan() {

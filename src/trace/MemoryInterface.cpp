@@ -113,6 +113,20 @@ void MemoryInterface::injectAccess(const AccessEvent &Event) {
     Clock = Event.Time + 1;
 }
 
+void MemoryInterface::injectAccessBatch(std::span<const AccessEvent> Events) {
+  assert(!Finished && "access after finish()");
+  if (Events.empty())
+    return;
+  if (!Sinks.empty()) {
+    flushAccesses(); // Keep order with any buffered single injections.
+    for (TraceSink *Sink : Sinks)
+      Sink->onAccessBatch(Events);
+  }
+  // Same clock rule as injectAccess, applied to the last event.
+  if (Events.back().Time + 1 > Clock)
+    Clock = Events.back().Time + 1;
+}
+
 void MemoryInterface::injectAlloc(const AllocEvent &Event) {
   assert(!Finished && "allocation after finish()");
   flushAccesses();

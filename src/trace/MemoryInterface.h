@@ -125,6 +125,16 @@ public:
   void injectAccess(const AccessEvent &Event);
   void injectAlloc(const AllocEvent &Event);
   void injectFree(const FreeEvent &Event);
+
+  /// Delivers a whole run of pre-recorded accesses as one span: any
+  /// buffered singles are flushed first (order is preserved), then the
+  /// span goes to every sink's onAccessBatch directly — no per-event
+  /// copy through the batch buffer, no capacity limit. The columnar
+  /// (v2) replay path hands each decoded between-boundaries slice here;
+  /// profiles are byte-identical to per-event injection because sinks
+  /// only depend on event order, never on batch boundaries (pinned by
+  /// the batch-capacity sweep tests).
+  void injectAccessBatch(std::span<const AccessEvent> Events);
   /// @}
 
   /// Returns the current value of the global access counter.

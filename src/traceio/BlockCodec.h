@@ -27,8 +27,13 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace orp {
+namespace trace {
+class MemoryInterface;
+} // namespace trace
+
 namespace traceio {
 
 /// Verifies the CRC-32 of one event-block payload. On mismatch returns
@@ -50,6 +55,65 @@ bool decodeEventBlock(const uint8_t *Payload, size_t Len,
                       const std::function<void(const TraceEvent &)> &Fn,
                       std::string &Err, uint64_t BlockIndex = 0,
                       uint64_t BaseOffset = 0);
+
+/// One fully decoded v2 columnar block, shaped for batch injection:
+/// every access in delivery order in one contiguous vector, with the
+/// interspersed alloc/free events split out as boundaries. The replayer
+/// hands each run of accesses between two boundaries to
+/// MemoryInterface::injectAccessBatch as a single span — no per-event
+/// dispatch — which is the point of the columnar layout.
+struct DecodedBlock {
+  /// An alloc or free, plus its position in the delivery order.
+  struct Boundary {
+    uint64_t AccessesBefore; ///< Accesses delivered before this event.
+    TraceEvent E;            ///< Kind is Alloc or Free, never Access.
+  };
+
+  std::vector<trace::AccessEvent> Accesses; ///< All accesses, in order.
+  std::vector<Boundary> Boundaries;         ///< All allocs/frees, in order.
+
+  uint64_t events() const { return Accesses.size() + Boundaries.size(); }
+  void clear() {
+    Accesses.clear();
+    Boundaries.clear();
+  }
+};
+
+/// Decodes one v2 columnar block payload into \p Out (contents
+/// replaced). Column-at-a-time: each column is decoded in its own tight
+/// varint loop (decode*LEB128Fast) before the columns are zipped into
+/// \p Out. Unlike the streaming v1 decoder nothing is delivered on
+/// failure — \p Out is left empty and \p Err carries the fault
+/// (truncated column, column length mismatch, overlong varint, unknown
+/// opcode) with the same "block <Index> at byte <abs>" prefix as v1
+/// diagnostics.
+bool decodeEventBlockV2(const uint8_t *Payload, size_t Len,
+                        uint64_t EventCount, DecodedBlock &Out,
+                        std::string &Err, uint64_t BlockIndex = 0,
+                        uint64_t BaseOffset = 0);
+
+/// Walks \p Block in original delivery order, reconstituting the flat
+/// TraceEvent view (for tools and tests that want the v1-shaped stream
+/// regardless of on-disk format).
+void forEachDecodedEvent(const DecodedBlock &Block,
+                         const std::function<void(const TraceEvent &)> &Fn);
+
+/// Version-dispatching decode: v1 payloads stream through the original
+/// record decoder, v2 payloads decode columnar and are then walked in
+/// delivery order. The event sequence delivered to \p Fn is identical
+/// for the same recorded stream in either format.
+bool decodeEventBlockAny(uint8_t Version, const uint8_t *Payload,
+                         size_t Len, uint64_t EventCount,
+                         const std::function<void(const TraceEvent &)> &Fn,
+                         std::string &Err, uint64_t BlockIndex = 0,
+                         uint64_t BaseOffset = 0);
+
+/// Injects \p Block into \p Memory in delivery order: every run of
+/// accesses between boundaries travels as one injectAccessBatch span,
+/// allocs/frees go through injectAlloc/injectFree. Returns the number
+/// of events injected (always Block.events()).
+uint64_t injectDecodedBlock(trace::MemoryInterface &Memory,
+                            const DecodedBlock &Block);
 
 } // namespace traceio
 } // namespace orp

@@ -18,7 +18,8 @@
 ///
 ///   FixedHeader (36 bytes)
 ///     [0]  magic "ORPT"
-///     [4]  u8  version (currently 1)
+///     [4]  u8  version (1 or 2; the versions differ only in the event
+///          payload encoding, selected per file)
 ///     [5]  u8  flags (kFlagHasRegistry)
 ///     [6]  u8  alloc policy (memsim::AllocPolicy)
 ///     [7]  u8  reserved (0)
@@ -36,11 +37,12 @@
 ///                                       uleb typeLen, type}
 ///   End marker: u8 kEndMarker, which must be the last byte of the file.
 ///
-/// Event payload encoding. Addresses and timestamps are delta-encoded
-/// against the previous record; delta state resets to zero at every
-/// block boundary so blocks decode independently (a corrupted block
-/// cannot poison its successors, and future shard-parallel readers can
-/// start at any block). Each record is a tag byte followed by fields:
+/// Event payload encoding, v1 (interleaved records). Addresses and
+/// timestamps are delta-encoded against the previous record; delta
+/// state resets to zero at every block boundary so blocks decode
+/// independently (a corrupted block cannot poison its successors, and
+/// future shard-parallel readers can start at any block). Each record
+/// is a tag byte followed by fields:
 ///
 ///   access: tag kOpAccess | kTagStore? | kTagSize8?
 ///           uleb instr, sleb addrDelta, sleb timeDelta,
@@ -49,6 +51,26 @@
 ///           uleb site, sleb addrDelta, uleb size, sleb timeDelta
 ///   free:   tag kOpFree
 ///           sleb addrDelta, sleb timeDelta
+///
+/// Event payload encoding, v2 (columnar). The same events, the same tag
+/// vocabulary and delta rules as v1 — but struct-of-arrays: each field
+/// lives in its own contiguous column so the decoder runs one tight,
+/// branch-predictable varint loop per column instead of a per-record
+/// tag dispatch (DESIGN.md section 15). Five length-prefixed columns,
+/// in order:
+///
+///   kinds  uleb byteLen, then one v1 tag byte per event
+///          (byteLen must equal the block's event count)
+///   ids    uleb byteLen, then uleb instr/site per access and alloc
+///          event, in event order (frees contribute nothing)
+///   addrs  uleb byteLen, then sleb addrDelta per event (every kind)
+///   times  uleb byteLen, then sleb timeDelta per event (every kind)
+///   sizes  uleb byteLen, then uleb size per non-kTagSize8 access and
+///          per alloc, in event order
+///
+/// A column whose declared entries end before byteLen is exhausted (or
+/// that runs dry early) is a "column length mismatch" — distinct from a
+/// truncated payload, so fuzzers can tell framing bugs from codec bugs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,9 +87,19 @@ namespace traceio {
 /// File magic: "ORPT".
 constexpr uint8_t kMagic[4] = {'O', 'R', 'P', 'T'};
 
-/// Current format version. Readers reject anything newer; the format is
+/// The two on-disk format revisions: v1 interleaved records, v2
+/// columnar blocks. Readers accept the whole [v1, v2] range and select
+/// the payload decoder per file; writers default to v2 and can be asked
+/// for v1 (`orp-trace record --format-version=1`). The format is
 /// append-only versioned (new event kinds or header fields bump this).
-constexpr uint8_t kFormatVersion = 1;
+constexpr uint8_t kFormatVersionV1 = 1;
+constexpr uint8_t kFormatVersionV2 = 2;
+
+/// Newest format version this build reads and the writer's default.
+/// (Kept under the historical name: existing code and tests compare
+/// reader/writer versions against "the" format version, which has
+/// always meant the newest one.)
+constexpr uint8_t kFormatVersion = kFormatVersionV2;
 
 /// Size in bytes of the fixed file header.
 constexpr size_t kHeaderSize = 36;

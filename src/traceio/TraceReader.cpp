@@ -70,7 +70,7 @@ bool TraceReader::parseHeader() {
     if (Bytes[I] != kMagic[I])
       return failed("bad magic: not an .orpt trace");
   Info.Version = Bytes[4];
-  if (Info.Version == 0 || Info.Version > kFormatVersion)
+  if (Info.Version < kFormatVersionV1 || Info.Version > kFormatVersionV2)
     return failed("unsupported format version " +
                   std::to_string(Info.Version));
   Info.Flags = Bytes[5];
@@ -163,8 +163,9 @@ bool TraceReader::forEachEvent(
     std::string BlockErr;
     if (!verifyBlockChecksum(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
                              Ref.Crc, B, Ref.PayloadPos, BlockErr) ||
-        !decodeEventBlock(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
-                          Ref.EventCount, Fn, BlockErr, B, Ref.PayloadPos))
+        !decodeEventBlockAny(Info.Version, Bytes.data() + Ref.PayloadPos,
+                             Ref.PayloadLen, Ref.EventCount, Fn, BlockErr, B,
+                             Ref.PayloadPos))
       return failed(BlockErr);
   }
   return true;
@@ -178,10 +179,22 @@ bool TraceReader::decodeBlockEvents(size_t Index,
   std::string BlockErr;
   if (!verifyBlockChecksum(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
                            Ref.Crc, Index, Ref.PayloadPos, BlockErr) ||
-      !decodeEventBlock(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
-                        Ref.EventCount,
-                        [&](const TraceEvent &E) { Out.push_back(E); },
-                        BlockErr, Index, Ref.PayloadPos))
+      !decodeEventBlockAny(Info.Version, Bytes.data() + Ref.PayloadPos,
+                           Ref.PayloadLen, Ref.EventCount,
+                           [&](const TraceEvent &E) { Out.push_back(E); },
+                           BlockErr, Index, Ref.PayloadPos))
+    return failed(BlockErr);
+  return true;
+}
+
+bool TraceReader::decodeBlockColumns(size_t Index, DecodedBlock &Out) {
+  const BlockRef &Ref = Blocks[Index];
+  std::string BlockErr;
+  if (!verifyBlockChecksum(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                           Ref.Crc, Index, Ref.PayloadPos, BlockErr) ||
+      !decodeEventBlockV2(Bytes.data() + Ref.PayloadPos, Ref.PayloadLen,
+                          Ref.EventCount, Out, BlockErr, Index,
+                          Ref.PayloadPos))
     return failed(BlockErr);
   return true;
 }

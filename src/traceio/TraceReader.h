@@ -20,6 +20,7 @@
 #define ORP_TRACEIO_TRACEREADER_H
 
 #include "trace/InstructionRegistry.h"
+#include "traceio/BlockCodec.h"
 #include "traceio/TraceFormat.h"
 
 #include <functional>
@@ -80,6 +81,13 @@ public:
 
   /// Convenience: decodes the whole stream into a vector.
   bool readAllEvents(std::vector<TraceEvent> &Out);
+
+  /// Columnar decode of one v2 block (CRC-checked first) into \p Out,
+  /// shaped for batch injection — see traceio::DecodedBlock. Only valid
+  /// for v2 traces (info().Version >= kFormatVersionV2); the replayer
+  /// routes v1 traces through decodeBlockEvents instead. \p Index must
+  /// be in range. Returns false with error() set on corruption.
+  bool decodeBlockColumns(size_t Index, DecodedBlock &Out);
 
   /// A still-encoded view of one event block, for forwarding the
   /// payload verbatim — e.g. as an EVENTS frame of the orp-traced wire

@@ -51,7 +51,53 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
   };
 
   bool Ok;
-  if (Threads <= 1 || Reader.numEventBlocks() < 2) {
+  if (Reader.info().Version >= kFormatVersionV2) {
+    // Columnar replay: each block decodes straight into contiguous
+    // column slices (DecodedBlock) and every between-boundaries run of
+    // accesses is injected as one span — whole-slice onAccessBatch
+    // fan-out instead of per-event virtual dispatch. Delivery order is
+    // identical to the per-event path, so profiles are byte-identical.
+    if (Threads <= 1 || Reader.numEventBlocks() < 2) {
+      DecodedBlock Block;
+      Ok = true;
+      for (size_t B = 0, N = Reader.numEventBlocks(); B != N; ++B) {
+        if (!Reader.decodeBlockColumns(B, Block)) {
+          Ok = false;
+          break;
+        }
+        Replayed += injectDecodedBlock(Memory, Block);
+      }
+    } else {
+      support::SpscQueue<DecodedBlock> Decoded(DecodeQueueDepth);
+      std::atomic<bool> DecodeOk{true};
+      support::ScopedThread Decoder([this, &Decoded, &DecodeOk] {
+        DecodedBlock Block;
+        for (size_t B = 0, N = Reader.numEventBlocks(); B != N; ++B) {
+          if (!Reader.decodeBlockColumns(B, Block)) {
+            DecodeOk.store(false, std::memory_order_release);
+            break;
+          }
+          Decoded.push(std::move(Block));
+          Block = DecodedBlock();
+        }
+        Decoded.close();
+      });
+      DecodedBlock Block;
+      while (Decoded.pop(Block))
+        Replayed += injectDecodedBlock(Memory, Block);
+      Decoder.join();
+      support::QueueTelemetry QT = Decoded.telemetry();
+      Reg.gauge("replay.decode_queue.capacity")
+          .set(static_cast<int64_t>(QT.Capacity));
+      Reg.gauge("replay.decode_queue.high_watermark")
+          .set(static_cast<int64_t>(QT.HighWatermark));
+      Reg.gauge("replay.decode_queue.pushes")
+          .set(static_cast<int64_t>(QT.Pushes));
+      Reg.gauge("replay.decode_queue.push_stalls")
+          .set(static_cast<int64_t>(QT.PushStalls));
+      Ok = DecodeOk.load(std::memory_order_acquire);
+    }
+  } else if (Threads <= 1 || Reader.numEventBlocks() < 2) {
     Ok = Reader.forEachEvent(Inject);
   } else {
     // Double-buffered replay: a worker decodes blocks ahead through a

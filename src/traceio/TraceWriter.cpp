@@ -13,9 +13,13 @@ using namespace orp::traceio;
 TraceWriter::TraceWriter(std::string Path,
                          const trace::InstructionRegistry &Registry,
                          memsim::AllocPolicy Policy, uint64_t Seed,
-                         size_t BlockBytes)
+                         size_t BlockBytes, uint8_t FormatVersion)
     : Path(std::move(Path)), Registry(Registry), Policy(Policy), Seed(Seed),
-      BlockBytes(BlockBytes) {
+      BlockBytes(BlockBytes), FormatVersion(FormatVersion) {
+  if (FormatVersion < kFormatVersionV1 || FormatVersion > kFormatVersionV2) {
+    fail("unsupported format version " + std::to_string(FormatVersion));
+    return;
+  }
   File = std::fopen(this->Path.c_str(), "wb");
   if (!File) {
     fail("cannot open '" + this->Path + "' for writing");
@@ -51,7 +55,7 @@ std::vector<uint8_t> TraceWriter::encodeHeader(uint64_t RegistryOffset) const {
   std::vector<uint8_t> Out;
   Out.reserve(kHeaderSize);
   Out.insert(Out.end(), kMagic, kMagic + 4);
-  Out.push_back(kFormatVersion);
+  Out.push_back(FormatVersion);
   Out.push_back(RegistryOffset ? kFlagHasRegistry : 0);
   Out.push_back(static_cast<uint8_t>(Policy));
   Out.push_back(0); // reserved
@@ -62,13 +66,32 @@ std::vector<uint8_t> TraceWriter::encodeHeader(uint64_t RegistryOffset) const {
   return Out;
 }
 
+size_t TraceWriter::pendingBlockBytes() const {
+  if (FormatVersion >= kFormatVersionV2)
+    return KindCol.size() + IdCol.size() + AddrCol.size() + TimeCol.size() +
+           SizeCol.size();
+  return Block.size();
+}
+
 void TraceWriter::flushBlock() {
-  if (Block.empty()) {
+  if (BlockEvents == 0) {
     PrevAddr = PrevTime = 0;
     return;
   }
+  if (FormatVersion >= kFormatVersionV2) {
+    // Assemble the five length-prefixed columns into one payload
+    // (TraceFormat.h column order).
+    Block.clear();
+    Block.reserve(pendingBlockBytes() + 20);
+    for (std::vector<uint8_t> *Col :
+         {&KindCol, &IdCol, &AddrCol, &TimeCol, &SizeCol}) {
+      encodeULEB128(Col->size(), Block);
+      Block.insert(Block.end(), Col->begin(), Col->end());
+      Col->clear();
+    }
+  }
   std::vector<uint8_t> Frame;
-  Frame.reserve(Block.size() + 16);
+  Frame.reserve(16);
   Frame.push_back(kBlockEvents);
   encodeULEB128(Block.size(), Frame);
   encodeULEB128(BlockEvents, Frame);
@@ -81,7 +104,7 @@ void TraceWriter::flushBlock() {
 }
 
 void TraceWriter::maybeFlush() {
-  if (Block.size() >= BlockBytes)
+  if (pendingBlockBytes() >= BlockBytes)
     flushBlock();
 }
 
@@ -93,12 +116,21 @@ void TraceWriter::onAccess(const trace::AccessEvent &Event) {
     Tag |= kTagStore;
   if (Event.Size == 8)
     Tag |= kTagSize8;
-  Block.push_back(Tag);
-  encodeULEB128(Event.Instr, Block);
-  encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
-  encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
-  if (Event.Size != 8)
-    encodeULEB128(Event.Size, Block);
+  if (FormatVersion >= kFormatVersionV2) {
+    KindCol.push_back(Tag);
+    encodeULEB128(Event.Instr, IdCol);
+    encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), AddrCol);
+    encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), TimeCol);
+    if (Event.Size != 8)
+      encodeULEB128(Event.Size, SizeCol);
+  } else {
+    Block.push_back(Tag);
+    encodeULEB128(Event.Instr, Block);
+    encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
+    encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+    if (Event.Size != 8)
+      encodeULEB128(Event.Size, Block);
+  }
   PrevAddr = Event.Addr;
   PrevTime = Event.Time;
   ++BlockEvents;
@@ -112,11 +144,19 @@ void TraceWriter::onAlloc(const trace::AllocEvent &Event) {
   uint8_t Tag = kOpAlloc;
   if (Event.IsStatic)
     Tag |= kTagStatic;
-  Block.push_back(Tag);
-  encodeULEB128(Event.Site, Block);
-  encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
-  encodeULEB128(Event.Size, Block);
-  encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  if (FormatVersion >= kFormatVersionV2) {
+    KindCol.push_back(Tag);
+    encodeULEB128(Event.Site, IdCol);
+    encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), AddrCol);
+    encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), TimeCol);
+    encodeULEB128(Event.Size, SizeCol);
+  } else {
+    Block.push_back(Tag);
+    encodeULEB128(Event.Site, Block);
+    encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
+    encodeULEB128(Event.Size, Block);
+    encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  }
   PrevAddr = Event.Addr;
   PrevTime = Event.Time;
   ++BlockEvents;
@@ -127,9 +167,15 @@ void TraceWriter::onAlloc(const trace::AllocEvent &Event) {
 void TraceWriter::onFree(const trace::FreeEvent &Event) {
   if (!File || Closed)
     return;
-  Block.push_back(kOpFree);
-  encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
-  encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  if (FormatVersion >= kFormatVersionV2) {
+    KindCol.push_back(kOpFree);
+    encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), AddrCol);
+    encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), TimeCol);
+  } else {
+    Block.push_back(kOpFree);
+    encodeSLEB128(static_cast<int64_t>(Event.Addr - PrevAddr), Block);
+    encodeSLEB128(static_cast<int64_t>(Event.Time - PrevTime), Block);
+  }
   PrevAddr = Event.Addr;
   PrevTime = Event.Time;
   ++BlockEvents;

@@ -43,10 +43,15 @@ public:
   /// Opens \p Path for writing. \p Registry is the session registry whose
   /// final contents are snapshotted at close(); \p Policy and \p Seed are
   /// the run configuration recorded in the header so replays can recreate
-  /// an identical session.
+  /// an identical session. \p FormatVersion selects the event payload
+  /// encoding — kFormatVersionV2 columnar (default) or kFormatVersionV1
+  /// interleaved for compatibility with old readers; the same event
+  /// stream recorded at either version replays to byte-identical
+  /// profiles.
   TraceWriter(std::string Path, const trace::InstructionRegistry &Registry,
               memsim::AllocPolicy Policy, uint64_t Seed,
-              size_t BlockBytes = kDefaultBlockBytes);
+              size_t BlockBytes = kDefaultBlockBytes,
+              uint8_t FormatVersion = kFormatVersionV2);
 
   /// Closes the file if still open.
   ~TraceWriter() override;
@@ -78,11 +83,15 @@ public:
   /// Bytes written to disk so far (final after close()).
   uint64_t bytesWritten() const { return BytesOut; }
 
+  /// The .orpt format version this writer emits.
+  uint8_t formatVersion() const { return FormatVersion; }
+
 private:
   void fail(const std::string &Msg);
   void writeBytes(const void *Data, size_t Size);
   void flushBlock();
   void maybeFlush();
+  size_t pendingBlockBytes() const;
   std::vector<uint8_t> encodeHeader(uint64_t RegistryOffset) const;
   std::vector<uint8_t> encodeRegistry() const;
 
@@ -91,12 +100,16 @@ private:
   memsim::AllocPolicy Policy;
   uint64_t Seed;
   size_t BlockBytes;
+  uint8_t FormatVersion;
   std::FILE *File = nullptr;
   std::string Err;
   bool Closed = false;
 
-  /// Current block payload and its event count.
+  /// Current v1 block payload (interleaved records).
   std::vector<uint8_t> Block;
+  /// Current v2 block columns (TraceFormat.h column order); assembled
+  /// into one length-prefixed payload at flush.
+  std::vector<uint8_t> KindCol, IdCol, AddrCol, TimeCol, SizeCol;
   uint64_t BlockEvents = 0;
   /// Delta-encoder state; reset at every block boundary.
   uint64_t PrevAddr = 0;

@@ -309,6 +309,17 @@ TEST(OmcValidatorTest, CatchesSerialRegression) {
   EXPECT_FALSE(OmcValidator::validate(M).ok());
 }
 
+TEST(OmcValidatorTest, CatchesPageTableStale) {
+  // fillBusyManager's translations populate the flat-hash page tier, so
+  // the injected stale entry sits among genuinely-hot pages.
+  omc::ObjectManager M;
+  fillBusyManager(M);
+  ASSERT_TRUE(OmcValidator::validate(M).ok());
+  ASSERT_TRUE(OmcValidator::injectForTest(
+      M, OmcValidator::Corruption::PageTableStale));
+  EXPECT_FALSE(OmcValidator::validate(M).ok());
+}
+
 //===----------------------------------------------------------------------===//
 // IntervalBTree adversarial churn (validated through the OMC validator)
 //===----------------------------------------------------------------------===//

@@ -289,3 +289,65 @@ TEST(ObjectManagerTest, ManyLiveObjectsTranslateCorrectly) {
   EXPECT_EQ(O.numLiveObjects(), 5000u);
   EXPECT_TRUE(O.liveIndex().checkInvariants());
 }
+
+TEST(ObjectManagerTest, PageTableFastPathMatchesRecordGroundTruth) {
+  // Differential check of the flat-hash page tier: under alloc/free
+  // churn every translate() answer — hit or miss, through whichever
+  // tier served it — must match a linear scan of the authoritative
+  // records. Freed addresses are probed deliberately: their page
+  // entries go stale (the table is never invalidated on free) and must
+  // re-validate against the record before counting as a hit.
+  ObjectManager O;
+  Rng R(77);
+  struct LiveObj {
+    uint64_t Addr, Size;
+  };
+  std::vector<LiveObj> Live;
+  std::vector<uint64_t> FreedAddrs;
+  uint64_t Cursor = 0x100000, Time = 0;
+
+  auto groundTruth = [&](uint64_t Probe) -> const ObjectRecord * {
+    for (const ObjectRecord &Rec : O.records())
+      if (Rec.FreeTime == ObjectManager::kLiveForever &&
+          Probe - Rec.Base < Rec.Size)
+        return &Rec;
+    return nullptr;
+  };
+
+  for (int Round = 0; Round != 3000; ++Round) {
+    if (Live.empty() || R.nextBool(0.6)) {
+      uint64_t Size = 16 + R.nextBelow(240);
+      O.onAlloc(makeAlloc(static_cast<trace::AllocSiteId>(R.nextBelow(5)),
+                          Cursor, Size, ++Time));
+      Live.push_back({Cursor, Size});
+      Cursor += Size + 16 + R.nextBelow(96);
+    } else {
+      size_t Pick = R.nextBelow(Live.size());
+      O.onFree({Live[Pick].Addr, ++Time});
+      FreedAddrs.push_back(Live[Pick].Addr);
+      Live.erase(Live.begin() + static_cast<ptrdiff_t>(Pick));
+    }
+
+    if (!Live.empty()) {
+      const LiveObj &Obj = Live[R.nextBelow(Live.size())];
+      uint64_t Probe = Obj.Addr + R.nextBelow(Obj.Size);
+      auto T = O.translate(Probe);
+      const ObjectRecord *Truth = groundTruth(Probe);
+      ASSERT_NE(Truth, nullptr);
+      ASSERT_TRUE(T) << "live address failed to translate";
+      EXPECT_EQ(T->Group, Truth->Group);
+      EXPECT_EQ(T->Object, Truth->Serial);
+      EXPECT_EQ(T->Offset, Probe - Truth->Base);
+    }
+    if (!FreedAddrs.empty() && R.nextBool(0.5)) {
+      uint64_t Probe = FreedAddrs[R.nextBelow(FreedAddrs.size())];
+      if (!groundTruth(Probe)) {
+        EXPECT_FALSE(O.translate(Probe))
+            << "stale page entry leaked a freed object";
+      }
+    }
+  }
+
+  EXPECT_GT(O.stats().PageHits, 0u) << "page tier never engaged";
+  EXPECT_TRUE(O.liveIndex().checkInvariants());
+}

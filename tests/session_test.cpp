@@ -96,7 +96,8 @@ void submitBlock(session::SessionManager &Mgr, SessionId Id,
   traceio::TraceReader::RawBlock B = Reader.rawBlock(Index);
   SubmitStatus St;
   while ((St = Mgr.submitBlock(Id, B.Payload, B.PayloadLen, B.EventCount,
-                               B.Crc)) == SubmitStatus::WouldBlock) {
+                               B.Crc, Reader.info().Version)) ==
+         SubmitStatus::WouldBlock) {
   }
   ASSERT_EQ(St, SubmitStatus::Ok);
 }
@@ -232,8 +233,9 @@ TEST(SessionManagerTest, FullIngestQueueReportsWouldBlock) {
   size_t Accepted = 0;
   while (Accepted < Reader.numEventBlocks()) {
     traceio::TraceReader::RawBlock B = Reader.rawBlock(Accepted);
-    SubmitStatus St =
-        Mgr.submitBlock(Id, B.Payload, B.PayloadLen, B.EventCount, B.Crc);
+    SubmitStatus St = Mgr.submitBlock(Id, B.Payload, B.PayloadLen,
+                                      B.EventCount, B.Crc,
+                                      Reader.info().Version);
     if (St == SubmitStatus::WouldBlock)
       break;
     ASSERT_EQ(St, SubmitStatus::Ok);
@@ -327,7 +329,8 @@ TEST(SessionManagerTest, CorruptBlockFailsOnlyItsOwnSession) {
   Tampered[Tampered.size() / 2] ^= 0x40;
   SubmitStatus St;
   while ((St = Mgr.submitBlock(Bad, Tampered.data(), Tampered.size(),
-                               B0.EventCount, B0.Crc)) ==
+                               B0.EventCount, B0.Crc,
+                               Reader.info().Version)) ==
          SubmitStatus::WouldBlock) {
   }
   ASSERT_EQ(St, SubmitStatus::Ok);
@@ -346,7 +349,7 @@ TEST(SessionManagerTest, CorruptBlockFailsOnlyItsOwnSession) {
       << Stats.Error;
   traceio::TraceReader::RawBlock B1 = Reader.rawBlock(1);
   EXPECT_EQ(Mgr.submitBlock(Bad, B1.Payload, B1.PayloadLen, B1.EventCount,
-                            B1.Crc),
+                            B1.Crc, Reader.info().Version),
             SubmitStatus::Failed);
 
   SessionArtifacts BadArt = Mgr.close(Bad);
@@ -432,7 +435,8 @@ TEST(WireTest, OpenRequestRoundTrips) {
 
 TEST(WireTest, EventsHeaderAndCloseSummaryRoundTrip) {
   std::vector<uint8_t> Payload;
-  session::encodeEventsHeader(99, 1234, 0xdeadbeef, Payload);
+  session::encodeEventsHeader(99, 1234, traceio::kFormatVersionV2,
+                              0xdeadbeef, Payload);
   Payload.push_back(0x7f); // The block payload follows the header.
   session::EventsHeader H;
   std::string Err;
@@ -441,6 +445,7 @@ TEST(WireTest, EventsHeaderAndCloseSummaryRoundTrip) {
       << Err;
   EXPECT_EQ(H.SessionId, 99u);
   EXPECT_EQ(H.EventCount, 1234u);
+  EXPECT_EQ(H.FormatVersion, traceio::kFormatVersionV2);
   EXPECT_EQ(H.Crc, 0xdeadbeefu);
   EXPECT_EQ(Payload[H.PayloadOffset], 0x7f);
 
@@ -580,9 +585,13 @@ TEST(DaemonTest, TwoClientsInterleavedMatchSerialReplay) {
   size_t NumA = ReaderA.numEventBlocks(), NumB = ReaderB.numEventBlocks();
   for (size_t I = 0; I < NumA || I < NumB; ++I) {
     if (I < NumA)
-      ASSERT_TRUE(ClientA.submitBlock(IdA, ReaderA.rawBlock(I), Err)) << Err;
+      ASSERT_TRUE(ClientA.submitBlock(IdA, ReaderA.rawBlock(I),
+                                      ReaderA.info().Version, Err))
+          << Err;
     if (I < NumB)
-      ASSERT_TRUE(ClientB.submitBlock(IdB, ReaderB.rawBlock(I), Err)) << Err;
+      ASSERT_TRUE(ClientB.submitBlock(IdB, ReaderB.rawBlock(I),
+                                      ReaderB.info().Version, Err))
+          << Err;
   }
 
   session::CloseSummary SummaryA, SummaryB;
@@ -619,7 +628,9 @@ TEST(DaemonTest, AbruptDisconnectAbortsOnlyThatClientsSessions) {
     ASSERT_TRUE(Doomed.connect(Fixture.socketPath(), Err)) << Err;
     uint64_t Id = 0;
     ASSERT_TRUE(openOver(Doomed, Reader, "doomed", Id, Err)) << Err;
-    ASSERT_TRUE(Doomed.submitBlock(Id, Reader.rawBlock(0), Err)) << Err;
+    ASSERT_TRUE(Doomed.submitBlock(Id, Reader.rawBlock(0),
+                                   Reader.info().Version, Err))
+        << Err;
   } // Destructor closes the socket mid-stream; no CLOSE frame sent.
 
   // Client B is unaffected: full stream, byte-identical profile.
@@ -674,7 +685,9 @@ TEST(DaemonTest, CorruptStreamGetsErrorReplyOthersUnaffected) {
   std::vector<uint8_t> Bytes(B0.Payload, B0.Payload + B0.PayloadLen);
   Bytes[Bytes.size() / 2] ^= 0x20;
   Tampered.Payload = Bytes.data();
-  ASSERT_TRUE(Client.submitBlock(BadId, Tampered, Err)) << Err;
+  ASSERT_TRUE(Client.submitBlock(BadId, Tampered, Reader.info().Version,
+                                 Err))
+      << Err;
 
   ASSERT_TRUE(Client.submitTrace(GoodId, Reader, Err)) << Err;
 

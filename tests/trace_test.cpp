@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 using namespace orp;
 using namespace orp::trace;
 
@@ -108,6 +111,51 @@ TEST(MemoryInterfaceTest, FinishFreesStatics) {
   EXPECT_EQ(B.frees()[1].Addr, A2);
   M.finish(); // Idempotent.
   EXPECT_EQ(B.frees().size(), 2u);
+}
+
+TEST(MemoryInterfaceTest, InjectAccessBatchMatchesSingleInjection) {
+  // The columnar replay path feeds whole spans through
+  // injectAccessBatch; the sink stream and clock must be
+  // indistinguishable from per-event injection of the same events.
+  std::vector<AccessEvent> Events;
+  for (uint64_t I = 0; I != 6; ++I)
+    Events.push_back(
+        {static_cast<InstrId>(I), 0x1000 + I * 8, 4, (I & 1) != 0, 10 + I});
+
+  MemoryInterface Single, Batched;
+  BufferSink SinkA, SinkB;
+  Single.attachSink(&SinkA);
+  Batched.attachSink(&SinkB);
+  for (const AccessEvent &E : Events)
+    Single.injectAccess(E);
+  Single.flushAccesses();
+  Batched.injectAccessBatch(std::span<const AccessEvent>(Events));
+
+  ASSERT_EQ(SinkA.accesses().size(), Events.size());
+  ASSERT_EQ(SinkB.accesses().size(), Events.size());
+  for (size_t I = 0; I != Events.size(); ++I) {
+    EXPECT_EQ(SinkA.accesses()[I].Instr, SinkB.accesses()[I].Instr);
+    EXPECT_EQ(SinkA.accesses()[I].Addr, SinkB.accesses()[I].Addr);
+    EXPECT_EQ(SinkA.accesses()[I].Size, SinkB.accesses()[I].Size);
+    EXPECT_EQ(SinkA.accesses()[I].IsStore, SinkB.accesses()[I].IsStore);
+    EXPECT_EQ(SinkA.accesses()[I].Time, SinkB.accesses()[I].Time);
+  }
+  EXPECT_EQ(Single.now(), Batched.now());
+}
+
+TEST(MemoryInterfaceTest, InjectAccessBatchFlushesBufferedSinglesFirst) {
+  // A batch arriving while single injections sit in the access buffer
+  // must not reorder the stream: buffered events flush first.
+  MemoryInterface M;
+  BufferSink B;
+  M.attachSink(&B);
+  M.injectAccess({1, 0x10, 4, false, 1});
+  std::vector<AccessEvent> Batch{{2, 0x20, 4, true, 2}};
+  M.injectAccessBatch(std::span<const AccessEvent>(Batch));
+  ASSERT_EQ(B.accesses().size(), 2u);
+  EXPECT_EQ(B.accesses()[0].Instr, 1u);
+  EXPECT_EQ(B.accesses()[1].Instr, 2u);
+  EXPECT_EQ(M.now(), 3u);
 }
 
 TEST(MemoryInterfaceTest, SeedShiftsStaticBase) {

@@ -13,6 +13,7 @@
 #include "support/Checksum.h"
 #include "support/Endian.h"
 #include "support/VarInt.h"
+#include "traceio/BlockCodec.h"
 #include "traceio/TraceReader.h"
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
@@ -42,12 +43,13 @@ std::unique_ptr<core::ProfilingSession>
 recordRun(const std::string &WorkloadName, const std::string &Path,
           core::OrTupleConsumer *Consumer = nullptr,
           trace::TraceSink *RawSink = nullptr, uint64_t Scale = 1,
-          size_t BlockBytes = traceio::TraceWriter::kDefaultBlockBytes) {
+          size_t BlockBytes = traceio::TraceWriter::kDefaultBlockBytes,
+          uint8_t FormatVersion = traceio::kFormatVersion) {
   auto Session = std::make_unique<core::ProfilingSession>(
       memsim::AllocPolicy::FirstFit, /*Seed=*/7);
   traceio::TraceWriter Writer(Path, Session->registry(),
                               memsim::AllocPolicy::FirstFit, /*Seed=*/7,
-                              BlockBytes);
+                              BlockBytes, FormatVersion);
   EXPECT_TRUE(Writer.ok()) << Writer.error();
   Session->addRawSink(&Writer);
   if (Consumer)
@@ -275,7 +277,11 @@ class TraceIoCorruptionTest : public testing::Test {
 protected:
   void SetUp() override {
     Path = tempPath("corrupt.orpt");
-    recordRun("list-traversal", Path);
+    // Pinned to v1: the byte surgery below assumes the interleaved
+    // record layout. V2 columnar corruption has its own fixture.
+    recordRun("list-traversal", Path, nullptr, nullptr, /*Scale=*/1,
+              traceio::TraceWriter::kDefaultBlockBytes,
+              traceio::kFormatVersionV1);
     Good = readFile(Path);
     ASSERT_GT(Good.size(), traceio::kHeaderSize + 64);
     std::remove(Path.c_str());
@@ -458,6 +464,253 @@ TEST_F(TraceIoCorruptionTest, OpenOnDiskReportsTheFileName) {
   EXPECT_FALSE(Ok);
   EXPECT_NE(Reader.error().find("ondisk_corrupt.orpt"), std::string::npos);
   std::remove(BadPath.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// V2 columnar blocks: decode contract and error taxonomy
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Hand-assembles a v2 columnar payload from pre-encoded column bytes
+/// (kind | id | address | time | size, each uleb-length-prefixed).
+std::vector<uint8_t> v2Payload(const std::vector<uint8_t> &Kinds,
+                               const std::vector<uint8_t> &Ids,
+                               const std::vector<uint8_t> &Addrs,
+                               const std::vector<uint8_t> &Times,
+                               const std::vector<uint8_t> &Sizes) {
+  std::vector<uint8_t> P;
+  for (const std::vector<uint8_t> *Col :
+       {&Kinds, &Ids, &Addrs, &Times, &Sizes}) {
+    encodeULEB128(Col->size(), P);
+    P.insert(P.end(), Col->begin(), Col->end());
+  }
+  return P;
+}
+
+std::vector<uint8_t> uleb(std::initializer_list<uint64_t> Values) {
+  std::vector<uint8_t> Out;
+  for (uint64_t V : Values)
+    encodeULEB128(V, Out);
+  return Out;
+}
+
+std::vector<uint8_t> sleb(std::initializer_list<int64_t> Values) {
+  std::vector<uint8_t> Out;
+  for (int64_t V : Values)
+    encodeSLEB128(V, Out);
+  return Out;
+}
+
+/// Expects decodeEventBlockV2 to reject \p Payload with \p Needle.
+void expectV2Rejected(const std::vector<uint8_t> &Payload,
+                      uint64_t EventCount, const std::string &Needle) {
+  traceio::DecodedBlock Block;
+  std::string Err;
+  EXPECT_FALSE(traceio::decodeEventBlockV2(Payload.data(), Payload.size(),
+                                           EventCount, Block, Err));
+  EXPECT_NE(Err.find(Needle), std::string::npos) << "error was: " << Err;
+  EXPECT_EQ(Block.events(), 0u) << "failed decode must clear the output";
+}
+
+} // namespace
+
+TEST(TraceIoV2BlockTest, ColumnsZipBackIntoDeliveryOrder) {
+  // access(instr 5, 0x1000, 4B load, t0); alloc(site 2, 0x2000, 64B,
+  // t1); free(0x2000, t2). Address/time columns carry per-block deltas.
+  std::vector<uint8_t> Payload = v2Payload(
+      {traceio::kOpAccess, traceio::kOpAlloc, traceio::kOpFree},
+      uleb({5, 2}), sleb({0x1000, 0x1000, 0}), sleb({0, 1, 1}),
+      uleb({4, 64}));
+  traceio::DecodedBlock Block;
+  std::string Err;
+  ASSERT_TRUE(traceio::decodeEventBlockV2(Payload.data(), Payload.size(),
+                                          /*EventCount=*/3, Block, Err))
+      << Err;
+  EXPECT_EQ(Block.events(), 3u);
+  ASSERT_EQ(Block.Accesses.size(), 1u);
+  EXPECT_EQ(Block.Accesses[0].Instr, 5u);
+  EXPECT_EQ(Block.Accesses[0].Addr, 0x1000u);
+  EXPECT_EQ(Block.Accesses[0].Size, 4u);
+  EXPECT_FALSE(Block.Accesses[0].IsStore);
+  EXPECT_EQ(Block.Accesses[0].Time, 0u);
+  ASSERT_EQ(Block.Boundaries.size(), 2u);
+  EXPECT_EQ(Block.Boundaries[0].AccessesBefore, 1u);
+  EXPECT_EQ(Block.Boundaries[0].E.K, traceio::TraceEvent::Kind::Alloc);
+  EXPECT_EQ(Block.Boundaries[0].E.InstrOrSite, 2u);
+  EXPECT_EQ(Block.Boundaries[0].E.Addr, 0x2000u);
+  EXPECT_EQ(Block.Boundaries[0].E.Size, 64u);
+  EXPECT_EQ(Block.Boundaries[0].E.Time, 1u);
+  EXPECT_EQ(Block.Boundaries[1].E.K, traceio::TraceEvent::Kind::Free);
+  EXPECT_EQ(Block.Boundaries[1].E.Addr, 0x2000u);
+  EXPECT_EQ(Block.Boundaries[1].E.Time, 2u);
+
+  // The merge walk restores the original interleaved order.
+  std::vector<traceio::TraceEvent::Kind> Order;
+  traceio::forEachDecodedEvent(
+      Block, [&](const traceio::TraceEvent &E) { Order.push_back(E.K); });
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], traceio::TraceEvent::Kind::Access);
+  EXPECT_EQ(Order[1], traceio::TraceEvent::Kind::Alloc);
+  EXPECT_EQ(Order[2], traceio::TraceEvent::Kind::Free);
+}
+
+TEST(TraceIoV2BlockTest, TruncatedColumnIsRejected) {
+  std::vector<uint8_t> Payload = v2Payload(
+      {traceio::kOpAccess}, uleb({5}), sleb({0x1000}), sleb({0}), uleb({4}));
+  Payload.pop_back(); // size column now declares more bytes than remain
+  expectV2Rejected(Payload, 1, "truncated size column");
+}
+
+TEST(TraceIoV2BlockTest, KindColumnCountMismatchIsRejected) {
+  std::vector<uint8_t> Payload =
+      v2Payload({traceio::kOpFree}, {}, sleb({0x10}), sleb({1}), {});
+  expectV2Rejected(Payload, 2,
+                   "column length mismatch: kind column holds 1 entries, "
+                   "block declares 2");
+}
+
+TEST(TraceIoV2BlockTest, UnknownOpcodeIsRejected) {
+  std::vector<uint8_t> Payload =
+      v2Payload({0x07}, {}, sleb({0x10}), sleb({1}), {});
+  expectV2Rejected(Payload, 1, "unknown event opcode 7");
+}
+
+TEST(TraceIoV2BlockTest, OverlongVarIntInColumnIsRejected) {
+  // Non-minimal uleb in the id column: same value, one byte wider.
+  std::vector<uint8_t> Payload =
+      v2Payload({traceio::kOpAccess}, {0x85, 0x00}, sleb({0x1000}),
+                sleb({0}), uleb({4}));
+  expectV2Rejected(Payload, 1, "malformed id column (overlong varint)");
+}
+
+TEST(TraceIoV2BlockTest, TrailingBytesInColumnAreRejected) {
+  std::vector<uint8_t> Ids = uleb({5});
+  Ids.push_back(0x00); // one id decoded, one byte left over
+  std::vector<uint8_t> Payload = v2Payload(
+      {traceio::kOpAccess}, Ids, sleb({0x1000}), sleb({0}), uleb({4}));
+  expectV2Rejected(Payload, 1, "trailing bytes in id column");
+}
+
+TEST(TraceIoV2BlockTest, TrailingBytesAfterColumnsAreRejected) {
+  std::vector<uint8_t> Payload = v2Payload(
+      {traceio::kOpAccess}, uleb({5}), sleb({0x1000}), sleb({0}), uleb({4}));
+  Payload.push_back(0xAB);
+  expectV2Rejected(Payload, 1, "trailing bytes in event payload");
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-version goldens: v1 and v2 encodings of one stream are
+// interchangeable — same events, byte-identical profiles
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ReplayArtifacts {
+  uint64_t Events = 0;
+  std::vector<uint8_t> Omsg;
+  std::vector<uint8_t> Leap;
+};
+
+/// Replays \p Path through WHOMP + LEAP with \p Threads decode threads.
+ReplayArtifacts replayArtifacts(const std::string &Path, unsigned Threads) {
+  traceio::TraceReader Reader;
+  EXPECT_TRUE(Reader.open(Path)) << Reader.error();
+  traceio::TraceReplayer Replayer(Reader);
+  Replayer.setThreads(Threads);
+  auto Session = Replayer.makeSession();
+  whomp::WhompProfiler Whomp;
+  leap::LeapProfiler Leap(/*MaxLmads=*/30);
+  Session->addConsumer(&Whomp);
+  Session->addConsumer(&Leap);
+  EXPECT_TRUE(Replayer.replayInto(*Session)) << Replayer.error();
+  ReplayArtifacts A;
+  A.Events = Replayer.eventsReplayed();
+  A.Omsg = whomp::OmsgArchive::build(Whomp, &Session->omc()).serialize();
+  A.Leap = leap::LeapProfileData::fromProfiler(Leap).serialize();
+  return A;
+}
+
+} // namespace
+
+class TraceIoCrossVersionTest : public testing::Test {
+protected:
+  void SetUp() override {
+    PathV1 = tempPath("xver_v1.orpt");
+    PathV2 = tempPath("xver_v2.orpt");
+    // One live run, two raw sinks: the v1 and v2 writers see the exact
+    // same event stream. Small blocks give the schedulers real work.
+    core::ProfilingSession Session(memsim::AllocPolicy::FirstFit,
+                                   /*Seed=*/7);
+    traceio::TraceWriter W1(PathV1, Session.registry(),
+                            memsim::AllocPolicy::FirstFit, /*Seed=*/7,
+                            /*BlockBytes=*/2048, traceio::kFormatVersionV1);
+    traceio::TraceWriter W2(PathV2, Session.registry(),
+                            memsim::AllocPolicy::FirstFit, /*Seed=*/7,
+                            /*BlockBytes=*/2048, traceio::kFormatVersionV2);
+    ASSERT_TRUE(W1.ok()) << W1.error();
+    ASSERT_TRUE(W2.ok()) << W2.error();
+    Session.addRawSink(&W1);
+    Session.addRawSink(&W2);
+    auto W = workloads::createWorkloadByName("list-traversal");
+    ASSERT_TRUE(W);
+    workloads::WorkloadConfig Config;
+    W->run(Session.memory(), Session.registry(), Config);
+    Session.finish();
+    ASSERT_TRUE(W1.close()) << W1.error();
+    ASSERT_TRUE(W2.close()) << W2.error();
+    ASSERT_EQ(W1.eventsWritten(), W2.eventsWritten());
+  }
+
+  void TearDown() override {
+    std::remove(PathV1.c_str());
+    std::remove(PathV2.c_str());
+  }
+
+  std::string PathV1, PathV2;
+};
+
+TEST_F(TraceIoCrossVersionTest, DecodedEventStreamsAreIdentical) {
+  traceio::TraceReader R1, R2;
+  ASSERT_TRUE(R1.open(PathV1)) << R1.error();
+  ASSERT_TRUE(R2.open(PathV2)) << R2.error();
+  EXPECT_EQ(R1.info().Version, traceio::kFormatVersionV1);
+  EXPECT_EQ(R2.info().Version, traceio::kFormatVersionV2);
+  EXPECT_EQ(R1.info().TotalEvents, R2.info().TotalEvents);
+
+  auto Collect = [](traceio::TraceReader &R) {
+    std::vector<traceio::TraceEvent> Events;
+    EXPECT_TRUE(R.forEachEvent(
+        [&](const traceio::TraceEvent &E) { Events.push_back(E); }))
+        << R.error();
+    return Events;
+  };
+  std::vector<traceio::TraceEvent> E1 = Collect(R1), E2 = Collect(R2);
+  ASSERT_EQ(E1.size(), E2.size());
+  for (size_t I = 0; I != E1.size(); ++I) {
+    ASSERT_EQ(E1[I].K, E2[I].K) << "event " << I;
+    ASSERT_EQ(E1[I].InstrOrSite, E2[I].InstrOrSite) << "event " << I;
+    ASSERT_EQ(E1[I].Addr, E2[I].Addr) << "event " << I;
+    ASSERT_EQ(E1[I].Size, E2[I].Size) << "event " << I;
+    ASSERT_EQ(E1[I].Time, E2[I].Time) << "event " << I;
+    ASSERT_EQ(E1[I].IsStore, E2[I].IsStore) << "event " << I;
+    ASSERT_EQ(E1[I].IsStatic, E2[I].IsStatic) << "event " << I;
+  }
+}
+
+TEST_F(TraceIoCrossVersionTest, ProfilesAreByteIdenticalAtEveryWidth) {
+  ReplayArtifacts Base = replayArtifacts(PathV1, /*Threads=*/1);
+  ASSERT_GT(Base.Events, 0u);
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ReplayArtifacts V1 = replayArtifacts(PathV1, Threads);
+    ReplayArtifacts V2 = replayArtifacts(PathV2, Threads);
+    EXPECT_EQ(V1.Events, Base.Events) << "v1 threads=" << Threads;
+    EXPECT_EQ(V2.Events, Base.Events) << "v2 threads=" << Threads;
+    EXPECT_EQ(V1.Omsg, Base.Omsg) << "v1 threads=" << Threads;
+    EXPECT_EQ(V2.Omsg, Base.Omsg) << "v2 threads=" << Threads;
+    EXPECT_EQ(V1.Leap, Base.Leap) << "v1 threads=" << Threads;
+    EXPECT_EQ(V2.Leap, Base.Leap) << "v2 threads=" << Threads;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -62,6 +62,8 @@ int usage(const char *Argv0) {
       "next-fit|segregated]\n"
       "         [--seed=N] [--env=N] [--scale=N]     capture a run "
       "(default FILE: <workload>.orpt)\n"
+      "         [--format-version=1|2]               .orpt encoding "
+      "(default 2, columnar)\n"
       "  replay <file> [--profiler=whomp|leap|rasg] [--lmads=N] "
       "[--threads=N]\n"
       "         [--dump-omsg=FILE]                   re-drive profilers "
@@ -245,12 +247,24 @@ int cmdRecord(int Argc, char **Argv) {
   std::string WorkloadName, OutPath;
   memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
   uint64_t Seed = 42, EnvSeed = 0, Scale = 1;
+  unsigned FormatVersion = traceio::kFormatVersion;
   for (int I = 0; I != Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "-o" && I + 1 != Argc) {
       OutPath = Argv[++I];
     } else if (const char *V = flagValue(Arg, "--out=")) {
       OutPath = V;
+    } else if (const char *V = flagValue(Arg, "--format-version=")) {
+      if (!numericFlag("record", "--format-version", V, FormatVersion))
+        return 1;
+      if (FormatVersion < traceio::kFormatVersionV1 ||
+          FormatVersion > traceio::kFormatVersionV2) {
+        logMessage(LogLevel::Error,
+                   "orp-trace record: --format-version expects 1 or 2, "
+                   "got '%s'",
+                   V);
+        return 1;
+      }
     } else if (const char *V = flagValue(Arg, "--alloc=")) {
       if (!parseAllocPolicy(V, Policy)) {
         logMessage(LogLevel::Error, "orp-trace: unknown alloc policy '%s'",
@@ -291,7 +305,9 @@ int cmdRecord(int Argc, char **Argv) {
     OutPath = WorkloadName + ".orpt";
 
   core::ProfilingSession Session(Policy, EnvSeed);
-  traceio::TraceWriter Writer(OutPath, Session.registry(), Policy, EnvSeed);
+  traceio::TraceWriter Writer(OutPath, Session.registry(), Policy, EnvSeed,
+                              traceio::TraceWriter::kDefaultBlockBytes,
+                              static_cast<uint8_t>(FormatVersion));
   if (!Writer.ok()) {
     logMessage(LogLevel::Error, "orp-trace: %s", Writer.error().c_str());
     return 1;
@@ -308,11 +324,11 @@ int cmdRecord(int Argc, char **Argv) {
     logMessage(LogLevel::Error, "orp-trace: %s", Writer.error().c_str());
     return 1;
   }
-  std::printf("%s: recorded %llu events to %s (%llu bytes, %.2f "
-              "bytes/event), checksum %llu\n",
+  std::printf("%s: recorded %llu events to %s (format v%u, %llu bytes, "
+              "%.2f bytes/event), checksum %llu\n",
               Workload->name(),
               static_cast<unsigned long long>(Writer.eventsWritten()),
-              OutPath.c_str(),
+              OutPath.c_str(), FormatVersion,
               static_cast<unsigned long long>(Writer.bytesWritten()),
               Writer.eventsWritten()
                   ? static_cast<double>(Writer.bytesWritten()) /
