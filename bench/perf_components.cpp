@@ -371,7 +371,10 @@ void BM_PipelineReplayThreads(benchmark::State &State) {
                             Threads);
     Session->addConsumer(&Whomp);
     Session->addConsumer(&Leap);
-    Replayer.replayInto(*Session);
+    if (!Replayer.replayInto(*Session)) {
+      State.SkipWithError("replay failed on a valid trace");
+      return;
+    }
     Events += Replayer.eventsReplayed();
     benchmark::DoNotOptimize(Whomp.sizes().total());
     benchmark::DoNotOptimize(Leap.serializedSizeBytes());

@@ -84,7 +84,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "cannot open %s\n", TextPath.c_str());
       return 1;
     }
-    Reader.forEachEvent([&](const traceio::TraceEvent &E) {
+    bool DumpOk = Reader.forEachEvent([&](const traceio::TraceEvent &E) {
       switch (E.K) {
       case traceio::TraceEvent::Kind::Access:
         std::fprintf(Text, "%c %u %llu %llu %llu\n", E.IsStore ? 'S' : 'L',
@@ -106,6 +106,10 @@ int main(int Argc, char **Argv) {
       }
     });
     std::fclose(Text);
+    if (!DumpOk) {
+      std::fprintf(stderr, "replay failed: %s\n", Reader.error().c_str());
+      return 1;
+    }
 
     uint64_t OrptBytes = fileSize(OrptPath);
     uint64_t TextBytes = fileSize(TextPath);
@@ -124,7 +128,10 @@ int main(int Argc, char **Argv) {
     {
       auto Fresh = Replayer.makeSession();
       Timer Clock;
-      Replayer.replayInto(*Fresh);
+      if (!Replayer.replayInto(*Fresh)) {
+        std::fprintf(stderr, "replay failed: %s\n", Replayer.error().c_str());
+        return 1;
+      }
       BareSecs = Clock.seconds();
     }
     // Replay throughput with a WHOMP profiler downstream.
@@ -134,7 +141,10 @@ int main(int Argc, char **Argv) {
       whomp::WhompProfiler Whomp;
       Fresh->addConsumer(&Whomp);
       Timer Clock;
-      Replayer.replayInto(*Fresh);
+      if (!Replayer.replayInto(*Fresh)) {
+        std::fprintf(stderr, "replay failed: %s\n", Replayer.error().c_str());
+        return 1;
+      }
       WhompSecs = Clock.seconds();
     }
 

@@ -67,7 +67,10 @@ void HorizontalDecomposer::flushPending() {
     std::vector<uint64_t> Chunk;
     Chunk.reserve(ThreadChunkSymbols);
     Chunk.swap(Pending[I]);
-    Workers[I]->submit(std::move(Chunk));
+    // Workers only close in finish()/the destructor, after the last
+    // flush — a refused chunk here would silently drop symbols.
+    if (!Workers[I]->submit(std::move(Chunk)))
+      ORP_FATAL_ERROR("decompose: dimension worker closed mid-stream");
   }
 }
 
@@ -187,8 +190,9 @@ VerticalDecomposer::~VerticalDecomposer() {
   if (!threaded())
     return;
   for (size_t S = 0; S != Workers.size(); ++S)
-    if (!PendingTuples[S].empty())
-      Workers[S]->submit(std::move(PendingTuples[S]));
+    if (!PendingTuples[S].empty() &&
+        !Workers[S]->submit(std::move(PendingTuples[S])))
+      ORP_FATAL_ERROR("decompose: substream shard closed mid-stream");
   for (auto &Worker : Workers)
     Worker->finish();
   Workers.clear();
@@ -203,7 +207,8 @@ void VerticalDecomposer::consume(const OrTuple &Tuple) {
       std::vector<OrTuple> Chunk;
       Chunk.reserve(ThreadChunkTuples);
       Chunk.swap(PendingTuples[S]);
-      Workers[S]->submit(std::move(Chunk));
+      if (!Workers[S]->submit(std::move(Chunk)))
+        ORP_FATAL_ERROR("decompose: substream shard closed mid-stream");
     }
     return;
   }
@@ -218,8 +223,9 @@ void VerticalDecomposer::finish() {
   if (!threaded())
     return;
   for (size_t S = 0; S != Workers.size(); ++S)
-    if (!PendingTuples[S].empty())
-      Workers[S]->submit(std::move(PendingTuples[S]));
+    if (!PendingTuples[S].empty() &&
+        !Workers[S]->submit(std::move(PendingTuples[S])))
+      ORP_FATAL_ERROR("decompose: substream shard closed mid-stream");
   for (auto &Worker : Workers)
     Worker->finish(); // Drains the queue and joins.
   captureWorkerStats();

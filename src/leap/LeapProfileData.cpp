@@ -69,6 +69,7 @@ std::vector<uint8_t> LeapProfileData::serialize() const {
   std::vector<const std::pair<const core::VerticalKey, SubstreamData> *>
       SortedSubs;
   SortedSubs.reserve(Substreams.size());
+  // orp-analyze: allow(unordered-serialize): feeds the sort below.
   for (const auto &Entry : Substreams)
     SortedSubs.push_back(&Entry);
   std::sort(SortedSubs.begin(), SortedSubs.end(),

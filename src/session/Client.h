@@ -36,13 +36,13 @@ public:
 
   /// Connects to the daemon at \p SocketPath. False with \p Err set on
   /// failure.
-  bool connect(const std::string &SocketPath, std::string &Err);
+  [[nodiscard]] bool connect(const std::string &SocketPath, std::string &Err);
 
-  bool connected() const { return Fd >= 0; }
+  [[nodiscard]] bool connected() const { return Fd >= 0; }
   void disconnect();
 
   /// Opens a session on the daemon. On success fills \p IdOut.
-  bool openSession(const OpenRequest &Req, uint64_t &IdOut,
+  [[nodiscard]] bool openSession(const OpenRequest &Req, uint64_t &IdOut,
                    std::string &Err);
 
   /// Streams every event block of \p Reader into session \p Id,
@@ -50,30 +50,30 @@ public:
   /// window of unacknowledged EVENTS frames in flight so the daemon's
   /// per-session backpressure (it stops reading when the ingest queue
   /// is full) throttles this call instead of deadlocking it.
-  bool submitTrace(uint64_t Id, traceio::TraceReader &Reader,
+  [[nodiscard]] bool submitTrace(uint64_t Id, traceio::TraceReader &Reader,
                    std::string &Err);
 
   /// Submits one raw block (a test-sized building brick).
   /// \p FormatVersion is the .orpt format the block is encoded in
   /// (usually the source reader's info().Version).
-  bool submitBlock(uint64_t Id, const traceio::TraceReader::RawBlock &B,
+  [[nodiscard]] bool submitBlock(uint64_t Id, const traceio::TraceReader::RawBlock &B,
                    uint8_t FormatVersion, std::string &Err);
 
   /// Fetches a telemetry snapshot. \p Format mirrors
   /// telemetry::SnapshotFormat (0 JSON, 1 compact JSON, 2 Prometheus);
   /// \p SessionName empty = whole registry.
-  bool snapshot(uint8_t Format, const std::string &SessionName,
+  [[nodiscard]] bool snapshot(uint8_t Format, const std::string &SessionName,
                 std::string &TextOut, std::string &Err);
 
   /// Closes session \p Id, receiving its summary and artifacts.
-  bool closeSession(uint64_t Id, CloseSummary &Out, std::string &Err);
+  [[nodiscard]] bool closeSession(uint64_t Id, CloseSummary &Out, std::string &Err);
 
 private:
-  bool sendFrame(FrameType Type, const std::vector<uint8_t> &Payload,
+  [[nodiscard]] bool sendFrame(FrameType Type, const std::vector<uint8_t> &Payload,
                  std::string &Err);
-  bool recvFrame(Frame &Out, std::string &Err);
+  [[nodiscard]] bool recvFrame(Frame &Out, std::string &Err);
   /// Receives one frame and maps ReplyErr to failure with its message.
-  bool recvReply(FrameType Expected, Frame &Out, std::string &Err);
+  [[nodiscard]] bool recvReply(FrameType Expected, Frame &Out, std::string &Err);
 
   int Fd = -1;
   FrameParser Parser;

@@ -34,11 +34,14 @@ bool setNonBlocking(int Fd) {
 
 Daemon::Daemon(const DaemonConfig &Config)
     : Config(Config), Manager(Config.Manager) {
+  // Construction happens on the (future) control thread.
+  support::ScopedRole Role(SessionControlRole);
   Manager.setEvictionHandler(
       [this](SessionId, SessionArtifacts A) { writeArtifacts(A); });
 }
 
 Daemon::~Daemon() {
+  support::ScopedRole Role(SessionControlRole);
   for (auto &C : Conns)
     if (C->Fd >= 0)
       ::close(C->Fd);

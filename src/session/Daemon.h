@@ -11,7 +11,10 @@
 /// poll()-driven control thread. The event loop IS the manager's
 /// control thread, so no locks are needed around session state (the
 /// R5 discipline: raw threading stays in src/support; this file's only
-/// concurrency primitives are the manager's queues).
+/// concurrency primitives are the manager's queues). That single-thread
+/// contract is the SessionControlRole capability: start()/run() and the
+/// connection state require it, and the thread driving the daemon
+/// claims it with a support::ScopedRole (orp-traced's main, or a test).
 ///
 /// Flow control: when a session's ingest queue is full (WouldBlock),
 /// the connection's remaining parsed frames stay queued and the daemon
@@ -55,11 +58,13 @@ public:
 
   /// Binds and listens on the configured socket path (removing a stale
   /// socket file first). Returns false with \p Err set on failure.
-  bool start(std::string &Err);
+  [[nodiscard]] bool start(std::string &Err)
+      ORP_REQUIRES(SessionControlRole);
 
   /// Serves until \p StopRequested returns true (checked every poll
   /// timeout, ~50ms). Aborts live connections' sessions on exit.
-  void run(const std::function<bool()> &StopRequested);
+  void run(const std::function<bool()> &StopRequested)
+      ORP_REQUIRES(SessionControlRole);
 
   /// The manager, for in-process tests driving both sides.
   SessionManager &manager() { return Manager; }
@@ -84,26 +89,34 @@ private:
     bool Dead = false;
   };
 
-  void acceptNew();
-  void readFrom(Conn &C);
-  void writeTo(Conn &C);
+  void acceptNew() ORP_REQUIRES(SessionControlRole);
+  void readFrom(Conn &C) ORP_REQUIRES(SessionControlRole);
+  void writeTo(Conn &C) ORP_REQUIRES(SessionControlRole);
   /// Processes queued frames until empty or the head WouldBlock.
-  void processPending(Conn &C);
+  void processPending(Conn &C) ORP_REQUIRES(SessionControlRole);
   /// Handles one frame; false = leave it queued (backpressure).
-  bool handleFrame(Conn &C, const Frame &F);
-  void handleOpen(Conn &C, const Frame &F);
-  bool handleEvents(Conn &C, const Frame &F);
-  void handleSnapshot(Conn &C, const Frame &F);
-  void handleClose(Conn &C, const Frame &F);
-  void reply(Conn &C, FrameType Type, const std::vector<uint8_t> &Payload);
-  void replyErr(Conn &C, const std::string &Message);
-  void dropConn(Conn &C);
+  bool handleFrame(Conn &C, const Frame &F)
+      ORP_REQUIRES(SessionControlRole);
+  void handleOpen(Conn &C, const Frame &F)
+      ORP_REQUIRES(SessionControlRole);
+  bool handleEvents(Conn &C, const Frame &F)
+      ORP_REQUIRES(SessionControlRole);
+  void handleSnapshot(Conn &C, const Frame &F)
+      ORP_REQUIRES(SessionControlRole);
+  void handleClose(Conn &C, const Frame &F)
+      ORP_REQUIRES(SessionControlRole);
+  void reply(Conn &C, FrameType Type, const std::vector<uint8_t> &Payload)
+      ORP_REQUIRES(SessionControlRole);
+  void replyErr(Conn &C, const std::string &Message)
+      ORP_REQUIRES(SessionControlRole);
+  void dropConn(Conn &C) ORP_REQUIRES(SessionControlRole);
   void writeArtifacts(const SessionArtifacts &A);
 
   DaemonConfig Config;
   SessionManager Manager;
-  int ListenFd = -1;
-  std::vector<std::unique_ptr<Conn>> Conns;
+  int ListenFd ORP_GUARDED_BY(SessionControlRole) = -1;
+  std::vector<std::unique_ptr<Conn>> Conns
+      ORP_GUARDED_BY(SessionControlRole);
 };
 
 } // namespace session

@@ -2,6 +2,7 @@
 
 #include "session/SessionManager.h"
 
+#include "support/Error.h"
 #include "support/LogSink.h"
 
 using namespace orp;
@@ -16,12 +17,23 @@ SessionManager::SessionManager(const ManagerConfig &Config)
   Shards.reserve(Threads);
   for (unsigned I = 0; I != Threads; ++I)
     Shards.push_back(std::make_unique<support::QueueWorker<Token>>(
-        /*QueueCapacity=*/64, [this](Token &T) { processToken(T); }));
+        /*QueueCapacity=*/64, [this](Token &T) {
+          // Each shard thread claims the shard role for the handler.
+          support::ScopedRole Role(SessionShardRole);
+          processToken(T);
+        }));
   Collector = telemetry::Registry::global().addCollector(
-      [this](telemetry::Registry &Reg) { publishMetrics(Reg); });
+      [this](telemetry::Registry &Reg) {
+        // Snapshots run on the control thread (the registry's snapshot
+        // discipline), so the collector may claim the control role.
+        support::ScopedRole Role(SessionControlRole);
+        publishMetrics(Reg);
+      });
 }
 
 SessionManager::~SessionManager() {
+  // Destruction happens on the control thread, like every entry point.
+  support::ScopedRole Role(SessionControlRole);
   while (!Sessions.empty())
     abort(Sessions.begin()->first);
   // Release the collector before the shards: a snapshot taken while
@@ -80,7 +92,8 @@ SubmitStatus SessionManager::submitBlock(SessionId Id,
   ++S.NextBlockIndex;
   S.Pending.fetch_add(1, std::memory_order_relaxed);
   S.LastUsed = ++UseClock;
-  Shards[S.Shard]->submit(Token{&S, /*Finalize=*/false});
+  if (!Shards[S.Shard]->submit(Token{&S, /*Finalize=*/false}))
+    ORP_FATAL_ERROR("session: shard worker finished with sessions live");
   enforceBudget();
   return SubmitStatus::Ok;
 }
@@ -98,14 +111,18 @@ SubmitStatus SessionManager::submitGate(SessionId Id,
     return SubmitStatus::WouldBlock;
   S.Pending.fetch_add(1, std::memory_order_relaxed);
   S.LastUsed = ++UseClock;
-  Shards[S.Shard]->submit(Token{&S, /*Finalize=*/false});
+  if (!Shards[S.Shard]->submit(Token{&S, /*Finalize=*/false}))
+    ORP_FATAL_ERROR("session: shard worker finished with sessions live");
   return SubmitStatus::Ok;
 }
 
 void SessionManager::processToken(Token &T) {
   Managed &S = *T.S;
   if (T.Finalize) {
-    S.Result.push(S.Engine->finalize());
+    // The Result queue is never close()d, so this push cannot fail
+    // while the handshake below is still owed.
+    if (!S.Result.push(S.Engine->finalize()))
+      ORP_FATAL_ERROR("session: result queue closed during finalize");
     S.FinalizeDone.store(true, std::memory_order_release);
     return;
   }
@@ -114,7 +131,9 @@ void SessionManager::processToken(Token &T) {
     return; // Unreachable: exactly one token per pushed item.
   if (Item.K == IngestItem::Kind::Gate) {
     int Unused;
-    Item.Gate->pop(Unused); // Parks this shard until the test releases.
+    // Parks this shard until the test releases (or closes) the gate;
+    // either wake is fine, so the popped value is irrelevant.
+    (void)Item.Gate->pop(Unused);
   } else if (!S.Failed.load(std::memory_order_relaxed)) {
     if (S.Engine->injectBlock(Item.Payload.data(), Item.Payload.size(),
                               Item.EventCount, Item.Crc, Item.BlockIndex,
@@ -136,9 +155,11 @@ void SessionManager::processToken(Token &T) {
 SessionArtifacts SessionManager::closeInternal(Managed &S) {
   // The shard queue is FIFO: the finalize token runs after every
   // pending ingest token of this session.
-  Shards[S.Shard]->submit(Token{&S, /*Finalize=*/true});
+  if (!Shards[S.Shard]->submit(Token{&S, /*Finalize=*/true}))
+    ORP_FATAL_ERROR("session: shard worker finished with sessions live");
   SessionArtifacts A;
-  S.Result.pop(A);
+  if (!S.Result.pop(A))
+    ORP_FATAL_ERROR("session: result queue closed before finalize");
   // The worker is at most a few instructions from done (the pop can
   // overtake the push's notify tail); spin out that window before the
   // caller frees the session.

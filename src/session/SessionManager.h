@@ -26,7 +26,11 @@
 /// thread (the daemon's poll loop, or a test's main thread). The shards
 /// are the only other threads, and all control<->shard traffic flows
 /// through SpscQueues; counters the control thread may read mid-flight
-/// are atomics.
+/// are atomics. The discipline is machine-checked under Clang's
+/// -Wthread-safety: public methods require the SessionControlRole
+/// capability, the shard handler requires SessionShardRole, and the
+/// control-side members are ORP_GUARDED_BY the control role (see
+/// support/ThreadSafety.h and DESIGN.md section 16).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +38,7 @@
 #define ORP_SESSION_SESSIONMANAGER_H
 
 #include "session/ProfileSession.h"
+#include "support/ThreadSafety.h"
 #include "support/WorkerPool.h"
 #include "telemetry/Registry.h"
 
@@ -48,6 +53,16 @@
 namespace orp {
 namespace session {
 
+/// The "runs on the session control thread" capability. Exactly one
+/// thread per process claims it (the daemon's poll loop or a test's
+/// main thread) with a support::ScopedRole; every SessionManager and
+/// Daemon entry point requires it.
+inline support::ThreadRole SessionControlRole;
+
+/// The "runs on a scheduler shard worker" capability, claimed by each
+/// shard's handler lambda around processToken().
+inline support::ThreadRole SessionShardRole;
+
 /// Scheduler/limit configuration of one SessionManager.
 struct ManagerConfig {
   unsigned Threads = 1;           ///< Scheduler shard count (>= 1).
@@ -55,8 +70,9 @@ struct ManagerConfig {
   size_t MemoryBudgetBytes = 0;   ///< LRU-evict over this; 0 = unlimited.
 };
 
-/// Result of a submit call.
-enum class SubmitStatus {
+/// Result of a submit call. [[nodiscard]]: dropping the status loses a
+/// WouldBlock (the block was NOT enqueued and must be retried).
+enum class [[nodiscard]] SubmitStatus {
   Ok,         ///< Enqueued.
   WouldBlock, ///< Ingest queue full — retry later (backpressure).
   NotFound,   ///< No such session id.
@@ -92,15 +108,18 @@ public:
   SessionManager(const SessionManager &) = delete;
   SessionManager &operator=(const SessionManager &) = delete;
 
-  void setEvictionHandler(EvictionHandler Handler) {
+  void setEvictionHandler(EvictionHandler Handler)
+      ORP_REQUIRES(SessionControlRole) {
     OnEvict = std::move(Handler);
   }
 
   /// Opens a session: builds its pipeline, registers \p Instrs /
   /// \p Sites, pins it to a shard (round-robin). Returns its id.
-  SessionId open(const std::string &Name, const SessionConfig &Config,
-                 const std::vector<trace::InstrInfo> &Instrs,
-                 const std::vector<trace::AllocSiteInfo> &Sites);
+  [[nodiscard]] SessionId
+  open(const std::string &Name, const SessionConfig &Config,
+       const std::vector<trace::InstrInfo> &Instrs,
+       const std::vector<trace::AllocSiteInfo> &Sites)
+      ORP_REQUIRES(SessionControlRole);
 
   /// Hands one still-encoded event-block payload (copied) to the
   /// session's shard. \p FormatVersion is the .orpt format the payload
@@ -109,36 +128,43 @@ public:
   /// same block later.
   SubmitStatus submitBlock(SessionId Id, const uint8_t *Payload,
                            size_t PayloadLen, uint64_t EventCount,
-                           uint32_t Crc, uint8_t FormatVersion);
+                           uint32_t Crc, uint8_t FormatVersion)
+      ORP_REQUIRES(SessionControlRole);
 
   /// Test hook: occupies one ingest slot (and the session's shard) until
   /// an element is pushed into \p Gate. Makes queue-full backpressure
   /// and busy/idle eviction states deterministic to construct.
-  SubmitStatus submitGate(SessionId Id, support::SpscQueue<int> *Gate);
+  SubmitStatus submitGate(SessionId Id, support::SpscQueue<int> *Gate)
+      ORP_REQUIRES(SessionControlRole);
 
   /// Drains the session's pending blocks, finalizes its profile on the
   /// owning shard, removes it and returns the artifacts. Blocks the
   /// control thread until the shard has caught up.
-  SessionArtifacts close(SessionId Id);
+  SessionArtifacts close(SessionId Id) ORP_REQUIRES(SessionControlRole);
 
   /// close() with the artifacts discarded (a disconnected client's
   /// orphans). Returns false when \p Id is unknown.
-  bool abort(SessionId Id);
+  bool abort(SessionId Id) ORP_REQUIRES(SessionControlRole);
 
   /// Point-in-time stats of one session; false when unknown.
-  bool stats(SessionId Id, SessionStats &Out) const;
+  [[nodiscard]] bool stats(SessionId Id, SessionStats &Out) const
+      ORP_REQUIRES(SessionControlRole);
 
-  size_t numLiveSessions() const { return Sessions.size(); }
-  std::vector<SessionId> liveSessions() const;
+  size_t numLiveSessions() const ORP_REQUIRES(SessionControlRole) {
+    return Sessions.size();
+  }
+  std::vector<SessionId> liveSessions() const
+      ORP_REQUIRES(SessionControlRole);
 
   /// Sum of the live sessions' memory estimates.
-  size_t totalMemoryEstimateBytes() const;
+  size_t totalMemoryEstimateBytes() const
+      ORP_REQUIRES(SessionControlRole);
 
   /// Evicts LRU idle sessions while over budget. Runs automatically
   /// after open() and every accepted submit; exposed for tests and for
   /// callers that mutated the budget's inputs out of band. Returns the
   /// number of sessions evicted.
-  size_t enforceBudget();
+  size_t enforceBudget() ORP_REQUIRES(SessionControlRole);
 
   const ManagerConfig &config() const { return Config; }
 
@@ -177,9 +203,9 @@ private:
     std::atomic<size_t> MemEstimate{0};
     std::atomic<bool> Failed{false};
     /// Control-side LRU stamp (bumped on every accepted submit).
-    uint64_t LastUsed = 0;
+    uint64_t LastUsed ORP_GUARDED_BY(SessionControlRole) = 0;
     /// Control-side running block count, labelling diagnostics.
-    uint64_t NextBlockIndex = 0;
+    uint64_t NextBlockIndex ORP_GUARDED_BY(SessionControlRole) = 0;
   };
 
   /// One unit of shard work: process one ingest item of S, or finalize.
@@ -188,17 +214,20 @@ private:
     bool Finalize = false;
   };
 
-  void processToken(Token &T);
-  SessionArtifacts closeInternal(Managed &S);
-  void publishMetrics(telemetry::Registry &Reg);
+  void processToken(Token &T) ORP_REQUIRES(SessionShardRole);
+  SessionArtifacts closeInternal(Managed &S)
+      ORP_REQUIRES(SessionControlRole);
+  void publishMetrics(telemetry::Registry &Reg)
+      ORP_REQUIRES(SessionControlRole);
 
   ManagerConfig Config;
   std::vector<std::unique_ptr<support::QueueWorker<Token>>> Shards;
-  std::map<SessionId, std::unique_ptr<Managed>> Sessions;
-  SessionId NextId = 1;
-  unsigned NextShard = 0;
-  uint64_t UseClock = 0;
-  EvictionHandler OnEvict;
+  std::map<SessionId, std::unique_ptr<Managed>> Sessions
+      ORP_GUARDED_BY(SessionControlRole);
+  SessionId NextId ORP_GUARDED_BY(SessionControlRole) = 1;
+  unsigned NextShard ORP_GUARDED_BY(SessionControlRole) = 0;
+  uint64_t UseClock ORP_GUARDED_BY(SessionControlRole) = 0;
+  EvictionHandler OnEvict ORP_GUARDED_BY(SessionControlRole);
   telemetry::CollectorHandle Collector;
 };
 

@@ -85,9 +85,9 @@ public:
 
   /// Pops the next complete frame into \p Out; false when more bytes
   /// are needed (or the stream failed).
-  bool next(Frame &Out);
+  [[nodiscard]] bool next(Frame &Out);
 
-  bool failed() const { return !Err.empty(); }
+  [[nodiscard]] bool failed() const { return !Err.empty(); }
   const std::string &error() const { return Err; }
 
 private:
@@ -105,7 +105,7 @@ struct OpenRequest {
 };
 
 void encodeOpen(const OpenRequest &Req, std::vector<uint8_t> &Out);
-bool decodeOpen(const uint8_t *Data, size_t Len, OpenRequest &Out,
+[[nodiscard]] bool decodeOpen(const uint8_t *Data, size_t Len, OpenRequest &Out,
                 std::string &Err);
 
 /// An Events frame's fixed header; the block payload follows at
@@ -121,7 +121,7 @@ struct EventsHeader {
 void encodeEventsHeader(uint64_t SessionId, uint64_t EventCount,
                         uint8_t FormatVersion, uint32_t Crc,
                         std::vector<uint8_t> &Out);
-bool decodeEventsHeader(const uint8_t *Data, size_t Len, EventsHeader &Out,
+[[nodiscard]] bool decodeEventsHeader(const uint8_t *Data, size_t Len, EventsHeader &Out,
                         std::string &Err);
 
 /// A Snapshot request. Format values mirror telemetry::SnapshotFormat.
@@ -131,7 +131,7 @@ struct SnapshotRequest {
 };
 
 void encodeSnapshot(const SnapshotRequest &Req, std::vector<uint8_t> &Out);
-bool decodeSnapshot(const uint8_t *Data, size_t Len, SnapshotRequest &Out,
+[[nodiscard]] bool decodeSnapshot(const uint8_t *Data, size_t Len, SnapshotRequest &Out,
                     std::string &Err);
 
 /// The Close reply in struct form (artifacts travel back to the client
@@ -146,7 +146,7 @@ struct CloseSummary {
 
 void encodeCloseSummary(const CloseSummary &Summary,
                         std::vector<uint8_t> &Out);
-bool decodeCloseSummary(const uint8_t *Data, size_t Len, CloseSummary &Out,
+[[nodiscard]] bool decodeCloseSummary(const uint8_t *Data, size_t Len, CloseSummary &Out,
                         std::string &Err);
 
 } // namespace session

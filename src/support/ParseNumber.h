@@ -25,10 +25,10 @@ namespace support {
 /// leaving \p Out untouched — unless the *entire* string is a valid
 /// in-range non-negative decimal number: empty strings, leading
 /// whitespace or signs, trailing junk ("12abc") and overflow all fail.
-bool parseUint64(const char *Text, uint64_t &Out);
+[[nodiscard]] bool parseUint64(const char *Text, uint64_t &Out);
 
 /// Like parseUint64 but additionally range-checks into unsigned.
-bool parseUnsigned(const char *Text, unsigned &Out);
+[[nodiscard]] bool parseUnsigned(const char *Text, unsigned &Out);
 
 } // namespace support
 } // namespace orp

@@ -22,18 +22,26 @@
 /// producer pushes is the order the consumer pops, so moving a stage
 /// onto a worker thread never reorders the substream it owns.
 ///
-/// This header (with WorkerPool.h) is the only place in the repository
-/// allowed to use std::mutex / std::condition_variable directly; see
-/// tools/orp-lint rule R5.
+/// Every mutable member is ORP_GUARDED_BY the ring mutex and all entry
+/// points are statically checked under Clang's -Wthread-safety (see
+/// support/ThreadSafety.h and DESIGN.md section 16). push/tryPush
+/// results are [[nodiscard]]: since the closed-ring change (PR 4 fix),
+/// a push can legitimately fail, and a caller that drops the bool drops
+/// an element silently.
+///
+/// This header (with WorkerPool.h and ThreadSafety.h) is the only place
+/// in the repository allowed to use std::mutex /
+/// std::condition_variable directly; see tools/orp-lint rule R5.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ORP_SUPPORT_SPSCQUEUE_H
 #define ORP_SUPPORT_SPSCQUEUE_H
 
-#include <condition_variable>
+#include "support/ThreadSafety.h"
+
 #include <cstddef>
-#include <mutex>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -57,7 +65,7 @@ template <typename T> class SpscQueue {
 public:
   /// Creates a queue holding at most \p Capacity elements (>= 1).
   explicit SpscQueue(size_t Capacity)
-      : Ring(Capacity ? Capacity : 1) {}
+      : Cap(Capacity ? Capacity : 1), Ring(Cap) {}
 
   SpscQueue(const SpscQueue &) = delete;
   SpscQueue &operator=(const SpscQueue &) = delete;
@@ -67,65 +75,67 @@ public:
   /// the call or while blocked waiting for room. Never writes into a
   /// closed ring: waking on close with a full ring must not overwrite
   /// unconsumed elements or push Count past capacity.
-  bool push(T &&Value) {
-    std::unique_lock<std::mutex> Lock(M);
-    if (Count == Ring.size() && !Closed)
+  [[nodiscard]] bool push(T &&Value) {
+    MutexLock Lock(M);
+    if (Count == Cap && !Closed)
       ++Telemetry.PushStalls; // Backpressure: producer outran consumer.
-    NotFull.wait(Lock, [&] { return Count < Ring.size() || Closed; });
+    while (Count == Cap && !Closed)
+      NotFull.wait(Lock);
     if (Closed)
       return false;
-    Ring[(Head + Count) % Ring.size()] = std::move(Value);
+    Ring[(Head + Count) % Cap] = std::move(Value);
     ++Count;
     noteDepthLocked();
     Lock.unlock();
-    NotEmpty.notify_one();
+    NotEmpty.notifyOne();
     return true;
   }
 
   /// Enqueues \p Value if the ring has room; returns false when full
   /// or closed.
-  bool tryPush(T &&Value) {
+  [[nodiscard]] bool tryPush(T &&Value) {
     {
-      std::lock_guard<std::mutex> Lock(M);
-      if (Closed || Count == Ring.size())
+      MutexLock Lock(M);
+      if (Closed || Count == Cap)
         return false;
-      Ring[(Head + Count) % Ring.size()] = std::move(Value);
+      Ring[(Head + Count) % Cap] = std::move(Value);
       ++Count;
       noteDepthLocked();
     }
-    NotEmpty.notify_one();
+    NotEmpty.notifyOne();
     return true;
   }
 
   /// Dequeues into \p Out, blocking while the ring is empty. Returns
   /// false once the queue is closed and fully drained.
-  bool pop(T &Out) {
-    std::unique_lock<std::mutex> Lock(M);
-    NotEmpty.wait(Lock, [&] { return Count > 0 || Closed; });
+  [[nodiscard]] bool pop(T &Out) {
+    MutexLock Lock(M);
+    while (Count == 0 && !Closed)
+      NotEmpty.wait(Lock);
     if (Count == 0)
       return false; // Closed and drained.
     Out = std::move(Ring[Head]);
-    Head = (Head + 1) % Ring.size();
+    Head = (Head + 1) % Cap;
     --Count;
     ++Telemetry.Pops;
     Lock.unlock();
-    NotFull.notify_one();
+    NotFull.notifyOne();
     return true;
   }
 
   /// Dequeues into \p Out if an element is ready; returns false when
   /// the ring is currently empty (closed or not).
-  bool tryPop(T &Out) {
+  [[nodiscard]] bool tryPop(T &Out) {
     {
-      std::lock_guard<std::mutex> Lock(M);
+      MutexLock Lock(M);
       if (Count == 0)
         return false;
       Out = std::move(Ring[Head]);
-      Head = (Head + 1) % Ring.size();
+      Head = (Head + 1) % Cap;
       --Count;
       ++Telemetry.Pops;
     }
-    NotFull.notify_one();
+    NotFull.notifyOne();
     return true;
   }
 
@@ -133,44 +143,45 @@ public:
   /// pop() returns false once they have.
   void close() {
     {
-      std::lock_guard<std::mutex> Lock(M);
+      MutexLock Lock(M);
       Closed = true;
     }
-    NotEmpty.notify_all();
-    NotFull.notify_all();
+    NotEmpty.notifyAll();
+    NotFull.notifyAll();
   }
 
-  /// Maximum number of buffered elements.
-  size_t capacity() const { return Ring.size(); }
+  /// Maximum number of buffered elements (immutable, lock-free read).
+  size_t capacity() const { return Cap; }
 
   /// Returns a consistent snapshot of the queue counters. Callable from
   /// any thread at any time (takes the queue mutex briefly).
   QueueTelemetry telemetry() const {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     QueueTelemetry Snap = Telemetry;
-    Snap.Capacity = Ring.size();
+    Snap.Capacity = Cap;
     Snap.Depth = Count;
     return Snap;
   }
 
 private:
   /// Records a completed push; call with the mutex held.
-  void noteDepthLocked() {
+  void noteDepthLocked() ORP_REQUIRES(M) {
     ++Telemetry.Pushes;
     if (Count > Telemetry.HighWatermark)
       Telemetry.HighWatermark = Count;
   }
 
-  mutable std::mutex M;
-  std::condition_variable NotEmpty;
-  std::condition_variable NotFull;
-  std::vector<T> Ring;
-  size_t Head = 0;
-  size_t Count = 0;
-  bool Closed = false;
+  const size_t Cap; ///< Ring size; fixed at construction.
+  mutable Mutex M;
+  CondVar NotEmpty;
+  CondVar NotFull;
+  std::vector<T> Ring ORP_GUARDED_BY(M);
+  size_t Head ORP_GUARDED_BY(M) = 0;
+  size_t Count ORP_GUARDED_BY(M) = 0;
+  bool Closed ORP_GUARDED_BY(M) = false;
   /// Capacity/Depth are filled in by telemetry(); the rest accumulate
   /// here under the mutex.
-  QueueTelemetry Telemetry;
+  QueueTelemetry Telemetry ORP_GUARDED_BY(M);
 };
 
 } // namespace support

@@ -32,14 +32,14 @@ void encodeSLEB128(int64_t Value, std::vector<uint8_t> &Out);
 /// \p Pos. The buffer is trusted (produced by encodeULEB128 in this
 /// process); truncated or over-wide input is a fatal error in every
 /// build mode, never undefined behavior.
-uint64_t decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos);
+[[nodiscard]] uint64_t decodeULEB128(const std::vector<uint8_t> &Data, size_t &Pos);
 
 /// Decodes an SLEB128 value from \p Data starting at \p Pos, advancing
 /// \p Pos. Same trust/failure contract as decodeULEB128.
-int64_t decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos);
+[[nodiscard]] int64_t decodeSLEB128(const std::vector<uint8_t> &Data, size_t &Pos);
 
 /// How a checked LEB128 decode ended.
-enum class VarIntStatus {
+enum class [[nodiscard]] VarIntStatus {
   Ok,        ///< A canonical value was decoded.
   Truncated, ///< The buffer ended before the terminator byte.
   Overflow,  ///< The encoding carries payload beyond 64 bits.
@@ -48,7 +48,7 @@ enum class VarIntStatus {
 
 /// Returns a stable lowercase name for \p Status ("ok", "truncated",
 /// "overflow", "overlong") for error messages.
-const char *varIntStatusName(VarIntStatus Status);
+[[nodiscard]] const char *varIntStatusName(VarIntStatus Status);
 
 /// Bounds-checked ULEB128 decode for untrusted input (file parsers).
 /// On Ok stores the value in \p Value and advances \p Pos past the
@@ -57,29 +57,29 @@ const char *varIntStatusName(VarIntStatus Status);
 /// this repository emits minimal encodings, so an overlong varint in an
 /// image is corruption, and accepting it would make byte-size accounting
 /// ambiguous.
-VarIntStatus decodeULEB128Checked(const uint8_t *Data, size_t Size,
+[[nodiscard]] VarIntStatus decodeULEB128Checked(const uint8_t *Data, size_t Size,
                                   size_t &Pos, uint64_t &Value);
 
 /// Bounds-checked SLEB128 decode for untrusted input; same contract as
 /// decodeULEB128Checked.
-VarIntStatus decodeSLEB128Checked(const uint8_t *Data, size_t Size,
+[[nodiscard]] VarIntStatus decodeSLEB128Checked(const uint8_t *Data, size_t Size,
                                   size_t &Pos, int64_t &Value);
 
 /// Convenience wrapper over decodeULEB128Checked: true exactly when the
 /// status is Ok.
-bool tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+[[nodiscard]] bool tryDecodeULEB128(const uint8_t *Data, size_t Size, size_t &Pos,
                       uint64_t &Value);
 
 /// Convenience wrapper over decodeSLEB128Checked; same contract as
 /// tryDecodeULEB128.
-bool tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
+[[nodiscard]] bool tryDecodeSLEB128(const uint8_t *Data, size_t Size, size_t &Pos,
                       int64_t &Value);
 
 /// Returns the number of bytes encodeULEB128(\p Value) would emit.
-size_t sizeULEB128(uint64_t Value);
+[[nodiscard]] size_t sizeULEB128(uint64_t Value);
 
 /// Returns the number of bytes encodeSLEB128(\p Value) would emit.
-size_t sizeSLEB128(int64_t Value);
+[[nodiscard]] size_t sizeSLEB128(int64_t Value);
 
 /// \name Unrolled fast-path decoders
 /// Same contract and results as the Checked decoders — every status,
@@ -90,7 +90,7 @@ size_t sizeSLEB128(int64_t Value);
 /// loop. These are what the columnar block decoder's tight per-column
 /// loops call.
 /// @{
-inline VarIntStatus decodeULEB128Fast(const uint8_t *Data, size_t Size,
+[[nodiscard]] inline VarIntStatus decodeULEB128Fast(const uint8_t *Data, size_t Size,
                                       size_t &Pos, uint64_t &Value) {
   if (Pos < Size) {
     uint8_t B0 = Data[Pos];
@@ -116,7 +116,7 @@ inline VarIntStatus decodeULEB128Fast(const uint8_t *Data, size_t Size,
   return decodeULEB128Checked(Data, Size, Pos, Value);
 }
 
-inline VarIntStatus decodeSLEB128Fast(const uint8_t *Data, size_t Size,
+[[nodiscard]] inline VarIntStatus decodeSLEB128Fast(const uint8_t *Data, size_t Size,
                                       size_t &Pos, int64_t &Value) {
   if (Pos < Size) {
     uint8_t B0 = Data[Pos];

@@ -22,7 +22,9 @@
 /// This header (with SpscQueue.h) is the only place in the repository
 /// allowed to use std::thread directly; everything else goes through
 /// these wrappers so lifecycle (drain, close, join) stays centralized
-/// and auditable. Enforced by tools/orp-lint rule R5.
+/// and auditable. Enforced by tools/orp-lint rule R5 and by
+/// orp-analyze's raw-thread check (the compile-grade half of the same
+/// wall).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,9 +71,12 @@ public:
 
   ~QueueWorker() { finish(); }
 
-  /// Hands \p I to the worker; blocks while the queue is full. Items
-  /// submitted after finish() are dropped (push on a closed queue).
-  void submit(Item &&I) { Queue.push(std::move(I)); }
+  /// Hands \p I to the worker; blocks while the queue is full. Returns
+  /// false — dropping \p I — when called after finish() (push on a
+  /// closed queue). Before the [[nodiscard]] audit this dropped the
+  /// item *silently*; callers for whom a submit can never legitimately
+  /// fail treat false as a fatal logic error.
+  [[nodiscard]] bool submit(Item &&I) { return Queue.push(std::move(I)); }
 
   /// Closes the queue, waits for every submitted item to be processed
   /// and joins the thread. Idempotent; after finish() the state the

@@ -39,7 +39,7 @@ namespace traceio {
 /// Verifies the CRC-32 of one event-block payload. On mismatch returns
 /// false and sets \p Err to
 /// "block <Index> at byte <BaseOffset>: checksum mismatch ...".
-bool verifyBlockChecksum(const uint8_t *Payload, size_t Len, uint32_t Crc,
+[[nodiscard]] bool verifyBlockChecksum(const uint8_t *Payload, size_t Len, uint32_t Crc,
                          uint64_t BlockIndex, uint64_t BaseOffset,
                          std::string &Err);
 
@@ -50,7 +50,7 @@ bool verifyBlockChecksum(const uint8_t *Payload, size_t Len, uint32_t Crc,
 /// BlockIndex and \p BaseOffset (the payload's absolute position in
 /// its file or stream, 0 when standalone) only label diagnostics:
 /// "block <Index> at byte <abs>: malformed access record ...".
-bool decodeEventBlock(const uint8_t *Payload, size_t Len,
+[[nodiscard]] bool decodeEventBlock(const uint8_t *Payload, size_t Len,
                       uint64_t EventCount,
                       const std::function<void(const TraceEvent &)> &Fn,
                       std::string &Err, uint64_t BlockIndex = 0,
@@ -87,7 +87,7 @@ struct DecodedBlock {
 /// (truncated column, column length mismatch, overlong varint, unknown
 /// opcode) with the same "block <Index> at byte <abs>" prefix as v1
 /// diagnostics.
-bool decodeEventBlockV2(const uint8_t *Payload, size_t Len,
+[[nodiscard]] bool decodeEventBlockV2(const uint8_t *Payload, size_t Len,
                         uint64_t EventCount, DecodedBlock &Out,
                         std::string &Err, uint64_t BlockIndex = 0,
                         uint64_t BaseOffset = 0);
@@ -102,7 +102,7 @@ void forEachDecodedEvent(const DecodedBlock &Block,
 /// record decoder, v2 payloads decode columnar and are then walked in
 /// delivery order. The event sequence delivered to \p Fn is identical
 /// for the same recorded stream in either format.
-bool decodeEventBlockAny(uint8_t Version, const uint8_t *Payload,
+[[nodiscard]] bool decodeEventBlockAny(uint8_t Version, const uint8_t *Payload,
                          size_t Len, uint64_t EventCount,
                          const std::function<void(const TraceEvent &)> &Fn,
                          std::string &Err, uint64_t BlockIndex = 0,
@@ -112,7 +112,7 @@ bool decodeEventBlockAny(uint8_t Version, const uint8_t *Payload,
 /// accesses between boundaries travels as one injectAccessBatch span,
 /// allocs/frees go through injectAlloc/injectFree. Returns the number
 /// of events injected (always Block.events()).
-uint64_t injectDecodedBlock(trace::MemoryInterface &Memory,
+[[nodiscard]] uint64_t injectDecodedBlock(trace::MemoryInterface &Memory,
                             const DecodedBlock &Block);
 
 } // namespace traceio

@@ -36,11 +36,11 @@ public:
   /// Loads \p Path and validates everything except event payload
   /// contents (those are checked checksum-first by forEachEvent).
   /// Returns false with error() set on any problem.
-  bool open(const std::string &Path);
+  [[nodiscard]] bool open(const std::string &Path);
 
   /// Structural validation of an in-memory image; used by open() and by
   /// tests that corrupt images without touching disk.
-  bool openImage(std::vector<uint8_t> Image, const std::string &Name);
+  [[nodiscard]] bool openImage(std::vector<uint8_t> Image, const std::string &Name);
 
   /// Header metadata and file statistics. Valid after open().
   const TraceInfo &info() const { return Info; }
@@ -56,7 +56,7 @@ public:
   /// Decodes every event in delivery order into \p Fn. Returns false
   /// with error() set on a corrupted payload; events already delivered
   /// before the corrupt block stand. Restartable (stateless).
-  bool forEachEvent(const std::function<void(const TraceEvent &)> &Fn);
+  [[nodiscard]] bool forEachEvent(const std::function<void(const TraceEvent &)> &Fn);
 
   /// Number of indexed event blocks; valid after open().
   size_t numEventBlocks() const { return Blocks.size(); }
@@ -77,17 +77,17 @@ public:
   /// which is what lets TraceReplayer decode block N+1 on a worker
   /// while block N is being consumed. \p Index must be in range.
   /// Returns false with error() set on corruption.
-  bool decodeBlockEvents(size_t Index, std::vector<TraceEvent> &Out);
+  [[nodiscard]] bool decodeBlockEvents(size_t Index, std::vector<TraceEvent> &Out);
 
   /// Convenience: decodes the whole stream into a vector.
-  bool readAllEvents(std::vector<TraceEvent> &Out);
+  [[nodiscard]] bool readAllEvents(std::vector<TraceEvent> &Out);
 
   /// Columnar decode of one v2 block (CRC-checked first) into \p Out,
   /// shaped for batch injection — see traceio::DecodedBlock. Only valid
   /// for v2 traces (info().Version >= kFormatVersionV2); the replayer
   /// routes v1 traces through decodeBlockEvents instead. \p Index must
   /// be in range. Returns false with error() set on corruption.
-  bool decodeBlockColumns(size_t Index, DecodedBlock &Out);
+  [[nodiscard]] bool decodeBlockColumns(size_t Index, DecodedBlock &Out);
 
   /// A still-encoded view of one event block, for forwarding the
   /// payload verbatim — e.g. as an EVENTS frame of the orp-traced wire
@@ -100,7 +100,7 @@ public:
     uint32_t Crc;         ///< CRC-32 declared by the block header.
     uint64_t FileOffset;  ///< Absolute byte offset of the payload.
   };
-  RawBlock rawBlock(size_t Index) const;
+  [[nodiscard]] RawBlock rawBlock(size_t Index) const;
 
   /// The first error encountered, or empty.
   const std::string &error() const { return Err; }

@@ -77,7 +77,8 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
             DecodeOk.store(false, std::memory_order_release);
             break;
           }
-          Decoded.push(std::move(Block));
+          if (!Decoded.push(std::move(Block)))
+            break; // Queue closed: the consumer is gone, stop decoding.
           Block = DecodedBlock();
         }
         Decoded.close();
@@ -114,7 +115,8 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
           DecodeOk.store(false, std::memory_order_release);
           break;
         }
-        Decoded.push(std::move(Events));
+        if (!Decoded.push(std::move(Events)))
+          break; // Queue closed: the consumer is gone, stop decoding.
         Events = std::vector<TraceEvent>();
       }
       // Like forEachEvent: blocks decoded before a corrupt one stand.

@@ -57,7 +57,7 @@ public:
   /// session is finish()ed afterwards (the trace already contains the
   /// recorded run's static frees, so finishing only notifies sinks).
   /// Returns false with error() set when the trace is corrupt.
-  bool replayInto(core::ProfilingSession &Session, bool CallFinish = true);
+  [[nodiscard]] bool replayInto(core::ProfilingSession &Session, bool CallFinish = true);
 
   /// Events delivered by the last replayInto().
   uint64_t eventsReplayed() const { return Replayed; }

@@ -1,0 +1,44 @@
+//===- Allowed.cpp - every violation, suppressed -------------------------===//
+//
+// The same violations as the other fixture files, each under an
+// allow() escape. None of these may appear in the analyzer's output;
+// the fixture harness greps for "Allowed.cpp" and fails if it does.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_allowed {
+
+std::atomic<int> Flag{0};
+
+void publishAllowed() {
+  // orp-analyze: allow(atomics): fixture exercising the escape hatch.
+  Flag.store(1, std::memory_order_seq_cst);
+}
+
+void spawnAllowed() {
+  // orp-lint: allow(raw-thread): legacy spelling must also suppress.
+  std::thread T([] {});
+  T.join();
+}
+
+class SortedSerializer {
+public:
+  std::vector<uint8_t> serializeAllowed() const {
+    std::vector<uint8_t> Out;
+    // orp-analyze: allow(unordered-serialize): feeds a sort (fixture).
+    for (const auto &Entry : Groups)
+      Out.push_back(static_cast<uint8_t>(Entry.first));
+    return Out;
+  }
+
+private:
+  std::unordered_map<uint64_t, uint32_t> Groups;
+};
+
+} // namespace fixture_allowed

@@ -1,0 +1,9 @@
+//===- Print.cpp - seeded iostream violation -----------------------------===//
+
+#include <iostream>
+
+namespace fixture {
+
+void print() { std::cout << "banned\n"; }
+
+} // namespace fixture

@@ -1,0 +1,8 @@
+//===- Serializer.h - fixture header (do not build) ----------------------===//
+
+#ifndef FIXTURE_CORE_SERIALIZER_H
+#define FIXTURE_CORE_SERIALIZER_H
+
+inline int fixtureSerializerTag() { return 1; }
+
+#endif

@@ -1,0 +1,17 @@
+//===- Spawn.cpp - seeded raw-thread violation ---------------------------===//
+//
+// std::thread outside src/support must be reported (use ScopedThread,
+// QueueWorker or SpscQueue instead).
+//
+//===----------------------------------------------------------------------===//
+
+#include <thread>
+
+namespace fixture {
+
+void spawn() {
+  std::thread T([] {});
+  T.join();
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+//===- BackEdge.h - seeded layering violation (do not build) -------------===//
+//
+// support is rank 0; core is rank 4. This include must be reported as
+// a layering back-edge.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FIXTURE_SUPPORT_BACKEDGE_H
+#define FIXTURE_SUPPORT_BACKEDGE_H
+
+#include "core/Serializer.h"
+
+inline int backEdge() { return fixtureSerializerTag(); }
+
+#endif

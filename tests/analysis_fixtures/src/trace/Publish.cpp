@@ -1,0 +1,16 @@
+//===- Publish.cpp - seeded atomics violation ----------------------------===//
+//
+// src/trace is not in the sanctioned atomics set; this seq_cst store
+// must be reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> Flag{0};
+
+void publish() { Flag.store(1, std::memory_order_seq_cst); }
+
+} // namespace fixture

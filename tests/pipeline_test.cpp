@@ -53,7 +53,7 @@ TEST(SpscQueueTest, FifoAcrossThreads) {
       Got.push_back(V);
   });
   for (int I = 0; I != N; ++I)
-    Q.push(int(I));
+    ASSERT_TRUE(Q.push(int(I)));
   Q.close();
   Consumer.join();
   ASSERT_EQ(Got.size(), static_cast<size_t>(N));
@@ -75,8 +75,8 @@ TEST(SpscQueueTest, TryPushRespectsCapacity) {
 
 TEST(SpscQueueTest, CloseDrainsThenStops) {
   support::SpscQueue<int> Q(4);
-  Q.push(10);
-  Q.push(20);
+  ASSERT_TRUE(Q.push(10));
+  ASSERT_TRUE(Q.push(20));
   Q.close();
   int V = 0;
   EXPECT_TRUE(Q.pop(V));
@@ -137,9 +137,9 @@ TEST(SpscQueueTest, TelemetryTracksDepthWatermarkAndStalls) {
   EXPECT_EQ(T0.Depth, 0u);
   EXPECT_EQ(T0.Pushes, 0u);
 
-  Q.push(1);
-  Q.push(2);
-  Q.push(3);
+  ASSERT_TRUE(Q.push(1));
+  ASSERT_TRUE(Q.push(2));
+  ASSERT_TRUE(Q.push(3));
   support::QueueTelemetry T1 = Q.telemetry();
   EXPECT_EQ(T1.Depth, 3u);
   EXPECT_EQ(T1.HighWatermark, 3u);
@@ -156,15 +156,15 @@ TEST(SpscQueueTest, TelemetryTracksDepthWatermarkAndStalls) {
 
   // Fill the queue, then have a consumer drain while a blocked push
   // waits: the stall must be counted exactly once.
-  Q.push(4);
-  Q.push(5);
-  Q.push(6);
+  ASSERT_TRUE(Q.push(4));
+  ASSERT_TRUE(Q.push(5));
+  ASSERT_TRUE(Q.push(6));
   support::ScopedThread Consumer([&] {
     int X;
     for (int I = 0; I != 5; ++I)
-      Q.pop(X);
+      EXPECT_TRUE(Q.pop(X));
   });
-  Q.push(7); // blocks until the consumer makes room
+  ASSERT_TRUE(Q.push(7)); // blocks until the consumer makes room
   Consumer.join();
   support::QueueTelemetry T3 = Q.telemetry();
   EXPECT_EQ(T3.PushStalls, 1u);
@@ -184,7 +184,7 @@ TEST(QueueWorkerTest, TelemetryReportsQueueAndBusyTime) {
             Spin = Spin + I;
         });
     for (int I = 0; I != 10; ++I)
-      Worker.submit(int(I));
+      ASSERT_TRUE(Worker.submit(int(I)));
     Worker.finish();
     T = Worker.telemetry();
   }
@@ -200,7 +200,7 @@ TEST(QueueWorkerTest, ProcessesSubmissionsInOrder) {
     support::QueueWorker<int> W(/*QueueCapacity=*/4,
                                 [&](int &V) { Seen.push_back(V); });
     for (int I = 0; I != 1000; ++I)
-      W.submit(int(I));
+      ASSERT_TRUE(W.submit(int(I)));
     W.finish();
     W.finish(); // Idempotent.
   }
@@ -209,12 +209,27 @@ TEST(QueueWorkerTest, ProcessesSubmissionsInOrder) {
     EXPECT_EQ(Seen[I], I);
 }
 
+TEST(QueueWorkerTest, SubmitAfterFinishReturnsFalse) {
+  // Regression for the bug the [[nodiscard]] rollout surfaced:
+  // WorkerPool::submit used to return void and silently dropped items
+  // submitted after finish(). It now reports the refusal, and every
+  // production call site either fatals (decomposers — a refused chunk
+  // is lost symbols) or stops producing (replayer decode-ahead).
+  std::vector<int> Seen;
+  support::QueueWorker<int> W(/*QueueCapacity=*/4,
+                              [&](int &V) { Seen.push_back(V); });
+  ASSERT_TRUE(W.submit(1));
+  W.finish();
+  EXPECT_FALSE(W.submit(2)) << "finished worker must refuse, not drop";
+  EXPECT_EQ(Seen.size(), 1u) << "the refused item never ran";
+}
+
 TEST(QueueWorkerTest, DestructorDrainsWithoutExplicitFinish) {
   int Sum = 0;
   {
     support::QueueWorker<int> W(2, [&](int &V) { Sum += V; });
     for (int I = 1; I <= 100; ++I)
-      W.submit(int(I));
+      ASSERT_TRUE(W.submit(int(I)));
   }
   EXPECT_EQ(Sum, 5050) << "all submitted work ran before join";
 }

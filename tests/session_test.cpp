@@ -36,6 +36,7 @@ using namespace orp;
 using session::SessionArtifacts;
 using session::SessionId;
 using session::SubmitStatus;
+using support::ScopedRole;
 
 namespace {
 
@@ -85,14 +86,16 @@ SessionArtifacts serialArtifacts(const std::string &TracePath) {
 /// Opens \p TracePath as a manager session (registering the recorded
 /// probe tables the way an OPEN frame would).
 SessionId openFor(session::SessionManager &Mgr,
-                  traceio::TraceReader &Reader, const std::string &Name) {
+                  traceio::TraceReader &Reader, const std::string &Name)
+    ORP_REQUIRES(session::SessionControlRole) {
   return Mgr.open(Name, configFor(Reader), Reader.instructions(),
                   Reader.allocSites());
 }
 
 /// Submits block \p Index of \p Reader, spinning out backpressure.
 void submitBlock(session::SessionManager &Mgr, SessionId Id,
-                 traceio::TraceReader &Reader, size_t Index) {
+                 traceio::TraceReader &Reader, size_t Index)
+    ORP_REQUIRES(session::SessionControlRole) {
   traceio::TraceReader::RawBlock B = Reader.rawBlock(Index);
   SubmitStatus St;
   while ((St = Mgr.submitBlock(Id, B.Payload, B.PayloadLen, B.EventCount,
@@ -117,6 +120,8 @@ void expectSameProfile(const SessionArtifacts &A, const SessionArtifacts &B) {
 //===----------------------------------------------------------------------===//
 
 TEST(SessionManagerTest, OpenCloseLifecycle) {
+  // The test's thread is the manager's control thread.
+  ScopedRole Role(session::SessionControlRole);
   session::ManagerConfig Config;
   session::SessionManager Mgr(Config);
   EXPECT_EQ(Mgr.numLiveSessions(), 0u);
@@ -151,6 +156,7 @@ TEST(SessionManagerTest, OpenCloseLifecycle) {
 }
 
 TEST(SessionManagerTest, AnonymousSessionsGetGeneratedNames) {
+  ScopedRole Role(session::SessionControlRole);
   session::SessionManager Mgr(session::ManagerConfig{});
   SessionId Id = Mgr.open("", session::SessionConfig{}, {}, {});
   session::SessionStats Stats;
@@ -164,6 +170,7 @@ TEST(SessionManagerTest, AnonymousSessionsGetGeneratedNames) {
 //===----------------------------------------------------------------------===//
 
 TEST(SessionManagerTest, InterleavedSessionsMatchSerialReplay) {
+  ScopedRole Role(session::SessionControlRole);
   std::string PathA = tempPath("ilv_a.orpt");
   std::string PathB = tempPath("ilv_b.orpt");
   recordTrace("list-traversal", PathA, /*Scale=*/1);
@@ -210,6 +217,7 @@ TEST(SessionManagerTest, InterleavedSessionsMatchSerialReplay) {
 //===----------------------------------------------------------------------===//
 
 TEST(SessionManagerTest, FullIngestQueueReportsWouldBlock) {
+  ScopedRole Role(session::SessionControlRole);
   std::string Path = tempPath("bp.orpt");
   recordTrace("list-traversal", Path);
   SessionArtifacts Serial = serialArtifacts(Path);
@@ -249,7 +257,7 @@ TEST(SessionManagerTest, FullIngestQueueReportsWouldBlock) {
 
   // Release the worker; the stalled stream finishes normally and the
   // profile is unaffected by ever having been backpressured.
-  Gate.push(1);
+  ASSERT_TRUE(Gate.push(1));
   for (size_t I = Accepted; I != Reader.numEventBlocks(); ++I)
     submitBlock(Mgr, Id, Reader, I);
   SessionArtifacts Art = Mgr.close(Id);
@@ -262,6 +270,7 @@ TEST(SessionManagerTest, FullIngestQueueReportsWouldBlock) {
 //===----------------------------------------------------------------------===//
 
 TEST(SessionManagerTest, IdleLruSessionEvictedUnderBudget) {
+  ScopedRole Role(session::SessionControlRole);
   std::string Path = tempPath("evict.orpt");
   recordTrace("list-traversal", Path);
   SessionArtifacts Serial = serialArtifacts(Path);
@@ -310,6 +319,7 @@ TEST(SessionManagerTest, IdleLruSessionEvictedUnderBudget) {
 //===----------------------------------------------------------------------===//
 
 TEST(SessionManagerTest, CorruptBlockFailsOnlyItsOwnSession) {
+  ScopedRole Role(session::SessionControlRole);
   std::string Path = tempPath("corrupt.orpt");
   recordTrace("list-traversal", Path);
   SessionArtifacts Serial = serialArtifacts(Path);
@@ -482,11 +492,18 @@ public:
     Config.Manager.Threads = Threads;
     Daemon = std::make_unique<session::Daemon>(Config);
     std::string Err;
-    Started = Daemon->start(Err);
+    {
+      // start() runs here, before the control thread exists; the claim
+      // hands over when the run() thread below claims for its lifetime.
+      ScopedRole Role(session::SessionControlRole);
+      Started = Daemon->start(Err);
+    }
     EXPECT_TRUE(Started) << Err;
     if (Started)
-      Thread = std::make_unique<support::ScopedThread>(
-          [this] { Daemon->run([this] { return Stop.load(); }); });
+      Thread = std::make_unique<support::ScopedThread>([this] {
+        ScopedRole Role(session::SessionControlRole);
+        Daemon->run([this] { return Stop.load(); });
+      });
   }
 
   ~DaemonFixture() {

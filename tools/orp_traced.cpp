@@ -116,6 +116,9 @@ int main(int argc, char **argv) {
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
+  // main IS the daemon's control thread: claim the role capability the
+  // session engine's entry points require (support/ThreadSafety.h).
+  support::ScopedRole ControlRole(session::SessionControlRole);
   session::Daemon Daemon(Config);
   std::string Err;
   if (!Daemon.start(Err)) {
