@@ -222,7 +222,7 @@ MdfMap LeapDependenceAnalyzer::computeMdf() const {
     auto It = Instrs.find(Key.Instr);
     assert(It != Instrs.end() && "substream for unseen instruction");
     ByGroup[Key.Group].push_back(
-        SubRef{Key.Instr, &Compressor, It->second.IsStore});
+        SubRef{Key.Instr, &Compressor, It->second.isStore()});
   });
 
   // Conflict counts only ever range over the points the LMADs captured,
@@ -236,7 +236,7 @@ MdfMap LeapDependenceAnalyzer::computeMdf() const {
   std::unordered_map<trace::InstrId, uint64_t> CapturedLoadExecs;
   Profile.forEachSubstream([&](const core::VerticalKey &Key,
                                const lmad::LmadCompressor &Compressor) {
-    if (!Instrs.at(Key.Instr).IsStore)
+    if (!Instrs.at(Key.Instr).isStore())
       CapturedLoadExecs[Key.Instr] += Compressor.capturedPoints();
   });
 

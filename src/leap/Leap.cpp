@@ -2,6 +2,7 @@
 
 #include "leap/Leap.h"
 
+#include "leap/LeapProfileData.h"
 #include "support/Statistics.h"
 #include "support/VarInt.h"
 
@@ -50,7 +51,8 @@ void LeapProfiler::consume(const core::OrTuple &Tuple) {
   ++Tuples;
   InstrSummary &Summary = Instrs[Tuple.Instr];
   ++Summary.ExecCount;
-  Summary.IsStore = Tuple.IsStore;
+  if (Tuple.IsStore)
+    ++Summary.StoreCount;
   Decomposer.consume(Tuple);
 }
 
@@ -72,7 +74,9 @@ LeapProfiler::lookup(const core::VerticalKey &Key) const {
 }
 
 size_t LeapProfiler::serializedSizeBytes() const {
-  size_t Size = sizeULEB128(Decomposer.numSubstreams());
+  size_t Size = LeapProfileData::kHeaderSize;
+  Size += sizeULEB128(MaxLmads);
+  Size += sizeULEB128(Decomposer.numSubstreams());
   forEachSubstream([&](const core::VerticalKey &Key,
                        const lmad::LmadCompressor &Compressor) {
     Size += sizeULEB128(Key.Instr);
@@ -85,7 +89,7 @@ size_t LeapProfiler::serializedSizeBytes() const {
   for (const auto &[Instr, Summary] : Instrs) {
     Size += sizeULEB128(Instr);
     Size += sizeULEB128(Summary.ExecCount);
-    Size += 1; // Load/store flag.
+    Size += sizeULEB128(Summary.StoreCount);
   }
   return Size;
 }

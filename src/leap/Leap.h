@@ -59,10 +59,17 @@ private:
 /// Dimension indices of the (object, offset, time) points LEAP stores.
 enum LeapDim : unsigned { DimObject = 0, DimOffset = 1, DimTime = 2 };
 
-/// Per-instruction aggregate kept alongside the LMAD sets.
+/// Per-instruction aggregate kept alongside the LMAD sets. Loads and
+/// stores are counted separately: an instruction that issues both (for
+/// example a read-modify-write probe site) keeps both tallies, instead
+/// of the kind of whichever access happened to arrive last. Both
+/// counters fold by addition when profiles are merged.
 struct InstrSummary {
-  uint64_t ExecCount = 0; ///< Accesses executed (profiled stream only).
-  bool IsStore = false;
+  uint64_t ExecCount = 0;  ///< Accesses executed (profiled stream only).
+  uint64_t StoreCount = 0; ///< Of those, how many were stores.
+
+  /// An instruction is classified as a store if it ever stored.
+  bool isStore() const { return StoreCount != 0; }
 };
 
 /// The LEAP profiler: attach as an OrTupleConsumer to a Cdc.
@@ -81,6 +88,9 @@ public:
 
   /// Returns the number of tuples profiled.
   uint64_t tuplesSeen() const { return Tuples; }
+
+  /// Returns the per-substream descriptor cap this profiler runs with.
+  unsigned maxLmads() const { return MaxLmads; }
 
   /// Returns per-instruction aggregates (instructions that executed).
   const std::unordered_map<trace::InstrId, InstrSummary> &

@@ -71,6 +71,7 @@ void LmadCompressor::discard(const Point &P) {
   if (Overflow.Dropped == 0) {
     Overflow.Min = P;
     Overflow.Max = P;
+    FirstDiscard = P;
   } else {
     for (unsigned D = 0; D != NumDims; ++D) {
       Overflow.Min[D] = std::min(Overflow.Min[D], P[D]);
@@ -107,8 +108,69 @@ size_t LmadCompressor::serializedSizeBytes() const {
       Size += sizeSLEB128(Overflow.Max[D]);
       Size += sizeSLEB128(Overflow.Granularity[D]);
     }
+    // The discard endpoints, kept so split profiles stay mergeable.
+    for (unsigned D = 0; D != NumDims; ++D) {
+      Size += sizeSLEB128(FirstDiscard[D]);
+      Size += sizeSLEB128(PrevDiscard[D]);
+    }
   }
   return Size;
+}
+
+LmadCompressor LmadCompressor::resume(unsigned Dims, unsigned MaxLmads,
+                                      std::vector<Lmad> Descriptors,
+                                      uint64_t TotalPoints,
+                                      const OverflowSummary &Overflow,
+                                      const Point &First,
+                                      const Point &Last) {
+  LmadCompressor C(Dims, MaxLmads);
+  assert(Descriptors.size() <= MaxLmads && "descriptor cap violated");
+  C.Descriptors = std::move(Descriptors);
+  C.Total = TotalPoints;
+  C.Overflow = Overflow;
+  if (Overflow.Dropped != 0) {
+    C.FirstDiscard = First;
+    C.PrevDiscard = Last;
+    C.HavePrevDiscard = true;
+  }
+  return C;
+}
+
+void LmadCompressor::foldOverflowTail(const OverflowSummary &Tail,
+                                      const Point &TailFirst,
+                                      const Point &TailLast) {
+  if (Tail.Dropped == 0)
+    return;
+  Total += Tail.Dropped;
+  if (Overflow.Dropped == 0) {
+    // Nothing was dropped on this side: the tail's summary carries over
+    // unchanged. A segment merge lands here only when the continuation
+    // segment's own compressor gave up before the unsplit capture
+    // horizon; the merged profile then degrades to a coarser (but still
+    // conservative) summary instead of the byte-exact reproduction
+    // (DESIGN.md section 17).
+    Overflow = Tail;
+    FirstDiscard = TailFirst;
+    PrevDiscard = TailLast;
+    HavePrevDiscard = true;
+    return;
+  }
+  for (unsigned D = 0; D != NumDims; ++D) {
+    Overflow.Min[D] = std::min(Overflow.Min[D], Tail.Min[D]);
+    Overflow.Max[D] = std::max(Overflow.Max[D], Tail.Max[D]);
+    // The unsplit compressor would have chained PrevDiscard -> TailFirst
+    // -> ... -> TailLast; gcd over the bridge delta plus the tail's own
+    // gcd reproduces that chain exactly.
+    uint64_t Bridge = static_cast<uint64_t>(
+        TailFirst[D] > PrevDiscard[D] ? TailFirst[D] - PrevDiscard[D]
+                                      : PrevDiscard[D] - TailFirst[D]);
+    uint64_t G =
+        std::gcd(static_cast<uint64_t>(Overflow.Granularity[D]), Bridge);
+    G = std::gcd(G, static_cast<uint64_t>(Tail.Granularity[D]));
+    Overflow.Granularity[D] = static_cast<int64_t>(G);
+  }
+  Overflow.Dropped += Tail.Dropped;
+  PrevDiscard = TailLast;
 }
 
 std::vector<Point> LmadCompressor::reconstruct() const {

@@ -74,6 +74,20 @@ public:
   /// Returns the overflow summary (Dropped == 0 when none).
   const OverflowSummary &overflow() const { return Overflow; }
 
+  /// Returns true once at least one point has been discarded.
+  bool hasDiscards() const { return Overflow.Dropped != 0; }
+
+  /// First discarded point. Meaningful only when hasDiscards(); together
+  /// with lastDiscard() it lets the granularity chain be bridged across a
+  /// segment boundary when two profiles of a split stream are merged.
+  const Point &firstDiscard() const { return FirstDiscard; }
+
+  /// Last discarded point. Meaningful only when hasDiscards().
+  const Point &lastDiscard() const { return PrevDiscard; }
+
+  /// Returns the descriptor cap.
+  unsigned maxLmads() const { return MaxLmads; }
+
   /// Returns the stream dimensionality.
   unsigned dims() const { return NumDims; }
 
@@ -84,8 +98,31 @@ public:
 
   /// Reconstructs the captured prefix of the stream by concatenating the
   /// descriptors in creation order; for tests of losslessness on fully
-  /// captured streams.
+  /// captured streams. Discarding is sticky (once a point is dropped all
+  /// later ones are), so the result is always an exact time-ordered
+  /// prefix of the fed stream — the property segment merging relies on.
   std::vector<Point> reconstruct() const;
+
+  /// Rebuilds a compressor mid-stream from a previously captured state,
+  /// so a later segment's points can be fed through addPoint as if the
+  /// stream had never been split. \p Descriptors, \p TotalPoints,
+  /// \p Overflow and the discard endpoints must all come from one
+  /// compressor with the same \p Dims and \p MaxLmads; \p First and
+  /// \p Last are ignored when \p Overflow.Dropped == 0.
+  static LmadCompressor resume(unsigned Dims, unsigned MaxLmads,
+                               std::vector<Lmad> Descriptors,
+                               uint64_t TotalPoints,
+                               const OverflowSummary &Overflow,
+                               const Point &First, const Point &Last);
+
+  /// Folds the overflow summary of a continuation segment into this
+  /// compressor, exactly as if the summarized points had been fed
+  /// individually: Dropped adds, Min/Max widen, and the granularity
+  /// chain is bridged across the boundary through \p TailFirst before
+  /// adopting the tail's own gcd. \p TailLast becomes the new last
+  /// discard. No-op when \p Tail.Dropped == 0.
+  void foldOverflowTail(const OverflowSummary &Tail, const Point &TailFirst,
+                        const Point &TailLast);
 
 private:
   void startNewLmad(const Point &P);
@@ -97,6 +134,7 @@ private:
   uint64_t Total = 0;
   OverflowSummary Overflow;
   bool HavePrevDiscard = false;
+  Point FirstDiscard = {0, 0, 0};
   Point PrevDiscard = {0, 0, 0};
 };
 

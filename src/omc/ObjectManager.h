@@ -138,6 +138,10 @@ private:
   /// the caches, serial counters, and site/group maps against the
   /// authoritative records.
   friend class ::orp::check::OmcValidator;
+  /// Serializes/restores the authoritative state (records, group maps,
+  /// serial counters, live index) for mid-trace checkpointing; the
+  /// caches are derived state and restart cold.
+  friend class OmcCheckpoint;
 
   /// Completes a translation for the object \p ObjectId containing
   /// \p Addr, applying the pool-splitting policy when configured.

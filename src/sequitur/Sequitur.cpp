@@ -7,9 +7,11 @@
 #include "support/Error.h"
 #include "support/VarInt.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
 using namespace orp;
@@ -520,6 +522,110 @@ SequiturGrammar::deserializeAndExpand(const std::vector<uint8_t> &Bytes) {
   if (Out.size() != ExpectLen)
     ORP_FATAL_ERROR("sequitur image: deserialized length mismatch");
   return Out;
+}
+
+bool SequiturGrammar::deserializeAndExpandChecked(const uint8_t *Data,
+                                                  size_t Size,
+                                                  std::vector<uint64_t> &Out,
+                                                  std::string &Err,
+                                                  uint64_t MaxTerminals) {
+  Out.clear();
+  size_t Pos = 0;
+  auto ReadU = [&](const char *What, uint64_t &Value) {
+    VarIntStatus S = decodeULEB128Checked(Data, Size, Pos, Value);
+    if (S != VarIntStatus::Ok) {
+      Err = std::string("sequitur image: ") + What + ": " +
+            varIntStatusName(S) + " varint";
+      return false;
+    }
+    return true;
+  };
+  uint64_t NumRules = 0, ExpectLen = 0;
+  if (!ReadU("rule count", NumRules) || !ReadU("input length", ExpectLen))
+    return false;
+  if (NumRules == 0) {
+    Err = "sequitur image: no rules";
+    return false;
+  }
+  // Every rule needs at least its body-length byte, so a rule count past
+  // the remaining bytes is corruption — and would otherwise size the
+  // Bodies table from attacker-chosen input.
+  if (NumRules > Size - Pos + 1) {
+    Err = "sequitur image: rule count exceeds remaining bytes";
+    return false;
+  }
+  if (ExpectLen > MaxTerminals) {
+    Err = "sequitur image: declared expansion of " +
+          std::to_string(ExpectLen) + " terminals exceeds the cap of " +
+          std::to_string(MaxTerminals);
+    return false;
+  }
+  std::vector<std::vector<uint64_t>> Bodies(NumRules);
+  for (uint64_t R = 0; R != NumRules; ++R) {
+    uint64_t BodyLen = 0;
+    if (!ReadU("body length", BodyLen))
+      return false;
+    if (BodyLen > Size - Pos) { // Each symbol is at least one byte.
+      Err = "sequitur image: body length exceeds remaining bytes";
+      return false;
+    }
+    Bodies[R].reserve(BodyLen);
+    for (uint64_t I = 0; I != BodyLen; ++I) {
+      uint64_t Code = 0;
+      if (!ReadU("symbol", Code))
+        return false;
+      Bodies[R].push_back(Code);
+    }
+  }
+  if (Pos != Size) {
+    Err = "sequitur image: trailing bytes";
+    return false;
+  }
+  Out.reserve(static_cast<size_t>(
+      std::min<uint64_t>(ExpectLen, 1ULL << 20)));
+  // Same iterative expansion as the trusted path, plus a step budget: a
+  // well-formed grammar expands in O(ExpectLen) steps (every rule body
+  // has two or more symbols), so blowing the budget means degenerate
+  // empty-body chains rather than slow legitimate input.
+  uint64_t Steps = 0;
+  const uint64_t MaxSteps = 64 + 4 * ExpectLen + 4 * NumRules;
+  std::vector<std::pair<uint64_t, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  while (!Stack.empty()) {
+    if (++Steps > MaxSteps) {
+      Err = "sequitur image: expansion exceeds its step budget";
+      return false;
+    }
+    auto &[RuleIdx, At] = Stack.back();
+    if (At == Bodies[RuleIdx].size()) {
+      Stack.pop_back();
+      continue;
+    }
+    uint64_t Code = Bodies[RuleIdx][At++];
+    if (Code & 1) {
+      uint64_t Ref = Code >> 1;
+      if (Ref >= NumRules) {
+        Err = "sequitur image: rule reference out of range";
+        return false;
+      }
+      if (Stack.size() >= NumRules) {
+        Err = "sequitur image: cyclic rule references";
+        return false;
+      }
+      Stack.emplace_back(Ref, 0);
+    } else {
+      if (Out.size() == ExpectLen) {
+        Err = "sequitur image: expansion exceeds declared length";
+        return false;
+      }
+      Out.push_back(Code >> 1);
+    }
+  }
+  if (Out.size() != ExpectLen) {
+    Err = "sequitur image: deserialized length mismatch";
+    return false;
+  }
+  return true;
 }
 
 std::string SequiturGrammar::dump() const {

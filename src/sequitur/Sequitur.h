@@ -85,9 +85,25 @@ public:
   size_t serializedSizeBytes() const;
 
   /// Parses a serialize()d image back into the terminal sequence.
-  /// (Round-trip check used by tests.)
+  /// (Round-trip check used by tests.) Fatal error on malformed input;
+  /// use the checked overload for untrusted bytes.
   static std::vector<uint64_t> deserializeAndExpand(
       const std::vector<uint8_t> &Bytes);
+
+  /// Default cap on the expanded terminal count the checked decoder will
+  /// produce: a grammar is exponentially generative, so a tiny corrupt
+  /// (or hostile) image can declare an astronomically long expansion.
+  static constexpr uint64_t kDefaultMaxExpandedTerminals = 1ULL << 26;
+
+  /// Bounds-checked variant of deserializeAndExpand for untrusted input.
+  /// Returns false with a diagnostic in \p Err instead of dying on
+  /// truncation, out-of-range references, cycles, length mismatches, or
+  /// expansions beyond \p MaxTerminals; never reads out of bounds and
+  /// caps its allocations by the input size.
+  [[nodiscard]] static bool deserializeAndExpandChecked(
+      const uint8_t *Data, size_t Size, std::vector<uint64_t> &Out,
+      std::string &Err,
+      uint64_t MaxTerminals = kDefaultMaxExpandedTerminals);
 
   /// Renders the grammar as text ("R0 -> R1 R1", "R1 -> a R2 R2", ...).
   std::string dump() const;

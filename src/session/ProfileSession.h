@@ -28,6 +28,7 @@
 #include "traceio/TraceReader.h"
 #include "whomp/Whomp.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -101,10 +102,44 @@ public:
                    uint32_t Crc, uint64_t BlockIndex,
                    uint8_t FormatVersion);
 
-  /// Registers \p Reader's probe tables and replays its whole event
-  /// stream (decode-ahead with \p DecodeThreads > 1; delivery order and
-  /// artifacts are identical either way). Returns false on corruption.
-  bool replayFrom(traceio::TraceReader &Reader, unsigned DecodeThreads = 1);
+  /// Registers \p Reader's probe tables and replays its event blocks
+  /// [\p FirstBlock, \p EndBlock) — the defaults cover the whole trace
+  /// (decode-ahead with \p DecodeThreads > 1; delivery order and
+  /// artifacts are identical either way). \p BlockDone, when set, runs
+  /// on the calling thread after each block with the index of the next
+  /// block — the resume point a checkpoint() taken from inside the
+  /// callback would encode. Returns false on corruption.
+  bool replayFrom(traceio::TraceReader &Reader, unsigned DecodeThreads = 1,
+                  uint64_t FirstBlock = 0,
+                  uint64_t EndBlock = ~static_cast<uint64_t>(0),
+                  const std::function<void(uint64_t)> &BlockDone = {});
+
+  /// Serializes the session's resumable state as an ORCK artifact:
+  /// progress (\p NextBlock, cumulative event count), the session
+  /// configuration, \p Reader's identity (block/event counts) and the
+  /// OMC's authoritative state. Profiler state is deliberately not
+  /// captured: a resumed session profiles its own block range from
+  /// scratch and its artifacts are folded into the earlier segment's
+  /// with the profile merge operations (DESIGN.md section 17). Call
+  /// only at a block boundary (from a replayFrom BlockDone callback,
+  /// or after a ranged replay returns).
+  std::vector<uint8_t> checkpoint(const traceio::TraceReader &Reader,
+                                  uint64_t NextBlock);
+
+  /// Restores a checkpoint() image into this freshly constructed
+  /// session, validating it against this session's configuration and
+  /// \p Reader's identity. On success \p NextBlock is the first block
+  /// still to replay and eventsInjected() already counts the events
+  /// before it. Returns false with \p Err set on malformed input or a
+  /// config/trace mismatch; the session must then be discarded.
+  [[nodiscard]] bool restoreCheckpoint(const std::vector<uint8_t> &Bytes,
+                                       const traceio::TraceReader &Reader,
+                                       uint64_t &NextBlock,
+                                       std::string &Err);
+
+  /// ORCK artifact framing (mirrors the LEAP/OMSA header layout).
+  static constexpr uint8_t kCheckpointMagic[4] = {'O', 'R', 'C', 'K'};
+  static constexpr uint8_t kCheckpointVersion = 1;
 
   /// Finishes the pipeline (once) and builds the detached artifacts.
   /// Idempotent in effect but rebuilds the artifact bytes each call —

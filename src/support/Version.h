@@ -24,7 +24,7 @@ namespace support {
 
 /// The toolkit version. Tracks the PR sequence of this repository, not
 /// any external release scheme.
-constexpr const char *kVersionString = "0.7.0";
+constexpr const char *kVersionString = "0.8.0";
 
 /// Oldest and newest .orpt format versions this build reads: v1
 /// (interleaved records) and v2 (columnar blocks). The writer defaults

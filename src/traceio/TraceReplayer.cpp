@@ -50,6 +50,13 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
     ++Replayed;
   };
 
+  // Replay covers blocks [B0, B1); checkpoint/resume callers restrict
+  // the range, everything else replays the whole trace.
+  const size_t NumBlocks = Reader.numEventBlocks();
+  const size_t B0 = FirstBlock < NumBlocks ? FirstBlock : NumBlocks;
+  const size_t B1 =
+      EndBlock < B0 ? B0 : (EndBlock < NumBlocks ? EndBlock : NumBlocks);
+
   bool Ok;
   if (Reader.info().Version >= kFormatVersionV2) {
     // Columnar replay: each block decodes straight into contiguous
@@ -57,22 +64,24 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
     // accesses is injected as one span — whole-slice onAccessBatch
     // fan-out instead of per-event virtual dispatch. Delivery order is
     // identical to the per-event path, so profiles are byte-identical.
-    if (Threads <= 1 || Reader.numEventBlocks() < 2) {
+    if (Threads <= 1 || B1 - B0 < 2) {
       DecodedBlock Block;
       Ok = true;
-      for (size_t B = 0, N = Reader.numEventBlocks(); B != N; ++B) {
+      for (size_t B = B0; B != B1; ++B) {
         if (!Reader.decodeBlockColumns(B, Block)) {
           Ok = false;
           break;
         }
         Replayed += injectDecodedBlock(Memory, Block);
+        if (BlockDone)
+          BlockDone(B + 1);
       }
     } else {
       support::SpscQueue<DecodedBlock> Decoded(DecodeQueueDepth);
       std::atomic<bool> DecodeOk{true};
-      support::ScopedThread Decoder([this, &Decoded, &DecodeOk] {
+      support::ScopedThread Decoder([this, &Decoded, &DecodeOk, B0, B1] {
         DecodedBlock Block;
-        for (size_t B = 0, N = Reader.numEventBlocks(); B != N; ++B) {
+        for (size_t B = B0; B != B1; ++B) {
           if (!Reader.decodeBlockColumns(B, Block)) {
             DecodeOk.store(false, std::memory_order_release);
             break;
@@ -84,8 +93,16 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
         Decoded.close();
       });
       DecodedBlock Block;
-      while (Decoded.pop(Block))
+      // Blocks arrive in decode order, so the consumer's count names
+      // the block just injected; the callback runs on this (injecting)
+      // thread, as the session is single-threaded.
+      size_t NextBlock = B0;
+      while (Decoded.pop(Block)) {
         Replayed += injectDecodedBlock(Memory, Block);
+        ++NextBlock;
+        if (BlockDone)
+          BlockDone(NextBlock);
+      }
       Decoder.join();
       support::QueueTelemetry QT = Decoded.telemetry();
       Reg.gauge("replay.decode_queue.capacity")
@@ -98,8 +115,23 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
           .set(static_cast<int64_t>(QT.PushStalls));
       Ok = DecodeOk.load(std::memory_order_acquire);
     }
-  } else if (Threads <= 1 || Reader.numEventBlocks() < 2) {
-    Ok = Reader.forEachEvent(Inject);
+  } else if (Threads <= 1 || B1 - B0 < 2) {
+    if (B0 == 0 && B1 == NumBlocks && !BlockDone) {
+      Ok = Reader.forEachEvent(Inject);
+    } else {
+      std::vector<TraceEvent> Events;
+      Ok = true;
+      for (size_t B = B0; B != B1; ++B) {
+        if (!Reader.decodeBlockEvents(B, Events)) {
+          Ok = false;
+          break;
+        }
+        for (const TraceEvent &E : Events)
+          Inject(E);
+        if (BlockDone)
+          BlockDone(B + 1);
+      }
+    }
   } else {
     // Double-buffered replay: a worker decodes blocks ahead through a
     // bounded queue while this thread injects. Block order is queue
@@ -108,9 +140,9 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
     // they are only ever touched from this thread.
     support::SpscQueue<std::vector<TraceEvent>> Decoded(DecodeQueueDepth);
     std::atomic<bool> DecodeOk{true};
-    support::ScopedThread Decoder([this, &Decoded, &DecodeOk] {
+    support::ScopedThread Decoder([this, &Decoded, &DecodeOk, B0, B1] {
       std::vector<TraceEvent> Events;
-      for (size_t B = 0, N = Reader.numEventBlocks(); B != N; ++B) {
+      for (size_t B = B0; B != B1; ++B) {
         if (!Reader.decodeBlockEvents(B, Events)) {
           DecodeOk.store(false, std::memory_order_release);
           break;
@@ -123,9 +155,14 @@ bool TraceReplayer::replayInto(core::ProfilingSession &Session,
       Decoded.close();
     });
     std::vector<TraceEvent> Block;
-    while (Decoded.pop(Block))
+    size_t NextBlock = B0;
+    while (Decoded.pop(Block)) {
       for (const TraceEvent &E : Block)
         Inject(E);
+      ++NextBlock;
+      if (BlockDone)
+        BlockDone(NextBlock);
+    }
     Decoder.join();
     // Publish the decode-ahead queue's final counters: its high
     // watermark vs capacity says whether the decoder kept ahead of the

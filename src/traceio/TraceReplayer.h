@@ -22,6 +22,7 @@
 #include "core/ProfilingSession.h"
 #include "traceio/TraceReader.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -52,6 +53,24 @@ public:
       core::UnknownAddressPolicy Unknown =
           core::UnknownAddressPolicy::Drop) const;
 
+  /// Restricts the next replayInto() to event blocks [\p First,
+  /// \p End) — \p End is clamped to the block count. Blocks are the
+  /// trace's only safe split points: events inside one are delta-coded
+  /// against each other. Defaults to the whole trace.
+  void setBlockRange(size_t First, size_t End) {
+    FirstBlock = First;
+    EndBlock = End;
+  }
+
+  /// Installs \p Cb, invoked on the injecting thread after each block's
+  /// events have been delivered, with the index of the *next* block —
+  /// i.e. the resume point a checkpoint taken now would encode. The
+  /// callback may serialize session state freely: no decode worker ever
+  /// touches the session.
+  void setBlockCallback(std::function<void(size_t)> Cb) {
+    BlockDone = std::move(Cb);
+  }
+
   /// Re-registers the recorded probe sites into \p Session's registry
   /// and injects the full event stream. When \p CallFinish is set the
   /// session is finish()ed afterwards (the trace already contains the
@@ -69,6 +88,9 @@ private:
   TraceReader &Reader;
   uint64_t Replayed = 0;
   unsigned Threads = 1;
+  size_t FirstBlock = 0;
+  size_t EndBlock = ~static_cast<size_t>(0);
+  std::function<void(size_t)> BlockDone;
 };
 
 } // namespace traceio

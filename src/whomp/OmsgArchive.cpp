@@ -73,45 +73,138 @@ std::vector<uint8_t> OmsgArchive::serialize() const {
   return Out;
 }
 
-OmsgArchive OmsgArchive::deserialize(const std::vector<uint8_t> &Bytes) {
-  if (Bytes.size() < kArchiveHeaderSize)
-    ORP_FATAL_ERROR("OMSG archive: truncated header");
+bool OmsgArchive::deserialize(const std::vector<uint8_t> &Bytes,
+                              OmsgArchive &Out, std::string &Err) {
+  Out = OmsgArchive();
+  if (Bytes.size() < kArchiveHeaderSize) {
+    Err = "OMSG archive: truncated header";
+    return false;
+  }
   for (unsigned I = 0; I != 4; ++I)
-    if (Bytes[I] != kMagic[I])
-      ORP_FATAL_ERROR("OMSG archive: bad magic");
-  if (Bytes[4] == 0 || Bytes[4] > kFormatVersion)
-    ORP_FATAL_ERROR("OMSG archive: unsupported format version");
+    if (Bytes[I] != kMagic[I]) {
+      Err = "OMSG archive: bad magic";
+      return false;
+    }
+  if (Bytes[4] == 0 || Bytes[4] > kFormatVersion) {
+    Err = "OMSG archive: unsupported format version " +
+          std::to_string(Bytes[4]);
+    return false;
+  }
   uint32_t Want = readLE32(Bytes.data() + 5);
   if (crc32(Bytes.data() + kArchiveHeaderSize,
-            Bytes.size() - kArchiveHeaderSize) != Want)
-    ORP_FATAL_ERROR("OMSG archive: checksum mismatch (corrupted image)");
+            Bytes.size() - kArchiveHeaderSize) != Want) {
+    Err = "OMSG archive: checksum mismatch (corrupted image)";
+    return false;
+  }
 
-  OmsgArchive Archive;
   size_t Pos = kArchiveHeaderSize;
-  uint64_t NumGrammars = decodeULEB128(Bytes, Pos);
+  auto ReadU = [&](const char *What, uint64_t &Value) {
+    VarIntStatus S =
+        decodeULEB128Checked(Bytes.data(), Bytes.size(), Pos, Value);
+    if (S != VarIntStatus::Ok) {
+      Err = std::string("OMSG archive: ") + What + ": " +
+            varIntStatusName(S) + " varint";
+      return false;
+    }
+    return true;
+  };
+  uint64_t NumGrammars = 0;
+  if (!ReadU("grammar count", NumGrammars))
+    return false;
+  // Each grammar needs at least its length byte; larger counts cannot be
+  // satisfied and would size the reserve below from hostile input.
+  if (NumGrammars > Bytes.size() - Pos) {
+    Err = "OMSG archive: grammar count exceeds remaining bytes";
+    return false;
+  }
+  Out.GrammarImages.reserve(NumGrammars);
+  Out.Streams.reserve(NumGrammars);
   for (uint64_t G = 0; G != NumGrammars; ++G) {
-    uint64_t Len = decodeULEB128(Bytes, Pos);
-    assert(Pos + Len <= Bytes.size() && "truncated archive");
+    uint64_t Len = 0;
+    if (!ReadU("grammar image length", Len))
+      return false;
+    if (Len > Bytes.size() - Pos) {
+      Err = "OMSG archive: grammar image overruns the buffer";
+      return false;
+    }
     std::vector<uint8_t> Image(Bytes.begin() + Pos,
                                Bytes.begin() + Pos + Len);
     Pos += Len;
-    Archive.Streams.push_back(
-        sequitur::SequiturGrammar::deserializeAndExpand(Image));
-    Archive.GrammarImages.push_back(std::move(Image));
+    std::vector<uint64_t> Stream;
+    if (!sequitur::SequiturGrammar::deserializeAndExpandChecked(
+            Image.data(), Image.size(), Stream, Err))
+      return false;
+    Out.Streams.push_back(std::move(Stream));
+    Out.GrammarImages.push_back(std::move(Image));
   }
-  uint64_t NumAux = decodeULEB128(Bytes, Pos);
+  uint64_t NumAux = 0;
+  if (!ReadU("object count", NumAux))
+    return false;
+  // Each aux row is at least 5 payload bytes.
+  if (NumAux > (Bytes.size() - Pos) / 5 + 1) {
+    Err = "OMSG archive: object count exceeds remaining bytes";
+    return false;
+  }
+  Out.Aux.reserve(NumAux);
   for (uint64_t I = 0; I != NumAux; ++I) {
     ObjectAux Row;
-    Row.Group = static_cast<omc::GroupId>(decodeULEB128(Bytes, Pos));
-    Row.Serial = decodeULEB128(Bytes, Pos);
-    Row.Size = decodeULEB128(Bytes, Pos);
-    Row.AllocTime = decodeULEB128(Bytes, Pos);
-    assert(Pos < Bytes.size() && "truncated archive");
-    bool Freed = Bytes[Pos++] != 0;
-    Row.FreeTime = Freed ? decodeULEB128(Bytes, Pos)
-                         : omc::ObjectManager::kLiveForever;
-    Archive.Aux.push_back(Row);
+    uint64_t Group = 0;
+    if (!ReadU("object group", Group) ||
+        !ReadU("object serial", Row.Serial) ||
+        !ReadU("object size", Row.Size) ||
+        !ReadU("object alloc time", Row.AllocTime))
+      return false;
+    Row.Group = static_cast<omc::GroupId>(Group);
+    if (Pos >= Bytes.size()) {
+      Err = "OMSG archive: truncated object row";
+      return false;
+    }
+    uint8_t Freed = Bytes[Pos++];
+    if (Freed > 1) {
+      Err = "OMSG archive: bad freed flag";
+      return false;
+    }
+    Row.FreeTime = omc::ObjectManager::kLiveForever;
+    if (Freed && !ReadU("object free time", Row.FreeTime))
+      return false;
+    Out.Aux.push_back(Row);
   }
-  assert(Pos == Bytes.size() && "trailing bytes in archive");
-  return Archive;
+  if (Pos != Bytes.size()) {
+    Err = "OMSG archive: trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+bool OmsgArchive::mergeSequential(
+    const std::vector<const OmsgArchive *> &Segments, OmsgArchive &Out,
+    std::string &Err) {
+  Out = OmsgArchive();
+  if (Segments.empty())
+    return true;
+  size_t NumStreams = Segments.front()->Streams.size();
+  for (const OmsgArchive *Seg : Segments)
+    if (Seg->Streams.size() != NumStreams) {
+      Err = "OMSG merge: segment dimension counts differ (" +
+            std::to_string(NumStreams) + " vs " +
+            std::to_string(Seg->Streams.size()) + ")";
+      return false;
+    }
+  for (size_t D = 0; D != NumStreams; ++D) {
+    // Sequitur is deterministic and streaming: feeding the concatenated
+    // terminal sequence through a fresh grammar yields exactly the
+    // grammar the unsplit run would have built.
+    sequitur::SequiturGrammar Grammar;
+    std::vector<uint64_t> Stream;
+    for (const OmsgArchive *Seg : Segments)
+      Stream.insert(Stream.end(), Seg->Streams[D].begin(),
+                    Seg->Streams[D].end());
+    Grammar.appendAll(Stream);
+    Out.GrammarImages.push_back(Grammar.serialize());
+    Out.Streams.push_back(std::move(Stream));
+  }
+  // A checkpointed segment's OMC carries every record from the start of
+  // the trace, so the last segment's aux table is the full table.
+  Out.Aux = Segments.back()->Aux;
+  return true;
 }

@@ -22,6 +22,7 @@
 #include "whomp/Whomp.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace orp {
@@ -60,15 +61,33 @@ public:
   /// images and aux rows.
   std::vector<uint8_t> serialize() const;
 
-  /// Parses a serialize()d image. A bad magic, unsupported version or
-  /// checksum mismatch is a loud fatal error (also in release builds),
-  /// never a silent misparse.
-  static OmsgArchive deserialize(const std::vector<uint8_t> &Bytes);
+  /// Parses a serialize()d image. Returns false (with a diagnostic in
+  /// \p Err) on any malformed input — bad magic, version, checksum,
+  /// truncation, or grammar images that do not expand cleanly — and
+  /// never reads out of bounds: archive files are untrusted input.
+  [[nodiscard]] static bool deserialize(const std::vector<uint8_t> &Bytes,
+                                        OmsgArchive &Out, std::string &Err);
+
+  /// Concatenates the archives of consecutive trace segments into the
+  /// archive of the unsplit run: the expanded dimension streams join in
+  /// order and recompress through fresh grammars (Sequitur is a
+  /// deterministic streaming algorithm, so this reproduces the unsplit
+  /// grammars byte for byte), and the auxiliary table is taken from the
+  /// last segment, whose checkpointed OMC saw every object. Fails when
+  /// the segments' stream counts disagree.
+  [[nodiscard]] static bool
+  mergeSequential(const std::vector<const OmsgArchive *> &Segments,
+                  OmsgArchive &Out, std::string &Err);
 
   /// Expanded dimension streams, in (instr, group, object, offset)
   /// order — the lossless reconstruction of the tuple stream.
   const std::vector<std::vector<uint64_t>> &dimensionStreams() const {
     return Streams;
+  }
+
+  /// Serialized per-dimension grammar images (what Figure 5 sizes).
+  const std::vector<std::vector<uint8_t>> &grammarImages() const {
+    return GrammarImages;
   }
 
   /// Auxiliary object rows (empty when built without an OMC).

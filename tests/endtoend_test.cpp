@@ -127,7 +127,10 @@ TEST_P(EndToEndTest, LeapProfileSerializationRoundTrips) {
   auto Bytes = Data.serialize();
   EXPECT_EQ(Bytes.size(), Leap.serializedSizeBytes())
       << "size accounting must match actual serialization";
-  EXPECT_TRUE(leap::LeapProfileData::deserialize(Bytes) == Data);
+  leap::LeapProfileData Back;
+  std::string Err;
+  ASSERT_TRUE(leap::LeapProfileData::deserialize(Bytes, Back, Err)) << Err;
+  EXPECT_TRUE(Back == Data);
 }
 
 TEST_P(EndToEndTest, ConnorsNeverOverestimatesOnBenchmarks) {

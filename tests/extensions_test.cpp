@@ -292,7 +292,9 @@ TEST(LeapProfileDataTest, RoundTripOnWorkloadProfile) {
   auto Data = leap::LeapProfileData::fromProfiler(Leap);
   auto Bytes = Data.serialize();
   EXPECT_FALSE(Bytes.empty());
-  auto Back = leap::LeapProfileData::deserialize(Bytes);
+  leap::LeapProfileData Back;
+  std::string Err;
+  ASSERT_TRUE(leap::LeapProfileData::deserialize(Bytes, Back, Err)) << Err;
   EXPECT_TRUE(Data == Back);
   EXPECT_EQ(Back.substreams().size(), Data.substreams().size());
   EXPECT_EQ(Back.instructions().size(), Data.instructions().size());
@@ -306,7 +308,10 @@ TEST(LeapProfileDataTest, CapturesOverflowSummaries) {
                                R.nextBelow(64) * 8,
                                static_cast<uint64_t>(I), false, 8});
   auto Data = leap::LeapProfileData::fromProfiler(Leap);
-  auto Back = leap::LeapProfileData::deserialize(Data.serialize());
+  leap::LeapProfileData Back;
+  std::string Err;
+  ASSERT_TRUE(leap::LeapProfileData::deserialize(Data.serialize(), Back, Err))
+      << Err;
   const auto &Sub = Back.substreams().begin()->second;
   EXPECT_GT(Sub.Overflow.Dropped, 0u);
   EXPECT_EQ(Sub.TotalPoints, 500u);
@@ -456,7 +461,9 @@ TEST(OmsgArchiveTest, RoundTripWithAuxTable) {
   EXPECT_FALSE(Archive.objects().empty());
 
   auto Bytes = Archive.serialize();
-  auto Back = whomp::OmsgArchive::deserialize(Bytes);
+  whomp::OmsgArchive Back;
+  std::string Err;
+  ASSERT_TRUE(whomp::OmsgArchive::deserialize(Bytes, Back, Err)) << Err;
   EXPECT_TRUE(Archive == Back);
   EXPECT_EQ(Back.accessCount(), Whomp.tuplesSeen());
 }
@@ -491,6 +498,9 @@ TEST(OmsgArchiveTest, BuildWithoutOmcHasNoAux) {
   Session.finish();
   auto Archive = whomp::OmsgArchive::build(Whomp);
   EXPECT_TRUE(Archive.objects().empty());
-  auto Back = whomp::OmsgArchive::deserialize(Archive.serialize());
+  whomp::OmsgArchive Back;
+  std::string Err;
+  ASSERT_TRUE(whomp::OmsgArchive::deserialize(Archive.serialize(), Back, Err))
+      << Err;
   EXPECT_TRUE(Archive == Back);
 }

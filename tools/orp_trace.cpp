@@ -6,10 +6,15 @@
 // anywhere — replayed profiles are bit-identical to live runs.
 //
 //   orp-trace record <workload> [-o FILE] [--alloc=POLICY] [--seed=N]
-//                    [--env=N] [--scale=N]
+//                    [--env=N] [--scale=N] [--block-bytes=N]
 //   orp-trace replay <file> [--profiler=whomp|leap|rasg] [--lmads=N]
-//                    [--dump-omsg=FILE] [--metrics=PATH|-]
+//                    [--dump-omsg=FILE] [--dump-leap=FILE]
+//                    [--end-block=N] [--resume-from=CK]
+//                    [--checkpoint-every=N] [--checkpoint-out=PATH]
+//                    [--metrics=PATH|-]
 //                    [--metrics-interval=N] [--metrics-format=FMT]
+//   orp-trace merge <in>... -o OUT [--sequential]
+//   orp-trace diff <a> <b>
 //   orp-trace stats <file> [--threads=N] [--lmads=N] [--metrics=PATH|-]
 //                    [--metrics-format=FMT]
 //   orp-trace submit <file> --socket=PATH [--name=NAME] [--lmads=N]
@@ -38,12 +43,15 @@
 #include "traceio/TraceReplayer.h"
 #include "traceio/TraceWriter.h"
 #include "whomp/OmsgArchive.h"
+#include "whomp/OmsgStats.h"
 #include "whomp/Whomp.h"
 #include "workloads/Workload.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,16 +70,38 @@ int usage(const char *Argv0) {
       "next-fit|segregated]\n"
       "         [--seed=N] [--env=N] [--scale=N]     capture a run "
       "(default FILE: <workload>.orpt)\n"
+      "         [--block-bytes=N]                    target event-block "
+      "payload size\n"
       "         [--format-version=1|2]               .orpt encoding "
       "(default 2, columnar)\n"
       "  replay <file> [--profiler=whomp|leap|rasg] [--lmads=N] "
       "[--threads=N]\n"
-      "         [--dump-omsg=FILE]                   re-drive profilers "
+      "         [--dump-omsg=FILE] [--dump-leap=FILE]  re-drive profilers "
       "from a trace\n"
       "                                              (--threads output is "
       "byte-identical)\n"
+      "         [--end-block=N]                      stop before block N "
+      "(a segment replay)\n"
+      "         [--resume-from=CK]                   restore an .orck "
+      "checkpoint, replay the rest\n"
+      "         [--checkpoint-every=N] [--checkpoint-out=PATH]  write "
+      ".orck checkpoints\n"
+      "                                              (every N blocks at "
+      "PATH.<block>.orck, or\n"
+      "                                              once at the range "
+      "end at PATH)\n"
       "         [--metrics=PATH|-] [--metrics-interval=N] "
       "[--metrics-format=json|json-lines|prometheus]\n"
+      "  merge <in>... -o OUT [--sequential]         fold profile "
+      "artifacts: consecutive trace\n"
+      "                                              segments with "
+      "--sequential (exact), else\n"
+      "                                              independent runs "
+      "(LEAP union / OMST stats)\n"
+      "  diff <a> <b>                                compare two "
+      "artifacts (exit 0 identical,\n"
+      "                                              1 different, 2 "
+      "unreadable)\n"
       "  stats <file> [--threads=N] [--lmads=N]      replay through "
       "WHOMP+LEAP and print\n"
       "         [--metrics=PATH|-] [--metrics-format=FMT]   the telemetry "
@@ -107,6 +137,58 @@ bool writeArtifactFile(const std::string &Path,
   }
   std::fclose(Out);
   return true;
+}
+
+/// Reads a whole artifact file into \p Bytes.
+bool readArtifactFile(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    logMessage(LogLevel::Error, "orp-trace: cannot read '%s'", Path.c_str());
+    return false;
+  }
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), In)) != 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  bool Ok = !std::ferror(In);
+  std::fclose(In);
+  if (!Ok)
+    logMessage(LogLevel::Error, "orp-trace: error reading '%s'",
+               Path.c_str());
+  return Ok;
+}
+
+/// The artifact families the merge/diff verbs understand, sniffed from
+/// the four-byte magic.
+enum class ArtifactKind { Leap, Omsa, Omst, Unknown };
+
+ArtifactKind sniffArtifact(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 4)
+    return ArtifactKind::Unknown;
+  if (std::equal(leap::LeapProfileData::kMagic,
+                 leap::LeapProfileData::kMagic + 4, Bytes.begin()))
+    return ArtifactKind::Leap;
+  if (std::equal(whomp::OmsgArchive::kMagic, whomp::OmsgArchive::kMagic + 4,
+                 Bytes.begin()))
+    return ArtifactKind::Omsa;
+  if (std::equal(whomp::OmsgStats::kMagic, whomp::OmsgStats::kMagic + 4,
+                 Bytes.begin()))
+    return ArtifactKind::Omst;
+  return ArtifactKind::Unknown;
+}
+
+const char *artifactKindName(ArtifactKind K) {
+  switch (K) {
+  case ArtifactKind::Leap:
+    return "LEAP profile";
+  case ArtifactKind::Omsa:
+    return "OMSG archive";
+  case ArtifactKind::Omst:
+    return "OMSG statistics";
+  case ArtifactKind::Unknown:
+    break;
+  }
+  return "unknown";
 }
 
 const char *flagValue(const std::string &Arg, const char *Prefix) {
@@ -247,6 +329,7 @@ int cmdRecord(int Argc, char **Argv) {
   std::string WorkloadName, OutPath;
   memsim::AllocPolicy Policy = memsim::AllocPolicy::FirstFit;
   uint64_t Seed = 42, EnvSeed = 0, Scale = 1;
+  uint64_t BlockBytes = traceio::TraceWriter::kDefaultBlockBytes;
   unsigned FormatVersion = traceio::kFormatVersion;
   for (int I = 0; I != Argc; ++I) {
     std::string Arg = Argv[I];
@@ -280,6 +363,14 @@ int cmdRecord(int Argc, char **Argv) {
     } else if (const char *V = flagValue(Arg, "--scale=")) {
       if (!numericFlag("record", "--scale", V, Scale))
         return 1;
+    } else if (const char *V = flagValue(Arg, "--block-bytes=")) {
+      if (!numericFlag("record", "--block-bytes", V, BlockBytes))
+        return 1;
+      if (BlockBytes == 0) {
+        logMessage(LogLevel::Error,
+                   "orp-trace record: --block-bytes must be at least 1");
+        return 1;
+      }
     } else if (Arg[0] != '-' && WorkloadName.empty()) {
       WorkloadName = Arg;
     } else {
@@ -306,7 +397,7 @@ int cmdRecord(int Argc, char **Argv) {
 
   core::ProfilingSession Session(Policy, EnvSeed);
   traceio::TraceWriter Writer(OutPath, Session.registry(), Policy, EnvSeed,
-                              traceio::TraceWriter::kDefaultBlockBytes,
+                              static_cast<size_t>(BlockBytes),
                               static_cast<uint8_t>(FormatVersion));
   if (!Writer.ok()) {
     logMessage(LogLevel::Error, "orp-trace: %s", Writer.error().c_str());
@@ -339,7 +430,9 @@ int cmdRecord(int Argc, char **Argv) {
 }
 
 int cmdReplay(int Argc, char **Argv) {
-  std::string Path, Profiler = "whomp", DumpOmsg;
+  std::string Path, Profiler = "whomp", DumpOmsg, DumpLeap;
+  std::string ResumeFrom, CheckpointOut;
+  uint64_t EndBlock = ~static_cast<uint64_t>(0), CheckpointEvery = 0;
   unsigned MaxLmads = 30, Threads = 1;
   MetricsOptions Metrics;
   for (int I = 0; I != Argc; ++I) {
@@ -360,6 +453,23 @@ int cmdReplay(int Argc, char **Argv) {
       }
     } else if (const char *V = flagValue(Arg, "--dump-omsg=")) {
       DumpOmsg = V;
+    } else if (const char *V = flagValue(Arg, "--dump-leap=")) {
+      DumpLeap = V;
+    } else if (const char *V = flagValue(Arg, "--end-block=")) {
+      if (!numericFlag("replay", "--end-block", V, EndBlock))
+        return 1;
+    } else if (const char *V = flagValue(Arg, "--resume-from=")) {
+      ResumeFrom = V;
+    } else if (const char *V = flagValue(Arg, "--checkpoint-every=")) {
+      if (!numericFlag("replay", "--checkpoint-every", V, CheckpointEvery))
+        return 1;
+      if (CheckpointEvery == 0) {
+        logMessage(LogLevel::Error,
+                   "orp-trace replay: --checkpoint-every must be at least 1");
+        return 1;
+      }
+    } else if (const char *V = flagValue(Arg, "--checkpoint-out=")) {
+      CheckpointOut = V;
     } else if (Metrics.consume("replay", Arg, MetricsFailed)) {
       if (MetricsFailed)
         return 1;
@@ -375,6 +485,11 @@ int cmdReplay(int Argc, char **Argv) {
       (Profiler != "whomp" && Profiler != "leap" && Profiler != "rasg")) {
     logMessage(LogLevel::Error, "orp-trace replay: need <file> and "
                                 "--profiler=whomp|leap|rasg");
+    return 1;
+  }
+  if (CheckpointEvery && CheckpointOut.empty()) {
+    logMessage(LogLevel::Error, "orp-trace replay: --checkpoint-every "
+                                "needs --checkpoint-out=PATH");
     return 1;
   }
 
@@ -408,9 +523,54 @@ int cmdReplay(int Argc, char **Argv) {
   if (Ticker)
     Session.core().addRawSink(Ticker.get());
 
-  if (!Session.replayFrom(Reader, Threads)) {
+  uint64_t FirstBlock = 0;
+  if (!ResumeFrom.empty()) {
+    std::vector<uint8_t> CkBytes;
+    std::string Err;
+    if (!readArtifactFile(ResumeFrom, CkBytes))
+      return 1;
+    if (!Session.restoreCheckpoint(CkBytes, Reader, FirstBlock, Err)) {
+      logMessage(LogLevel::Error, "orp-trace replay: %s: %s",
+                 ResumeFrom.c_str(), Err.c_str());
+      return 1;
+    }
+    std::printf("resumed from %s at block %llu (%llu events already "
+                "translated)\n",
+                ResumeFrom.c_str(),
+                static_cast<unsigned long long>(FirstBlock),
+                static_cast<unsigned long long>(Session.eventsInjected()));
+  }
+
+  // Periodic checkpoints are written from the replayer's block callback,
+  // which runs on this thread at every block boundary.
+  bool CheckpointFailed = false;
+  std::function<void(uint64_t)> BlockDone;
+  if (CheckpointEvery)
+    BlockDone = [&](uint64_t Next) {
+      if ((Next - FirstBlock) % CheckpointEvery != 0)
+        return;
+      std::string CkPath =
+          CheckpointOut + "." + std::to_string(Next) + ".orck";
+      if (!writeArtifactFile(CkPath, Session.checkpoint(Reader, Next)))
+        CheckpointFailed = true;
+    };
+
+  if (!Session.replayFrom(Reader, Threads, FirstBlock, EndBlock,
+                          BlockDone)) {
     logMessage(LogLevel::Error, "orp-trace: %s", Session.error().c_str());
     return 1;
+  }
+  if (CheckpointFailed)
+    return 1;
+  if (!CheckpointEvery && !CheckpointOut.empty()) {
+    // One checkpoint at the end of the replayed range: the resume point
+    // for a follow-up segment replay.
+    uint64_t Next = std::min<uint64_t>(EndBlock, Reader.numEventBlocks());
+    if (!writeArtifactFile(CheckpointOut, Session.checkpoint(Reader, Next)))
+      return 1;
+    std::printf("wrote checkpoint: %s (next block %llu)\n",
+                CheckpointOut.c_str(),
+                static_cast<unsigned long long>(Next));
   }
   session::SessionArtifacts Artifacts = Session.finalize();
   std::printf("%s: replayed %llu events (%llu instr sites, %llu alloc "
@@ -444,6 +604,12 @@ int cmdReplay(int Argc, char **Argv) {
                 Data.substreams().size(), Artifacts.Leap.size(),
                 Leap.accessesCapturedPercent(),
                 Leap.instructionsCapturedPercent());
+    if (!DumpLeap.empty()) {
+      if (!writeArtifactFile(DumpLeap, Artifacts.Leap))
+        return 1;
+      std::printf("wrote LEAP profile: %s (%zu bytes)\n", DumpLeap.c_str(),
+                  Artifacts.Leap.size());
+    }
   } else {
     std::printf("RASG: %llu accesses, %zu bytes\n",
                 static_cast<unsigned long long>(Rasg.accessesSeen()),
@@ -787,6 +953,266 @@ int cmdSubmit(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdMerge(int Argc, char **Argv) {
+  std::vector<std::string> Inputs;
+  std::string OutPath;
+  bool Sequential = false;
+  for (int I = 0; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-o" && I + 1 != Argc) {
+      OutPath = Argv[++I];
+    } else if (const char *V = flagValue(Arg, "--out=")) {
+      OutPath = V;
+    } else if (Arg == "--sequential") {
+      Sequential = true;
+    } else if (Arg[0] != '-') {
+      Inputs.push_back(Arg);
+    } else {
+      logMessage(LogLevel::Error, "orp-trace merge: bad argument '%s'",
+                 Arg.c_str());
+      return 1;
+    }
+  }
+  if (Inputs.size() < 2 || OutPath.empty()) {
+    logMessage(LogLevel::Error,
+               "orp-trace merge: need at least two inputs and -o OUT");
+    return 1;
+  }
+
+  std::vector<std::vector<uint8_t>> Images(Inputs.size());
+  ArtifactKind Kind = ArtifactKind::Unknown;
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    if (!readArtifactFile(Inputs[I], Images[I]))
+      return 1;
+    ArtifactKind K = sniffArtifact(Images[I]);
+    if (K == ArtifactKind::Unknown) {
+      logMessage(LogLevel::Error,
+                 "orp-trace merge: '%s' is not a known artifact",
+                 Inputs[I].c_str());
+      return 1;
+    }
+    if (I == 0)
+      Kind = K;
+    else if (K != Kind) {
+      logMessage(LogLevel::Error,
+                 "orp-trace merge: '%s' is a %s but '%s' is a %s",
+                 Inputs[I].c_str(), artifactKindName(K), Inputs[0].c_str(),
+                 artifactKindName(Kind));
+      return 1;
+    }
+  }
+
+  std::string Err;
+  std::vector<uint8_t> Out;
+  const char *OutKind = artifactKindName(Kind);
+  if (Kind == ArtifactKind::Leap) {
+    leap::LeapProfileData Merged;
+    if (!leap::LeapProfileData::deserialize(Images[0], Merged, Err)) {
+      logMessage(LogLevel::Error, "orp-trace merge: %s: %s",
+                 Inputs[0].c_str(), Err.c_str());
+      return 1;
+    }
+    for (size_t I = 1; I != Inputs.size(); ++I) {
+      leap::LeapProfileData Next;
+      if (!leap::LeapProfileData::deserialize(Images[I], Next, Err) ||
+          !(Sequential ? Merged.mergeSequential(Next, Err)
+                       : Merged.mergeUnion(Next, Err))) {
+        logMessage(LogLevel::Error, "orp-trace merge: %s: %s",
+                   Inputs[I].c_str(), Err.c_str());
+        return 1;
+      }
+    }
+    Out = Merged.serialize();
+  } else if (Kind == ArtifactKind::Omsa && Sequential) {
+    std::vector<whomp::OmsgArchive> Archives(Inputs.size());
+    std::vector<const whomp::OmsgArchive *> Segments;
+    for (size_t I = 0; I != Inputs.size(); ++I) {
+      if (!whomp::OmsgArchive::deserialize(Images[I], Archives[I], Err)) {
+        logMessage(LogLevel::Error, "orp-trace merge: %s: %s",
+                   Inputs[I].c_str(), Err.c_str());
+        return 1;
+      }
+      Segments.push_back(&Archives[I]);
+    }
+    whomp::OmsgArchive Merged;
+    if (!whomp::OmsgArchive::mergeSequential(Segments, Merged, Err)) {
+      logMessage(LogLevel::Error, "orp-trace merge: %s", Err.c_str());
+      return 1;
+    }
+    Out = Merged.serialize();
+  } else {
+    // Independent-run OMSG fold: full archives have no common tuple
+    // order, so the mergeable form is the statistics digest. OMST
+    // inputs fold directly; OMSA inputs are digested first.
+    whomp::OmsgStats Merged;
+    for (size_t I = 0; I != Inputs.size(); ++I) {
+      whomp::OmsgStats Stats;
+      if (Kind == ArtifactKind::Omsa) {
+        whomp::OmsgArchive Archive;
+        if (!whomp::OmsgArchive::deserialize(Images[I], Archive, Err)) {
+          logMessage(LogLevel::Error, "orp-trace merge: %s: %s",
+                     Inputs[I].c_str(), Err.c_str());
+          return 1;
+        }
+        Stats = whomp::OmsgStats::fromArchive(Archive);
+      } else if (!whomp::OmsgStats::deserialize(Images[I], Stats, Err)) {
+        logMessage(LogLevel::Error, "orp-trace merge: %s: %s",
+                   Inputs[I].c_str(), Err.c_str());
+        return 1;
+      }
+      if (!Merged.merge(Stats, Err)) {
+        logMessage(LogLevel::Error, "orp-trace merge: %s: %s",
+                   Inputs[I].c_str(), Err.c_str());
+        return 1;
+      }
+    }
+    Out = Merged.serialize();
+    OutKind = artifactKindName(ArtifactKind::Omst);
+  }
+
+  if (!writeArtifactFile(OutPath, Out))
+    return 1;
+  std::printf("merged %zu %s inputs (%s) into %s (%s, %zu bytes)\n",
+              Inputs.size(), artifactKindName(Kind),
+              Sequential ? "sequential" : "union", OutPath.c_str(), OutKind,
+              Out.size());
+  return 0;
+}
+
+/// Prints one named counter difference and counts it.
+void diffCounter(const char *What, uint64_t A, uint64_t B, int &Diffs) {
+  if (A == B)
+    return;
+  ++Diffs;
+  std::printf("  %s: %llu vs %llu\n", What,
+              static_cast<unsigned long long>(A),
+              static_cast<unsigned long long>(B));
+}
+
+int cmdDiff(const char *PathA, const char *PathB) {
+  std::vector<uint8_t> BytesA, BytesB;
+  if (!readArtifactFile(PathA, BytesA) || !readArtifactFile(PathB, BytesB))
+    return 2;
+  if (BytesA == BytesB) {
+    std::printf("%s and %s are identical (%zu bytes)\n", PathA, PathB,
+                BytesA.size());
+    return 0;
+  }
+  ArtifactKind KindA = sniffArtifact(BytesA), KindB = sniffArtifact(BytesB);
+  if (KindA != KindB || KindA == ArtifactKind::Unknown) {
+    std::printf("%s is a %s, %s is a %s\n", PathA, artifactKindName(KindA),
+                PathB, artifactKindName(KindB));
+    return KindA == ArtifactKind::Unknown || KindB == ArtifactKind::Unknown
+               ? 2
+               : 1;
+  }
+
+  std::string Err;
+  int Diffs = 0;
+  if (KindA == ArtifactKind::Leap) {
+    leap::LeapProfileData A, B;
+    if (!leap::LeapProfileData::deserialize(BytesA, A, Err)) {
+      logMessage(LogLevel::Error, "orp-trace diff: %s: %s", PathA,
+                 Err.c_str());
+      return 2;
+    }
+    if (!leap::LeapProfileData::deserialize(BytesB, B, Err)) {
+      logMessage(LogLevel::Error, "orp-trace diff: %s: %s", PathB,
+                 Err.c_str());
+      return 2;
+    }
+    diffCounter("descriptor cap", A.maxLmads(), B.maxLmads(), Diffs);
+    diffCounter("substreams", A.substreams().size(), B.substreams().size(),
+                Diffs);
+    diffCounter("instructions", A.instructions().size(),
+                B.instructions().size(), Diffs);
+    uint64_t PointsA = 0, PointsB = 0;
+    // orp-lint: allow(unordered-serial): diagnostic counting only; the
+    // counts are order-independent.
+    for (const auto &[Key, Sub] : A.substreams()) {
+      PointsA += Sub.TotalPoints;
+      auto It = B.substreams().find(Key);
+      if (It == B.substreams().end() || !(It->second == Sub))
+        ++Diffs;
+    }
+    for (const auto &[Key, Sub] : B.substreams()) {
+      PointsB += Sub.TotalPoints;
+      if (A.substreams().find(Key) == A.substreams().end())
+        ++Diffs;
+    }
+    for (const auto &[Instr, Summary] : A.instructions()) {
+      auto It = B.instructions().find(Instr);
+      if (It == B.instructions().end() ||
+          It->second.ExecCount != Summary.ExecCount ||
+          It->second.StoreCount != Summary.StoreCount)
+        ++Diffs;
+    }
+    std::printf("LEAP profiles differ in %d place(s) (%llu vs %llu total "
+                "points)\n",
+                Diffs, static_cast<unsigned long long>(PointsA),
+                static_cast<unsigned long long>(PointsB));
+  } else if (KindA == ArtifactKind::Omsa) {
+    whomp::OmsgArchive A, B;
+    if (!whomp::OmsgArchive::deserialize(BytesA, A, Err)) {
+      logMessage(LogLevel::Error, "orp-trace diff: %s: %s", PathA,
+                 Err.c_str());
+      return 2;
+    }
+    if (!whomp::OmsgArchive::deserialize(BytesB, B, Err)) {
+      logMessage(LogLevel::Error, "orp-trace diff: %s: %s", PathB,
+                 Err.c_str());
+      return 2;
+    }
+    diffCounter("dimension streams", A.dimensionStreams().size(),
+                B.dimensionStreams().size(), Diffs);
+    diffCounter("accesses", A.accessCount(), B.accessCount(), Diffs);
+    diffCounter("aux objects", A.objects().size(), B.objects().size(),
+                Diffs);
+    size_t Dims = std::min(A.dimensionStreams().size(),
+                           B.dimensionStreams().size());
+    for (size_t D = 0; D != Dims; ++D)
+      if (A.dimensionStreams()[D] != B.dimensionStreams()[D]) {
+        ++Diffs;
+        std::printf("  dimension %zu streams differ\n", D);
+      }
+    if (A.objects().size() == B.objects().size() &&
+        !(A.objects() == B.objects())) {
+      ++Diffs;
+      std::printf("  aux object tables differ\n");
+    }
+    std::printf("OMSG archives differ in %d place(s)\n", Diffs);
+  } else {
+    whomp::OmsgStats A, B;
+    if (!whomp::OmsgStats::deserialize(BytesA, A, Err)) {
+      logMessage(LogLevel::Error, "orp-trace diff: %s: %s", PathA,
+                 Err.c_str());
+      return 2;
+    }
+    if (!whomp::OmsgStats::deserialize(BytesB, B, Err)) {
+      logMessage(LogLevel::Error, "orp-trace diff: %s: %s", PathB,
+                 Err.c_str());
+      return 2;
+    }
+    diffCounter("runs", A.runs(), B.runs(), Diffs);
+    diffCounter("accesses", A.accessCount(), B.accessCount(), Diffs);
+    diffCounter("objects", A.objectCount(), B.objectCount(), Diffs);
+    diffCounter("dimensions", A.dimensions().size(), B.dimensions().size(),
+                Diffs);
+    size_t Dims = std::min(A.dimensions().size(), B.dimensions().size());
+    for (size_t D = 0; D != Dims; ++D)
+      if (!(A.dimensions()[D] == B.dimensions()[D])) {
+        ++Diffs;
+        std::printf("  dimension %zu statistics differ\n", D);
+      }
+    std::printf("OMSG statistics differ in %d place(s)\n", Diffs);
+  }
+  // The byte images differed; if no semantic difference surfaced, the
+  // files still encode the same profile (e.g. rewrapped checksums).
+  if (Diffs == 0)
+    std::printf("  (no semantic differences; byte encodings differ)\n");
+  return Diffs == 0 ? 0 : 1;
+}
+
 int cmdVerify(const char *Path) {
   traceio::TraceReader Reader;
   uint64_t Events = 0;
@@ -816,6 +1242,10 @@ int main(int Argc, char **Argv) {
     return cmdStats(Argc - 2, Argv + 2);
   if (Cmd == "submit")
     return cmdSubmit(Argc - 2, Argv + 2);
+  if (Cmd == "merge")
+    return cmdMerge(Argc - 2, Argv + 2);
+  if (Cmd == "diff" && Argc == 4)
+    return cmdDiff(Argv[2], Argv[3]);
   if (Cmd == "version" || Cmd == "--version") {
     support::printVersion("orp-trace");
     return 0;
