@@ -8,8 +8,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "advisor/HotColdClassifier.h"
+#include "advisor/TieredReplay.h"
 #include "core/ProfilingSession.h"
 #include "leap/Leap.h"
+#include "leap/LeapProfileData.h"
 #include "lmad/LmadCompressor.h"
 #include "omc/ObjectManager.h"
 #include "sequitur/Sequitur.h"
@@ -394,6 +397,77 @@ BENCHMARK(BM_PipelineReplayThreads)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+//===----------------------------------------------------------------------===//
+// Tiered placement simulation
+//===----------------------------------------------------------------------===//
+
+/// Tiered address-space replay rate per policy (0 = first-touch,
+/// 1 = lru, 2 = advised) at a 25% fast-tier fraction. Measures the
+/// payoff half of the advisor loop: trace-event translation through the
+/// OMC rebuild plus the per-access tier bookkeeping.
+/// Items = replayed events.
+void BM_TieredSim(benchmark::State &State) {
+  static const std::string TracePath = [] {
+    std::string Path = "perf_tiered.orpt";
+    core::ProfilingSession S;
+    traceio::TraceWriter Writer(Path, S.registry(),
+                                memsim::AllocPolicy::FirstFit, /*Seed=*/7);
+    S.addRawSink(&Writer);
+    workloads::WorkloadConfig Config;
+    workloads::createMcfA()->run(S.memory(), S.registry(), Config);
+    S.finish();
+    Writer.close();
+    return Path;
+  }();
+  traceio::TraceReader Reader;
+  if (!Reader.open(TracePath)) {
+    State.SkipWithError("cannot open tiered-sim trace");
+    return;
+  }
+  // Profile once, outside the timed region, so the advised policy has a
+  // real report to place from.
+  static const advisor::AdvisorReport Report = [&Reader] {
+    whomp::WhompProfiler Whomp;
+    leap::LeapProfiler Leap;
+    traceio::TraceReplayer Replayer(Reader);
+    auto Session = Replayer.makeSession();
+    Session->addConsumer(&Whomp);
+    Session->addConsumer(&Leap);
+    (void)Replayer.replayInto(*Session);
+    advisor::HotColdClassifier Classifier;
+    return Classifier.classify(
+        leap::LeapProfileData::fromProfiler(Leap),
+        whomp::OmsgArchive::build(Whomp, &Session->omc()));
+  }();
+  advisor::TieredSimOptions Opts;
+  Opts.Policy = static_cast<memsim::TierPolicy>(State.range(0));
+  uint64_t PeakLive = 0;
+  std::string Err;
+  if (!advisor::peakLiveBytes(Reader, PeakLive, Err)) {
+    State.SkipWithError("peak-live scan failed on a valid trace");
+    return;
+  }
+  Opts.FastCapacityBytes = PeakLive / 4;
+  if (Opts.Policy == memsim::TierPolicy::Advised)
+    Opts.Advice = &Report;
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    advisor::TieredSimResult Result;
+    if (!advisor::simulateTiered(Reader, Opts, Result, Err)) {
+      State.SkipWithError("tiered simulation failed on a valid trace");
+      return;
+    }
+    Events += Result.Accesses + Result.Allocs + Result.Frees;
+    benchmark::DoNotOptimize(Result.Stats.FastHits);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Events));
+}
+BENCHMARK(BM_TieredSim)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -25,7 +25,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_pipeline.json}"
 MIN_TIME="${ORP_BENCH_MIN_TIME:-0.2}"
-FILTER="${ORP_BENCH_FILTER:-BM_Sequitur|BM_OmcTranslate|BM_BlockDecode|BM_Pipeline}"
+FILTER="${ORP_BENCH_FILTER:-BM_Sequitur|BM_OmcTranslate|BM_BlockDecode|BM_Pipeline|BM_TieredSim}"
 
 BIN="$BUILD_DIR/bench/perf_components"
 if [ ! -x "$BIN" ]; then

@@ -6,71 +6,31 @@
 // ... may reveal field-reordering opportunity to the compiler to take
 // advantage of spatial locality."
 //
-// This example profiles the twolf analogue, finds the hot offset pairs
-// that are accessed back-to-back within the same object of each group,
-// and proposes field reorderings that would put those fields on one
-// cache line. It also prints the OMC's object lifetime summary — the
-// run-dependent auxiliary data the paper keeps alongside the invariant
-// object-relative profile.
+// This example profiles the twolf analogue and presents what the
+// advisor library computes: the hot offset pairs accessed back-to-back
+// within the same object of each group (advisor::OffsetPairScanner +
+// rankLayoutAdvice) and the OMC's object lifetime summary. The digram
+// scanning and ranking live in src/advisor — this file is only the
+// table formatting.
 //
 //===----------------------------------------------------------------------===//
 
+#include "advisor/HotColdClassifier.h"
 #include "core/ProfilingSession.h"
 #include "support/LogSink.h"
 #include "support/TablePrinter.h"
 #include "workloads/Workload.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <map>
-#include <vector>
 
 using namespace orp;
-
-namespace {
-
-/// Counts back-to-back same-object offset transitions per group — the
-/// digram statistics the offset-dimension grammar encodes.
-struct OffsetPairScanner : core::OrTupleConsumer {
-  struct Key {
-    omc::GroupId Group;
-    uint64_t OffA;
-    uint64_t OffB;
-    bool operator<(const Key &O) const {
-      if (Group != O.Group)
-        return Group < O.Group;
-      if (OffA != O.OffA)
-        return OffA < O.OffA;
-      return OffB < O.OffB;
-    }
-  };
-
-  std::map<Key, uint64_t> PairCounts;
-  bool HavePrev = false;
-  core::OrTuple Prev{};
-
-  void consume(const core::OrTuple &T) override {
-    if (HavePrev && Prev.Group == T.Group && Prev.Object == T.Object &&
-        Prev.Offset != T.Offset) {
-      uint64_t A = Prev.Offset, B = T.Offset;
-      if (A > B)
-        std::swap(A, B);
-      ++PairCounts[Key{T.Group, A, B}];
-    }
-    Prev = T;
-    HavePrev = true;
-  }
-};
-
-constexpr uint64_t CacheLine = 64;
-
-} // namespace
 
 int main(int Argc, char **Argv) {
   const char *Name = Argc > 1 ? Argv[1] : "300.twolf-a";
 
   core::ProfilingSession Session;
-  OffsetPairScanner Scanner;
+  advisor::OffsetPairScanner Scanner;
   Session.addConsumer(&Scanner);
   auto Workload = workloads::createWorkloadByName(Name);
   if (!Workload) {
@@ -82,35 +42,35 @@ int main(int Argc, char **Argv) {
   Workload->run(Session.memory(), Session.registry(), Config);
   Session.finish();
 
-  // Rank the hot same-object offset pairs.
-  std::vector<std::pair<uint64_t, OffsetPairScanner::Key>> Ranked;
-  for (const auto &[Key, Count] : Scanner.PairCounts)
-    Ranked.emplace_back(Count, Key);
-  std::sort(Ranked.begin(), Ranked.end(),
-            [](const auto &A, const auto &B) { return A.first > B.first; });
+  // Rank the hot same-object offset pairs (library logic; every pair
+  // kept so rare-but-real digrams still print).
+  advisor::ClassifierOptions Opts;
+  Opts.MinPairCount = 1;
+  std::vector<advisor::LayoutAdvice> Ranked =
+      advisor::rankLayoutAdvice(Scanner.pairCounts(), Opts);
 
   std::printf("hot same-object field pairs for %s:\n\n", Name);
   TablePrinter Table({"group (alloc site)", "offsets", "back-to-back",
                       "layout advice"});
   unsigned Shown = 0;
-  for (const auto &[Count, Key] : Ranked) {
+  for (const advisor::LayoutAdvice &L : Ranked) {
     if (Shown++ == 10)
       break;
-    const auto &Site = Session.registry().allocSite(
-        Session.omc().siteForGroup(Key.Group));
+    const auto &Site =
+        Session.registry().allocSite(Session.omc().siteForGroup(L.Group));
     char Offsets[48], Advice[96];
     std::snprintf(Offsets, sizeof(Offsets), "(%llu, %llu)",
-                  static_cast<unsigned long long>(Key.OffA),
-                  static_cast<unsigned long long>(Key.OffB));
-    bool SameLine = Key.OffA / CacheLine == Key.OffB / CacheLine;
-    if (SameLine)
+                  static_cast<unsigned long long>(L.OffA),
+                  static_cast<unsigned long long>(L.OffB));
+    if (L.sameCacheLine())
       std::snprintf(Advice, sizeof(Advice), "already share a cache line");
     else
       std::snprintf(Advice, sizeof(Advice),
                     "reorder fields: co-locate offsets %llu and %llu",
-                    static_cast<unsigned long long>(Key.OffA),
-                    static_cast<unsigned long long>(Key.OffB));
-    Table.addRow({Site.Name, Offsets, TablePrinter::fmt(Count), Advice});
+                    static_cast<unsigned long long>(L.OffA),
+                    static_cast<unsigned long long>(L.OffB));
+    Table.addRow({Site.Name, Offsets, TablePrinter::fmt(L.PairCount),
+                  Advice});
   }
   Table.print();
 
@@ -133,8 +93,8 @@ int main(int Argc, char **Argv) {
   TablePrinter Life({"group (alloc site)", "objects", "bytes",
                      "mean lifetime (accesses)"});
   for (const auto &[Group, Acc] : ByGroup) {
-    const auto &Site = Session.registry().allocSite(
-        Session.omc().siteForGroup(Group));
+    const auto &Site =
+        Session.registry().allocSite(Session.omc().siteForGroup(Group));
     Life.addRow({Site.Name, TablePrinter::fmt(Acc.Objects),
                  TablePrinter::fmt(Acc.Bytes),
                  TablePrinter::fmt(

@@ -3,15 +3,18 @@
 // The paper's second LEAP application (Section 4.2.2): stride-based
 // prefetching needs the strongly-strided instructions — those where one
 // stride accounts for >= 70% of the accesses. This example profiles the
-// gzip and bzip2 analogues with LEAP, runs the stride post-processor,
-// and emits prefetch directives of the form a compiler pass would
-// insert: "prefetch [addr + K*stride] ahead of instruction I".
+// gzip and bzip2 analogues with LEAP and presents what the advisor
+// library computes (advisor::prefetchAdviceFromProfile over the
+// detached profile): prefetch directives of the form a compiler pass
+// would insert. The stride post-processing and distance choice live in
+// src/advisor — this file is only the table formatting.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Stride.h"
+#include "advisor/HotColdClassifier.h"
 #include "core/ProfilingSession.h"
 #include "leap/Leap.h"
+#include "leap/LeapProfileData.h"
 #include "support/TablePrinter.h"
 #include "workloads/Workload.h"
 
@@ -22,20 +25,6 @@ using namespace orp;
 
 namespace {
 
-/// Prefetch distance in iterations: enough to cover a miss latency of
-/// ~200 cycles at 1 stride per iteration, capped to stay in-page.
-int chooseDistance(int64_t Stride) {
-  if (Stride == 0)
-    return 0;
-  int64_t Magnitude = Stride < 0 ? -Stride : Stride;
-  int64_t Distance = 256 / Magnitude;
-  if (Distance < 2)
-    Distance = 2;
-  if (Distance > 64)
-    Distance = 64;
-  return static_cast<int>(Distance);
-}
-
 void adviseFor(const char *Name) {
   core::ProfilingSession Session;
   leap::LeapProfiler Leap;
@@ -45,22 +34,23 @@ void adviseFor(const char *Name) {
   Workload->run(Session.memory(), Session.registry(), Config);
   Session.finish();
 
-  analysis::StrideMap Strided = analysis::findStronglyStrided(Leap);
+  std::vector<advisor::PrefetchAdvice> Advice =
+      advisor::prefetchAdviceFromProfile(
+          leap::LeapProfileData::fromProfiler(Leap),
+          advisor::ClassifierOptions());
 
   std::printf("prefetch candidates for %s:\n\n", Name);
   TablePrinter Table({"instruction", "stride", "share", "directive"});
-  for (const auto &[Instr, Info] : Strided) {
-    const auto &Meta = Session.registry().instruction(Instr);
-    if (Meta.Kind != trace::AccessKind::Load)
-      continue; // Prefetching targets loads.
+  for (const advisor::PrefetchAdvice &P : Advice) {
+    const auto &Meta = Session.registry().instruction(P.Instr);
     char Directive[96];
     std::snprintf(Directive, sizeof(Directive),
-                  "prefetch [addr %+lld * %d]",
-                  static_cast<long long>(Info.Stride),
-                  chooseDistance(Info.Stride));
+                  "prefetch [addr %+lld * %u]",
+                  static_cast<long long>(P.Stride), P.Distance);
     Table.addRow({Meta.Name,
-                  TablePrinter::fmt(uint64_t(std::llabs(Info.Stride))),
-                  TablePrinter::fmtPercent(Info.Share * 100.0, 1),
+                  TablePrinter::fmt(uint64_t(std::llabs(P.Stride))),
+                  TablePrinter::fmtPercent(
+                      static_cast<double>(P.SharePermille) / 10.0, 1),
                   Directive});
   }
   Table.print();

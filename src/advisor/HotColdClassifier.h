@@ -1,0 +1,136 @@
+//===- advisor/HotColdClassifier.h - Profile -> advice ---------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decision layer of the advisor subsystem: turn detached profile
+/// artifacts — a LEAP profile (.leap) for per-instruction / per-group
+/// access counts and an OMSG archive (.omsa) for the lossless tuple
+/// stream plus object lifetimes — into an AdvisorReport:
+///
+///  * HotColdClassifier ranks object groups hot-to-cold by access
+///    density (LEAP accesses over OMC footprint) and flags pool
+///    candidates (many uniform, mostly-freed objects).
+///  * OffsetPairScanner / offsetPairsFromArchive count back-to-back
+///    same-object offset transitions — the digram statistics of the
+///    offset-dimension grammar — feeding field-reorder advice
+///    (generalized from examples/layout_inspector.cpp).
+///  * prefetchAdviceFromProfile finds strongly-strided loads in a
+///    detached profile, mirroring analysis::findStronglyStrided over
+///    the live profiler (generalized from examples/prefetch_advisor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ADVISOR_HOTCOLDCLASSIFIER_H
+#define ORP_ADVISOR_HOTCOLDCLASSIFIER_H
+
+#include "advisor/AdvisorReport.h"
+#include "core/ObjectRelative.h"
+#include "leap/LeapProfileData.h"
+#include "whomp/OmsgArchive.h"
+
+#include <map>
+#include <vector>
+
+namespace orp {
+namespace advisor {
+
+/// Tunables of the classifier. The defaults reproduce the paper's
+/// thresholds where it states one (0.70 strong-stride share) and stay
+/// conservative elsewhere.
+struct ClassifierOptions {
+  /// Dominant-stride share for a load to earn prefetch advice.
+  double StrideThreshold = 0.70;
+  /// Minimum objects in a group before it can be a pool candidate.
+  uint64_t PoolMinObjects = 8;
+  /// Minimum back-to-back count for an offset pair to be advice.
+  uint64_t MinPairCount = 2;
+  /// Cap on emitted layout-advice entries (hottest kept).
+  size_t MaxLayoutEntries = 64;
+};
+
+/// Canonically ordered key of one same-object offset pair.
+struct OffsetPairKey {
+  omc::GroupId Group = 0;
+  uint64_t OffA = 0; ///< Always < OffB.
+  uint64_t OffB = 0;
+
+  bool operator==(const OffsetPairKey &O) const {
+    return Group == O.Group && OffA == O.OffA && OffB == O.OffB;
+  }
+
+  bool operator<(const OffsetPairKey &O) const {
+    if (Group != O.Group)
+      return Group < O.Group;
+    if (OffA != O.OffA)
+      return OffA < O.OffA;
+    return OffB < O.OffB;
+  }
+};
+
+/// Back-to-back transition counts per canonical pair.
+using OffsetPairCounts = std::map<OffsetPairKey, uint64_t>;
+
+/// Streaming digram counter: attach to a ProfilingSession to collect
+/// the same statistics offsetPairsFromArchive() recovers offline.
+class OffsetPairScanner : public core::OrTupleConsumer {
+public:
+  void consume(const core::OrTuple &T) override;
+
+  const OffsetPairCounts &pairCounts() const { return Counts; }
+
+private:
+  OffsetPairCounts Counts;
+  bool HavePrev = false;
+  core::OrTuple Prev{};
+};
+
+/// Recovers the back-to-back same-object offset pairs from an archive's
+/// expanded dimension streams (the lossless tuple reconstruction).
+OffsetPairCounts offsetPairsFromArchive(const whomp::OmsgArchive &Archive);
+
+/// Ranks raw pair counts into layout advice: drops pairs below
+/// \p Opts.MinPairCount, orders hottest-first, keeps at most
+/// \p Opts.MaxLayoutEntries.
+std::vector<LayoutAdvice> rankLayoutAdvice(const OffsetPairCounts &Counts,
+                                           const ClassifierOptions &Opts);
+
+/// Prefetch distance in iterations for \p Stride: enough to cover a
+/// ~200-cycle miss at one stride per iteration, clamped to [2, 64].
+uint32_t choosePrefetchDistance(int64_t Stride);
+
+/// Strongly-strided loads of a detached profile: LMADs that stay within
+/// one object (object stride 0) contribute Count-1 steps of their
+/// offset stride; a load is advice when one stride's share reaches
+/// \p Opts.StrideThreshold. Store instructions are excluded. Sorted by
+/// instruction id.
+std::vector<PrefetchAdvice>
+prefetchAdviceFromProfile(const leap::LeapProfileData &Profile,
+                          const ClassifierOptions &Opts);
+
+/// The hot/cold placement classifier.
+class HotColdClassifier {
+public:
+  explicit HotColdClassifier(const ClassifierOptions &Opts = {})
+      : Opts(Opts) {}
+
+  /// Builds the full advice report from detached artifacts: placement
+  /// plan from LEAP access counts over the archive's lifetime table,
+  /// layout advice from the archive's offset stream, prefetch advice
+  /// from the LEAP LMADs.
+  AdvisorReport classify(const leap::LeapProfileData &Leap,
+                         const whomp::OmsgArchive &Omsg) const;
+
+  const ClassifierOptions &options() const { return Opts; }
+
+private:
+  ClassifierOptions Opts;
+};
+
+} // namespace advisor
+} // namespace orp
+
+#endif // ORP_ADVISOR_HOTCOLDCLASSIFIER_H

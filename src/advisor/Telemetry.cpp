@@ -1,0 +1,39 @@
+//===- advisor/Telemetry.cpp - Advisor metrics bridge --------------------===//
+
+#include "advisor/Telemetry.h"
+
+using namespace orp;
+using namespace orp::advisor;
+
+AdvisorTelemetry::AdvisorTelemetry()
+    : Collector(telemetry::Registry::global().addCollector(
+          [this](telemetry::Registry &R) {
+            if (Report) {
+              R.gauge("advisor.placement_groups")
+                  .set(static_cast<int64_t>(Report->Placement.size()));
+              R.gauge("advisor.hot_groups")
+                  .set(static_cast<int64_t>(Report->hotGroupCount()));
+              R.gauge("advisor.pool_candidates")
+                  .set(static_cast<int64_t>(Report->poolCandidateCount()));
+              R.gauge("advisor.layout_pairs")
+                  .set(static_cast<int64_t>(Report->Layout.size()));
+              R.gauge("advisor.prefetch_candidates")
+                  .set(static_cast<int64_t>(Report->Prefetch.size()));
+            }
+            if (Tier) {
+              R.gauge("tiersim.fast_hits")
+                  .set(static_cast<int64_t>(Tier->FastHits));
+              R.gauge("tiersim.slow_hits")
+                  .set(static_cast<int64_t>(Tier->SlowHits));
+              R.gauge("tiersim.promotions")
+                  .set(static_cast<int64_t>(Tier->Promotions));
+              R.gauge("tiersim.evictions")
+                  .set(static_cast<int64_t>(Tier->Evictions));
+              R.gauge("tiersim.fast_allocs")
+                  .set(static_cast<int64_t>(Tier->FastAllocs));
+              R.gauge("tiersim.slow_allocs")
+                  .set(static_cast<int64_t>(Tier->SlowAllocs));
+              R.gauge("tiersim.fast_hit_permille")
+                  .set(static_cast<int64_t>(Tier->fastHitRate() * 1000.0));
+            }
+          })) {}

@@ -1,0 +1,56 @@
+//===- advisor/Telemetry.h - Advisor metrics bridge ------------*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The advisor's collector bridge into the global telemetry registry:
+/// attach an AdvisorReport and/or a tiering simulation's TierStats and
+/// every snapshot (`orp-trace stats`, the daemon's SNAPSHOT verb) shows
+/// advice counts (advisor.*) and fast/slow-tier traffic (tiersim.*)
+/// alongside the profiler gauges. Follows the snapshot-time collector
+/// discipline: nothing is recorded on the hot path, the gauges are
+/// computed from the attached structures when a snapshot is taken.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ADVISOR_TELEMETRY_H
+#define ORP_ADVISOR_TELEMETRY_H
+
+#include "advisor/AdvisorReport.h"
+#include "memsim/TieredAddressSpace.h"
+#include "telemetry/Registry.h"
+
+namespace orp {
+namespace advisor {
+
+/// Publishes advisor/tiering gauges via a snapshot-time collector on
+/// Registry::global(). The attached report and stats are borrowed; they
+/// must outlive the bridge or be detached (attach nullptr) first.
+class AdvisorTelemetry {
+public:
+  AdvisorTelemetry();
+
+  AdvisorTelemetry(const AdvisorTelemetry &) = delete;
+  AdvisorTelemetry &operator=(const AdvisorTelemetry &) = delete;
+
+  /// Attaches (or, with nullptr, detaches) the advice report behind the
+  /// advisor.* gauges.
+  void attachReport(const AdvisorReport *R) { Report = R; }
+
+  /// Attaches (or, with nullptr, detaches) the tiering counters behind
+  /// the tiersim.* gauges.
+  void attachTierStats(const memsim::TierStats *S) { Tier = S; }
+
+private:
+  const AdvisorReport *Report = nullptr;
+  const memsim::TierStats *Tier = nullptr;
+  telemetry::CollectorHandle Collector;
+};
+
+} // namespace advisor
+} // namespace orp
+
+#endif // ORP_ADVISOR_TELEMETRY_H

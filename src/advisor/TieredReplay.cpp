@@ -1,0 +1,148 @@
+//===- advisor/TieredReplay.cpp - Trace replay through tiers -------------===//
+
+#include "advisor/TieredReplay.h"
+
+#include "omc/ObjectManager.h"
+
+#include <unordered_map>
+
+using namespace orp;
+using namespace orp::advisor;
+
+bool orp::advisor::peakLiveBytes(traceio::TraceReader &Reader, uint64_t &Peak,
+                                 std::string &Err) {
+  Peak = 0;
+  uint64_t Live = 0;
+  std::unordered_map<uint64_t, uint64_t> SizeByAddr;
+  bool Ok = Reader.forEachEvent([&](const traceio::TraceEvent &E) {
+    switch (E.K) {
+    case traceio::TraceEvent::Kind::Alloc: {
+      auto [It, Inserted] = SizeByAddr.emplace(E.Addr, E.Size);
+      if (!Inserted)
+        break; // Duplicate base address; keep the live one.
+      Live += E.Size;
+      if (Live > Peak)
+        Peak = Live;
+      break;
+    }
+    case traceio::TraceEvent::Kind::Free: {
+      auto It = SizeByAddr.find(E.Addr);
+      if (It == SizeByAddr.end())
+        break;
+      Live -= It->second;
+      SizeByAddr.erase(It);
+      break;
+    }
+    case traceio::TraceEvent::Kind::Access:
+      break;
+    }
+  });
+  if (!Ok) {
+    Err = "trace event stream failed validation";
+    return false;
+  }
+  return true;
+}
+
+std::unordered_set<omc::GroupId>
+orp::advisor::selectHotGroups(const AdvisorReport &Report,
+                              uint64_t FastCapacityBytes) {
+  std::unordered_set<omc::GroupId> Hot;
+  uint64_t Budget = FastCapacityBytes;
+  for (const PlacementAdvice &P : Report.Placement) {
+    if (P.AccessCount == 0)
+      continue; // Never-accessed groups earn no fast-tier bytes.
+    if (Budget == 0)
+      break;
+    // A group whose typical object cannot fit the remaining budget is
+    // skipped — none of its objects would place; lower-ranked smaller
+    // groups still pack the leftover (greedy knapsack by density).
+    uint64_t MeanSize =
+        P.ObjectCount ? P.FootprintBytes / P.ObjectCount : P.FootprintBytes;
+    if (MeanSize > Budget)
+      continue;
+    // The marginal group takes whatever budget remains; its surplus
+    // objects simply stay slow (partial-group placement).
+    Hot.insert(P.Group);
+    Budget -= P.FootprintBytes < Budget ? P.FootprintBytes : Budget;
+  }
+  if (Hot.empty()) {
+    // Nothing fits even partially: place the hottest accessed group
+    // anyway so the fast tier fills what it can instead of idling.
+    for (const PlacementAdvice &P : Report.Placement)
+      if (P.AccessCount != 0) {
+        Hot.insert(P.Group);
+        break;
+      }
+  }
+  return Hot;
+}
+
+bool orp::advisor::simulateTiered(traceio::TraceReader &Reader,
+                                  const TieredSimOptions &Opts,
+                                  TieredSimResult &Result, std::string &Err) {
+  Result = TieredSimResult();
+  Result.FastCapacityBytes = Opts.FastCapacityBytes;
+  if (Opts.Policy == memsim::TierPolicy::Advised && !Opts.Advice) {
+    Err = "advised policy requires an advice report";
+    return false;
+  }
+
+  std::unordered_set<omc::GroupId> HotGroups;
+  if (Opts.Policy == memsim::TierPolicy::Advised) {
+    HotGroups = selectHotGroups(*Opts.Advice, Opts.FastCapacityBytes);
+    Result.HotGroupsSelected = HotGroups.size();
+  }
+
+  // The OMC rebuilt from the trace reproduces the profilers' first-seen
+  // group numbering, so advice group ids line up with replay groups.
+  omc::ObjectManager Omc;
+  memsim::TieredAddressSpace Tier(Opts.Policy, Opts.FastCapacityBytes);
+  uint64_t Unmapped = 0;
+
+  bool Ok = Reader.forEachEvent([&](const traceio::TraceEvent &E) {
+    switch (E.K) {
+    case traceio::TraceEvent::Kind::Alloc: {
+      trace::AllocEvent A;
+      A.Site = E.InstrOrSite;
+      A.Addr = E.Addr;
+      A.Size = E.Size;
+      A.Time = E.Time;
+      A.IsStatic = E.IsStatic;
+      Omc.onAlloc(A);
+      uint64_t ObjectId = Omc.records().size() - 1;
+      omc::GroupId Group = Omc.records().back().Group;
+      Tier.onAlloc(ObjectId, E.Size, HotGroups.count(Group) != 0);
+      ++Result.Allocs;
+      break;
+    }
+    case traceio::TraceEvent::Kind::Free: {
+      if (auto T = Omc.translate(E.Addr))
+        Tier.onFree(T->ObjectId);
+      trace::FreeEvent F;
+      F.Addr = E.Addr;
+      F.Time = E.Time;
+      Omc.onFree(F);
+      ++Result.Frees;
+      break;
+    }
+    case traceio::TraceEvent::Kind::Access: {
+      ++Result.Accesses;
+      if (auto T = Omc.translate(E.Addr, E.InstrOrSite))
+        Tier.onAccess(T->ObjectId);
+      else
+        ++Unmapped;
+      break;
+    }
+    }
+  });
+  if (!Ok) {
+    Err = "trace event stream failed validation";
+    return false;
+  }
+
+  Result.Stats = Tier.stats();
+  Result.Stats.Unmapped += Unmapped;
+  Result.FastBytesPeak = Tier.fastBytesPeak();
+  return true;
+}

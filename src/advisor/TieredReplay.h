@@ -1,0 +1,79 @@
+//===- advisor/TieredReplay.h - Trace replay through tiers -----*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The payoff meter: replay a recorded .orpt trace through a
+/// memsim::TieredAddressSpace and measure what a placement policy would
+/// have bought. An ObjectManager rebuilt from the trace's alloc/free
+/// events maps every access back to its object and group — the same
+/// deterministic first-seen group numbering the profilers used, so
+/// advice keyed by group id from a profiling run applies directly to a
+/// replay of the same (or a like) trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_ADVISOR_TIEREDREPLAY_H
+#define ORP_ADVISOR_TIEREDREPLAY_H
+
+#include "advisor/AdvisorReport.h"
+#include "memsim/TieredAddressSpace.h"
+#include "traceio/TraceReader.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace orp {
+namespace advisor {
+
+/// One simulation pass' configuration.
+struct TieredSimOptions {
+  memsim::TierPolicy Policy = memsim::TierPolicy::FirstTouch;
+  /// Fast-tier capacity in bytes.
+  uint64_t FastCapacityBytes = 0;
+  /// Advice report; consulted only by the Advised policy.
+  const AdvisorReport *Advice = nullptr;
+};
+
+/// One simulation pass' results.
+struct TieredSimResult {
+  memsim::TierStats Stats;
+  uint64_t Accesses = 0;
+  uint64_t Allocs = 0;
+  uint64_t Frees = 0;
+  uint64_t FastCapacityBytes = 0;
+  uint64_t FastBytesPeak = 0;
+  size_t HotGroupsSelected = 0; ///< Advised policy only.
+};
+
+/// Computes the peak concurrently-live bytes of the trace (allocs minus
+/// frees, walked in stream order). Used to size a default fast tier as
+/// a fraction of the footprint. Returns false with \p Err when the
+/// trace stream fails validation.
+[[nodiscard]] bool peakLiveBytes(traceio::TraceReader &Reader,
+                                 uint64_t &Peak, std::string &Err);
+
+/// Selects the hot set for a static placement: walk the report's rank
+/// order (densest first) front to back, keeping every accessed group
+/// whose whole footprint still fits the remaining budget of
+/// \p FastCapacityBytes — a greedy pack by density. If no accessed
+/// group fits whole, the single hottest one is selected anyway (it
+/// fills the fast tier partially — better than leaving it idle).
+std::unordered_set<omc::GroupId>
+selectHotGroups(const AdvisorReport &Report, uint64_t FastCapacityBytes);
+
+/// Replays \p Reader through a TieredAddressSpace under \p Opts.
+/// Returns false with \p Err on trace validation failure or when the
+/// Advised policy is requested without an advice report.
+[[nodiscard]] bool simulateTiered(traceio::TraceReader &Reader,
+                                  const TieredSimOptions &Opts,
+                                  TieredSimResult &Result, std::string &Err);
+
+} // namespace advisor
+} // namespace orp
+
+#endif // ORP_ADVISOR_TIEREDREPLAY_H

@@ -1,0 +1,106 @@
+//===- memsim/TieredAddressSpace.cpp - Two-tier memory simulator ---------===//
+
+#include "memsim/TieredAddressSpace.h"
+
+using namespace orp;
+using namespace orp::memsim;
+
+const char *orp::memsim::tierPolicyName(TierPolicy Policy) {
+  switch (Policy) {
+  case TierPolicy::FirstTouch:
+    return "first-touch";
+  case TierPolicy::Lru:
+    return "lru";
+  case TierPolicy::Advised:
+    return "advised";
+  }
+  return "unknown";
+}
+
+TieredAddressSpace::TieredAddressSpace(TierPolicy Policy,
+                                       uint64_t FastCapacityBytes)
+    : Policy(Policy), FastCapacity(FastCapacityBytes) {}
+
+bool TieredAddressSpace::placeFast(uint64_t ObjectId, Object &Obj) {
+  if (Obj.Size > FastCapacity || FastCapacity - Obj.Size < FastUsed)
+    return false;
+  Obj.Fast = true;
+  FastUsed += Obj.Size;
+  if (FastUsed > FastPeak)
+    FastPeak = FastUsed;
+  if (Policy == TierPolicy::Lru) {
+    LruOrder.push_front(ObjectId);
+    Obj.LruIt = LruOrder.begin();
+  }
+  return true;
+}
+
+void TieredAddressSpace::onAlloc(uint64_t ObjectId, uint64_t SizeBytes,
+                                 bool PreferFast) {
+  auto [It, Inserted] = Objects.emplace(ObjectId, Object{});
+  if (!Inserted) {
+    ++Stats.Unmapped;
+    return;
+  }
+  Object &Obj = It->second;
+  Obj.Size = SizeBytes;
+  bool WantFast = Policy == TierPolicy::Advised ? PreferFast : true;
+  if (WantFast && placeFast(ObjectId, Obj))
+    ++Stats.FastAllocs;
+  else
+    ++Stats.SlowAllocs;
+}
+
+void TieredAddressSpace::onFree(uint64_t ObjectId) {
+  auto It = Objects.find(ObjectId);
+  if (It == Objects.end()) {
+    ++Stats.Unmapped;
+    return;
+  }
+  if (It->second.Fast) {
+    FastUsed -= It->second.Size;
+    if (Policy == TierPolicy::Lru)
+      LruOrder.erase(It->second.LruIt);
+  }
+  Objects.erase(It);
+}
+
+void TieredAddressSpace::evictForLru(uint64_t Needed) {
+  while (!LruOrder.empty() &&
+         (Needed > FastCapacity || FastCapacity - Needed < FastUsed)) {
+    uint64_t Victim = LruOrder.back();
+    LruOrder.pop_back();
+    Object &Obj = Objects.at(Victim);
+    Obj.Fast = false;
+    FastUsed -= Obj.Size;
+    ++Stats.Evictions;
+  }
+}
+
+void TieredAddressSpace::onAccess(uint64_t ObjectId) {
+  auto It = Objects.find(ObjectId);
+  if (It == Objects.end()) {
+    ++Stats.Unmapped;
+    return;
+  }
+  Object &Obj = It->second;
+  if (Obj.Fast) {
+    ++Stats.FastHits;
+    if (Policy == TierPolicy::Lru && It->second.LruIt != LruOrder.begin())
+      LruOrder.splice(LruOrder.begin(), LruOrder, Obj.LruIt);
+    return;
+  }
+  // The access itself pays the slow-tier cost; under Lru the object is
+  // then promoted so later accesses land fast.
+  ++Stats.SlowHits;
+  if (Policy != TierPolicy::Lru || Obj.Size > FastCapacity)
+    return;
+  evictForLru(Obj.Size);
+  if (placeFast(ObjectId, Obj))
+    ++Stats.Promotions;
+}
+
+bool TieredAddressSpace::inFastTier(uint64_t ObjectId) const {
+  auto It = Objects.find(ObjectId);
+  return It != Objects.end() && It->second.Fast;
+}

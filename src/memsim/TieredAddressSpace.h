@@ -1,0 +1,139 @@
+//===- memsim/TieredAddressSpace.h - Two-tier memory simulator -*- C++ -*-===//
+//
+// Part of the ORP reproduction of "Exposing Memory Access Regularities
+// Using Object-Relative Memory Profiling" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An object-granularity model of a two-tier memory system: a small
+/// fast tier (HBM, on-package DRAM, a software-managed near pool) in
+/// front of a large slow tier. No addresses are modeled — objects are
+/// opaque (id, size) pairs, placement is per object, and every access
+/// simply lands in whichever tier currently holds its object. This is
+/// the payoff meter for the advisor subsystem (OBASE-style
+/// object-granularity tiering): replay a recorded trace through one of
+/// the placement policies and read off the fast-tier hit rate.
+///
+/// Policies:
+///  * FirstTouch — fill the fast tier in allocation order until it is
+///    full; never move anything. The unadvised baseline.
+///  * Lru — first-touch placement plus migrate-on-access: an access to
+///    a slow-tier object promotes it, evicting the least recently used
+///    fast-tier objects to make room. The reactive baseline; every
+///    object move is counted as a migration.
+///  * Advised — static placement from an advice artifact: only objects
+///    the advisor marked hot are placed fast (while room remains);
+///    everything else stays slow. No migrations ever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ORP_MEMSIM_TIEREDADDRESSSPACE_H
+#define ORP_MEMSIM_TIEREDADDRESSSPACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace orp {
+namespace memsim {
+
+/// Placement policy of a TieredAddressSpace.
+enum class TierPolicy { FirstTouch, Lru, Advised };
+
+/// Stable CLI/report name of \p Policy.
+const char *tierPolicyName(TierPolicy Policy);
+
+/// Tiering counters. Plain members bumped on the driving thread; the
+/// advisor's telemetry bridge publishes them via a snapshot-time
+/// collector (the src/telemetry collector discipline).
+struct TierStats {
+  uint64_t FastHits = 0;    ///< Accesses served by the fast tier.
+  uint64_t SlowHits = 0;    ///< Accesses served by the slow tier.
+  uint64_t Promotions = 0;  ///< Slow->fast object moves (Lru only).
+  uint64_t Evictions = 0;   ///< Fast->slow object moves (Lru only).
+  uint64_t FastAllocs = 0;  ///< Objects placed fast at allocation.
+  uint64_t SlowAllocs = 0;  ///< Objects placed slow at allocation.
+  uint64_t Unmapped = 0;    ///< Accesses/frees of unknown object ids.
+
+  /// Total object moves after initial placement.
+  uint64_t migrations() const { return Promotions + Evictions; }
+
+  /// Fraction of accesses served fast; 0 when nothing was accessed.
+  double fastHitRate() const {
+    uint64_t Total = FastHits + SlowHits;
+    return Total ? static_cast<double>(FastHits) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// The two-tier placement simulator.
+class TieredAddressSpace {
+public:
+  /// A simulator with \p FastCapacityBytes of fast tier under
+  /// \p Policy. A zero capacity is legal (everything lands slow).
+  TieredAddressSpace(TierPolicy Policy, uint64_t FastCapacityBytes);
+
+  /// Places the new object \p ObjectId of \p SizeBytes. \p PreferFast
+  /// is the advice bit and is consulted only by the Advised policy.
+  /// Object ids must be unique across the run (re-allocating a live id
+  /// is ignored and counted in stats().Unmapped).
+  void onAlloc(uint64_t ObjectId, uint64_t SizeBytes,
+               bool PreferFast = false);
+
+  /// Retires \p ObjectId, releasing its tier residency.
+  void onFree(uint64_t ObjectId);
+
+  /// Records one access to \p ObjectId, counting a fast or slow hit
+  /// and — under Lru — promoting a slow object into the fast tier.
+  void onAccess(uint64_t ObjectId);
+
+  /// Counters accumulated so far.
+  const TierStats &stats() const { return Stats; }
+
+  /// Bytes currently resident in the fast tier.
+  uint64_t fastBytesUsed() const { return FastUsed; }
+
+  /// Peak fast-tier residency over the run.
+  uint64_t fastBytesPeak() const { return FastPeak; }
+
+  /// Configured fast-tier capacity.
+  uint64_t fastCapacity() const { return FastCapacity; }
+
+  /// True when \p ObjectId is live and fast-resident.
+  bool inFastTier(uint64_t ObjectId) const;
+
+  /// Number of live (allocated, not yet freed) objects.
+  size_t liveObjects() const { return Objects.size(); }
+
+private:
+  struct Object {
+    uint64_t Size = 0;
+    bool Fast = false;
+    /// Position in LruOrder; valid only while Fast under the Lru
+    /// policy (front = most recently used).
+    std::list<uint64_t>::iterator LruIt;
+  };
+
+  /// Places \p Obj into the fast tier if it fits, updating residency.
+  bool placeFast(uint64_t ObjectId, Object &Obj);
+
+  /// Evicts least-recently-used fast objects until \p Needed bytes fit.
+  void evictForLru(uint64_t Needed);
+
+  TierPolicy Policy;
+  uint64_t FastCapacity;
+  uint64_t FastUsed = 0;
+  uint64_t FastPeak = 0;
+  TierStats Stats;
+  std::unordered_map<uint64_t, Object> Objects;
+  /// Fast-resident object ids in recency order (Lru policy only).
+  std::list<uint64_t> LruOrder;
+};
+
+} // namespace memsim
+} // namespace orp
+
+#endif // ORP_MEMSIM_TIEREDADDRESSSPACE_H

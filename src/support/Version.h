@@ -24,7 +24,7 @@ namespace support {
 
 /// The toolkit version. Tracks the PR sequence of this repository, not
 /// any external release scheme.
-constexpr const char *kVersionString = "0.8.0";
+constexpr const char *kVersionString = "0.9.0";
 
 /// Oldest and newest .orpt format versions this build reads: v1
 /// (interleaved records) and v2 (columnar blocks). The writer defaults
@@ -79,6 +79,7 @@ inline void printVersion(const char *ToolName) {
   else
     std::printf("  trace format: .orpt v%u-v%u\n", kMinTraceFormatVersion,
                 kMaxTraceFormatVersion);
+  std::printf("  advice format: .orpa v1\n");
   std::printf("  check level:  ORP_CHECK_LEVEL=%d\n", checkLevel());
   std::printf("  sanitizers:   %s%s%s\n", builtWithAsan() ? "asan " : "",
               builtWithTsan() ? "tsan " : "",

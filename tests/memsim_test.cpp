@@ -5,6 +5,7 @@
 #include "memsim/FreeListAllocator.h"
 #include "memsim/SegregatedAllocator.h"
 #include "memsim/StaticLayout.h"
+#include "memsim/TieredAddressSpace.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -321,4 +322,110 @@ TEST(StaticLayoutTest, VariablesDoNotOverlap) {
     }
     EXPECT_EQ(L.segmentEnd() >= PrevEnd, true);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// TieredAddressSpace
+//===----------------------------------------------------------------------===//
+
+TEST(TieredAddressSpaceTest, PolicyNames) {
+  EXPECT_STREQ(tierPolicyName(TierPolicy::FirstTouch), "first-touch");
+  EXPECT_STREQ(tierPolicyName(TierPolicy::Lru), "lru");
+  EXPECT_STREQ(tierPolicyName(TierPolicy::Advised), "advised");
+}
+
+TEST(TieredAddressSpaceTest, FirstTouchFillsInAllocationOrder) {
+  TieredAddressSpace T(TierPolicy::FirstTouch, 100);
+  T.onAlloc(1, 60);
+  T.onAlloc(2, 40);
+  T.onAlloc(3, 10); // Fast tier full: lands slow, never moves.
+  EXPECT_TRUE(T.inFastTier(1));
+  EXPECT_TRUE(T.inFastTier(2));
+  EXPECT_FALSE(T.inFastTier(3));
+  T.onAccess(1);
+  T.onAccess(3);
+  T.onAccess(3);
+  EXPECT_EQ(T.stats().FastHits, 1u);
+  EXPECT_EQ(T.stats().SlowHits, 2u);
+  EXPECT_EQ(T.stats().migrations(), 0u);
+  EXPECT_EQ(T.stats().FastAllocs, 2u);
+  EXPECT_EQ(T.stats().SlowAllocs, 1u);
+  EXPECT_EQ(T.fastBytesUsed(), 100u);
+}
+
+TEST(TieredAddressSpaceTest, FreeReleasesResidency) {
+  TieredAddressSpace T(TierPolicy::FirstTouch, 100);
+  T.onAlloc(1, 100);
+  EXPECT_TRUE(T.inFastTier(1));
+  T.onFree(1);
+  EXPECT_EQ(T.fastBytesUsed(), 0u);
+  EXPECT_EQ(T.liveObjects(), 0u);
+  T.onAlloc(2, 100);
+  EXPECT_TRUE(T.inFastTier(2)) << "freed bytes are reusable";
+  EXPECT_EQ(T.fastBytesPeak(), 100u);
+}
+
+TEST(TieredAddressSpaceTest, AdvisedPlacesOnlyPreferredObjects) {
+  TieredAddressSpace T(TierPolicy::Advised, 100);
+  T.onAlloc(1, 50, /*PreferFast=*/false); // Cold: stays slow even with room.
+  T.onAlloc(2, 50, /*PreferFast=*/true);
+  T.onAlloc(3, 60, /*PreferFast=*/true); // Hot but no room left.
+  EXPECT_FALSE(T.inFastTier(1));
+  EXPECT_TRUE(T.inFastTier(2));
+  EXPECT_FALSE(T.inFastTier(3));
+  for (int I = 0; I != 5; ++I)
+    T.onAccess(3);
+  EXPECT_FALSE(T.inFastTier(3)) << "static placement: no promotion";
+  EXPECT_EQ(T.stats().migrations(), 0u);
+}
+
+TEST(TieredAddressSpaceTest, LruPromotesOnAccessAndEvictsColdest) {
+  TieredAddressSpace T(TierPolicy::Lru, 100);
+  T.onAlloc(1, 60);
+  T.onAlloc(2, 40);
+  T.onAlloc(3, 50); // Slow for now.
+  T.onAccess(2);    // 2 is now the most recently used fast object.
+  // Accessing 3 pays one slow hit, then promotes it by evicting the
+  // least recently used fast object (1, never accessed).
+  T.onAccess(3);
+  EXPECT_EQ(T.stats().SlowHits, 1u);
+  EXPECT_TRUE(T.inFastTier(3));
+  EXPECT_FALSE(T.inFastTier(1)) << "LRU victim";
+  EXPECT_TRUE(T.inFastTier(2)) << "recently used survives";
+  EXPECT_EQ(T.stats().Promotions, 1u);
+  EXPECT_EQ(T.stats().Evictions, 1u);
+  T.onAccess(3);
+  EXPECT_EQ(T.stats().FastHits, 2u) << "promoted object now hits fast";
+}
+
+TEST(TieredAddressSpaceTest, LruNeverPromotesOversizedObjects) {
+  TieredAddressSpace T(TierPolicy::Lru, 100);
+  T.onAlloc(1, 50);
+  T.onAlloc(2, 500); // Larger than the whole fast tier.
+  for (int I = 0; I != 3; ++I)
+    T.onAccess(2);
+  EXPECT_FALSE(T.inFastTier(2));
+  EXPECT_TRUE(T.inFastTier(1)) << "resident object not evicted in vain";
+  EXPECT_EQ(T.stats().Promotions, 0u);
+  EXPECT_EQ(T.stats().SlowHits, 3u);
+}
+
+TEST(TieredAddressSpaceTest, UnknownIdsCountAsUnmapped) {
+  TieredAddressSpace T(TierPolicy::FirstTouch, 100);
+  T.onAccess(9);
+  T.onFree(9);
+  T.onAlloc(1, 10);
+  T.onAlloc(1, 10); // Duplicate live id.
+  EXPECT_EQ(T.stats().Unmapped, 3u);
+  EXPECT_EQ(T.liveObjects(), 1u);
+}
+
+TEST(TieredAddressSpaceTest, ZeroCapacityLandsEverythingSlow) {
+  TieredAddressSpace T(TierPolicy::Lru, 0);
+  T.onAlloc(1, 8);
+  T.onAccess(1);
+  EXPECT_FALSE(T.inFastTier(1));
+  EXPECT_EQ(T.stats().SlowHits, 1u);
+  EXPECT_EQ(T.stats().FastAllocs, 0u);
+  EXPECT_EQ(T.stats().fastHitRate(), 0.0);
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+#===- tools/advise_smoke.sh - profile -> advise -> payoff smoke ----------===#
+#
+# The advisor acceptance scenario as a shell check (also a ctest entry
+# and the CI advise-smoke job, plain and under ASan):
+#
+#   1. record a trace for each gate workload,
+#   2. replay it, dumping the LEAP and OMSG artifacts,
+#   3. `orp-advise advise` the artifacts into a .orpa advice report,
+#   4. `orp-advise simulate --json` all three tier policies,
+#   5. jq-gate: the advised fast-tier hit rate must be STRICTLY higher
+#      than unadvised first-touch on every gate workload — the payoff
+#      half of the profile -> decision -> payoff loop,
+#   6. check that corrupt/truncated advice is rejected with a
+#      structured error, never crashes the simulator.
+#
+# Usage: tools/advise_smoke.sh <build-dir>
+#
+#===----------------------------------------------------------------------===#
+
+set -eu
+
+BUILD="${1:?usage: advise_smoke.sh <build-dir>}"
+ORP_TRACE="$BUILD/tools/orp-trace"
+ORP_ADVISE="$BUILD/tools/orp-advise"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "advise_smoke: FAIL: $*" >&2; exit 1; }
+
+command -v jq >/dev/null 2>&1 || fail "jq is required for the rate gate"
+
+# Gate workloads: the ones with the largest, most stable advised
+# margins over first-touch at the default 25% fast-tier fraction.
+for WL in list-traversal 181.mcf-a; do
+  echo "== $WL =="
+  "$ORP_TRACE" record "$WL" -o "$WORK/t.orpt" --seed=7
+  "$ORP_TRACE" replay "$WORK/t.orpt" --profiler=leap \
+    --dump-leap="$WORK/t.leap"
+  "$ORP_TRACE" replay "$WORK/t.orpt" --profiler=whomp \
+    --dump-omsg="$WORK/t.omsa"
+
+  "$ORP_ADVISE" advise "$WORK/t.leap" "$WORK/t.omsa" -o "$WORK/t.orpa"
+  "$ORP_ADVISE" simulate "$WORK/t.orpt" --advice="$WORK/t.orpa" \
+    --json > "$WORK/sim.json"
+
+  ADVISED=$(jq -r '.policies.advised.fast_hit_rate' "$WORK/sim.json")
+  BASELINE=$(jq -r '.policies["first-touch"].fast_hit_rate' "$WORK/sim.json")
+  [ -n "$ADVISED" ] && [ "$ADVISED" != "null" ] ||
+    fail "no advised rate in simulate output for $WL"
+  [ -n "$BASELINE" ] && [ "$BASELINE" != "null" ] ||
+    fail "no first-touch rate in simulate output for $WL"
+  jq -e '.policies.advised.fast_hit_rate >
+         .policies["first-touch"].fast_hit_rate' \
+    "$WORK/sim.json" > /dev/null ||
+    fail "advised rate $ADVISED not above first-touch $BASELINE on $WL"
+  echo "$WL: advised $ADVISED > first-touch $BASELINE"
+done
+
+echo "== hardened advice reader =="
+# Truncated and corrupted advice must be rejected (exit nonzero),
+# never crash or silently degrade the simulation.
+head -c 13 "$WORK/t.orpa" > "$WORK/trunc.orpa"
+if "$ORP_ADVISE" simulate "$WORK/t.orpt" --advice="$WORK/trunc.orpa" \
+     --json > /dev/null 2>&1; then
+  fail "simulate accepted a truncated advice report"
+fi
+cp "$WORK/t.orpa" "$WORK/flip.orpa"
+printf '\xff' | dd of="$WORK/flip.orpa" bs=1 seek=12 conv=notrunc 2>/dev/null
+if "$ORP_ADVISE" simulate "$WORK/t.orpt" --advice="$WORK/flip.orpa" \
+     --json > /dev/null 2>&1; then
+  fail "simulate accepted a corrupted advice report"
+fi
+
+echo "advise_smoke: PASS"

@@ -274,6 +274,7 @@ const std::map<std::string, int> &moduleRanks() {
       {"leap", 5},
       {"traceio", 5},
       {"analysis", 6},
+      {"advisor", 7},
       {"baseline", 7},
       {"session", 7},
   };

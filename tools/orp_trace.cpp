@@ -30,6 +30,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "advisor/HotColdClassifier.h"
+#include "advisor/Telemetry.h"
 #include "baseline/RasgProfiler.h"
 #include "core/ProfilingSession.h"
 #include "leap/LeapProfileData.h"
@@ -715,6 +717,21 @@ int cmdStats(int Argc, char **Argv) {
     return 1;
   }
   Session.finalize();
+
+  // Run the hot/cold classifier over the finished profiles and publish
+  // the advisor.* gauges so the snapshot shows advice counts alongside
+  // the profiler metrics. Read-only over the profilers: the artifacts
+  // stay byte-identical with or without the advisor attached.
+  advisor::AdvisorReport AdviceReport;
+  advisor::AdvisorTelemetry AdviceBridge;
+  if (Session.leap() && Session.whomp()) {
+    advisor::HotColdClassifier Classifier;
+    AdviceReport = Classifier.classify(
+        leap::LeapProfileData::fromProfiler(*Session.leap()),
+        whomp::OmsgArchive::build(*Session.whomp(),
+                                  &Session.core().omc()));
+    AdviceBridge.attachReport(&AdviceReport);
+  }
 
   std::printf("%s: %llu events, %u thread(s)\n", Path.c_str(),
               static_cast<unsigned long long>(Session.eventsInjected()),
